@@ -1,0 +1,186 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure
+// of the paper, plus the ablations DESIGN.md calls out. Each benchmark
+// drives the full simulator (late launch microcode, software TPM, memory
+// controller) and reports the key *virtual-time* result as a custom metric
+// alongside the usual wall-clock ns/op of the simulation itself.
+//
+// The authoritative regeneration of the paper's numbers is cmd/seabench;
+// these benchmarks exist so `go test -bench` exercises every experiment
+// code path and tracks simulator performance.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"minimaltcb/internal/experiments"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Trials: 1, KeyBits: 1024, Seed: 42}
+}
+
+func msMetric(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// BenchmarkTable1_LateLaunch regenerates Table 1 (SKINIT/SENTER vs PAL
+// size on all three machines) once per iteration.
+func BenchmarkTable1_LateLaunch(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(msMetric(rows[0].Avg[64<<10]), "vms_skinit64KB")
+	b.ReportMetric(msMetric(rows[2].Avg[64<<10]), "vms_senter64KB")
+}
+
+// BenchmarkFigure2_PALGen regenerates Figure 2's PAL Gen bar.
+func BenchmarkFigure2_PALGen(b *testing.B) {
+	var bars []experiments.Figure2Bar
+	for i := 0; i < b.N; i++ {
+		var err error
+		bars, err = experiments.Figure2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(msMetric(bars[0].Total), "vms_palgen")
+	b.ReportMetric(msMetric(bars[2].Total), "vms_paluse")
+}
+
+// BenchmarkFigure3_TPMOps regenerates Figure 3 (TPM microbenchmarks on
+// all four chips).
+func BenchmarkFigure3_TPMOps(b *testing.B) {
+	var rows []experiments.Figure3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.TPM == "Broadcom (HP dc5750)" {
+			b.ReportMetric(msMetric(r.Cells["Unseal"].Mean), "vms_broadcom_unseal")
+		}
+	}
+}
+
+// BenchmarkTable2_VMSwitch regenerates Table 2 (VM entry/exit).
+func BenchmarkTable2_VMSwitch(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].EnterAvg.Nanoseconds()), "vns_amd_vmenter")
+	b.ReportMetric(float64(rows[1].EnterAvg.Nanoseconds()), "vns_intel_vmenter")
+}
+
+// BenchmarkImpact_ContextSwitch regenerates §5.7's comparison and reports
+// the measured improvement in orders of magnitude.
+func BenchmarkImpact_ContextSwitch(b *testing.B) {
+	var r *experiments.ImpactResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Impact(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.OrdersOfMagnitude, "orders_of_magnitude")
+	b.ReportMetric(msMetric(r.LegacyRoundTrip), "vms_legacy_switch")
+}
+
+// BenchmarkConcurrency_LegacyShare regenerates the concurrency sweep at
+// one PAL count.
+func BenchmarkConcurrency_LegacyShare(b *testing.B) {
+	var pts []experiments.ConcurrencyPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Concurrency(benchCfg(), []int{2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].LegacyShareSEA, "legacy_share_sea")
+	b.ReportMetric(pts[0].LegacyShareRec, "legacy_share_rec")
+}
+
+// BenchmarkAblation_HashLocation sweeps the AMD/Intel crossover.
+func BenchmarkAblation_HashLocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHashLocation(benchCfg(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_TPMWait contrasts the wait-stating and full-speed TPM.
+func BenchmarkAblation_TPMWait(b *testing.B) {
+	var r *experiments.TPMWaitResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.AblationTPMWait(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Factor, "wait_factor")
+}
+
+// BenchmarkAblation_SePCRCount measures admission under register pressure.
+func BenchmarkAblation_SePCRCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSePCRCount(benchCfg(), 8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Quantum sweeps the preemption timer.
+func BenchmarkAblation_Quantum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationQuantum(benchCfg(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_SealPayload sweeps TPM_Seal payload sizes.
+func BenchmarkAblation_SealPayload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSealPayload(benchCfg(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_TwoStageAMD measures footnote 4's two-stage launch.
+func BenchmarkAblation_TwoStageAMD(b *testing.B) {
+	var pts []experiments.TwoStagePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.AblationTwoStageAMD(benchCfg(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(float64(last.SingleStage)/float64(last.TwoStage), "speedup_64KB")
+}
+
+// BenchmarkAblation_CrossPlatform measures Figure 2 on all four TPMs.
+func BenchmarkAblation_CrossPlatform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFigure2CrossPlatform(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Command attestd runs the remote-attestation loop between a simulated
+// platform and an external verifier over TCP.
+//
+// Usage:
+//
+//	attestd serve -addr 127.0.0.1:7070 [-pal file.pal]
+//	    Build an HP dc5750, late launch the PAL (a built-in echo PAL by
+//	    default, or assembler source from -pal), and answer attestation
+//	    challenges on the given address. Prints the trust anchors a
+//	    verifier needs (CA key fingerprint, PAL measurement).
+//
+//	attestd verify -addr 127.0.0.1:7070
+//	    Connect as a verifier that shares the demo trust anchors and
+//	    print the verified PAL name.
+//
+//	attestd demo
+//	    Run both sides in one process over the loopback.
+package main
+
+import (
+	"crypto/rsa"
+	"crypto/sha1"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"minimaltcb/internal/attest"
+	"minimaltcb/internal/core"
+	"minimaltcb/internal/platform"
+	"minimaltcb/internal/tpm"
+)
+
+const defaultPAL = `
+	ldi	r0, msg
+	ldi	r1, 22
+	svc	6
+	ldi	r0, 0
+	svc	0
+msg:	.ascii "attested PAL was here!"
+`
+
+// demoSeed fixes the platform seed so `serve` and `verify` in separate
+// processes share the Privacy CA trust anchor.
+const demoSeed = 0x5eed
+
+func main() {
+	if len(os.Args) < 2 {
+		fail(usage())
+	}
+	sub := os.Args[1]
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen/connect address")
+	palFile := fs.String("pal", "", "PAL assembler source file (serve only)")
+	anchors := fs.String("anchors", "", "trust-anchors file: written by serve, read by verify")
+	fs.Parse(os.Args[2:])
+
+	var err error
+	switch sub {
+	case "serve":
+		err = serve(*addr, *palFile, *anchors, nil)
+	case "verify":
+		err = verify(*addr, *anchors)
+	case "demo":
+		err = demo()
+	default:
+		err = usage()
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
+	os.Exit(1)
+}
+
+func usage() error {
+	return fmt.Errorf("usage: attestd serve [-addr A] [-pal file] | attestd verify [-addr A] | attestd demo")
+}
+
+// buildSystem assembles the shared-seed platform and PAL.
+func buildSystem(palFile string) (*core.System, *core.PAL, error) {
+	prof := platform.HPdc5750()
+	prof.Seed = demoSeed
+	sys, err := core.NewSystem(prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := defaultPAL
+	name := "attestd-demo-pal"
+	if palFile != "" {
+		b, err := os.ReadFile(palFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		src = string(b)
+		name = palFile
+	}
+	p, err := core.CompilePAL(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, p, nil
+}
+
+// anchorsFile is the out-of-band trust material a cross-process verifier
+// needs: the Privacy CA's public key and the approved PAL identity.
+type anchorsFile struct {
+	CAPub   *rsa.PublicKey
+	PALName string
+	PALMeas tpm.Digest
+}
+
+// serve runs the platform side. If ready is non-nil the bound address is
+// sent on it once listening (used by demo and tests).
+func serve(addr, palFile, anchorsPath string, ready chan<- string) error {
+	sys, p, err := buildSystem(palFile)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.RunLegacy(p, nil); err != nil {
+		return err
+	}
+	fmt.Printf("platform: %s\n", sys.Machine.Profile.Name)
+	fmt.Printf("PAL %q measurement: %x\n", p.Name, p.Measurement())
+	fmt.Printf("CA key fingerprint: %x\n", caFingerprint(sys))
+	if anchorsPath != "" {
+		f, err := os.Create(anchorsPath)
+		if err != nil {
+			return err
+		}
+		err = gob.NewEncoder(f).Encode(&anchorsFile{
+			CAPub: sys.CA.Public(), PALName: p.Name, PALMeas: p.Measurement(),
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing anchors: %w", err)
+		}
+		fmt.Printf("trust anchors written to %s\n", anchorsPath)
+	}
+
+	log := attest.Log{{PCR: 17, Description: p.Name, Measurement: p.Measurement()}}
+	respond := func(ch attest.Challenge) (*attest.Evidence, error) {
+		q, _, err := sys.SEA.Quote(ch.Nonce)
+		if err != nil {
+			return nil, err
+		}
+		return &attest.Evidence{Cert: sys.Cert, Quote: q, Log: log}, nil
+	}
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("answering attestation challenges on %s\n", l.Addr())
+	if ready != nil {
+		ready <- l.Addr().String()
+	}
+	return attest.Serve(l, respond)
+}
+
+func caFingerprint(sys *core.System) []byte {
+	sum := sha1.Sum(sys.CA.Public().N.Bytes())
+	return sum[:8]
+}
+
+// verify runs the verifier side. Trust anchors come from -anchors when
+// given (cross-process), otherwise from rebuilding the shared-seed system
+// in this process (the demo path).
+func verify(addr, anchorsPath string) error {
+	var v *attest.Verifier
+	if anchorsPath != "" {
+		f, err := os.Open(anchorsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var a anchorsFile
+		if err := gob.NewDecoder(f).Decode(&a); err != nil {
+			return fmt.Errorf("reading anchors: %w", err)
+		}
+		v = attest.NewVerifier(a.CAPub)
+		v.Approve(a.PALName, a.PALMeas)
+	} else {
+		sys, p, err := buildSystem("")
+		if err != nil {
+			return err
+		}
+		v = attest.NewVerifier(sys.CA.Public())
+		v.Approve(p.Name, p.Measurement())
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	nonce := []byte(fmt.Sprintf("attestd-nonce-%d", os.Getpid()))
+	name, err := v.ChallengeAndVerify(conn, nonce, false, 0)
+	if err != nil {
+		return fmt.Errorf("attestation REJECTED: %w", err)
+	}
+	fmt.Printf("attestation verified: platform ran %q under late launch\n", name)
+	return nil
+}
+
+// demo runs both halves over the loopback.
+func demo() error {
+	ready := make(chan string, 1)
+	errs := make(chan error, 1)
+	go func() { errs <- serve("127.0.0.1:0", "", "", ready) }()
+	select {
+	case addr := <-ready:
+		if err := verify(addr, ""); err != nil {
+			return err
+		}
+		fmt.Println("demo complete")
+		return nil
+	case err := <-errs:
+		return err
+	}
+}

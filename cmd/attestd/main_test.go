@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDemoEndToEnd(t *testing.T) {
+	if err := demo(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeWithAnchorsAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	anchors := filepath.Join(dir, "anchors.gob")
+	ready := make(chan string, 1)
+	errs := make(chan error, 1)
+	go func() { errs <- serve("127.0.0.1:0", "", anchors, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errs:
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(anchors); err != nil {
+		t.Fatalf("anchors not written: %v", err)
+	}
+	if err := verify(addr, anchors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeCustomPAL(t *testing.T) {
+	dir := t.TempDir()
+	palSrc := filepath.Join(dir, "p.pal")
+	os.WriteFile(palSrc, []byte("ldi r0, 0\nsvc 0\n"), 0o644)
+	ready := make(chan string, 1)
+	errs := make(chan error, 1)
+	go func() { errs <- serve("127.0.0.1:0", palSrc, "", ready) }()
+	select {
+	case addr := <-ready:
+		// The default-anchor verifier approves only the built-in PAL,
+		// so verification must fail for the custom one.
+		if err := verify(addr, ""); err == nil {
+			t.Fatal("custom PAL verified against default anchors")
+		}
+	case err := <-errs:
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSystemBadPALFile(t *testing.T) {
+	if _, _, err := buildSystem("/nonexistent.pal"); err == nil {
+		t.Fatal("missing PAL file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.pal")
+	os.WriteFile(bad, []byte("not assembly"), 0o644)
+	if _, _, err := buildSystem(bad); err == nil {
+		t.Fatal("bad PAL source accepted")
+	}
+}
+
+func TestVerifyConnectError(t *testing.T) {
+	if err := verify("127.0.0.1:1", ""); err == nil {
+		t.Fatal("verify against closed port succeeded")
+	}
+}

@@ -1,0 +1,83 @@
+// Command palasm assembles PAL source into SLB images and disassembles
+// images back to text.
+//
+// Usage:
+//
+//	palasm build input.pal -o pal.slb     # assemble to an SLB image
+//	palasm dump pal.slb                   # disassemble an image
+//	palasm hash pal.slb                   # print the PAL measurement
+package main
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"os"
+
+	"minimaltcb/internal/isa"
+	"minimaltcb/internal/pal"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "palasm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return usage()
+	}
+	switch args[0] {
+	case "build":
+		src, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		out := "pal.slb"
+		for i := 2; i < len(args)-1; i++ {
+			if args[i] == "-o" {
+				out = args[i+1]
+			}
+		}
+		im, err := pal.Build(string(src))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, im.Bytes, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("built %s: %d bytes, entry %d, measurement %x\n",
+			out, im.Len(), im.Entry, sha1.Sum(im.Bytes))
+		return nil
+
+	case "dump":
+		raw, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		length, entry, err := pal.ParseHeader(raw)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("; SLB length %d, entry %d\n", length, entry)
+		fmt.Print(isa.Disassemble(raw[pal.HeaderSize:]))
+		return nil
+
+	case "hash":
+		raw, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%x  %s\n", sha1.Sum(raw), args[1])
+		return nil
+
+	case "run":
+		return runPAL(args[1:])
+	}
+	return usage()
+}
+
+func usage() error {
+	return fmt.Errorf("usage: palasm build <src> [-o out.slb] | palasm dump <image> | palasm hash <image> | palasm run <src|image> [-in f] [-trace] [-max n]")
+}

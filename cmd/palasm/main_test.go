@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildDumpHash(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.pal")
+	out := filepath.Join(dir, "p.slb")
+	if err := os.WriteFile(src, []byte("ldi r0, 7\nhalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"build", src, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 12 { // 4 header + 2 instructions
+		t.Fatalf("image %d bytes", len(raw))
+	}
+	if err := run([]string{"dump", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"hash", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildBadSource(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.pal")
+	os.WriteFile(src, []byte("definitely not assembly"), 0o644)
+	if err := run([]string{"build", src}); err == nil {
+		t.Fatal("bad source built")
+	}
+}
+
+func TestDumpBadImage(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "bad.slb")
+	os.WriteFile(img, []byte{1}, 0o644)
+	if err := run([]string{"dump", img}); err == nil {
+		t.Fatal("truncated image dumped")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{nil, {"build"}, {"bogus", "x"}} {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+	if err := run([]string{"build", "/nonexistent/file.pal"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"hash", "/nonexistent/file.slb"}); err == nil {
+		t.Fatal("missing hash target accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"minimaltcb/internal/chipset"
+	"minimaltcb/internal/cpu"
+	"minimaltcb/internal/isa"
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/sim"
+)
+
+// runPAL executes a PAL standalone on a bare rig: no OS, no TPM — just the
+// interpreter with the I/O services, for developing and debugging PAL
+// programs before deploying them into a full platform. The input channel
+// is fed from -in; output goes to stdout.
+//
+//	palasm run file.pal [-in inputfile] [-trace] [-max N]
+func runPAL(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: palasm run <src.pal|image.slb> [-in file] [-trace] [-max instrs]")
+	}
+	path := args[0]
+	var input []byte
+	trace := false
+	maxInstr := int64(10_000_000)
+	for i := 1; i < len(args); i++ {
+		switch args[i] {
+		case "-in":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-in needs a file")
+			}
+			b, err := os.ReadFile(args[i+1])
+			if err != nil {
+				return err
+			}
+			input = b
+			i++
+		case "-trace":
+			trace = true
+		case "-max":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-max needs a count")
+			}
+			if _, err := fmt.Sscanf(args[i+1], "%d", &maxInstr); err != nil {
+				return fmt.Errorf("bad -max: %v", err)
+			}
+			i++
+		default:
+			return fmt.Errorf("unknown flag %q", args[i])
+		}
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// Accept either assembler source or a prebuilt SLB image.
+	var image pal.Image
+	if _, _, err := pal.ParseHeader(raw); err == nil && len(raw) >= pal.HeaderSize {
+		if l, e, err := pal.ParseHeader(raw); err == nil && l == len(raw) {
+			image = pal.Image{Bytes: raw, Entry: e}
+		}
+	}
+	if image.Bytes == nil {
+		image, err = pal.Build(string(raw))
+		if err != nil {
+			return fmt.Errorf("assembling %s: %w", path, err)
+		}
+	}
+
+	clock := sim.NewClock()
+	cs := chipset.New(clock, mem.New(1<<20), lpc.NewBus(clock, lpc.FullSpeed()), nil)
+	core := cpu.New(0, cpu.ParamsAMDdc5750(), cs)
+	base := uint32(16 * mem.PageSize)
+	if err := cs.Memory().WriteRaw(base, image.Bytes); err != nil {
+		return err
+	}
+	core.Reset()
+	core.EnterRegion(mem.Region{Base: base, Size: image.Len()}, image.Entry)
+
+	var output []byte
+	rng := sim.NewRNG(1)
+	core.SetService(func(c *cpu.CPU, num uint16) (cpu.SvcAction, error) {
+		switch num {
+		case cpu.SvcNumExit:
+			return cpu.SvcExit, nil
+		case cpu.SvcNumYield:
+			// Standalone runner: a yield just continues.
+			return cpu.SvcContinue, nil
+		case cpu.SvcNumRandom:
+			b := make([]byte, int(c.Regs[1]))
+			rng.Fill(b)
+			if err := c.WriteBytes(c.Regs[0], b); err != nil {
+				return 0, err
+			}
+			return cpu.SvcContinue, nil
+		case cpu.SvcNumOutput:
+			b, err := c.ReadBytes(c.Regs[0], int(c.Regs[1]))
+			if err != nil {
+				return 0, err
+			}
+			output = append(output, b...)
+			return cpu.SvcContinue, nil
+		case cpu.SvcNumInput:
+			n := int(c.Regs[1])
+			if n > len(input) {
+				n = len(input)
+			}
+			if err := c.WriteBytes(c.Regs[0], input[:n]); err != nil {
+				return 0, err
+			}
+			c.Regs[0] = uint32(n)
+			return cpu.SvcContinue, nil
+		case cpu.SvcNumGetTime:
+			c.Regs[0] = uint32(clock.Now())
+			return cpu.SvcContinue, nil
+		}
+		return 0, fmt.Errorf("service %d unavailable in the standalone runner (needs a TPM platform)", num)
+	})
+	if trace {
+		core.SetTracer(func(c *cpu.CPU, pc uint32, in isa.Instruction) {
+			fmt.Fprintf(os.Stderr, "%6d  %04x:  %-24s r0=%08x r1=%08x sp=%08x\n",
+				c.Retired, pc, in, c.Regs[0], c.Regs[1], c.Regs[7])
+		})
+	}
+
+	for {
+		reason, err := core.Run(time.Duration(maxInstr) * core.Params.InstrCost)
+		if err != nil {
+			return fmt.Errorf("PAL fault after %d instructions: %w", core.Retired, err)
+		}
+		if reason == cpu.StopPreempted {
+			return fmt.Errorf("instruction budget (%d) exhausted; raise with -max", maxInstr)
+		}
+		if reason == cpu.StopHalt {
+			break
+		}
+	}
+	if len(output) > 0 {
+		os.Stdout.Write(output)
+		if output[len(output)-1] != '\n' {
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "exit status %d after %d instructions, %v virtual time\n",
+		core.Regs[0], core.Retired, clock.Now())
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunPALFromSource(t *testing.T) {
+	src := writeTemp(t, "hello.pal", `
+		ldi r0, msg
+		ldi r1, 2
+		svc 6
+		ldi r0, 0
+		svc 0
+	msg:	.ascii "ok"
+	`)
+	if err := runPAL([]string{src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPALFromImage(t *testing.T) {
+	dir := t.TempDir()
+	src := writeTemp(t, "p.pal", "ldi r0, 0\nsvc 0")
+	out := filepath.Join(dir, "p.slb")
+	if err := run([]string{"build", src, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPAL([]string{out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPALWithInput(t *testing.T) {
+	src := writeTemp(t, "echo.pal", `
+		ldi r0, buf
+		ldi r1, 64
+		svc 7
+		mov r1, r0
+		ldi r0, buf
+		svc 6
+		ldi r0, 0
+		svc 0
+	buf:	.space 64
+	`)
+	in := writeTemp(t, "input.txt", "payload")
+	if err := runPAL([]string{src, "-in", in}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPALBudgetExhausted(t *testing.T) {
+	src := writeTemp(t, "spin.pal", "spin: jmp spin")
+	if err := runPAL([]string{src, "-max", "1000"}); err == nil {
+		t.Fatal("infinite loop terminated")
+	}
+}
+
+func TestRunPALFault(t *testing.T) {
+	src := writeTemp(t, "crash.pal", "ldi r0, 1\nldi r1, 0\ndivu r0, r1")
+	if err := runPAL([]string{src}); err == nil {
+		t.Fatal("faulting PAL reported success")
+	}
+}
+
+func TestRunPALTPMServiceUnavailable(t *testing.T) {
+	src := writeTemp(t, "seal.pal", "svc 3")
+	if err := runPAL([]string{src}); err == nil {
+		t.Fatal("TPM service available on bare rig")
+	}
+}
+
+func TestRunPALFlagErrors(t *testing.T) {
+	src := writeTemp(t, "p.pal", "halt")
+	cases := [][]string{
+		nil,
+		{src, "-in"},
+		{src, "-max"},
+		{src, "-max", "notanumber"},
+		{src, "-bogus"},
+		{"/nonexistent.pal"},
+		{src, "-in", "/nonexistent.txt"},
+	}
+	for _, args := range cases {
+		if err := runPAL(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunPALTraceDoesNotBreakExecution(t *testing.T) {
+	src := writeTemp(t, "t.pal", `
+		ldi r0, 0
+		ldi r1, 10
+	loop:	addi r0, 1
+		cmp r0, r1
+		jnz loop
+		ldi r0, 0
+		svc 0
+	`)
+	if err := runPAL([]string{src, "-trace"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Command seabench regenerates every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md lists, as text tables or
+// plot-ready CSV.
+//
+// Usage:
+//
+//	seabench                  # everything
+//	seabench -table 1         # just Table 1
+//	seabench -figure 3        # just Figure 3
+//	seabench -impact          # §5.7 context-switch comparison
+//	seabench -concurrency     # legacy-throughput sweep
+//	seabench -ablations       # the ablation studies
+//	seabench -trials 100      # paper-grade trial counts
+//	seabench -format csv      # machine-readable export
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"minimaltcb/internal/experiments"
+)
+
+// selection names which artefacts to render; the zero value means all.
+type selection struct {
+	table       int
+	figure      int
+	impact      bool
+	concurrency bool
+	ablations   bool
+}
+
+func (s selection) restricted() bool {
+	return s.table != 0 || s.figure != 0 || s.impact || s.concurrency || s.ablations
+}
+
+func main() {
+	var (
+		sel    selection
+		trials = flag.Int("trials", 20, "trials per data point")
+		seed   = flag.Uint64("seed", 42, "simulation seed")
+		format = flag.String("format", "text", "output format: text | csv")
+		verify = flag.Bool("verify", false, "compare every regenerated number against the paper and exit non-zero on failure")
+	)
+	flag.IntVar(&sel.table, "table", 0, "render only this table (1 or 2)")
+	flag.IntVar(&sel.figure, "figure", 0, "render only this figure (2 or 3)")
+	flag.BoolVar(&sel.impact, "impact", false, "render only the §5.7 impact comparison")
+	flag.BoolVar(&sel.concurrency, "concurrency", false, "render only the concurrency sweep")
+	flag.BoolVar(&sel.ablations, "ablations", false, "render only the ablation studies")
+	flag.Parse()
+
+	cfg := experiments.Config{Trials: *trials, KeyBits: 1024, Seed: *seed}
+	if *verify {
+		checks, err := experiments.VerifyAll(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seabench: verify: %v\n", err)
+			os.Exit(1)
+		}
+		if failed := experiments.RenderVerify(os.Stdout, checks); failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runSeabench(os.Stdout, cfg, sel, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "seabench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSeabench renders the selected artefacts to out.
+func runSeabench(out io.Writer, cfg experiments.Config, sel selection, format string) error {
+	switch format {
+	case "csv":
+		return experiments.WriteAllCSV(out, cfg)
+	case "text":
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	all := !sel.restricted()
+
+	if all || sel.table == 1 {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return fmt.Errorf("table 1: %w", err)
+		}
+		experiments.RenderTable1(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || sel.figure == 2 {
+		bars, err := experiments.Figure2(cfg)
+		if err != nil {
+			return fmt.Errorf("figure 2: %w", err)
+		}
+		experiments.RenderFigure2(out, bars)
+		fmt.Fprintln(out)
+	}
+	if all || sel.figure == 3 {
+		rows, err := experiments.Figure3(cfg)
+		if err != nil {
+			return fmt.Errorf("figure 3: %w", err)
+		}
+		experiments.RenderFigure3(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || sel.table == 2 {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return fmt.Errorf("table 2: %w", err)
+		}
+		experiments.RenderTable2(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || sel.impact {
+		r, err := experiments.Impact(cfg)
+		if err != nil {
+			return fmt.Errorf("impact: %w", err)
+		}
+		experiments.RenderImpact(out, r)
+		fmt.Fprintln(out)
+	}
+	if all || sel.concurrency {
+		pts, err := experiments.Concurrency(cfg, nil)
+		if err != nil {
+			return fmt.Errorf("concurrency: %w", err)
+		}
+		experiments.RenderConcurrency(out, pts)
+		fmt.Fprintln(out)
+	}
+	if all || sel.ablations {
+		if err := runAblations(out, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAblations renders the ablation studies.
+func runAblations(out io.Writer, cfg experiments.Config) error {
+	hl, err := experiments.AblationHashLocation(cfg, nil)
+	if err != nil {
+		return fmt.Errorf("ablation hash-location: %w", err)
+	}
+	experiments.RenderHashLocation(out, hl)
+	fmt.Fprintln(out)
+
+	tw, err := experiments.AblationTPMWait(cfg)
+	if err != nil {
+		return fmt.Errorf("ablation tpm-wait: %w", err)
+	}
+	experiments.RenderTPMWait(out, tw)
+	fmt.Fprintln(out)
+
+	sp, err := experiments.AblationSePCRCount(cfg, 8, nil)
+	if err != nil {
+		return fmt.Errorf("ablation sePCR-count: %w", err)
+	}
+	experiments.RenderSePCRCount(out, sp)
+	fmt.Fprintln(out)
+
+	qp, err := experiments.AblationQuantum(cfg, nil)
+	if err != nil {
+		return fmt.Errorf("ablation quantum: %w", err)
+	}
+	experiments.RenderQuantum(out, qp)
+	fmt.Fprintln(out)
+
+	pp, err := experiments.AblationSealPayload(cfg, nil)
+	if err != nil {
+		return fmt.Errorf("ablation seal-payload: %w", err)
+	}
+	experiments.RenderSealPayload(out, pp)
+	fmt.Fprintln(out)
+
+	xp, err := experiments.AblationFigure2CrossPlatform(cfg)
+	if err != nil {
+		return fmt.Errorf("ablation cross-platform: %w", err)
+	}
+	experiments.RenderCrossPlatform(out, xp)
+	fmt.Fprintln(out)
+
+	ts, err := experiments.AblationTwoStageAMD(cfg, nil)
+	if err != nil {
+		return fmt.Errorf("ablation two-stage: %w", err)
+	}
+	experiments.RenderTwoStage(out, ts)
+	fmt.Fprintln(out)
+
+	experiments.RenderTCBSizes(out, experiments.TCBSizes())
+	fmt.Fprintln(out)
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"minimaltcb/internal/experiments"
+)
+
+func quick() experiments.Config {
+	return experiments.Config{Trials: 1, KeyBits: 1024, Seed: 42}
+}
+
+func TestRunSeabenchSingleArtefacts(t *testing.T) {
+	cases := []struct {
+		sel  selection
+		want string
+	}{
+		{selection{table: 1}, "Table 1"},
+		{selection{table: 2}, "Table 2"},
+		{selection{figure: 2}, "Figure 2"},
+		{selection{figure: 3}, "Figure 3"},
+		{selection{impact: true}, "Section 5.7"},
+		{selection{concurrency: true}, "Concurrency"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := runSeabench(&buf, quick(), c.sel, "text"); err != nil {
+			t.Fatalf("%+v: %v", c.sel, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%+v: output missing %q", c.sel, c.want)
+		}
+		// Restricted selections must not render everything.
+		if c.want != "Table 1" && strings.Contains(out, "Table 1.") {
+			t.Errorf("%+v: rendered Table 1 too", c.sel)
+		}
+	}
+}
+
+func TestRunSeabenchAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSeabench(&buf, quick(), selection{ablations: true}, "text"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"hash location", "long-wait cycles", "sePCR provisioning",
+		"preemption quantum", "Seal latency", "across TPM vendors",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations output missing %q", want)
+		}
+	}
+}
+
+func TestRunSeabenchCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSeabench(&buf, quick(), selection{}, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# table1") {
+		t.Fatal("csv output missing sections")
+	}
+}
+
+func TestRunSeabenchBadFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSeabench(&buf, quick(), selection{}, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

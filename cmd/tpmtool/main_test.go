@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"t60", "broadcom", "infineon", "tep", "BROADCOM"} {
+		p, err := profileByName(name)
+		if err != nil || p.Name == "" {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := profileByName("tis"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	if err := run("broadcom", 1, []string{"profiles"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemoAllChips(t *testing.T) {
+	for _, chip := range []string{"t60", "broadcom", "infineon", "tep"} {
+		if err := run(chip, 1, []string{"demo"}); err != nil {
+			t.Fatalf("%s: %v", chip, err)
+		}
+	}
+}
+
+func TestRunBench(t *testing.T) {
+	if err := run("broadcom", 1, []string{"bench"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("broadcom", 1, nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run("broadcom", 1, []string{"explode"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run("martian", 1, []string{"demo"}); err == nil {
+		t.Fatal("unknown chip accepted")
+	}
+}

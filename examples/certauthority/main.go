@@ -1,0 +1,258 @@
+// Certificate authority example (§4.1): the CA's signing key exists in the
+// clear only inside a late-launched PAL. One PAL binary serves two modes —
+// key generation (seal the new key under the PAL's own identity) and
+// certificate signing (unseal, MAC the request, erase) — so both sessions
+// measure identically and the TPM releases the key only to this code.
+//
+// The demo also shows the negative case: a different PAL binary, launched
+// with the same blob, cannot unseal the key.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"minimaltcb/internal/core"
+	"minimaltcb/internal/platform"
+)
+
+// caPAL is the CA's Piece of Application Logic. Input layout:
+//
+//	[0]            mode: 0 = generate key, 1 = sign
+//	mode 1: [1:3]  sealed-blob length (little endian)
+//	        [3:3+n]      sealed blob
+//	        [3+n:]       certificate request (subject bytes)
+//
+// Mode 0 outputs [bloblen:2][blob]; mode 1 outputs the 4-byte signature
+// (an FNV-1a MAC keyed with the unsealed 32-byte key — a stand-in for the
+// RSA signature a real CA computes, with the same trust structure: the key
+// never leaves the PAL).
+const caPAL = `
+	ldi	r0, inbuf
+	ldi	r1, 4096
+	svc	7		; read input; r0 = length
+	mov	r6, r0
+	ldi	r1, inbuf
+	loadb	r2, [r1]	; mode
+	ldi	r3, 1
+	cmp	r2, r3
+	jz	sign
+
+generate:
+	ldi	r0, key
+	ldi	r1, 32
+	svc	5		; key = TPM random
+	ldi	r0, key
+	ldi	r1, 32
+	ldi	r2, blob
+	svc	3		; seal(key) -> blob; r0 = blob length
+	ldi	r1, lenbuf	; emit [len:2][blob]
+	storeb	r0, [r1]
+	mov	r2, r0
+	ldi	r3, 8
+	shr	r2, r3
+	storeb	r2, [r1+1]
+	push	r0
+	ldi	r0, lenbuf
+	ldi	r1, 2
+	svc	6
+	pop	r1
+	ldi	r0, blob
+	svc	6
+	jmp	wipe
+
+sign:
+	loadb	r2, [r1+1]	; blob length lo
+	loadb	r3, [r1+2]	; blob length hi
+	ldi	r4, 8
+	shl	r3, r4
+	or	r2, r3		; r2 = blob length
+	ldi	r0, inbuf
+	addi	r0, 3
+	mov	r1, r2
+	push	r2
+	ldi	r2, key
+	svc	4		; unseal -> key; r1 = status
+	ldi	r3, 0
+	cmp	r1, r3
+	jnz	fail
+	pop	r2
+	ldi	r3, inbuf	; r3 = subject pointer
+	addi	r3, 3
+	add	r3, r2
+	mov	r4, r6		; r4 = subject length
+	addi	r4, -3
+	sub	r4, r2
+	ldi	r5, 0x9dc5	; FNV-1a offset basis 0x811c9dc5
+	lui	r5, 0x811c
+	ldi	r0, key		; fold in the key...
+	ldi	r1, 32
+	call	mix
+	mov	r0, r3		; ...then the certificate request
+	mov	r1, r4
+	call	mix
+	ldi	r0, sig
+	store	r5, [r0]
+	ldi	r1, 4
+	svc	6		; output signature
+	jmp	wipe
+
+fail:
+	pop	r2
+	ldi	r0, 1
+	svc	0		; exit(1): unseal refused
+
+wipe:	; erase the key before releasing memory (the PAL's duty, §5.5)
+	ldi	r0, key
+	ldi	r1, 0
+	ldi	r2, 32
+wipel:	storeb	r1, [r0]
+	addi	r0, 1
+	addi	r2, -1
+	ldi	r3, 0
+	cmp	r2, r3
+	jnz	wipel
+	ldi	r0, 0
+	svc	0		; exit(0)
+
+mix:	; fold r1 bytes at r0 into r5 with FNV-1a; clobbers r0-r2
+	ldi	r2, 0
+	cmp	r1, r2
+	jz	mixdone
+mixloop:
+	loadb	r2, [r0]
+	xor	r5, r2
+	ldi	r2, 0x0193	; FNV prime 16777619
+	lui	r2, 0x0100
+	mul	r5, r2
+	addi	r0, 1
+	addi	r1, -1
+	ldi	r2, 0
+	cmp	r1, r2
+	jnz	mixloop
+mixdone:
+	ret
+
+lenbuf:	.space 2
+	.align 4
+inbuf:	.space 4096
+blob:	.space 1024
+key:	.space 32
+sig:	.word 0
+stack:	.space 128
+`
+
+// roguePAL is different code that receives the same blob and tries to
+// unseal it.
+const roguePAL = `
+	ldi	r0, inbuf
+	ldi	r1, 4096
+	svc	7
+	mov	r6, r0
+	ldi	r1, inbuf
+	loadb	r2, [r1+1]
+	loadb	r3, [r1+2]
+	ldi	r4, 8
+	shl	r3, r4
+	or	r2, r3
+	ldi	r0, inbuf
+	addi	r0, 3
+	mov	r1, r2
+	ldi	r2, out
+	svc	4		; unseal attempt
+	mov	r0, r1		; exit status = unseal status (1 = refused)
+	svc	0
+inbuf:	.space 4096
+out:	.space 64
+stack:	.space 64
+`
+
+func signRequest(sys *core.System, ca *core.PAL, blob []byte, subject string) ([]byte, error) {
+	input := []byte{1}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(blob)))
+	input = append(input, l[:]...)
+	input = append(input, blob...)
+	input = append(input, subject...)
+	res, err := sys.RunLegacy(ca, input)
+	if err != nil {
+		return nil, err
+	}
+	if res.ExitStatus != 0 {
+		return nil, fmt.Errorf("signing PAL exited %d", res.ExitStatus)
+	}
+	return res.Output, nil
+}
+
+func main() {
+	sys, err := core.NewSystem(platform.HPdc5750())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := core.CompilePAL("cert-authority", caPAL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Session 1: generate and seal the CA key.
+	gen, err := sys.RunLegacy(ca, []byte{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blobLen := binary.LittleEndian.Uint16(gen.Output[:2])
+	blob := gen.Output[2 : 2+blobLen]
+	fmt.Printf("CA key generated and sealed: %d-byte blob (session took %v)\n",
+		len(blob), gen.Total)
+
+	// Sessions 2-3: sign certificate requests. Deterministic per subject.
+	sigAlice, err := signRequest(sys, ca, blob, "CN=alice.example.org")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigAlice2, err := signRequest(sys, ca, blob, "CN=alice.example.org")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigMallory, err := signRequest(sys, ca, blob, "CN=mallory.example.org")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sign(alice)   = %x\n", sigAlice)
+	fmt.Printf("sign(alice)   = %x (repeat — must match)\n", sigAlice2)
+	fmt.Printf("sign(mallory) = %x (must differ)\n", sigMallory)
+	if string(sigAlice) != string(sigAlice2) {
+		log.Fatal("signature not deterministic")
+	}
+	if string(sigAlice) == string(sigMallory) {
+		log.Fatal("different subjects produced the same signature")
+	}
+
+	// Prove to a relying party that the real CA code performed the
+	// signing sessions. (The quote covers the current PCR 17 contents,
+	// so it must be taken while the CA's measurement is still loaded.)
+	name, _, err := sys.AttestLegacy(ca, []byte("ca-challenge"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attestation verified: signing sessions ran %q\n", name)
+
+	// Attack: a rogue PAL is handed the blob. The TPM refuses to unseal
+	// because PCR 17 holds the rogue's measurement, not the CA's.
+	rogue, err := core.CompilePAL("rogue", roguePAL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := []byte{1}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(blob)))
+	input = append(append(input, l[:]...), blob...)
+	res, err := sys.RunLegacy(rogue, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.ExitStatus == 0 {
+		log.Fatal("SECURITY FAILURE: rogue PAL unsealed the CA key")
+	}
+	fmt.Println("rogue PAL could not unseal the CA key (TPM policy refused)")
+}

@@ -1,0 +1,219 @@
+// Distributed factoring example (§4.1): a long-running computation — trial
+// division of a semiprime — performs a bounded chunk of work per execution
+// and carries its intermediate state across executions.
+//
+// On today's hardware each chunk is a full SEA session: SKINIT, TPM Unseal
+// of the previous state, compute, TPM Seal of the new state. On the
+// recommended hardware the same job is one SECB that yields between
+// chunks: state stays in its secluded pages and the context switch costs a
+// world switch. The example runs both and prints the gap — §5.7 measured
+// on a real workload.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"minimaltcb/internal/core"
+	"minimaltcb/internal/platform"
+)
+
+const (
+	factorP = 4999
+	factorQ = 5003
+	// N is the semiprime to factor.
+	N = factorP * factorQ
+	// chunk is how many candidates one execution tries before yielding.
+	chunk = 500
+)
+
+// legacySource is the seal-state-per-session variant. Input: empty for the
+// first session, else [bloblen:2][blob]. Output: [1][factor:4] when found,
+// else [0][bloblen:2][blob'].
+func legacySource() string {
+	return fmt.Sprintf(`
+	ldi	r0, inbuf
+	ldi	r1, 2048
+	svc	7		; r0 = input length
+	ldi	r2, 0
+	cmp	r0, r2
+	jz	fresh
+	ldi	r1, inbuf	; parse [bloblen:2][blob]
+	loadb	r2, [r1]
+	loadb	r3, [r1+1]
+	ldi	r4, 8
+	shl	r3, r4
+	or	r2, r3
+	ldi	r0, inbuf
+	addi	r0, 2
+	mov	r1, r2
+	ldi	r2, state
+	svc	4		; unseal previous candidate
+	ldi	r3, 0
+	cmp	r1, r3
+	jnz	fail
+	ldi	r1, state
+	load	r5, [r1]
+	jmp	havecand
+fresh:
+	ldi	r5, 3
+havecand:
+	ldi	r4, %d		; N low
+	lui	r4, %d		; N high
+	ldi	r3, %d		; chunk budget
+loop:
+	mov	r0, r4
+	remu	r0, r5
+	ldi	r2, 0
+	cmp	r0, r2
+	jz	found
+	addi	r5, 2
+	addi	r3, -1
+	ldi	r2, 0
+	cmp	r3, r2
+	jnz	loop
+	; chunk exhausted: seal the candidate and emit a continuation blob
+	ldi	r1, state
+	store	r5, [r1]
+	ldi	r0, state
+	ldi	r1, 4
+	ldi	r2, blob
+	svc	3		; r0 = blob length
+	ldi	r1, outhdr
+	ldi	r2, 0
+	storeb	r2, [r1]	; found = 0
+	storeb	r0, [r1+1]
+	mov	r2, r0
+	ldi	r3, 8
+	shr	r2, r3
+	storeb	r2, [r1+2]
+	push	r0
+	ldi	r0, outhdr
+	ldi	r1, 3
+	svc	6
+	pop	r1
+	ldi	r0, blob
+	svc	6
+	ldi	r0, 0
+	svc	0
+found:
+	ldi	r1, outhdr
+	ldi	r2, 1
+	storeb	r2, [r1]
+	ldi	r2, result
+	store	r5, [r2]
+	ldi	r0, outhdr
+	ldi	r1, 1
+	svc	6
+	ldi	r0, result
+	ldi	r1, 4
+	svc	6
+	ldi	r0, 0
+	svc	0
+fail:
+	ldi	r0, 1
+	svc	0
+state:	.word 0
+result:	.word 0
+outhdr:	.space 3
+	.align 4
+inbuf:	.space 2048
+blob:	.space 1024
+stack:	.space 96
+`, N&0xffff, N>>16, chunk)
+}
+
+// recommendedSource is the same computation as one resumable PAL: SYIELD
+// between chunks, no sealing.
+func recommendedSource() string {
+	return fmt.Sprintf(`
+	ldi	r5, 3
+	ldi	r4, %d		; N low
+	lui	r4, %d		; N high
+outer:
+	ldi	r3, %d		; chunk budget
+loop:
+	mov	r0, r4
+	remu	r0, r5
+	ldi	r2, 0
+	cmp	r0, r2
+	jz	found
+	addi	r5, 2
+	addi	r3, -1
+	ldi	r2, 0
+	cmp	r3, r2
+	jnz	loop
+	svc	1		; yield: hardware context switch, state stays put
+	jmp	outer
+found:
+	ldi	r2, result
+	store	r5, [r2]
+	ldi	r0, result
+	ldi	r1, 4
+	svc	6
+	ldi	r0, 0
+	svc	0
+result:	.word 0
+stack:	.space 64
+`, N&0xffff, N>>16, chunk)
+}
+
+func main() {
+	fmt.Printf("factoring N = %d (= %d × %d), %d candidates per chunk\n\n",
+		N, factorP, factorQ, chunk)
+
+	// --- Today's hardware: one SEA session per chunk. ---
+	sys, err := core.NewSystem(platform.HPdc5750())
+	if err != nil {
+		log.Fatal(err)
+	}
+	legacy, err := core.CompilePAL("factoring-legacy", legacySource())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// sea.Chain drives the session-per-chunk continuation: each session's
+	// output is either [1][factor:4] (done) or [0][bloblen:2][blob]
+	// (continue with the sealed state).
+	var factor uint32
+	chain, err := sys.SEA.Chain(legacy.Image, nil,
+		func(_ int, output []byte) ([]byte, bool, error) {
+			if output[0] == 1 {
+				factor = binary.LittleEndian.Uint32(output[1:5])
+				return nil, true, nil
+			}
+			blobLen := binary.LittleEndian.Uint16(output[1:3])
+			return output[1 : 3+blobLen], false, nil
+		}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessions, legacyTotal := chain.Sessions, chain.Total
+	if factor != factorP && factor != factorQ {
+		log.Fatalf("wrong factor %d", factor)
+	}
+	fmt.Printf("[SEA]     factor %d found in %d sessions, %v of platform-wide stall\n",
+		factor, sessions, legacyTotal)
+
+	// --- Recommended hardware: one SECB, yields between chunks. ---
+	rsys, err := core.NewSystem(platform.Recommended(platform.HPdc5750(), 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := core.CompilePAL("factoring-rec", recommendedSource())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rsys.RunRecommended(rec, nil, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rfactor := binary.LittleEndian.Uint32(res.Output[:4])
+	if rfactor != factor {
+		log.Fatalf("recommended hardware found %d, legacy found %d", rfactor, factor)
+	}
+	fmt.Printf("[SLAUNCH] factor %d found in %d slices (%d resumes), %v on one core\n",
+		rfactor, res.Slices, res.Resumes, res.Total)
+	fmt.Printf("\nspeedup: %.0fx — the seal/unseal context switch is the whole story\n",
+		float64(legacyTotal)/float64(res.Total))
+}

@@ -1,0 +1,247 @@
+// SSH password-handling example (§4.1): the server's password database
+// entry (salt + salted hash) is sealed to a password-checking PAL. Login
+// attempts are decided inside the PAL; the legacy SSH daemon — and the
+// potentially root-level attacker inside it — never sees the salt, the
+// hash, or the comparison. Only a verdict leaves the TCB.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"minimaltcb/internal/core"
+	"minimaltcb/internal/platform"
+)
+
+// sshPAL handles both phases. Input:
+//
+//	[0][pwlen:1][password]                    enroll: seal salt+hash
+//	[1][bloblen:2][blob][attempt]             login: verdict 1/0
+const sshPAL = `
+	ldi	r0, inbuf
+	ldi	r1, 2048
+	svc	7
+	mov	r6, r0		; input length
+	ldi	r1, inbuf
+	loadb	r2, [r1]
+	ldi	r3, 1
+	cmp	r2, r3
+	jz	login
+
+enroll:
+	ldi	r0, record	; record = [salt:16][hash:4]
+	ldi	r1, 16
+	svc	5		; salt from the TPM RNG
+	ldi	r1, inbuf
+	loadb	r4, [r1+1]	; r4 = password length
+	ldi	r3, inbuf
+	addi	r3, 2		; r3 = password pointer
+	call	hashcred	; r5 = FNV(salt || password at r3 len r4)
+	ldi	r1, record
+	store	r5, [r1+16]
+	ldi	r0, record
+	ldi	r1, 20
+	ldi	r2, blob
+	svc	3		; seal the record; r0 = blob length
+	ldi	r1, outbuf	; emit [bloblen:2][blob]
+	storeb	r0, [r1]
+	mov	r2, r0
+	ldi	r3, 8
+	shr	r2, r3
+	storeb	r2, [r1+1]
+	push	r0
+	ldi	r0, outbuf
+	ldi	r1, 2
+	svc	6
+	pop	r1
+	ldi	r0, blob
+	svc	6
+	ldi	r0, 0
+	svc	0
+
+login:
+	loadb	r2, [r1+1]	; blob length
+	loadb	r3, [r1+2]
+	ldi	r4, 8
+	shl	r3, r4
+	or	r2, r3
+	ldi	r0, inbuf
+	addi	r0, 3
+	mov	r1, r2
+	push	r2
+	ldi	r2, record
+	svc	4		; unseal the credential record
+	ldi	r3, 0
+	cmp	r1, r3
+	jnz	fail
+	pop	r2
+	ldi	r3, inbuf	; r3 = attempt pointer
+	addi	r3, 3
+	add	r3, r2
+	mov	r4, r6		; r4 = attempt length
+	addi	r4, -3
+	sub	r4, r2
+	call	hashcred	; r5 = FNV(salt || attempt)
+	ldi	r1, record
+	load	r2, [r1+16]	; stored hash
+	ldi	r0, outbuf
+	cmp	r5, r2
+	jz	allow
+	ldi	r2, 0
+	storeb	r2, [r0]
+	jmp	emit
+allow:
+	ldi	r2, 1
+	storeb	r2, [r0]
+emit:
+	ldi	r1, 1
+	svc	6		; verdict only; record never leaves the PAL
+	ldi	r0, 0
+	svc	0
+
+fail:
+	pop	r2
+	ldi	r0, 1
+	svc	0
+
+hashcred: ; r5 = FNV-1a(record.salt[0:16] || bytes at r3 len r4); clobbers r0-r2
+	ldi	r5, 0x9dc5
+	lui	r5, 0x811c
+	ldi	r0, record
+	ldi	r1, 16
+	call	mix
+	mov	r0, r3
+	mov	r1, r4
+	call	mix
+	ret
+
+mix:	; fold r1 bytes at r0 into r5; clobbers r0-r2
+	ldi	r2, 0
+	cmp	r1, r2
+	jz	mixdone
+mixloop:
+	loadb	r2, [r0]
+	xor	r5, r2
+	ldi	r2, 0x0193
+	lui	r2, 0x0100
+	mul	r5, r2
+	addi	r0, 1
+	addi	r1, -1
+	ldi	r2, 0
+	cmp	r1, r2
+	jnz	mixloop
+mixdone:
+	ret
+
+record:	.space 20
+outbuf:	.space 2
+	.align 4
+inbuf:	.space 2048
+blob:	.space 1024
+stack:	.space 128
+`
+
+func enroll(sys *core.System, p *core.PAL, password string) ([]byte, error) {
+	input := append([]byte{0, byte(len(password))}, password...)
+	res, err := sys.RunLegacy(p, input)
+	if err != nil {
+		return nil, err
+	}
+	if res.ExitStatus != 0 {
+		return nil, fmt.Errorf("enroll exited %d", res.ExitStatus)
+	}
+	n := binary.LittleEndian.Uint16(res.Output[:2])
+	return res.Output[2 : 2+n], nil
+}
+
+func login(sys *core.System, p *core.PAL, blob []byte, attempt string) (bool, error) {
+	input := []byte{1}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(blob)))
+	input = append(input, l[:]...)
+	input = append(input, blob...)
+	input = append(input, attempt...)
+	res, err := sys.RunLegacy(p, input)
+	if err != nil {
+		return false, err
+	}
+	if res.ExitStatus != 0 {
+		return false, fmt.Errorf("login PAL exited %d", res.ExitStatus)
+	}
+	return res.Output[0] == 1, nil
+}
+
+func main() {
+	sys, err := core.NewSystem(platform.HPdc5750())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.CompilePAL("ssh-password", sshPAL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	blob, err := enroll(sys, p, "correct horse battery staple")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled: %d-byte sealed credential record (salt+hash never left the PAL)\n", len(blob))
+
+	ok, err := login(sys, p, blob, "correct horse battery staple")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("login with correct password: allow=%v\n", ok)
+	if !ok {
+		log.Fatal("correct password rejected")
+	}
+
+	ok, err = login(sys, p, blob, "hunter2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("login with wrong password:   allow=%v\n", ok)
+	if ok {
+		log.Fatal("wrong password accepted")
+	}
+
+	// The OS can see only the sealed blob; the TPM will not unseal it
+	// for any other code.
+	rogue, err := core.CompilePAL("rogue", `
+		ldi	r0, inbuf
+		ldi	r1, 2048
+		svc	7
+		ldi	r1, inbuf
+		loadb	r2, [r1+1]
+		loadb	r3, [r1+2]
+		ldi	r4, 8
+		shl	r3, r4
+		or	r2, r3
+		ldi	r0, inbuf
+		addi	r0, 3
+		mov	r1, r2
+		ldi	r2, out
+		svc	4
+		mov	r0, r1
+		svc	0
+	inbuf:	.space 2048
+	out:	.space 64
+	stack:	.space 64
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := []byte{1}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(blob)))
+	input = append(append(input, l[:]...), blob...)
+	res, err := sys.RunLegacy(rogue, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.ExitStatus == 0 {
+		log.Fatal("SECURITY FAILURE: rogue PAL read the credential record")
+	}
+	fmt.Println("rogue PAL could not unseal the credential record")
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end via `go run`
+// and checks for its success markers, so the documentation-facing demos
+// cannot rot silently. These are the slowest tests in the module (each
+// builds a binary and runs real RSA), so they share a single -run target.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; skipped with -short")
+	}
+	cases := map[string][]string{
+		"./examples/quickstart": {
+			"hello from a minimal TCB PAL",
+			"attested as \"quickstart\"",
+			"via sePCR quote",
+		},
+		"./examples/certauthority": {
+			"CA key generated and sealed",
+			"attestation verified",
+			"rogue PAL could not unseal",
+		},
+		"./examples/rootkit": {
+			"kernel clean",
+			"rootkit detected",
+			"forged 'clean' log rejected",
+		},
+		"./examples/factoring": {
+			"factor 4999 found",
+			"speedup",
+		},
+		"./examples/sshpass": {
+			"allow=true",
+			"allow=false",
+			"rogue PAL could not unseal",
+		},
+		"./examples/multicore": {
+			"joined via the memory controller",
+			"refused by the access-control table",
+			"two-core checksum",
+			"sePCR quote generated",
+		},
+		"./examples/trustedinput": {
+			"PIN sealed to the pad's identity",
+			"entry 3-1-4-1 via interrupts: accept=true",
+			"entry 2-7-2-7 via interrupts: accept=false",
+		},
+		"./examples/distributed": {
+			"found=true div=5087",
+			"attested ✓",
+			"forged result REJECTED",
+		},
+	}
+	for pkg, markers := range cases {
+		pkg, markers := pkg, markers
+		t.Run(strings.TrimPrefix(pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", pkg, err, out)
+			}
+			for _, m := range markers {
+				if !strings.Contains(string(out), m) {
+					t.Errorf("%s output missing %q:\n%s", pkg, m, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module minimaltcb
+
+go 1.22

@@ -1,0 +1,298 @@
+// Cross-module integration tests: whole-system flows that span the
+// untrusted OS, late-launch microcode, TPM, both execution runtimes and
+// the external verifier. The per-package unit tests live next to each
+// module; these tests are the end-to-end stories.
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"minimaltcb/internal/attest"
+	"minimaltcb/internal/chipset"
+	"minimaltcb/internal/core"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/platform"
+	"minimaltcb/internal/tpm"
+)
+
+func fast(p platform.Profile) platform.Profile {
+	p.KeyBits = 1024
+	return p
+}
+
+const echoPAL = `
+	ldi	r0, buf
+	ldi	r1, 256
+	svc	7		; read input
+	mov	r1, r0
+	ldi	r0, buf
+	svc	6		; echo it back
+	ldi	r0, 0
+	svc	0
+buf:	.space 256
+stack:	.space 64
+`
+
+// TestEndToEndAllPlatforms runs the same PAL on every measured machine
+// with a TPM, on its native late-launch flavour, and attests the run.
+func TestEndToEndAllPlatforms(t *testing.T) {
+	for _, prof := range platform.AllMeasured() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			sys, err := core.NewSystem(fast(prof))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := core.CompilePAL("echo", echoPAL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.RunLegacy(p, []byte("ping"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(res.Output) != "ping" {
+				t.Fatalf("output %q", res.Output)
+			}
+			if !prof.HasTPM {
+				return
+			}
+			name, _, err := sys.AttestLegacy(p, []byte("nonce-"+prof.Name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name != "echo" {
+				t.Fatalf("attested %q", name)
+			}
+		})
+	}
+}
+
+// TestSealedStateSurvivesAcrossRuntimes seals state under a PAL's identity
+// on stock hardware and confirms the same identity — and only it — governs
+// release, mirroring the paper's claim that the sealing policy is the PAL
+// measurement, not the execution mechanism.
+func TestSealedStateCrossSession(t *testing.T) {
+	sys, err := core.NewSystem(fast(platform.HPdc5750()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealer, err := core.CompilePAL("sealer", `
+		ldi	r0, data
+		ldi	r1, 8
+		ldi	r2, blob
+		svc	3
+		mov	r1, r0
+		ldi	r0, blob
+		svc	6
+		ldi	r0, 0
+		svc	0
+	data:	.ascii "8 bytes!"
+	blob:	.space 512
+	stack:	.space 64
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunLegacy(sealer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := res.Output
+
+	unsealSrc := `
+		ldi	r0, blob
+		ldi	r1, 512
+		svc	7
+		mov	r1, r0
+		ldi	r0, blob
+		ldi	r2, data
+		svc	4
+		mov	r0, r1
+		svc	0
+	data:	.space 64
+	blob:	.space 512
+	stack:	.space 64
+	`
+	// A different PAL (different bytes => different measurement) fails.
+	other, err := core.CompilePAL("other", unsealSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := sys.RunLegacy(other, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.ExitStatus == 0 {
+		t.Fatal("different PAL unsealed the blob")
+	}
+}
+
+// TestDMAAttackDuringSession drives a malicious DMA device at a PAL's
+// memory while the PAL holds secrets, across both execution models.
+func TestDMAAttackDuringSession(t *testing.T) {
+	// Recommended hardware: PAL suspended with pages in NONE.
+	sys, err := core.NewSystem(fast(platform.Recommended(platform.HPdc5750(), 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.CompilePAL("secretive", `
+		ldi	r0, secret
+		svc	1		; yield holding a secret
+		ldi	r0, 0
+		svc	0
+	secret:	.ascii "k3y material"
+	stack:	.space 64
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secb, err := sys.SKSM.NewSECB(p.Image, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core1 := sys.Machine.CPUs[1]
+	if _, err := sys.SKSM.RunSlice(core1, secb); err != nil {
+		t.Fatal(err)
+	}
+	nic := chipset.NewDevice("evil-nic", sys.Machine.Chipset)
+	if _, err := nic.Read(secb.Region.Base, 64); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("DMA read of suspended PAL: %v", err)
+	}
+	if err := nic.Write(secb.Region.Base, make([]byte, 64)); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("DMA write of suspended PAL: %v", err)
+	}
+	// Finish cleanly.
+	if _, err := sys.SKSM.RunSlice(core1, secb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttestationDistinguishesPALs runs two different PALs back to back
+// and confirms each quote only verifies against its own identity.
+func TestAttestationDistinguishesPALs(t *testing.T) {
+	sys, err := core.NewSystem(fast(platform.HPdc5750()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := core.CompilePAL("pal-a", "ldi r0, 0\nsvc 0")
+	bPal, _ := core.CompilePAL("pal-b", "ldi r0, 1\nsvc 0\nnop")
+
+	if _, err := sys.RunLegacy(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	qa, _, err := sys.SEA.Quote([]byte("qa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunLegacy(bPal, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	sys.Verifier.Approve(a.Name, a.Measurement())
+	sys.Verifier.Approve(bPal.Name, bPal.Measurement())
+
+	// Quote taken during A's reign verifies as A...
+	logA := attest.Log{{PCR: 17, Description: "a", Measurement: a.Measurement()}}
+	name, err := sys.Verifier.VerifyPALQuote(sys.Cert, qa, logA, []byte("qa"))
+	if err != nil || name != "pal-a" {
+		t.Fatalf("quote A: %q %v", name, err)
+	}
+	// ...and cannot be passed off as B.
+	logB := attest.Log{{PCR: 17, Description: "b", Measurement: bPal.Measurement()}}
+	if _, err := sys.Verifier.VerifyPALQuote(sys.Cert, qa, logB, []byte("qa2")); err == nil {
+		t.Fatal("A's quote verified with B's log")
+	}
+}
+
+// TestRecommendedMultiprogrammingEndToEnd runs several resumable PALs
+// concurrently through the core API's building blocks and attests each.
+func TestRecommendedMultiprogrammingEndToEnd(t *testing.T) {
+	prof := fast(platform.Recommended(platform.HPdc5750(), 4))
+	prof.NumCPUs = 4
+	sys, err := core.NewSystem(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.CompilePAL("ticker", `
+		ldi	r0, 0
+		ldi	r2, 3
+	loop:	addi	r0, 1
+		svc	1
+		cmp	r0, r2
+		jnz	loop
+		ldi	r1, out
+		store	r0, [r1]
+		ldi	r0, out
+		ldi	r1, 4
+		svc	6
+		ldi	r0, 0
+		svc	0
+	out:	.word 0
+	stack:	.space 64
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		nonce := []byte{byte(i), 'n'}
+		res, err := sys.RunRecommended(p, nil, 0, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Output) != 4 || binary.LittleEndian.Uint32(res.Output) != 3 {
+			t.Fatalf("run %d output %x", i, res.Output)
+		}
+		if res.Resumes < 2 {
+			t.Fatalf("run %d resumes %d", i, res.Resumes)
+		}
+		name, err := sys.VerifyRecommended(p, res, nonce)
+		if err != nil || name != "ticker" {
+			t.Fatalf("run %d attested %q %v", i, name, err)
+		}
+	}
+}
+
+// TestVirtualTimeConsistency checks that a full SEA session's virtual time
+// is the sum of its parts — no unaccounted gaps or double charging.
+func TestVirtualTimeConsistency(t *testing.T) {
+	sys, err := core.NewSystem(fast(platform.HPdc5750()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := core.CompilePAL("x", "ldi r0, 0\nsvc 0")
+	before := sys.Machine.Clock.Now()
+	res, err := sys.RunLegacy(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := sys.Machine.Clock.Now() - before
+	if res.Total != elapsed {
+		t.Fatalf("session total %v but clock advanced %v", res.Total, elapsed)
+	}
+	var sum time.Duration
+	for _, d := range res.Breakdown {
+		sum += d
+	}
+	// Breakdown covers launch + exec (+ TPM ops); the remainder is the
+	// OS suspend/resume and image placement, which must be small.
+	if gap := res.Total - sum; gap < 0 || gap > time.Millisecond {
+		t.Fatalf("unaccounted time %v (total %v, phases %v)", gap, res.Total, sum)
+	}
+}
+
+// TestStockHardwareCannotRunSLAUNCH confirms the recommended instructions
+// are truly gated on the new TPM capability.
+func TestStockHardwareCannotRunSLAUNCH(t *testing.T) {
+	sys, err := core.NewSystem(fast(platform.HPdc5750()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.SKSM != nil {
+		t.Fatal("stock platform exposes recommended hardware")
+	}
+	_ = tpm.Digest{}
+}

@@ -1,0 +1,99 @@
+// Package acmod models Intel's Authenticated Code Module, the signed blob
+// SENTER loads before the PAL (§2.2.2).
+//
+// On TXT hardware the chipset verifies the ACMod's signature with a fused
+// public key, extends the ACMod's measurement into PCR 17, runs the ACMod,
+// and the ACMod in turn hashes the PAL on the main CPU and extends it into
+// PCR 18 — the architectural difference that makes Intel's Table 1 column
+// grow slowly with PAL size while AMD's grows steeply.
+package acmod
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha1"
+	"fmt"
+	"sync"
+
+	"minimaltcb/internal/sim"
+)
+
+// Size is the ACMod image size. The paper observes the module is "just
+// over 10 KB" and that a 0 KB SENTER falls between an 8 KB and a 16 KB
+// SKINIT, matching the transfer of this many bytes.
+const Size = 10547
+
+// Module is a signed authenticated code module.
+type Module struct {
+	// Code is the module image (Size bytes).
+	Code []byte
+	// Signature is the Intel signature over SHA1(Code).
+	Signature []byte
+}
+
+// Vendor holds the signing authority: the private key models Intel's code
+// signing key, the public key the copy fused into the chipset.
+type Vendor struct {
+	key *rsa.PrivateKey
+}
+
+// Vendor keys are cached per (seed, bits): rsa.GenerateKey is free to
+// consume its randomness source unpredictably, so reproducibility within a
+// process comes from the cache rather than the stream.
+var (
+	vendorMu    sync.Mutex
+	vendorCache = map[[2]uint64]*rsa.PrivateKey{}
+)
+
+// NewVendor creates a signing authority for a seed. The same seed returns
+// the same key for the lifetime of the process.
+func NewVendor(seed uint64, bits int) (*Vendor, error) {
+	if bits == 0 {
+		bits = 2048
+	}
+	vendorMu.Lock()
+	defer vendorMu.Unlock()
+	ck := [2]uint64{seed, uint64(bits)}
+	if key, ok := vendorCache[ck]; ok {
+		return &Vendor{key: key}, nil
+	}
+	key, err := rsa.GenerateKey(sim.NewRNG(seed^0x41434d4f44), bits)
+	if err != nil {
+		return nil, fmt.Errorf("acmod: vendor key: %w", err)
+	}
+	vendorCache[ck] = key
+	return &Vendor{key: key}, nil
+}
+
+// Public returns the verification key the chipset fuses in.
+func (v *Vendor) Public() *rsa.PublicKey { return &v.key.PublicKey }
+
+// Sign produces a signed module over the given image. Passing nil code
+// generates a deterministic Size-byte image, which is what platform
+// profiles ship.
+func (v *Vendor) Sign(code []byte) (*Module, error) {
+	if code == nil {
+		code = make([]byte, Size)
+		sim.NewRNG(0x414d4f44).Fill(code)
+	}
+	digest := sha1.Sum(code)
+	sig, err := rsa.SignPKCS1v15(nil, v.key, crypto.SHA1, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("acmod: sign: %w", err)
+	}
+	return &Module{Code: code, Signature: sig}, nil
+}
+
+// Verify checks the module against the fused public key, as the chipset
+// does during SENTER. A module that fails verification aborts the late
+// launch.
+func Verify(pub *rsa.PublicKey, m *Module) error {
+	if m == nil {
+		return fmt.Errorf("acmod: nil module")
+	}
+	digest := sha1.Sum(m.Code)
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA1, digest[:], m.Signature); err != nil {
+		return fmt.Errorf("acmod: signature verification failed: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package acmod
+
+import (
+	"testing"
+)
+
+func testVendor(t *testing.T) *Vendor {
+	t.Helper()
+	v, err := NewVendor(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSignVerify(t *testing.T) {
+	v := testVendor(t)
+	m, err := v.Sign(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Code) != Size {
+		t.Fatalf("default module size %d, want %d", len(m.Code), Size)
+	}
+	if err := Verify(v.Public(), m); err != nil {
+		t.Fatalf("genuine module rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedCode(t *testing.T) {
+	v := testVendor(t)
+	m, _ := v.Sign(nil)
+	m.Code[0] ^= 1
+	if err := Verify(v.Public(), m); err == nil {
+		t.Fatal("tampered ACMod verified — an attacker could late launch arbitrary code as Intel's")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	v := testVendor(t)
+	m, _ := v.Sign(nil)
+	m.Signature[0] ^= 1
+	if err := Verify(v.Public(), m); err == nil {
+		t.Fatal("tampered signature verified")
+	}
+}
+
+func TestVerifyRejectsForeignVendor(t *testing.T) {
+	v1 := testVendor(t)
+	v2, err := NewVendor(2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := v2.Sign(nil)
+	if err := Verify(v1.Public(), m); err == nil {
+		t.Fatal("module from another vendor verified against fused key")
+	}
+}
+
+func TestVerifyNil(t *testing.T) {
+	v := testVendor(t)
+	if err := Verify(v.Public(), nil); err == nil {
+		t.Fatal("nil module verified")
+	}
+}
+
+func TestSignCustomCode(t *testing.T) {
+	v := testVendor(t)
+	code := []byte("custom authenticated code module image")
+	m, err := v.Sign(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Code) != string(code) {
+		t.Fatal("custom code not preserved")
+	}
+	if err := Verify(v.Public(), m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVendorDeterministic(t *testing.T) {
+	a, _ := NewVendor(7, 1024)
+	b, _ := NewVendor(7, 1024)
+	if a.Public().N.Cmp(b.Public().N) != 0 {
+		t.Fatal("same seed produced different vendor keys")
+	}
+}

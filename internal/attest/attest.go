@@ -1,0 +1,280 @@
+// Package attest implements the external-verification side of the paper's
+// execution model (§3.1): the Privacy CA that certifies a TPM's Attestation
+// Identity Key, the event log a verifier replays, and the verifier itself,
+// which decides — from a quote and nothing else on the platform — whether a
+// specific PAL really executed under hardware protection.
+package attest
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"sync"
+
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
+)
+
+// Event is one entry of the measurement log software keeps alongside the
+// TPM's PCRs (§2.1.1).
+type Event struct {
+	// PCR is the register the measurement was extended into.
+	PCR int
+	// Description says what was measured ("PAL: rootkit-detector v3").
+	Description string
+	// Measurement is the SHA-1 the TPM received.
+	Measurement tpm.Digest
+}
+
+// Log is an ordered measurement log.
+type Log []Event
+
+// Replay folds the log into final register values, starting from the
+// post-late-launch state (dynamic PCRs zero). A verifier compares the
+// result against quoted values: matching values prove the log is complete
+// and untampered, because PCRs are append-only.
+func (l Log) Replay() map[int]tpm.Digest {
+	out := map[int]tpm.Digest{}
+	for _, e := range l {
+		out[e.PCR] = tpm.ExtendDigest(out[e.PCR], e.Measurement)
+	}
+	return out
+}
+
+// AIKCert binds an AIK public key to a platform identity, signed by a
+// Privacy CA (§2.1.1).
+type AIKCert struct {
+	// PlatformID names the certified platform.
+	PlatformID string
+	// AIK is the certified public key.
+	AIK *rsa.PublicKey
+	// Signature is the CA's signature over the certificate body.
+	Signature []byte
+}
+
+// certDigest is the signed message of an AIK certificate.
+func certDigest(platformID string, aik *rsa.PublicKey) []byte {
+	h := sha1.New()
+	h.Write([]byte("AIK-CERT"))
+	h.Write([]byte(platformID))
+	h.Write(aik.N.Bytes())
+	var e [4]byte
+	e[0], e[1], e[2], e[3] = byte(aik.E>>24), byte(aik.E>>16), byte(aik.E>>8), byte(aik.E)
+	h.Write(e[:])
+	return h.Sum(nil)
+}
+
+// PrivacyCA issues AIK certificates. Verifiers trust its public key.
+type PrivacyCA struct {
+	key *rsa.PrivateKey
+}
+
+// CA keys are cached per (seed, bits): within a process the same seed
+// always names the same CA, so independently constructed verifier and
+// platform sides share a trust anchor. (rsa.GenerateKey consumes its
+// randomness source unpredictably, so the cache — not the stream — is what
+// provides the determinism.)
+var (
+	caCacheMu sync.Mutex
+	caCache   = map[[2]uint64]*rsa.PrivateKey{}
+)
+
+// NewPrivacyCA creates a CA with a per-seed (process-lifetime) key pair.
+func NewPrivacyCA(seed uint64, bits int) (*PrivacyCA, error) {
+	if bits == 0 {
+		bits = 2048
+	}
+	caCacheMu.Lock()
+	defer caCacheMu.Unlock()
+	ck := [2]uint64{seed, uint64(bits)}
+	if key, ok := caCache[ck]; ok {
+		return &PrivacyCA{key: key}, nil
+	}
+	key, err := rsa.GenerateKey(sim.NewRNG(seed^0x50434100), bits)
+	if err != nil {
+		return nil, fmt.Errorf("attest: CA key: %w", err)
+	}
+	caCache[ck] = key
+	return &PrivacyCA{key: key}, nil
+}
+
+// Public returns the CA verification key.
+func (ca *PrivacyCA) Public() *rsa.PublicKey { return &ca.key.PublicKey }
+
+// Certify issues an AIK certificate. A real Privacy CA first validates the
+// TPM's endorsement credentials; the simulation trusts its caller to hand
+// it genuine AIKs, which is the same trust boundary.
+func (ca *PrivacyCA) Certify(platformID string, aik *rsa.PublicKey) (*AIKCert, error) {
+	sig, err := rsa.SignPKCS1v15(nil, ca.key, crypto.SHA1, certDigest(platformID, aik))
+	if err != nil {
+		return nil, fmt.Errorf("attest: certify: %w", err)
+	}
+	return &AIKCert{PlatformID: platformID, AIK: aik, Signature: sig}, nil
+}
+
+// VerifyCert checks an AIK certificate against a CA public key.
+func VerifyCert(caPub *rsa.PublicKey, cert *AIKCert) error {
+	if cert == nil || cert.AIK == nil {
+		return errors.New("attest: nil certificate")
+	}
+	if err := rsa.VerifyPKCS1v15(caPub, crypto.SHA1,
+		certDigest(cert.PlatformID, cert.AIK), cert.Signature); err != nil {
+		return fmt.Errorf("attest: AIK certificate invalid: %w", err)
+	}
+	return nil
+}
+
+// Verifier is the external party of §3.1: it trusts a Privacy CA and a set
+// of known-good PAL measurements, and nothing on the attesting platform.
+type Verifier struct {
+	caPub *rsa.PublicKey
+	// known maps PAL measurement -> human-readable name.
+	known map[tpm.Digest]string
+	// usedNonces provides replay protection.
+	usedNonces map[string]bool
+}
+
+// NewVerifier builds a verifier trusting the given CA.
+func NewVerifier(caPub *rsa.PublicKey) *Verifier {
+	return &Verifier{caPub: caPub, known: map[tpm.Digest]string{}, usedNonces: map[string]bool{}}
+}
+
+// Approve registers a PAL image hash as known-good. Verifiers approve
+// code, not platforms: any platform may run an approved PAL.
+func (v *Verifier) Approve(name string, palMeasurement tpm.Digest) {
+	v.known[palMeasurement] = name
+}
+
+// Verification errors.
+var (
+	ErrUnknownPAL   = errors.New("attest: quoted measurement is not an approved PAL")
+	ErrNonceReplay  = errors.New("attest: nonce already used")
+	ErrWrongNonce   = errors.New("attest: quote nonce does not match challenge")
+	ErrNotLaunched  = errors.New("attest: PCR17 indicates no late launch occurred (reboot value)")
+	ErrLogMismatch  = errors.New("attest: event log does not replay to quoted composite")
+	ErrBadSignature = errors.New("attest: quote signature invalid")
+)
+
+// VerifyPALQuote validates the complete SEA attestation chain for a quote
+// over PCR 17 (and optionally 18): certificate, signature, nonce freshness,
+// and that the quoted composite equals a late launch of an approved PAL.
+// It returns the approved PAL's name.
+//
+// sel must be the selection the quote covers; log must contain the
+// measurement events the platform claims (for the simple SEA flow this is
+// one event: the PAL into PCR 17, plus the ACMod and PAL on Intel).
+func (v *Verifier) VerifyPALQuote(cert *AIKCert, q *tpm.Quote, log Log, nonce []byte) (string, error) {
+	if err := VerifyCert(v.caPub, cert); err != nil {
+		return "", err
+	}
+	if err := tpm.VerifyQuote(cert.AIK, q); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	if string(q.Nonce) != string(nonce) {
+		return "", ErrWrongNonce
+	}
+	if v.usedNonces[string(nonce)] {
+		return "", ErrNonceReplay
+	}
+
+	// Replay the log and reconstruct the composite.
+	finals := log.Replay()
+	// The reboot value of a dynamic PCR is all-ones; a log claiming no
+	// events for PCR17 can never match a genuine late launch.
+	if _, ok := finals[tpm.FirstDynamicPCR]; !ok {
+		return "", ErrNotLaunched
+	}
+	vals := make([]tpm.Digest, len(q.Selection))
+	for i, idx := range q.Selection {
+		vals[i] = finals[idx]
+	}
+	if tpm.CompositeDigest(q.Selection, vals) != q.Composite {
+		return "", ErrLogMismatch
+	}
+
+	// The first event extended into the freshly reset PCR 17 is the
+	// late-launch measurement — the PAL on AMD, the ACMod on Intel
+	// (where the PAL lands in PCR 18). Accept whichever dynamic PCR's
+	// root is an approved PAL.
+	name, err := v.rootApproved(log, q.Selection)
+	if err != nil {
+		return "", err
+	}
+	v.usedNonces[string(nonce)] = true
+	return name, nil
+}
+
+// rootApproved finds, for each selected PCR, the first event extended into
+// it and reports the first one naming an approved PAL. Later events are
+// inputs the PAL chose to extend and carry no code identity.
+func (v *Verifier) rootApproved(log Log, sel tpm.Selection) (string, error) {
+	seen := map[int]bool{}
+	for _, e := range log {
+		if seen[e.PCR] {
+			continue
+		}
+		seen[e.PCR] = true
+		inSel := false
+		for _, idx := range sel {
+			if idx == e.PCR {
+				inSel = true
+			}
+		}
+		if !inSel {
+			continue
+		}
+		if name, ok := v.known[e.Measurement]; ok {
+			return name, nil
+		}
+	}
+	return "", ErrUnknownPAL
+}
+
+// VerifySePCRQuote validates an attestation over a sePCR on recommended
+// hardware (§5.4.3): same chain, but the composite is the single register
+// value and the log is the PAL measurement (plus any input extensions).
+func (v *Verifier) VerifySePCRQuote(cert *AIKCert, q *tpm.Quote, log Log, nonce []byte) (string, error) {
+	if err := VerifyCert(v.caPub, cert); err != nil {
+		return "", err
+	}
+	if err := tpm.VerifyQuote(cert.AIK, q); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	if string(q.Nonce) != string(nonce) {
+		return "", ErrWrongNonce
+	}
+	if v.usedNonces[string(nonce)] {
+		return "", ErrNonceReplay
+	}
+	if q.SePCRHandle < 0 {
+		return "", errors.New("attest: quote does not cover a sePCR")
+	}
+	// Replay: sePCRs are single registers; reuse PCR index 0 in the log.
+	var value tpm.Digest
+	for _, e := range log {
+		value = tpm.ExtendDigest(value, e.Measurement)
+	}
+	if value != q.Composite {
+		return "", ErrLogMismatch
+	}
+	// A killed PAL's register contains the SKILL marker; its chain will
+	// not match an approved-PAL-only log, but defend explicitly anyway.
+	for _, e := range log {
+		if e.Measurement == tpm.SKillMarker {
+			return "", fmt.Errorf("%w: PAL was killed (SKILL marker in log)", ErrUnknownPAL)
+		}
+	}
+	// The root of a sePCR chain is the PAL measurement SLAUNCH extended
+	// at allocation; it must be approved code.
+	if len(log) == 0 {
+		return "", ErrUnknownPAL
+	}
+	name, ok := v.known[log[0].Measurement]
+	if !ok {
+		return "", ErrUnknownPAL
+	}
+	v.usedNonces[string(nonce)] = true
+	return name, nil
+}

@@ -1,0 +1,108 @@
+package attest
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"minimaltcb/internal/tpm"
+)
+
+// This file implements the wire protocol between the attesting platform
+// and the external verifier of §3.1. The verifier connects, sends a fresh
+// challenge, and receives the evidence bundle — AIK certificate, quote,
+// and measurement log — that VerifyPALQuote / VerifySePCRQuote consume.
+// Everything security-relevant is inside the signed quote; the transport
+// needs no secrecy, matching the paper's trust model (the adversary
+// "can monitor all network traffic").
+
+// Challenge is the verifier's request.
+type Challenge struct {
+	// Nonce must be fresh per request; the verifier rejects replays.
+	Nonce []byte
+	// SePCR selects a secure-execution-PCR quote instead of a dynamic
+	// PCR quote (recommended-hardware platforms).
+	SePCR bool
+	// Handle is the sePCR to quote when SePCR is set.
+	Handle int
+}
+
+// Evidence is the platform's response.
+type Evidence struct {
+	Cert  *AIKCert
+	Quote *tpm.Quote
+	Log   Log
+}
+
+// Responder produces evidence for a challenge; the platform side supplies
+// it (typically wrapping TPM quote generation and its event log).
+type Responder func(ch Challenge) (*Evidence, error)
+
+// ServeOne answers exactly one challenge on conn. It is the unit Serve
+// loops over and what tests drive directly over a net.Pipe.
+func ServeOne(conn net.Conn, respond Responder) error {
+	defer conn.Close()
+	var ch Challenge
+	dec := gob.NewDecoder(conn)
+	if err := dec.Decode(&ch); err != nil {
+		return fmt.Errorf("attest: decoding challenge: %w", err)
+	}
+	if len(ch.Nonce) == 0 || len(ch.Nonce) > 256 {
+		return errors.New("attest: refusing challenge with absent or oversized nonce")
+	}
+	ev, err := respond(ch)
+	if err != nil {
+		// Encode an empty evidence so the peer gets a definite answer.
+		_ = gob.NewEncoder(conn).Encode(&Evidence{})
+		return err
+	}
+	return gob.NewEncoder(conn).Encode(ev)
+}
+
+// Serve accepts connections until the listener closes, answering one
+// challenge per connection.
+func Serve(l net.Listener, respond Responder) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		// Connections are handled serially: the simulated platform is
+		// single-threaded by design (see internal/sim).
+		_ = ServeOne(conn, respond)
+	}
+}
+
+// Request performs the verifier side of one exchange on conn.
+func Request(conn net.Conn, ch Challenge) (*Evidence, error) {
+	defer conn.Close()
+	// Wall-clock (not virtual) deadline: the peer is a real socket.
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := gob.NewEncoder(conn).Encode(&ch); err != nil {
+		return nil, fmt.Errorf("attest: sending challenge: %w", err)
+	}
+	var ev Evidence
+	if err := gob.NewDecoder(conn).Decode(&ev); err != nil {
+		return nil, fmt.Errorf("attest: decoding evidence: %w", err)
+	}
+	if ev.Quote == nil || ev.Cert == nil {
+		return nil, errors.New("attest: platform returned no evidence")
+	}
+	return &ev, nil
+}
+
+// ChallengeAndVerify runs the complete verifier flow over conn: send a
+// challenge, receive evidence, and validate it against this verifier's
+// trust anchors. It returns the approved PAL's name.
+func (v *Verifier) ChallengeAndVerify(conn net.Conn, nonce []byte, sePCR bool, handle int) (string, error) {
+	ev, err := Request(conn, Challenge{Nonce: nonce, SePCR: sePCR, Handle: handle})
+	if err != nil {
+		return "", err
+	}
+	if sePCR {
+		return v.VerifySePCRQuote(ev.Cert, ev.Quote, ev.Log, nonce)
+	}
+	return v.VerifyPALQuote(ev.Cert, ev.Quote, ev.Log, nonce)
+}

@@ -1,0 +1,218 @@
+// Package chipset models the north and south bridges of the simulated
+// platform: every memory request — from a CPU or from a DMA-capable device —
+// is routed through the memory controller, which consults the per-page
+// access-control table and the DEV bit vector before letting it through.
+//
+// This is where the paper's isolation property is enforced mechanically: a
+// compromised OS on another core, or a malicious PCI device issuing DMA,
+// goes through exactly this path and is refused (§3.2, §5.2).
+package chipset
+
+import (
+	"fmt"
+
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
+)
+
+// Chipset ties together memory, the LPC bus and the TPM.
+type Chipset struct {
+	clock *sim.Clock
+	mem   *mem.Memory
+	bus   *lpc.Bus
+	tpm   *tpm.TPM // nil on TPM-less platforms (Tyan n3600R)
+
+	// DeniedCPU / DeniedDMA count refused requests, for attack tests and
+	// reporting.
+	DeniedCPU int
+	DeniedDMA int
+}
+
+// New builds a chipset. The TPM may be nil for platforms without one.
+func New(clock *sim.Clock, m *mem.Memory, bus *lpc.Bus, chip *tpm.TPM) *Chipset {
+	return &Chipset{clock: clock, mem: m, bus: bus, tpm: chip}
+}
+
+// Clock returns the platform clock.
+func (c *Chipset) Clock() *sim.Clock { return c.clock }
+
+// Memory returns the physical memory (raw access for hardware microcode).
+func (c *Chipset) Memory() *mem.Memory { return c.mem }
+
+// Bus returns the LPC bus.
+func (c *Chipset) Bus() *lpc.Bus { return c.bus }
+
+// TPM returns the TPM, or nil if the platform has none.
+func (c *Chipset) TPM() *tpm.TPM { return c.tpm }
+
+// HasTPM reports whether a TPM is attached.
+func (c *Chipset) HasTPM() bool { return c.tpm != nil }
+
+// checkCPURange verifies every page in [addr, addr+n) is accessible to cpu.
+func (c *Chipset) checkCPURange(cpu int, addr uint32, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	r := mem.Region{Base: addr, Size: n}
+	for _, p := range r.Pages() {
+		if err := c.mem.CheckCPU(p, cpu); err != nil {
+			c.DeniedCPU++
+			return err
+		}
+	}
+	return nil
+}
+
+// CPURead performs a CPU-originated memory read. Every request carries the
+// initiating CPU's identity, as on real front-side buses (agent IDs, §5.2).
+func (c *Chipset) CPURead(cpu int, addr uint32, n int) ([]byte, error) {
+	if err := c.checkCPURange(cpu, addr, n); err != nil {
+		return nil, err
+	}
+	return c.mem.ReadRaw(addr, n)
+}
+
+// CPUWrite performs a CPU-originated memory write.
+func (c *Chipset) CPUWrite(cpu int, addr uint32, b []byte) error {
+	if err := c.checkCPURange(cpu, addr, len(b)); err != nil {
+		return err
+	}
+	return c.mem.WriteRaw(addr, b)
+}
+
+// DMARead performs a device-originated read; refused for pages that are
+// DEV-protected or not in the ALL state.
+func (c *Chipset) DMARead(addr uint32, n int) ([]byte, error) {
+	r := mem.Region{Base: addr, Size: n}
+	for _, p := range r.Pages() {
+		if err := c.mem.CheckDMA(p); err != nil {
+			c.DeniedDMA++
+			return nil, err
+		}
+	}
+	return c.mem.ReadRaw(addr, n)
+}
+
+// DMAWrite performs a device-originated write under the same checks.
+func (c *Chipset) DMAWrite(addr uint32, b []byte) error {
+	r := mem.Region{Base: addr, Size: len(b)}
+	for _, p := range r.Pages() {
+		if err := c.mem.CheckDMA(p); err != nil {
+			c.DeniedDMA++
+			return err
+		}
+	}
+	return c.mem.WriteRaw(addr, b)
+}
+
+// ProtectRegion claims every page of r for cpu (SLAUNCH's table update,
+// §5.6). On any failure the already-claimed pages are rolled back to the
+// exact state they held before — critically, a page that was NONE (a
+// suspended PAL's) returns to NONE, never to ALL, so a maliciously crafted
+// SECB whose region straddles a suspended PAL and a busy page cannot use
+// the failure path to expose the suspended PAL's memory.
+func (c *Chipset) ProtectRegion(r mem.Region, cpu int) error {
+	pages := r.Pages()
+	prior := make([]mem.PageState, 0, len(pages))
+	for i, p := range pages {
+		st, err := c.mem.State(p)
+		if err == nil {
+			prior = append(prior, st)
+			err = c.mem.Claim(p, cpu)
+		}
+		if err != nil {
+			for j, q := range pages[:i] {
+				if prior[j] == mem.AccessNone {
+					_ = c.mem.Seclude(q, cpu)
+				} else {
+					_ = c.mem.Release(q, cpu)
+				}
+			}
+			return fmt.Errorf("chipset: protect region: %w", err)
+		}
+	}
+	return nil
+}
+
+// SecludeRegion moves every page of r from cpu ownership to NONE (PAL
+// suspend).
+func (c *Chipset) SecludeRegion(r mem.Region, cpu int) error {
+	for _, p := range r.Pages() {
+		if err := c.mem.Seclude(p, cpu); err != nil {
+			return fmt.Errorf("chipset: seclude region: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReleaseRegion returns every page of r to ALL (SFREE/SKILL).
+func (c *Chipset) ReleaseRegion(r mem.Region, cpu int) error {
+	for _, p := range r.Pages() {
+		if err := c.mem.Release(p, cpu); err != nil {
+			return fmt.Errorf("chipset: release region: %w", err)
+		}
+	}
+	return nil
+}
+
+// ShareRegion grants joiner access to every page of r alongside owner —
+// the §6 multicore-PAL join. Partial failures roll back.
+func (c *Chipset) ShareRegion(r mem.Region, owner, joiner int) error {
+	pages := r.Pages()
+	for i, p := range pages {
+		if err := c.mem.Share(p, owner, joiner); err != nil {
+			for _, q := range pages[:i] {
+				_ = c.mem.Unshare(q, joiner)
+			}
+			return fmt.Errorf("chipset: share region: %w", err)
+		}
+	}
+	return nil
+}
+
+// UnshareRegion revokes joiner's access to every page of r.
+func (c *Chipset) UnshareRegion(r mem.Region, joiner int) error {
+	for _, p := range r.Pages() {
+		if err := c.mem.Unshare(p, joiner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetDEVRegion sets or clears the DEV bits covering r (SKINIT's DMA
+// protection for the SLB).
+func (c *Chipset) SetDEVRegion(r mem.Region, protected bool) error {
+	for _, p := range r.Pages() {
+		if err := c.mem.SetDEV(p, protected); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegionState reports the common access state of a region, or an error if
+// its pages disagree (useful for assertions and debugging).
+func (c *Chipset) RegionState(r mem.Region) (mem.PageState, error) {
+	pages := r.Pages()
+	if len(pages) == 0 {
+		return mem.AccessAll, nil
+	}
+	first, err := c.mem.State(pages[0])
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range pages[1:] {
+		st, err := c.mem.State(p)
+		if err != nil {
+			return 0, err
+		}
+		if st != first {
+			return 0, fmt.Errorf("chipset: region pages disagree: page %d is %v, page %d is %v",
+				pages[0], first, p, st)
+		}
+	}
+	return first, nil
+}

@@ -1,0 +1,254 @@
+package chipset
+
+import (
+	"errors"
+	"testing"
+
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
+)
+
+func testChipset(t *testing.T, pages int) *Chipset {
+	t.Helper()
+	clock := sim.NewClock()
+	m := mem.New(pages * mem.PageSize)
+	bus := lpc.NewBus(clock, lpc.FullSpeed())
+	chip, err := tpm.New(clock, bus, tpm.Config{KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(clock, m, bus, chip)
+}
+
+func TestCPUReadWriteOnAllPages(t *testing.T) {
+	c := testChipset(t, 4)
+	if err := c.CPUWrite(0, 100, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CPURead(1, 100, 3) // different CPU, page is ALL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got % x", got)
+	}
+}
+
+func TestProtectRegionIsolatesFromOtherCPUs(t *testing.T) {
+	c := testChipset(t, 8)
+	r := mem.RegionForPages(2, 2)
+	if err := c.ProtectRegion(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Owner works.
+	if err := c.CPUWrite(0, r.Base, []byte("pal state")); err != nil {
+		t.Fatalf("owner write: %v", err)
+	}
+	// Other CPU refused and counted.
+	if _, err := c.CPURead(1, r.Base, 4); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("foreign read: %v", err)
+	}
+	if c.DeniedCPU != 1 {
+		t.Fatalf("DeniedCPU = %d", c.DeniedCPU)
+	}
+	// A read spanning from an ALL page into the region is refused too.
+	if _, err := c.CPURead(1, r.Base-8, 16); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("spanning read: %v", err)
+	}
+}
+
+func TestProtectRegionRollsBackOnConflict(t *testing.T) {
+	c := testChipset(t, 8)
+	// CPU 1 owns page 3.
+	if err := c.ProtectRegion(mem.RegionForPages(3, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	// CPU 0 tries to protect pages 2–4; page 3 conflicts.
+	err := c.ProtectRegion(mem.RegionForPages(2, 3), 0)
+	if !errors.Is(err, mem.ErrPageBusy) {
+		t.Fatalf("overlapping protect: %v", err)
+	}
+	// Page 2 must have been rolled back to ALL.
+	st, _ := c.Memory().State(2)
+	if st != mem.AccessAll {
+		t.Fatalf("page 2 state %v after rollback, want ALL", st)
+	}
+	// Page 3 still owned by CPU 1.
+	st, _ = c.Memory().State(3)
+	if st != mem.PageState(1) {
+		t.Fatalf("page 3 state %v, want CPU1", st)
+	}
+}
+
+func TestProtectRegionRollbackPreservesNONE(t *testing.T) {
+	// Attack from §5 considerations: a crafted region straddling a
+	// suspended PAL's NONE pages and a busy page must not, via the
+	// failure path, return the NONE pages to ALL.
+	c := testChipset(t, 8)
+	// Pages 2-3: a suspended PAL (CPU1 owned, then secluded).
+	victim := mem.RegionForPages(2, 2)
+	if err := c.ProtectRegion(victim, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.CPUWrite(1, victim.Base, []byte("victim secrets"))
+	if err := c.SecludeRegion(victim, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Page 4: busy with another PAL.
+	if err := c.ProtectRegion(mem.RegionForPages(4, 1), 2); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker's forged region: [2,5) claims the NONE pages, then
+	// fails on the CPU2-owned page.
+	err := c.ProtectRegion(mem.RegionForPages(2, 3), 3)
+	if !errors.Is(err, mem.ErrPageBusy) {
+		t.Fatalf("forged protect: %v", err)
+	}
+	// The suspended PAL's pages must be NONE again — not ALL.
+	for _, p := range victim.Pages() {
+		st, _ := c.Memory().State(p)
+		if st != mem.AccessNone {
+			t.Fatalf("page %d leaked to %v after failed protect", p, st)
+		}
+	}
+	// And the secrets are still unreadable.
+	if _, err := c.CPURead(3, victim.Base, 14); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("suspended PAL readable after failed protect: %v", err)
+	}
+}
+
+func TestSecludeAndResume(t *testing.T) {
+	c := testChipset(t, 4)
+	r := mem.RegionForPages(1, 2)
+	c.ProtectRegion(r, 0)
+	c.CPUWrite(0, r.Base, []byte("suspended pal state"))
+	if err := c.SecludeRegion(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody can touch NONE pages — not even the former owner.
+	if _, err := c.CPURead(0, r.Base, 4); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("read of secluded region: %v", err)
+	}
+	// Resume on another CPU: state intact.
+	if err := c.ProtectRegion(r, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CPURead(1, r.Base, 19)
+	if err != nil || string(got) != "suspended pal state" {
+		t.Fatalf("resumed read: %q, %v", got, err)
+	}
+}
+
+func TestDMAAttackOnPALMemory(t *testing.T) {
+	c := testChipset(t, 4)
+	nic := NewDevice("evil-nic", c)
+	r := mem.RegionForPages(1, 1)
+	c.CPUWrite(0, r.Base, []byte("secret"))
+	c.ProtectRegion(r, 0)
+
+	if _, err := nic.Read(r.Base, 6); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("DMA read of PAL memory: %v", err)
+	}
+	if err := nic.Write(r.Base, []byte("owned!")); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("DMA write of PAL memory: %v", err)
+	}
+	if nic.Denied != 2 || c.DeniedDMA != 2 {
+		t.Fatalf("denied counters: device %d chipset %d", nic.Denied, c.DeniedDMA)
+	}
+	// Contents untouched.
+	got, _ := c.Memory().ReadRaw(r.Base, 6)
+	if string(got) != "secret" {
+		t.Fatalf("PAL memory corrupted: %q", got)
+	}
+}
+
+func TestDMADEVProtection(t *testing.T) {
+	c := testChipset(t, 4)
+	nic := NewDevice("nic", c)
+	r := mem.RegionForPages(2, 1)
+	// SKINIT-style: page stays ALL but DEV bit set.
+	c.SetDEVRegion(r, true)
+	if _, err := nic.Read(r.Base, 4); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("DMA past DEV: %v", err)
+	}
+	c.SetDEVRegion(r, false)
+	if _, err := nic.Read(r.Base, 4); err != nil {
+		t.Fatalf("DMA after DEV clear: %v", err)
+	}
+	if nic.Reads != 1 {
+		t.Fatalf("Reads = %d", nic.Reads)
+	}
+}
+
+func TestDMANormalTraffic(t *testing.T) {
+	c := testChipset(t, 4)
+	nic := NewDevice("nic", c)
+	if err := nic.Write(0, []byte("packet")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nic.Read(0, 6)
+	if err != nil || string(got) != "packet" {
+		t.Fatalf("DMA roundtrip: %q, %v", got, err)
+	}
+	if nic.Writes != 1 || nic.Reads != 1 || nic.Denied != 0 {
+		t.Fatalf("counters: %d/%d/%d", nic.Writes, nic.Reads, nic.Denied)
+	}
+	if nic.Name() != "nic" {
+		t.Fatalf("Name = %q", nic.Name())
+	}
+}
+
+func TestReleaseRegionRestoresAll(t *testing.T) {
+	c := testChipset(t, 4)
+	r := mem.RegionForPages(1, 2)
+	c.ProtectRegion(r, 0)
+	if err := c.ReleaseRegion(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.RegionState(r)
+	if err != nil || st != mem.AccessAll {
+		t.Fatalf("region state %v, %v", st, err)
+	}
+	// And other CPUs can use it again.
+	if err := c.CPUWrite(3, r.Base, []byte("reused")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionStateDisagreement(t *testing.T) {
+	c := testChipset(t, 4)
+	c.ProtectRegion(mem.RegionForPages(1, 1), 0)
+	if _, err := c.RegionState(mem.RegionForPages(0, 2)); err == nil {
+		t.Fatal("mixed region state not reported")
+	}
+	st, err := c.RegionState(mem.Region{})
+	if err != nil || st != mem.AccessAll {
+		t.Fatalf("empty region: %v %v", st, err)
+	}
+}
+
+func TestHasTPM(t *testing.T) {
+	c := testChipset(t, 1)
+	if !c.HasTPM() || c.TPM() == nil {
+		t.Fatal("TPM missing")
+	}
+	clock := sim.NewClock()
+	noTPM := New(clock, mem.New(mem.PageSize), lpc.NewBus(clock, lpc.FullSpeed()), nil)
+	if noTPM.HasTPM() {
+		t.Fatal("TPM-less chipset claims a TPM")
+	}
+}
+
+func TestCPUAccessZeroLength(t *testing.T) {
+	c := testChipset(t, 2)
+	c.ProtectRegion(mem.RegionForPages(0, 1), 0)
+	// Zero-length access never faults, even at protected addresses.
+	if err := c.CPUWrite(1, 0, nil); err != nil {
+		t.Fatalf("zero-length write: %v", err)
+	}
+	if _, err := c.CPURead(1, 0, 0); err != nil {
+		t.Fatalf("zero-length read: %v", err)
+	}
+}

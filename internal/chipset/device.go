@@ -1,0 +1,44 @@
+package chipset
+
+import "fmt"
+
+// Device models a DMA-capable add-on card — the paper's threat model
+// explicitly grants the attacker "a DMA-capable Ethernet card with access
+// to the PCI bus" (§3.2). Attack tests drive reads and writes through a
+// Device at a protected PAL's memory and assert refusal.
+type Device struct {
+	name string
+	chip *Chipset
+
+	// Reads/Writes count successful transfers; Denied counts refusals.
+	Reads, Writes, Denied int
+}
+
+// NewDevice attaches a named DMA device to the chipset.
+func NewDevice(name string, chip *Chipset) *Device {
+	return &Device{name: name, chip: chip}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Read issues a DMA read.
+func (d *Device) Read(addr uint32, n int) ([]byte, error) {
+	b, err := d.chip.DMARead(addr, n)
+	if err != nil {
+		d.Denied++
+		return nil, fmt.Errorf("%s: %w", d.name, err)
+	}
+	d.Reads++
+	return b, nil
+}
+
+// Write issues a DMA write.
+func (d *Device) Write(addr uint32, b []byte) error {
+	if err := d.chip.DMAWrite(addr, b); err != nil {
+		d.Denied++
+		return fmt.Errorf("%s: %w", d.name, err)
+	}
+	d.Writes++
+	return nil
+}

@@ -1,0 +1,71 @@
+package chipset
+
+import (
+	"errors"
+	"testing"
+
+	"minimaltcb/internal/mem"
+)
+
+func TestShareRegionGrantsAndRollsBack(t *testing.T) {
+	c := testChipset(t, 8)
+	r := mem.RegionForPages(2, 2)
+	if err := c.ProtectRegion(r, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShareRegion(r, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CPURead(2, r.Base, 8); err != nil {
+		t.Fatalf("joined CPU read: %v", err)
+	}
+	if err := c.UnshareRegion(r, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CPURead(2, r.Base, 8); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("read after unshare: %v", err)
+	}
+
+	// Rollback: region partially owned by someone else — nothing shared.
+	r2 := mem.RegionForPages(4, 2)
+	if err := c.ProtectRegion(mem.RegionForPages(4, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ProtectRegion(mem.RegionForPages(5, 1), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShareRegion(r2, 1, 2); err == nil {
+		t.Fatal("mixed-owner share succeeded")
+	}
+	if c.Memory().SharedWith(4, 2) {
+		t.Fatal("rollback left a share behind")
+	}
+}
+
+func TestChipsetAccessors(t *testing.T) {
+	c := testChipset(t, 1)
+	if c.Clock() == nil || c.Bus() == nil {
+		t.Fatal("nil accessors")
+	}
+}
+
+func TestRegionOpsErrorPaths(t *testing.T) {
+	c := testChipset(t, 4)
+	// Seclude of unowned pages errors.
+	if err := c.SecludeRegion(mem.RegionForPages(0, 1), 1); err == nil {
+		t.Fatal("seclude of ALL pages succeeded")
+	}
+	// Release by non-owner errors.
+	c.ProtectRegion(mem.RegionForPages(1, 1), 1)
+	if err := c.ReleaseRegion(mem.RegionForPages(1, 1), 2); err == nil {
+		t.Fatal("release by non-owner succeeded")
+	}
+	// DEV out of range errors.
+	if err := c.SetDEVRegion(mem.Region{Base: 1 << 30, Size: 8}, true); err == nil {
+		t.Fatal("DEV out of range succeeded")
+	}
+	// CPUWrite denial path.
+	if err := c.CPUWrite(2, mem.RegionForPages(1, 1).Base, []byte{1}); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("CPUWrite to owned page: %v", err)
+	}
+}

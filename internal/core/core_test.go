@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"minimaltcb/internal/platform"
+)
+
+func fastProfile() platform.Profile {
+	p := platform.HPdc5750()
+	p.KeyBits = 1024
+	return p
+}
+
+func fastRecommended() platform.Profile {
+	p := platform.Recommended(platform.HPdc5750(), 4)
+	p.KeyBits = 1024
+	return p
+}
+
+const helloSource = `
+	ldi r0, msg
+	ldi r1, 5
+	svc 6
+	ldi r0, 0
+	svc 0
+msg:	.ascii "hello"
+`
+
+func TestSystemLegacyRoundTrip(t *testing.T) {
+	sys, err := NewSystem(fastProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CompilePAL("hello", helloSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunLegacy(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "hello" || res.ExitStatus != 0 {
+		t.Fatalf("output %q exit %d", res.Output, res.ExitStatus)
+	}
+	if res.Total <= 0 {
+		t.Fatal("no time charged")
+	}
+	// Attestation round trip.
+	name, att, err := sys.AttestLegacy(p, []byte("challenge-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "hello" || att.Quote == nil {
+		t.Fatalf("attested name %q", name)
+	}
+}
+
+func TestSystemRecommendedRoundTrip(t *testing.T) {
+	sys, err := NewSystem(fastRecommended())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.SKSM == nil {
+		t.Fatal("recommended hardware missing")
+	}
+	p, err := CompilePAL("hello", helloSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("challenge-2")
+	res, err := sys.RunRecommended(p, nil, 0, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "hello" {
+		t.Fatalf("output %q", res.Output)
+	}
+	name, err := sys.VerifyRecommended(p, res, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "hello" {
+		t.Fatalf("verified name %q", name)
+	}
+}
+
+func TestRecommendedOnStockHardwareFails(t *testing.T) {
+	sys, err := NewSystem(fastProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := CompilePAL("x", "ldi r0, 0\nsvc 0")
+	if _, err := sys.RunRecommended(p, nil, 0, nil); !errors.Is(err, ErrNoRecommendedHardware) {
+		t.Fatalf("recommended run on stock hardware: %v", err)
+	}
+}
+
+func TestRecommendedPreemptionCountsSlices(t *testing.T) {
+	sys, err := NewSystem(fastRecommended())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CompilePAL("worker", `
+		ldi r0, 0
+		ldi r1, 2000
+	loop:	addi r0, 1
+		cmp r0, r1
+		jnz loop
+		ldi r0, 0
+		svc 0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunRecommended(p, nil, time.Microsecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slices < 2 || res.Resumes < 1 {
+		t.Fatalf("slices %d resumes %d — preemption never fired", res.Slices, res.Resumes)
+	}
+}
+
+func TestCompilePALErrors(t *testing.T) {
+	if _, err := CompilePAL("bad", "not a program"); err == nil {
+		t.Fatal("bad source compiled")
+	}
+}
+
+func TestSystemWithoutTPM(t *testing.T) {
+	p := platform.TyanN3600R()
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Verifier != nil || sys.Cert != nil {
+		t.Fatal("TPM-less system has attestation state")
+	}
+	pl, _ := CompilePAL("x", "ldi r0, 0\nsvc 0")
+	res, err := sys.RunLegacy(pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Log != nil {
+		t.Fatal("TPM-less session produced a log")
+	}
+	if _, _, err := sys.AttestLegacy(pl, nil); err == nil {
+		t.Fatal("attestation without TPM succeeded")
+	}
+}
+
+func TestIntelSystemLog(t *testing.T) {
+	p := platform.IntelTEP()
+	p.KeyBits = 1024
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := CompilePAL("hello", helloSource)
+	if _, err := sys.RunLegacy(pl, nil); err != nil {
+		t.Fatal(err)
+	}
+	name, att, err := sys.AttestLegacy(pl, []byte("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "hello" {
+		t.Fatalf("name %q", name)
+	}
+	// Intel logs two events: ACMod (PCR17) and PAL (PCR18).
+	if len(att.Log) != 2 || att.Log[0].PCR != 17 || att.Log[1].PCR != 18 {
+		t.Fatalf("log %v", att.Log)
+	}
+}
+
+func TestPALMeasurementStable(t *testing.T) {
+	a, _ := CompilePAL("x", helloSource)
+	b, _ := CompilePAL("y", helloSource)
+	if a.Measurement() != b.Measurement() {
+		t.Fatal("same source, different measurement")
+	}
+	c, _ := CompilePAL("z", "ldi r0, 1\nsvc 0")
+	if a.Measurement() == c.Measurement() {
+		t.Fatal("different source, same measurement")
+	}
+}

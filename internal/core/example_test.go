@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"minimaltcb/internal/core"
+	"minimaltcb/internal/platform"
+)
+
+// Example runs the smallest possible PAL on the paper's primary test
+// machine and prints its output.
+func Example() {
+	prof := platform.HPdc5750()
+	prof.KeyBits = 1024 // small keys keep the example fast
+	sys, err := core.NewSystem(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.CompilePAL("greeter", `
+		ldi r0, msg
+		ldi r1, 3
+		svc 6
+		ldi r0, 0
+		svc 0
+	msg:	.ascii "hi!"
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunLegacy(p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", res.Output)
+	// Output: hi!
+}
+
+// ExampleSystem_RunRecommended shows the paper's proposed architecture:
+// the PAL yields twice and is resumed by hardware context switches instead
+// of TPM seal/unseal round trips.
+func ExampleSystem_RunRecommended() {
+	prof := platform.Recommended(platform.HPdc5750(), 2)
+	prof.KeyBits = 1024
+	sys, err := core.NewSystem(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.CompilePAL("yielder", `
+		svc 1
+		svc 1
+		ldi r0, 0
+		svc 0
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunRecommended(p, nil, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slices=%d resumes=%d\n", res.Slices, res.Resumes)
+	// Output: slices=3 resumes=2
+}
+
+// ExampleSystem_AttestLegacy shows the external-verification loop: the
+// verifier approves the PAL's measurement and checks a TPM quote.
+func ExampleSystem_AttestLegacy() {
+	prof := platform.HPdc5750()
+	prof.KeyBits = 1024
+	sys, err := core.NewSystem(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.CompilePAL("audited", "ldi r0, 0\nsvc 0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.RunLegacy(p, nil); err != nil {
+		log.Fatal(err)
+	}
+	name, _, err := sys.AttestLegacy(p, []byte("fresh nonce"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(name)
+	// Output: audited
+}

@@ -1,0 +1,431 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"minimaltcb/internal/chipset"
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
+)
+
+// rig is a minimal single-CPU platform for interpreter tests.
+type rig struct {
+	clock *sim.Clock
+	chip  *chipset.Chipset
+	cpu   *CPU
+}
+
+func newRig(t *testing.T, params Params, busTiming lpc.Timing, withTPM bool) *rig {
+	t.Helper()
+	clock := sim.NewClock()
+	m := mem.New(64 * mem.PageSize)
+	bus := lpc.NewBus(clock, busTiming)
+	var chip *tpm.TPM
+	if withTPM {
+		var err error
+		chip, err = tpm.New(clock, bus, tpm.Config{KeyBits: 1024, NumSePCRs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := chipset.New(clock, m, bus, chip)
+	return &rig{clock: clock, chip: cs, cpu: New(0, params, cs)}
+}
+
+// loadPAL places an image at a page boundary and enters it directly
+// (bypassing late launch) for pure interpreter tests.
+func (r *rig) loadPAL(t *testing.T, src string) mem.Region {
+	t.Helper()
+	im := pal.MustBuild(src)
+	region := mem.Region{Base: 4 * mem.PageSize, Size: im.Len()}
+	if err := r.chip.Memory().WriteRaw(region.Base, im.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	r.cpu.Reset()
+	r.cpu.EnterRegion(region, im.Entry)
+	return region
+}
+
+func run(t *testing.T, r *rig, src string) *CPU {
+	t.Helper()
+	r.loadPAL(t, src)
+	reason, err := r.cpu.Run(0)
+	if err != nil {
+		t.Fatalf("run fault: %v", err)
+	}
+	if reason != StopHalt {
+		t.Fatalf("stop reason %v, want halt", reason)
+	}
+	return r.cpu
+}
+
+func TestArithmetic(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi r0, 100
+		ldi r1, 7
+		add r0, r1    ; 107
+		ldi r2, 3
+		mul r0, r2    ; 321
+		ldi r3, 10
+		divu r0, r3   ; 32
+		ldi r4, 5
+		remu r0, r4   ; 2
+		halt
+	`)
+	if c.Regs[0] != 2 {
+		t.Fatalf("r0 = %d, want 2", c.Regs[0])
+	}
+}
+
+func TestBitOpsAndShifts(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi r0, 0xf0f0
+		ldi r1, 0x0ff0
+		and r0, r1     ; 0x0ff0... wait: 0xf0f0 & 0x0ff0 = 0x00f0
+		ldi r2, 0x000f
+		or r0, r2      ; 0x00ff
+		ldi r3, 0x00f0
+		xor r0, r3     ; 0x000f
+		ldi r4, 4
+		shl r0, r4     ; 0x00f0
+		ldi r5, 2
+		shr r0, r5     ; 0x003c
+		halt
+	`)
+	if c.Regs[0] != 0x3c {
+		t.Fatalf("r0 = %#x, want 0x3c", c.Regs[0])
+	}
+}
+
+func TestLuiAddi(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi r0, 0x1234
+		lui r0, 0xdead   ; 0xdead1234
+		ldi r1, 10
+		addi r1, -3      ; 7
+		halt
+	`)
+	if c.Regs[0] != 0xdead1234 {
+		t.Fatalf("r0 = %#x", c.Regs[0])
+	}
+	if c.Regs[1] != 7 {
+		t.Fatalf("r1 = %d", c.Regs[1])
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	// Sum 1..10 = 55.
+	c := run(t, r, `
+		ldi r0, 0      ; sum
+		ldi r1, 1      ; i
+		ldi r2, 11     ; limit
+	loop:
+		add r0, r1
+		addi r1, 1
+		cmp r1, r2
+		jnz loop
+		halt
+	`)
+	if c.Regs[0] != 55 {
+		t.Fatalf("sum = %d, want 55", c.Regs[0])
+	}
+}
+
+func TestMemoryAndDataLabels(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi r1, table
+		load r0, [r1+4]    ; second entry = 20
+		ldi r2, out
+		store r0, [r2]
+		load r3, [r2+0]
+		loadb r4, [r1+0]   ; low byte of first entry = 10
+		halt
+	table:
+		.word 10, 20, 30
+	out:
+		.word 0
+	`)
+	if c.Regs[0] != 20 || c.Regs[3] != 20 || c.Regs[4] != 10 {
+		t.Fatalf("r0=%d r3=%d r4=%d", c.Regs[0], c.Regs[3], c.Regs[4])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi r0, 5
+		call double
+		call double
+		halt
+	double:
+		push r1
+		mov r1, r0
+		add r0, r1
+		pop r1
+		ret
+	stack:
+		.space 64   ; PAL images carry their own stack space at the top
+	`)
+	if c.Regs[0] != 20 {
+		t.Fatalf("r0 = %d, want 20", c.Regs[0])
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi r0, 0
+		addi r0, -5     ; r0 = -5
+		ldi r1, 3
+		cmp r0, r1
+		jn negative     ; signed: -5 < 3
+		ldi r2, 0
+		halt
+	negative:
+		ldi r2, 1
+		halt
+	`)
+	if c.Regs[2] != 1 {
+		t.Fatal("signed comparison failed")
+	}
+	// Unsigned view: 0xfffffffb > 3, so C must be clear.
+	if c.FlagC {
+		t.Fatal("unsigned below flag set for large unsigned value")
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		ldi r0, 1
+		ldi r1, 0
+		divu r0, r1
+		halt
+	`)
+	reason, err := r.cpu.Run(0)
+	if reason != StopFault || !errors.Is(err, ErrFault) {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestOutOfRegionAccessFaults(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		ldi r0, 0xffff
+		lui r0, 0x7fff
+		load r1, [r0]
+		halt
+	`)
+	reason, err := r.cpu.Run(0)
+	if reason != StopFault || !errors.Is(err, ErrFault) {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestPCEscapeFaults(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	// Jump via register to far beyond the region.
+	r.loadPAL(t, `
+		ldi r0, 0xfff0
+		jmpr r0
+	`)
+	reason, err := r.cpu.Run(0)
+	if reason != StopFault || err == nil {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestStackOverflowFaults(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		ldi r7, 4
+		push r0
+		push r0     ; sp would go below 0
+		halt
+	`)
+	reason, err := r.cpu.Run(0)
+	if reason != StopFault || !errors.Is(err, ErrFault) {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestSvcWithoutHandlerFaults(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `svc 3`)
+	reason, err := r.cpu.Run(0)
+	if reason != StopFault || !errors.Is(err, ErrNoService) {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestSvcHandlerActions(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		svc 1      ; yield
+		svc 0      ; exit
+		halt
+	`)
+	var calls []uint16
+	r.cpu.SetService(func(c *CPU, num uint16) (SvcAction, error) {
+		calls = append(calls, num)
+		switch num {
+		case SvcNumExit:
+			return SvcExit, nil
+		case SvcNumYield:
+			return SvcYield, nil
+		}
+		return SvcContinue, nil
+	})
+	reason, err := r.cpu.Run(0)
+	if err != nil || reason != StopYield {
+		t.Fatalf("first run: %v %v", reason, err)
+	}
+	reason, err = r.cpu.Run(0)
+	if err != nil || reason != StopHalt {
+		t.Fatalf("second run: %v %v", reason, err)
+	}
+	if len(calls) != 2 || calls[0] != 1 || calls[1] != 0 {
+		t.Fatalf("svc calls %v", calls)
+	}
+}
+
+func TestPreemptionQuantum(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+	spin:
+		jmp spin
+	`)
+	reason, err := r.cpu.Run(100 * time.Nanosecond)
+	if err != nil || reason != StopPreempted {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+	// Resume where it left off; preempt again.
+	reason, _ = r.cpu.Run(50 * time.Nanosecond)
+	if reason != StopPreempted {
+		t.Fatalf("resumed reason=%v", reason)
+	}
+	if r.cpu.Retired < 100 {
+		t.Fatalf("retired %d instructions", r.cpu.Retired)
+	}
+}
+
+func TestInstructionTimeCharged(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		nop
+		nop
+		nop
+		halt
+	`)
+	start := r.clock.Now()
+	r.cpu.Run(0)
+	if got := r.clock.Now() - start; got != 4*time.Nanosecond {
+		t.Fatalf("charged %v for 4 instructions", got)
+	}
+}
+
+func TestSaveLoadState(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		ldi r0, 42
+		svc 1
+		addi r0, 1
+		halt
+	`)
+	r.cpu.SetService(func(c *CPU, num uint16) (SvcAction, error) { return SvcYield, nil })
+	r.cpu.Run(0)
+	saved := r.cpu.SaveState()
+	region := r.cpu.Region()
+
+	// Simulate a context switch away and back.
+	r.cpu.ClearMicroarchState()
+	if r.cpu.Regs[0] != 0 {
+		t.Fatal("microarch clear left register contents")
+	}
+	r.cpu.Reset()
+	r.cpu.region = region
+	r.cpu.LoadState(saved)
+	r.cpu.SetService(func(c *CPU, num uint16) (SvcAction, error) { return SvcContinue, nil })
+	reason, err := r.cpu.Run(0)
+	if err != nil || reason != StopHalt {
+		t.Fatalf("resume: %v %v", reason, err)
+	}
+	if r.cpu.Regs[0] != 43 {
+		t.Fatalf("r0 = %d after resume, want 43", r.cpu.Regs[0])
+	}
+}
+
+func TestVMEnterExitChargesTable2(t *testing.T) {
+	r := newRig(t, ParamsAMDTyan(), lpc.FullSpeed(), false)
+	start := r.clock.Now()
+	r.cpu.VMEnter()
+	if d := r.clock.Now() - start; d != 558*time.Nanosecond {
+		t.Fatalf("AMD VM enter %v, want 558ns", d)
+	}
+	start = r.clock.Now()
+	r.cpu.VMExit()
+	if d := r.clock.Now() - start; d != 519*time.Nanosecond {
+		t.Fatalf("AMD VM exit %v, want 519ns", d)
+	}
+	ri := newRig(t, ParamsIntelTEP(), lpc.FullSpeed(), false)
+	start = ri.clock.Now()
+	ri.cpu.VMEnter()
+	ri.cpu.VMExit()
+	if d := ri.clock.Now() - start; d != 895*time.Nanosecond {
+		t.Fatalf("Intel round trip %v, want 895ns", d)
+	}
+}
+
+func TestEnterRegionInitializesStack(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	region := r.loadPAL(t, "halt")
+	if r.cpu.Regs[7] != uint32(region.Size) {
+		t.Fatalf("sp = %d, want region size %d", r.cpu.Regs[7], region.Size)
+	}
+}
+
+func TestVendorAndStopReasonStrings(t *testing.T) {
+	if AMD.String() != "AMD" || Intel.String() != "Intel" {
+		t.Fatal("vendor names")
+	}
+	for _, s := range []StopReason{StopHalt, StopYield, StopPreempted, StopFault} {
+		if s.String() == "" {
+			t.Fatal("empty stop reason name")
+		}
+	}
+	if StopReason(42).String() == "" {
+		t.Fatal("unknown stop reason renders empty")
+	}
+}
+
+func TestInterpreterIsolationFromOtherCPU(t *testing.T) {
+	// A PAL running on CPU 0 with protected pages: another core's request
+	// for the same memory is refused at the chipset.
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	region := r.loadPAL(t, `
+		ldi r0, 123
+		halt
+	`)
+	if err := r.chip.ProtectRegion(region, 0); err != nil {
+		t.Fatal(err)
+	}
+	if reason, err := r.cpu.Run(0); err != nil || reason != StopHalt {
+		t.Fatalf("protected PAL run: %v %v", reason, err)
+	}
+	other := New(1, ParamsAMDdc5750(), r.chip)
+	other.Reset()
+	other.EnterRegion(region, pal.HeaderSize)
+	if _, err := other.Run(0); err == nil {
+		t.Fatal("other core executed inside a protected region")
+	}
+}

@@ -1,0 +1,154 @@
+package cpu
+
+import (
+	"testing"
+
+	"minimaltcb/internal/lpc"
+)
+
+// Edge-case coverage for less-travelled interpreter paths.
+
+func TestUnsignedBranches(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		; 0xffffffff vs 1: unsigned above, signed below.
+		ldi	r0, 0xffff
+		lui	r0, 0xffff
+		ldi	r1, 1
+		cmp	r0, r1
+		jc	below		; must NOT take: 0xffffffff !< 1 unsigned
+		ldi	r2, 1
+		jmp	next
+	below:	ldi	r2, 2
+	next:	cmp	r1, r0
+		jc	below2		; must take: 1 < 0xffffffff unsigned
+		ldi	r3, 1
+		halt
+	below2:	ldi	r3, 2
+		halt
+	`)
+	if c.Regs[2] != 1 {
+		t.Fatalf("jc taken on unsigned-above: r2=%d", c.Regs[2])
+	}
+	if c.Regs[3] != 2 {
+		t.Fatalf("jc not taken on unsigned-below: r3=%d", c.Regs[3])
+	}
+}
+
+func TestJncAndJnBranches(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi	r0, 5
+		ldi	r1, 5
+		cmp	r0, r1
+		jnc	equal		; 5 !< 5, so jnc takes
+		ldi	r2, 0
+		halt
+	equal:	ldi	r2, 1
+		; signed: -1 < 0
+		ldi	r3, 0
+		addi	r3, -1
+		ldi	r4, 0
+		cmp	r3, r4
+		jn	neg
+		ldi	r5, 0
+		halt
+	neg:	ldi	r5, 1
+		halt
+	`)
+	if c.Regs[2] != 1 || c.Regs[5] != 1 {
+		t.Fatalf("r2=%d r5=%d", c.Regs[2], c.Regs[5])
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	// Shift counts use only the low 5 bits, like x86.
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi	r0, 1
+		ldi	r1, 33		; & 31 = 1
+		shl	r0, r1
+		ldi	r2, 0x8000
+		lui	r2, 0
+		ldi	r3, 47		; & 31 = 15
+		shr	r2, r3
+		halt
+	`)
+	if c.Regs[0] != 2 {
+		t.Fatalf("shl by 33 = %d, want 2", c.Regs[0])
+	}
+	if c.Regs[2] != 1 {
+		t.Fatalf("shr by 47 = %d, want 1", c.Regs[2])
+	}
+}
+
+func TestStorebTruncates(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi	r0, 0x1234
+		ldi	r1, buf
+		storeb	r0, [r1+1]	; only 0x34 lands
+		load	r2, [r1]
+		halt
+	buf:	.word 0
+	`)
+	if c.Regs[2] != 0x3400 {
+		t.Fatalf("word = %#x, want 0x3400", c.Regs[2])
+	}
+}
+
+func TestNegativeDisplacement(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi	r1, after
+		load	r0, [r1-4]	; the word right before 'after'
+		halt
+	val:	.word 77
+	after:	.word 0
+	`)
+	if c.Regs[0] != 77 {
+		t.Fatalf("r0 = %d, want 77", c.Regs[0])
+	}
+}
+
+func TestWritingCodeIsAllowedWithinRegion(t *testing.T) {
+	// PALs may self-modify inside their own region (no W^X is modeled;
+	// measurement already happened at launch, which is exactly the
+	// paper's load-time-attestation caveat in §3.3's footnote).
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	c := run(t, r, `
+		ldi	r1, patch
+		ldi	r0, 0x0001	; encoding of "halt" is op 1 in the top byte
+		lui	r0, 0x0100
+		store	r0, [r1]
+	patch:	nop		; overwritten with halt before reaching it? no:
+			; the store targets this slot, then execution arrives.
+		nop
+		halt
+	`)
+	_ = c // reaching halt (either patched or original) without fault is the point
+}
+
+func TestReadWordHelpersBounds(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, "halt")
+	if _, err := r.cpu.ReadWord(1 << 20); err == nil {
+		t.Fatal("out-of-region ReadWord succeeded")
+	}
+	if err := r.cpu.WriteWord(1<<20, 1); err == nil {
+		t.Fatal("out-of-region WriteWord succeeded")
+	}
+	if _, err := r.cpu.ReadBytes(0, -1); err == nil {
+		t.Fatal("negative-length read succeeded")
+	}
+}
+
+func TestRetiredCounts(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, "nop\nnop\nhalt")
+	before := r.cpu.Retired
+	r.cpu.Run(0)
+	if got := r.cpu.Retired - before; got != 3 {
+		t.Fatalf("retired %d, want 3", got)
+	}
+}

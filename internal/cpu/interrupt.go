@@ -1,0 +1,93 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the §6 "PAL Interrupt Handling" extension. The
+// paper's default is that a PAL runs with interrupts disabled; a PAL that
+// genuinely needs them (keyboard input for a trusted-path prompt is the
+// paper's example) may configure an Interrupt Descriptor Table and enable
+// delivery. The IDT lives in CPU state, set up via two architecture-level
+// services the interpreter handles itself (so both runtimes inherit them):
+//
+//	svc 9  (SvcNumSetIDT):  IDT[r0] = r1 (handler offset; 0 clears)
+//	svc 10 (SvcNumIntrCtl): interrupts enabled iff r0 != 0
+//
+// Delivery pushes the interrupted PC on the PAL stack and jumps to the
+// handler; the handler returns with a plain ret.
+
+// NumIntrVectors is the size of the PAL-visible IDT.
+const NumIntrVectors = 8
+
+// Architecture-level service numbers (continuing the ABI in cpu.go).
+const (
+	SvcNumSetIDT  = 9  // IDT[r0] = r1
+	SvcNumIntrCtl = 10 // enable (r0!=0) / disable (r0==0) interrupts
+)
+
+// Interrupt-delivery errors.
+var (
+	ErrIntrMasked    = errors.New("cpu: interrupts disabled; interrupt dropped")
+	ErrIntrUnhandled = errors.New("cpu: no handler registered for vector")
+	ErrBadVector     = errors.New("cpu: interrupt vector out of range")
+)
+
+// handleArchService processes the architecture-level SVCs. It reports
+// whether it consumed the call.
+func (c *CPU) handleArchService(num uint16) (bool, error) {
+	switch num {
+	case SvcNumSetIDT:
+		v := c.Regs[0]
+		if v >= NumIntrVectors {
+			return true, fmt.Errorf("%w: %d", ErrBadVector, v)
+		}
+		handler := c.Regs[1]
+		if handler != 0 && int(handler) >= c.region.Size {
+			return true, fmt.Errorf("%w: handler %d outside PAL region", ErrFault, handler)
+		}
+		c.idt[v] = uint16(handler)
+		return true, nil
+	case SvcNumIntrCtl:
+		c.IntrEnabled = c.Regs[0] != 0
+		return true, nil
+	}
+	return false, nil
+}
+
+// DeliverInterrupt injects interrupt vector v into the PAL currently
+// entered on this core, between instructions (callers invoke it while the
+// core is stopped — e.g. after a preempted Run slice). Delivery fails,
+// leaving state untouched, when interrupts are masked or the vector has no
+// handler; per §6 extraneous vectors are simply not routed to the PAL.
+func (c *CPU) DeliverInterrupt(v int) error {
+	if v < 0 || v >= NumIntrVectors {
+		return fmt.Errorf("%w: %d", ErrBadVector, v)
+	}
+	if !c.IntrEnabled {
+		return ErrIntrMasked
+	}
+	if c.idt[v] == 0 {
+		return fmt.Errorf("%w: vector %d", ErrIntrUnhandled, v)
+	}
+	if err := c.push(c.PC); err != nil {
+		return err
+	}
+	c.PC = uint32(c.idt[v])
+	c.Retired++ // the delivery micro-op
+	c.Clock().Advance(c.Params.InstrCost)
+	return nil
+}
+
+// IDTEntry returns the registered handler offset for a vector (0 = none).
+func (c *CPU) IDTEntry(v int) (uint16, error) {
+	if v < 0 || v >= NumIntrVectors {
+		return 0, fmt.Errorf("%w: %d", ErrBadVector, v)
+	}
+	return c.idt[v], nil
+}
+
+// clearIDT wipes the table; called on Reset so one PAL's handlers never
+// survive into another's execution.
+func (c *CPU) clearIDT() { c.idt = [NumIntrVectors]uint16{} }

@@ -1,0 +1,178 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"minimaltcb/internal/lpc"
+)
+
+// interruptPAL registers a handler for vector 2, enables interrupts, and
+// spins; the handler increments a counter and returns.
+const interruptPAL = `
+	ldi	r0, 2
+	ldi	r1, handler
+	svc	9		; IDT[2] = handler
+	ldi	r0, 1
+	svc	10		; enable interrupts
+spin:
+	jmp	spin
+
+handler:
+	push	r1
+	ldi	r1, count
+	load	r0, [r1]
+	addi	r0, 1
+	store	r0, [r1]
+	pop	r1
+	ret
+
+count:	.word 0
+stack:	.space 64
+`
+
+func TestInterruptDelivery(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	region := r.loadPAL(t, interruptPAL)
+	// Run until preempted (the PAL spins forever).
+	reason, err := r.cpu.Run(200)
+	if err != nil || reason != StopPreempted {
+		t.Fatalf("%v %v", reason, err)
+	}
+	// Deliver three interrupts, resuming between them.
+	for i := 0; i < 3; i++ {
+		if err := r.cpu.DeliverInterrupt(2); err != nil {
+			t.Fatal(err)
+		}
+		if reason, err := r.cpu.Run(200); err != nil || reason != StopPreempted {
+			t.Fatalf("resume %d: %v %v", i, reason, err)
+		}
+	}
+	// The counter in PAL memory reflects every delivery.
+	countAddr := findWordAfterHandler(t, r, region.Size)
+	v, err := r.cpu.ReadWord(countAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("count = %d, want 3", v)
+	}
+}
+
+// findWordAfterHandler locates the count word: it sits right before the
+// 64-byte stack at the image end.
+func findWordAfterHandler(t *testing.T, r *rig, regionSize int) uint32 {
+	t.Helper()
+	return uint32(regionSize - 64 - 4)
+}
+
+func TestInterruptMaskedDropped(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		ldi	r0, 2
+		ldi	r1, 28	; any in-region offset
+		svc	9
+	spin:	jmp	spin
+	stack:	.space 32
+	`)
+	// Interrupts never enabled: delivery is refused.
+	if reason, _ := r.cpu.Run(100); reason != StopPreempted {
+		t.Fatal("PAL did not preempt")
+	}
+	if err := r.cpu.DeliverInterrupt(2); !errors.Is(err, ErrIntrMasked) {
+		t.Fatalf("masked delivery: %v", err)
+	}
+}
+
+func TestInterruptUnhandledVector(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		ldi	r0, 1
+		svc	10	; enable, but no handlers registered
+	spin:	jmp	spin
+	stack:	.space 32
+	`)
+	r.cpu.Run(100)
+	if err := r.cpu.DeliverInterrupt(3); !errors.Is(err, ErrIntrUnhandled) {
+		t.Fatalf("unhandled vector: %v", err)
+	}
+	if err := r.cpu.DeliverInterrupt(99); !errors.Is(err, ErrBadVector) {
+		t.Fatalf("bad vector: %v", err)
+	}
+	if err := r.cpu.DeliverInterrupt(-1); !errors.Is(err, ErrBadVector) {
+		t.Fatalf("negative vector: %v", err)
+	}
+}
+
+func TestSetIDTValidation(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	// Vector out of range faults the PAL.
+	r.loadPAL(t, `
+		ldi	r0, 99
+		ldi	r1, 4
+		svc	9
+		halt
+	`)
+	if reason, err := r.cpu.Run(0); reason != StopFault || err == nil {
+		t.Fatalf("bad vector accepted: %v %v", reason, err)
+	}
+	// Handler outside the region faults too.
+	r2 := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r2.loadPAL(t, `
+		ldi	r0, 1
+		ldi	r1, 0xff00
+		svc	9
+		halt
+	`)
+	if reason, err := r2.cpu.Run(0); reason != StopFault || err == nil {
+		t.Fatalf("out-of-region handler accepted: %v %v", reason, err)
+	}
+}
+
+func TestIDTClearedOnReset(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	r.loadPAL(t, `
+		ldi	r0, 1
+		ldi	r1, 16
+		svc	9
+		ldi	r0, 1
+		svc	10
+		halt
+	nop
+	stack:	.space 32
+	`)
+	if _, err := r.cpu.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := r.cpu.IDTEntry(1); h == 0 {
+		t.Fatal("IDT entry not set")
+	}
+	r.cpu.Reset()
+	if h, _ := r.cpu.IDTEntry(1); h != 0 {
+		t.Fatal("IDT survived reset — one PAL's handlers leaked to the next")
+	}
+	if _, err := r.cpu.IDTEntry(99); !errors.Is(err, ErrBadVector) {
+		t.Fatalf("IDTEntry(99): %v", err)
+	}
+}
+
+func TestInterruptConfigSurvivesSuspendResume(t *testing.T) {
+	r := newRig(t, ParamsAMDdc5750(), lpc.FullSpeed(), false)
+	region := r.loadPAL(t, interruptPAL)
+	r.cpu.Run(200)
+	saved := r.cpu.SaveState()
+	r.cpu.ClearMicroarchState()
+	if r.cpu.IntrEnabled {
+		t.Fatal("interrupt enable leaked through microarch clear")
+	}
+	// Resume: interrupt config restored with the architectural state.
+	r.cpu.Reset()
+	r.cpu.EnterRegion(region, 4)
+	r.cpu.LoadState(saved)
+	if !r.cpu.IntrEnabled {
+		t.Fatal("interrupt enable not restored")
+	}
+	if err := r.cpu.DeliverInterrupt(2); err != nil {
+		t.Fatalf("delivery after resume: %v", err)
+	}
+}

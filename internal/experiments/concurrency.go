@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"minimaltcb/internal/osker"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/platform"
+	"minimaltcb/internal/sea"
+	"minimaltcb/internal/sksm"
+)
+
+// ConcurrencyPoint is one sweep point: with `PALs` secure jobs to run,
+// what share of the platform's CPU-seconds remains for the legacy
+// workload under each architecture?
+type ConcurrencyPoint struct {
+	PALs int
+	// LegacyShareSEA is 1 - stalled/total under SKINIT-based SEA, where
+	// every PAL slice halts every core.
+	LegacyShareSEA float64
+	// LegacyShareRec is the same under SLAUNCH, where a PAL occupies a
+	// single core.
+	LegacyShareRec float64
+	// WallSEA and WallRec are the virtual times to finish all PAL work.
+	WallSEA, WallRec time.Duration
+	// JobsSEA and JobsRec are how many legacy jobs (10 ms of CPU each)
+	// completed in the idle CPU time each architecture left while the
+	// same secure work ran — the user-visible cost of whole-platform
+	// stalls.
+	JobsSEA, JobsRec int64
+}
+
+// legacyJobCost is the CPU time of one modeled legacy job.
+const legacyJobCost = 10 * time.Millisecond
+
+// concurrencyPALSource is the secure job used by the sweep: S slices of
+// compute with yields between them — under SEA each slice is a full
+// session whose state crosses via seal/unseal; under SLAUNCH the yields
+// are hardware context switches.
+const concurrencySlices = 4
+
+// seaSliceSource is one slice as a standalone SEA PAL: unseal state (or
+// start fresh), burn compute, reseal.
+const seaSliceSource = `
+	ldi	r0, blob
+	ldi	r1, 2048
+	svc	7		; input previous blob (may be empty)
+	ldi	r2, 0
+	cmp	r0, r2
+	jz	fresh		; no prior state
+	mov	r1, r0
+	ldi	r0, blob
+	ldi	r2, data
+	svc	4		; unseal
+fresh:
+	ldi	r3, 0
+	ldi	r4, 2000
+burn:	addi	r3, 1
+	cmp	r3, r4
+	jnz	burn
+	ldi	r0, data
+	ldi	r1, 64
+	ldi	r2, blob
+	svc	3		; reseal state
+	mov	r1, r0
+	ldi	r0, blob
+	svc	6
+	ldi	r0, 0
+	svc	0
+data:	.space 64
+blob:	.space 2048
+stack:	.space 64
+`
+
+// recJobSource is the same job as one resumable PAL: identical compute per
+// slice, SYIELD between slices, no sealing needed.
+const recJobSource = `
+	ldi	r5, 0		; slice counter
+slice:
+	ldi	r3, 0
+	ldi	r4, 2000
+burn:	addi	r3, 1
+	cmp	r3, r4
+	jnz	burn
+	addi	r5, 1
+	ldi	r6, 4
+	cmp	r5, r6
+	jz	done
+	svc	1		; yield between slices
+	jmp	slice
+done:
+	ldi	r0, 0
+	svc	0
+stack:	.space 64
+`
+
+// Concurrency sweeps the number of concurrent secure jobs and reports the
+// legacy workload's share of the platform under both architectures — the
+// experiment behind §4.2's "most of the computer's processing power and
+// responsiveness vanish" and §5's Figure 4 goal.
+func Concurrency(cfg Config, palCounts []int) ([]ConcurrencyPoint, error) {
+	cfg = cfg.withDefaults()
+	if len(palCounts) == 0 {
+		palCounts = []int{1, 2, 4, 8}
+	}
+	var out []ConcurrencyPoint
+	for _, k := range palCounts {
+		pt, err := concurrencyPoint(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *pt)
+	}
+	return out, nil
+}
+
+func concurrencyPoint(cfg Config, k int) (*ConcurrencyPoint, error) {
+	pt := &ConcurrencyPoint{PALs: k}
+
+	// --- SEA: every slice of every job is a full whole-platform session.
+	p := platform.HPdc5750()
+	p.NumCPUs = 4
+	p.KeyBits = cfg.KeyBits
+	p.Seed = cfg.Seed
+	m, err := platform.New(p)
+	if err != nil {
+		return nil, err
+	}
+	kern := osker.NewKernel(m)
+	rt := sea.NewRuntime(kern)
+	sliceImage := pal.MustBuild(seaSliceSource)
+	blobs := make([][]byte, k)
+	for slice := 0; slice < concurrencySlices; slice++ {
+		for job := 0; job < k; job++ {
+			s, err := rt.Execute(sliceImage, blobs[job])
+			if err != nil {
+				return nil, err
+			}
+			if s.ExitStatus != 0 {
+				return nil, fmt.Errorf("concurrency: SEA slice exited %d", s.ExitStatus)
+			}
+			blobs[job] = s.Output
+		}
+	}
+	pt.WallSEA = m.Clock.Now()
+	pt.LegacyShareSEA = legacyShare(m)
+	pt.JobsSEA = osker.LegacyWorkload{JobCost: legacyJobCost}.JobsCompleted(kern)
+
+	// --- Recommended: one SECB per job, scheduled across PAL cores.
+	rp := platform.Recommended(platform.HPdc5750(), k)
+	rp.NumCPUs = 4
+	rp.KeyBits = cfg.KeyBits
+	rp.Seed = cfg.Seed
+	rm, err := platform.New(rp)
+	if err != nil {
+		return nil, err
+	}
+	rkern := osker.NewKernel(rm)
+	mg, err := sksm.NewManager(rkern)
+	if err != nil {
+		return nil, err
+	}
+	sch := sksm.NewScheduler(mg)
+	jobImage := pal.MustBuild(recJobSource)
+	var secbs []*sksm.SECB
+	for job := 0; job < k; job++ {
+		s, err := mg.NewSECB(jobImage, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		secbs = append(secbs, s)
+	}
+	faults, err := sch.RunConcurrently(secbs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(faults) != 0 {
+		return nil, fmt.Errorf("concurrency: PAL faults %v", faults)
+	}
+	pt.WallRec = rm.Clock.Now()
+	pt.LegacyShareRec = legacyShare(rm)
+	pt.JobsRec = osker.LegacyWorkload{JobCost: legacyJobCost}.JobsCompleted(rkern)
+	return pt, nil
+}
+
+// legacyShare computes the fraction of platform CPU-seconds not consumed
+// (stalled or occupied) by secure execution over the elapsed horizon.
+func legacyShare(m *platform.Machine) float64 {
+	horizon := m.Clock.Now()
+	if horizon == 0 {
+		return 1
+	}
+	var busy time.Duration
+	for _, c := range m.CPUs {
+		busy += c.Timeline.Busy
+	}
+	total := time.Duration(len(m.CPUs)) * horizon
+	share := 1 - float64(busy)/float64(total)
+	if share < 0 {
+		return 0
+	}
+	return share
+}
+
+// RenderConcurrency writes the sweep as a table.
+func RenderConcurrency(w io.Writer, pts []ConcurrencyPoint) {
+	fmt.Fprintln(w, "Concurrency: legacy capacity while secure jobs run (4-core dc5750, 10 ms legacy jobs)")
+	fmt.Fprintf(w, "%6s %18s %18s %14s %14s %10s %10s\n",
+		"PALs", "legacy share SEA", "legacy share rec.", "wall SEA", "wall rec.",
+		"jobs SEA", "jobs rec.")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%6d %17.1f%% %17.1f%% %11s ms %11s ms %10d %10d\n",
+			p.PALs, 100*p.LegacyShareSEA, 100*p.LegacyShareRec,
+			fmtMS(p.WallSEA), fmtMS(p.WallRec), p.JobsSEA, p.JobsRec)
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters: every experiment can also render as machine-readable
+// rows for plotting, one file/section per artefact. All durations are in
+// milliseconds except Table 2 and the impact comparison's recommended
+// path, which use microseconds (matching the paper's units).
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// CSVTable1 emits machine,size_kb,latency_ms rows.
+func CSVTable1(out io.Writer, rows []Table1Row) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"machine", "tpm", "pal_kb", "latency_ms"}}
+	for _, r := range rows {
+		for _, size := range Table1Sizes {
+			recs = append(recs, []string{
+				r.Config, strconv.FormatBool(r.HasTPM),
+				strconv.Itoa(size / 1024), f(ms(r.Avg[size])),
+			})
+		}
+	}
+	return writeAll(w, recs)
+}
+
+// CSVFigure2 emits flow,phase,latency_ms rows plus totals.
+func CSVFigure2(out io.Writer, bars []Figure2Bar) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"flow", "phase", "latency_ms"}}
+	for _, b := range bars {
+		for _, ph := range figure2PhaseOrder {
+			if d, ok := b.Phases[ph]; ok && d > 0 {
+				recs = append(recs, []string{b.Name, ph, f(ms(d))})
+			}
+		}
+		recs = append(recs, []string{b.Name, "total", f(ms(b.Total))})
+	}
+	return writeAll(w, recs)
+}
+
+// CSVFigure3 emits tpm,operation,mean_ms,stdev_ms rows.
+func CSVFigure3(out io.Writer, rows []Figure3Row) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"tpm", "operation", "mean_ms", "stdev_ms"}}
+	for _, r := range rows {
+		for _, op := range Figure3Ops {
+			c := r.Cells[op]
+			recs = append(recs, []string{r.TPM, op, f(ms(c.Mean)), f(ms(c.Stdev))})
+		}
+	}
+	return writeAll(w, recs)
+}
+
+// CSVTable2 emits platform,operation,mean_us,stdev_us rows.
+func CSVTable2(out io.Writer, rows []Table2Row) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"platform", "operation", "mean_us", "stdev_us"}}
+	for _, r := range rows {
+		recs = append(recs,
+			[]string{r.Platform, "vm_enter", f(us(r.EnterAvg)), f(us(r.EnterStd))},
+			[]string{r.Platform, "vm_exit", f(us(r.ExitAvg)), f(us(r.ExitStd))})
+	}
+	return writeAll(w, recs)
+}
+
+// CSVImpact emits the §5.7 comparison.
+func CSVImpact(out io.Writer, r *ImpactResult) error {
+	w := csv.NewWriter(out)
+	return writeAll(w, [][]string{
+		{"path", "value", "unit"},
+		{"legacy_switch_in", f(ms(r.LegacySwitchIn)), "ms"},
+		{"legacy_switch_out", f(ms(r.LegacySwitchOut)), "ms"},
+		{"legacy_round_trip", f(ms(r.LegacyRoundTrip)), "ms"},
+		{"recommended_switch_in", f(us(r.RecommendedSwitchIn)), "us"},
+		{"recommended_switch_out", f(us(r.RecommendedSwitchOut)), "us"},
+		{"recommended_round_trip", f(us(r.RecommendedRoundTrip)), "us"},
+		{"speedup", f(r.Speedup), "x"},
+		{"orders_of_magnitude", f(r.OrdersOfMagnitude), "log10"},
+	})
+}
+
+// CSVConcurrency emits the sweep.
+func CSVConcurrency(out io.Writer, pts []ConcurrencyPoint) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"pals", "legacy_share_sea", "legacy_share_rec",
+		"wall_sea_ms", "wall_rec_ms", "jobs_sea", "jobs_rec"}}
+	for _, p := range pts {
+		recs = append(recs, []string{
+			strconv.Itoa(p.PALs), f(p.LegacyShareSEA), f(p.LegacyShareRec),
+			f(ms(p.WallSEA)), f(ms(p.WallRec)),
+			strconv.FormatInt(p.JobsSEA, 10), strconv.FormatInt(p.JobsRec, 10),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// CSVHashLocation emits the AMD/Intel crossover sweep.
+func CSVHashLocation(out io.Writer, pts []HashLocationPoint) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"pal_kb", "amd_ms", "intel_ms"}}
+	for _, p := range pts {
+		recs = append(recs, []string{
+			strconv.Itoa(p.Size / 1024), f(ms(p.AMD)), f(ms(p.Intel)),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteAllCSV runs every experiment and writes one labelled CSV section
+// per artefact — the single-call export cmd/seabench -format csv uses.
+func WriteAllCSV(out io.Writer, cfg Config) error {
+	section := func(name string) { fmt.Fprintf(out, "# %s\n", name) }
+
+	section("table1")
+	t1, err := Table1(cfg)
+	if err != nil {
+		return err
+	}
+	if err := CSVTable1(out, t1); err != nil {
+		return err
+	}
+
+	section("figure2")
+	f2, err := Figure2(cfg)
+	if err != nil {
+		return err
+	}
+	if err := CSVFigure2(out, f2); err != nil {
+		return err
+	}
+
+	section("figure3")
+	f3, err := Figure3(cfg)
+	if err != nil {
+		return err
+	}
+	if err := CSVFigure3(out, f3); err != nil {
+		return err
+	}
+
+	section("table2")
+	t2, err := Table2(cfg)
+	if err != nil {
+		return err
+	}
+	if err := CSVTable2(out, t2); err != nil {
+		return err
+	}
+
+	section("impact")
+	imp, err := Impact(cfg)
+	if err != nil {
+		return err
+	}
+	if err := CSVImpact(out, imp); err != nil {
+		return err
+	}
+
+	section("concurrency")
+	conc, err := Concurrency(cfg, nil)
+	if err != nil {
+		return err
+	}
+	if err := CSVConcurrency(out, conc); err != nil {
+		return err
+	}
+
+	section("hash_location")
+	hl, err := AblationHashLocation(cfg, nil)
+	if err != nil {
+		return err
+	}
+	return CSVHashLocation(out, hl)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestCSVTable1WellFormed(t *testing.T) {
+	rows, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := CSVTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 3 machines × 6 sizes.
+	if len(recs) != 1+3*len(Table1Sizes) {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "machine" || recs[0][3] != "latency_ms" {
+		t.Fatalf("header %v", recs[0])
+	}
+	for _, r := range recs[1:] {
+		if len(r) != 4 {
+			t.Fatalf("row width %d", len(r))
+		}
+	}
+}
+
+func TestCSVFigure3WellFormed(t *testing.T) {
+	rows, err := Figure3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := CSVFigure3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+4*len(Figure3Ops) {
+		t.Fatalf("%d records", len(recs))
+	}
+}
+
+func TestWriteAllCSVSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllCSV(&buf, Quick()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{
+		"# table1", "# figure2", "# figure3", "# table2",
+		"# impact", "# concurrency", "# hash_location",
+	} {
+		if !strings.Contains(out, section+"\n") {
+			t.Errorf("missing section %q", section)
+		}
+	}
+	// Spot-check a calibrated value appears (four-decimal CSV format).
+	if !strings.Contains(out, "177.519") {
+		t.Error("Table 1's 177.52 ms missing from CSV")
+	}
+}

@@ -1,0 +1,56 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each experiment
+// returns structured results and can render itself as text in the paper's
+// layout; cmd/seabench is a thin wrapper, and bench_test.go at the module
+// root wraps each experiment in a testing.B benchmark.
+//
+// All results are in *virtual* time: the simulator charges calibrated
+// hardware latencies to a virtual clock (see internal/sim), so regenerated
+// numbers are directly comparable to the paper's tables regardless of the
+// host machine.
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Trials is the number of repetitions per data point. The paper uses
+	// 100 for Figure 2 and 20 for Figure 3/Table 2.
+	Trials int
+	// KeyBits sizes the RSA keys of simulated TPMs. Experiments default
+	// to 1024 for speed: modeled latencies come from the vendor timing
+	// profiles, not from the host's RSA throughput, so key size does not
+	// affect any reported number.
+	KeyBits int
+	// Seed drives simulation randomness (TPM jitter, GetRandom).
+	Seed uint64
+}
+
+// Default returns the configuration used for the committed EXPERIMENTS.md
+// numbers.
+func Default() Config { return Config{Trials: 20, KeyBits: 1024, Seed: 42} }
+
+// Quick returns a reduced-trials configuration for smoke tests.
+func Quick() Config { return Config{Trials: 3, KeyBits: 1024, Seed: 42} }
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 20
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = 1024
+	}
+	return c
+}
+
+// ms renders a duration as fractional milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// us renders a duration as fractional microseconds.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// fmtMS formats a duration like the paper's tables (two decimals, ms).
+func fmtMS(d time.Duration) string { return fmt.Sprintf("%.2f", ms(d)) }

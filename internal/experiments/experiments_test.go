@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// within asserts got is within frac of want.
+func within(t *testing.T, name string, got, want, frac float64) {
+	t.Helper()
+	lo, hi := want*(1-frac), want*(1+frac)
+	if want < 0 {
+		lo, hi = hi, lo
+	}
+	if got < lo || got > hi {
+		t.Errorf("%s = %.3f, want %.3f ± %.0f%%", name, got, want, frac*100)
+	}
+}
+
+func TestTable1ReproducesPaper(t *testing.T) {
+	rows, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Paper's Table 1, in ms.
+	want := map[string]map[int]float64{
+		rows[0].Config: {0: 0.005, 4096: 11.94, 8192: 22.98, 16384: 45.05, 32768: 89.21, 65536: 177.52},
+		rows[1].Config: {0: 0.005, 4096: 0.56, 8192: 1.11, 16384: 2.21, 32768: 4.41, 65536: 8.82},
+		rows[2].Config: {0: 26.39, 4096: 26.88, 8192: 27.38, 16384: 28.37, 32768: 30.46, 65536: 34.35},
+	}
+	for _, r := range rows {
+		for size, wantMS := range want[r.Config] {
+			gotMS := ms(r.Avg[size])
+			if size == 0 {
+				// "0.00"/"0.01"-class: must be under 30 ms on Intel,
+				// under 0.1 ms on AMD.
+				if wantMS < 1 && gotMS > 0.1 {
+					t.Errorf("%s @0KB = %.3f ms, want ~0", r.Config, gotMS)
+				}
+				if wantMS > 1 {
+					within(t, r.Config+"@0KB", gotMS, wantMS, 0.02)
+				}
+				continue
+			}
+			within(t, r.Config+"@"+string(rune('0'+size/16384)), gotMS, wantMS, 0.02)
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	rows, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderTable1(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "177.52", "8.82", "34.35", "64KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2ReproducesPaper(t *testing.T) {
+	bars, err := Figure2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 3 {
+		t.Fatalf("%d bars", len(bars))
+	}
+	gen, quote, use := bars[0], bars[1], bars[2]
+	// PAL Gen ≈ 200 ms (SKINIT 177.5 + Seal ~20).
+	within(t, "PAL Gen total", ms(gen.Total), 199, 0.05)
+	within(t, "PAL Gen SKINIT", ms(gen.Phases["SKINIT"]), 177.5, 0.03)
+	within(t, "PAL Gen Seal", ms(gen.Phases["Seal"]), 20, 0.25)
+	// Quote ≈ 949 ms.
+	within(t, "Quote", ms(quote.Total), 949, 0.03)
+	// PAL Use > 1 s: SKINIT + Unseal (~905) + Seal.
+	if ms(use.Total) < 1000 {
+		t.Errorf("PAL Use total = %.1f ms, want > 1000", ms(use.Total))
+	}
+	within(t, "PAL Use Unseal", ms(use.Phases["Unseal"]), 905, 0.03)
+}
+
+func TestFigure3ReproducesPaper(t *testing.T) {
+	rows, err := Figure3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]Figure3Row{}
+	for _, r := range rows {
+		byName[r.TPM] = r
+	}
+	broadcom := byName["Broadcom (HP dc5750)"]
+	infineon := byName["Infineon (AMD workstation)"]
+	// Text anchors.
+	within(t, "Broadcom Seal", ms(broadcom.Cells["Seal"].Mean), 20.01, 0.2)
+	within(t, "Infineon Unseal", ms(infineon.Cells["Unseal"].Mean), 390.98, 0.05)
+	// Broadcom slowest Quote and Unseal.
+	for name, r := range byName {
+		if name == broadcom.TPM {
+			continue
+		}
+		if r.Cells["Quote"].Mean >= broadcom.Cells["Quote"].Mean {
+			t.Errorf("%s Quote >= Broadcom", name)
+		}
+		if r.Cells["Unseal"].Mean >= broadcom.Cells["Unseal"].Mean {
+			t.Errorf("%s Unseal >= Broadcom", name)
+		}
+	}
+	// The combined Quote+Unseal delta the paper quotes: 1132 ms.
+	delta := ms(broadcom.Cells["Quote"].Mean+broadcom.Cells["Unseal"].Mean) -
+		ms(infineon.Cells["Quote"].Mean+infineon.Cells["Unseal"].Mean)
+	within(t, "Quote+Unseal delta", delta, 1132, 0.05)
+}
+
+func TestTable2ReproducesPaper(t *testing.T) {
+	rows, err := Table2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	amd, intel := rows[0], rows[1]
+	within(t, "AMD VM enter", us(amd.EnterAvg), 0.558, 0.01)
+	within(t, "AMD VM exit", us(amd.ExitAvg), 0.519, 0.01)
+	within(t, "Intel VM enter", us(intel.EnterAvg), 0.446, 0.01)
+	within(t, "Intel VM exit", us(intel.ExitAvg), 0.449, 0.01)
+}
+
+func TestImpactSixOrdersOfMagnitude(t *testing.T) {
+	r, err := Impact(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Today: over a second for the in-switch (SKINIT+Unseal ≈ 1082 ms).
+	if ms(r.LegacyRoundTrip) < 1000 {
+		t.Errorf("legacy round trip %.1f ms, want > 1000", ms(r.LegacyRoundTrip))
+	}
+	// Recommended: microseconds.
+	if r.RecommendedRoundTrip > 10*time.Microsecond {
+		t.Errorf("recommended round trip %v, want < 10µs", r.RecommendedRoundTrip)
+	}
+	// Five-to-six orders of magnitude.
+	if r.OrdersOfMagnitude < 5 || r.OrdersOfMagnitude > 7 {
+		t.Errorf("improvement = %.2f orders of magnitude, want ≈6", r.OrdersOfMagnitude)
+	}
+}
+
+func TestConcurrencyRecommendedWins(t *testing.T) {
+	pts, err := Concurrency(Quick(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		// SEA stalls the whole platform; legacy share near zero.
+		if p.LegacyShareSEA > 0.2 {
+			t.Errorf("PALs=%d: SEA legacy share %.2f, want ~0", p.PALs, p.LegacyShareSEA)
+		}
+		// Recommended leaves most of the 4-core machine available.
+		if p.LegacyShareRec < 0.5 {
+			t.Errorf("PALs=%d: recommended legacy share %.2f, want > 0.5", p.PALs, p.LegacyShareRec)
+		}
+		// And finishes the same secure work orders of magnitude sooner.
+		if p.WallRec*100 > p.WallSEA {
+			t.Errorf("PALs=%d: wall rec %v vs SEA %v — expected >100x gap", p.PALs, p.WallRec, p.WallSEA)
+		}
+		// Legacy jobs: SEA's whole-platform stall leaves ~none; the
+		// recommended architecture completes some on the free cores
+		// whenever the horizon spans at least one job.
+		if p.JobsSEA > p.JobsRec {
+			t.Errorf("PALs=%d: SEA completed more legacy jobs (%d) than recommended (%d)",
+				p.PALs, p.JobsSEA, p.JobsRec)
+		}
+	}
+}
+
+func TestAblationHashLocationCrossover(t *testing.T) {
+	pts, err := AblationHashLocation(Quick(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AMD wins at 4 KB; Intel wins at 64 KB; crossover in between.
+	first, last := pts[0], pts[len(pts)-1]
+	if first.AMD >= first.Intel {
+		t.Error("AMD should win at the smallest size")
+	}
+	if last.Intel >= last.AMD {
+		t.Error("Intel should win at the largest size")
+	}
+	crossed := false
+	for _, p := range pts {
+		if p.Intel < p.AMD {
+			crossed = true
+			// Crossover must fall in the 8–12 KB band (paper: ACMod
+			// ≈ 10 KB of AMD-equivalent transfer).
+			if p.Size < 8<<10 || p.Size > 12<<10 {
+				t.Errorf("crossover at %d KB, want 8–12 KB", p.Size/1024)
+			}
+			break
+		}
+	}
+	if !crossed {
+		t.Error("no crossover found")
+	}
+}
+
+func TestAblationTPMWait(t *testing.T) {
+	r, err := AblationTPMWait(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "long-wait launch", ms(r.LongWait), 177.52, 0.02)
+	within(t, "full-speed launch", ms(r.FullSpeed), 8.82, 0.02)
+	within(t, "wait factor", r.Factor, 20.1, 0.05)
+}
+
+func TestAblationSePCRCount(t *testing.T) {
+	pts, err := AblationSePCRCount(Quick(), 8, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		wantAdmitted := p.SePCRs
+		if wantAdmitted > p.Offered {
+			wantAdmitted = p.Offered
+		}
+		if p.Admitted != wantAdmitted {
+			t.Errorf("sePCRs=%d: admitted %d, want %d", p.SePCRs, p.Admitted, wantAdmitted)
+		}
+		if p.Admitted+p.Rejected != p.Offered {
+			t.Errorf("sePCRs=%d: admitted+rejected != offered", p.SePCRs)
+		}
+	}
+}
+
+func TestAblationQuantum(t *testing.T) {
+	pts, err := AblationQuantum(Quick(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller quanta -> more slices; run-to-end -> exactly one slice.
+	for i := 1; i < len(pts)-1; i++ {
+		if pts[i].Slices > pts[i-1].Slices {
+			t.Errorf("slices increased with quantum: %v", pts)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Quantum != 0 || last.Slices != 1 {
+		t.Errorf("run-to-end point: %+v", last)
+	}
+	if pts[0].Overhead <= last.Overhead {
+		t.Error("context-switch overhead should fall with larger quanta")
+	}
+}
+
+func TestAblationSealPayload(t *testing.T) {
+	pts, err := AblationSealPayload(Quick(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Latency <= pts[i-1].Latency {
+			t.Errorf("seal latency not increasing with payload: %v", pts)
+		}
+	}
+	// Anchors: ~11.4 ms at 0 B, ~20 ms at 1 KB.
+	within(t, "seal 0B", ms(pts[0].Latency), 11.39, 0.2)
+	within(t, "seal 1KB", ms(pts[2].Latency), 20.01, 0.2)
+}
+
+func TestAblationCrossPlatform(t *testing.T) {
+	rows, err := AblationFigure2CrossPlatform(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]CrossPlatformRow{}
+	for _, r := range rows {
+		byName[r.Machine] = r
+		// Every machine: PAL Use is the most expensive flow, since it
+		// stacks Unseal on top of launch and Seal.
+		if r.PALUse <= r.PALGen {
+			t.Errorf("%s: PAL Use (%v) not above PAL Gen (%v)", r.Machine, r.PALUse, r.PALGen)
+		}
+	}
+	// The vendor spread propagates: the Infineon machine has the cheapest
+	// Quote and PAL Use (fastest Quote/Unseal), the Broadcom the dearest.
+	infineon := byName["AMD workstation (Infineon TPM)"]
+	broadcom := byName["HP dc5750 (AMD + Broadcom TPM)"]
+	if infineon.Quote >= broadcom.Quote {
+		t.Error("Infineon Quote not cheaper than Broadcom's")
+	}
+	if infineon.PALUse >= broadcom.PALUse {
+		t.Error("Infineon PAL Use not cheaper than Broadcom's")
+	}
+	// But the Broadcom wins PAL Gen (fastest Seal).
+	if broadcom.PALGen >= infineon.PALGen {
+		t.Error("Broadcom PAL Gen not cheaper than Infineon's")
+	}
+}
+
+func TestAblationTwoStage(t *testing.T) {
+	pts, err := AblationTwoStageAMD(Quick(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footnote 4's claim: two-stage wins for large PALs (the loader
+	// overhead amortizes), and the win grows with size.
+	last := pts[len(pts)-1]
+	if last.TwoStage >= last.SingleStage {
+		t.Errorf("two-stage not faster at %d KB: %v vs %v",
+			last.TotalSize/1024, last.TwoStage, last.SingleStage)
+	}
+	speedup := float64(last.SingleStage) / float64(last.TwoStage)
+	if speedup < 3 || speedup > 6 {
+		t.Errorf("64 KB speedup %.1fx, want ≈4x", speedup)
+	}
+	// Small PALs: the extra TPM_Extend makes two-stage a loss at 8 KB.
+	first := pts[0]
+	if first.TwoStage <= first.SingleStage {
+		t.Errorf("two-stage should lose at %d KB", first.TotalSize/1024)
+	}
+	// Bad input validation.
+	if _, err := AblationTwoStageAMD(Quick(), []int{1 << 10}); err == nil {
+		t.Error("size below the loader accepted")
+	}
+}
+
+func TestTCBSizes(t *testing.T) {
+	c := TCBSizes()
+	if c.Ratio < 50 {
+		t.Fatalf("trusted-boot TCB only %.1fx a PAL — motivation evaporated", c.Ratio)
+	}
+	if c.Components < 10 || c.PALBytes != 64<<10 {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestRendersDoNotPanic(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Quick()
+	if bars, err := Figure2(cfg); err == nil {
+		RenderFigure2(&buf, bars)
+	}
+	if rows, err := Figure3(cfg); err == nil {
+		RenderFigure3(&buf, rows)
+	}
+	if rows, err := Table2(cfg); err == nil {
+		RenderTable2(&buf, rows)
+	}
+	if r, err := Impact(cfg); err == nil {
+		RenderImpact(&buf, r)
+	}
+	if pts, err := Concurrency(cfg, []int{1}); err == nil {
+		RenderConcurrency(&buf, pts)
+	}
+	if pts, err := AblationHashLocation(cfg, []int{4096, 65536}); err == nil {
+		RenderHashLocation(&buf, pts)
+	}
+	if r, err := AblationTPMWait(cfg); err == nil {
+		RenderTPMWait(&buf, r)
+	}
+	if pts, err := AblationSePCRCount(cfg, 4, []int{2}); err == nil {
+		RenderSePCRCount(&buf, pts)
+	}
+	if pts, err := AblationQuantum(cfg, nil); err == nil {
+		RenderQuantum(&buf, pts)
+	}
+	if pts, err := AblationSealPayload(cfg, nil); err == nil {
+		RenderSealPayload(&buf, pts)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no render output")
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"minimaltcb/internal/osker"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/platform"
+	"minimaltcb/internal/sea"
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/sksm"
+)
+
+// ImpactResult is §5.7's headline comparison: the cost of protecting PAL
+// state across a context switch on today's hardware (TPM seal/unseal plus
+// a fresh late launch) versus on recommended hardware (SECB save/restore
+// at world-switch cost).
+type ImpactResult struct {
+	// LegacySwitchOut is the seal-based suspend (Seal of PAL state).
+	LegacySwitchOut time.Duration
+	// LegacySwitchIn is the resume: SKINIT of the 64 KB PAL + Unseal.
+	LegacySwitchIn time.Duration
+	// LegacyRoundTrip is out + in.
+	LegacyRoundTrip time.Duration
+	// RecommendedSwitchOut is the SYIELD/suspend path (VM-exit cost).
+	RecommendedSwitchOut time.Duration
+	// RecommendedSwitchIn is the SLAUNCH resume (VM-enter cost).
+	RecommendedSwitchIn time.Duration
+	// RecommendedRoundTrip is out + in.
+	RecommendedRoundTrip time.Duration
+	// Speedup is LegacyRoundTrip / RecommendedRoundTrip.
+	Speedup float64
+	// OrdersOfMagnitude is log10(Speedup); the paper claims six.
+	OrdersOfMagnitude float64
+}
+
+// Impact measures §5.7 end to end on the HP dc5750: both switch paths are
+// actually executed, not computed from constants.
+func Impact(cfg Config) (*ImpactResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ImpactResult{}
+
+	// --- Legacy path: measure a real PAL Use resume and its seal-out.
+	p := platform.HPdc5750()
+	p.KeyBits = cfg.KeyBits
+	p.Seed = cfg.Seed
+	m, err := platform.New(p)
+	if err != nil {
+		return nil, err
+	}
+	rt := sea.NewRuntime(osker.NewKernel(m))
+	useImage := sea.BuildPALUse(true)
+	prior, err := rt.SealForImage(useImage, make([]byte, sea.GenPayload))
+	if err != nil {
+		return nil, err
+	}
+	s, err := rt.RunPALUse(prior, true)
+	if err != nil {
+		return nil, err
+	}
+	res.LegacySwitchIn = s.Breakdown[sea.PhaseLaunch] + s.Breakdown[sea.PhaseUnseal]
+	res.LegacySwitchOut = s.Breakdown[sea.PhaseSeal]
+	res.LegacyRoundTrip = res.LegacySwitchIn + res.LegacySwitchOut
+
+	// --- Recommended path: measure a real suspend/resume round trip.
+	rp := platform.Recommended(platform.HPdc5750(), 2)
+	rp.KeyBits = cfg.KeyBits
+	rp.Seed = cfg.Seed
+	rm, err := platform.New(rp)
+	if err != nil {
+		return nil, err
+	}
+	mg, err := sksm.NewManager(osker.NewKernel(rm))
+	if err != nil {
+		return nil, err
+	}
+	im := pal.MustBuild(`
+		svc 1
+		svc 1
+		ldi r0, 0
+		svc 0
+	`)
+	secb, err := mg.NewSECB(im, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	core := rm.CPUs[1]
+	// First slice: launch (measured separately, not a context switch).
+	if _, err := mg.RunSlice(core, secb); err != nil {
+		return nil, err
+	}
+	// Second slice: resume + yield = one full round trip.
+	sw := sim.StartStopwatch(rm.Clock)
+	if _, err := mg.RunSlice(core, secb); err != nil {
+		return nil, err
+	}
+	roundTrip := sw.Elapsed()
+	res.RecommendedSwitchIn = core.Params.VMEnter
+	res.RecommendedSwitchOut = core.Params.VMExit
+	res.RecommendedRoundTrip = roundTrip
+
+	res.Speedup = float64(res.LegacyRoundTrip) / float64(res.RecommendedRoundTrip)
+	res.OrdersOfMagnitude = math.Log10(res.Speedup)
+	return res, nil
+}
+
+// RenderImpact writes the §5.7 comparison.
+func RenderImpact(w io.Writer, r *ImpactResult) {
+	fmt.Fprintln(w, "Section 5.7: PAL context-switch cost, today vs recommended hardware")
+	fmt.Fprintf(w, "%-34s %14s\n", "Path", "Cost")
+	fmt.Fprintf(w, "%-34s %11s ms\n", "Today: switch in (SKINIT+Unseal)", fmtMS(r.LegacySwitchIn))
+	fmt.Fprintf(w, "%-34s %11s ms\n", "Today: switch out (Seal)", fmtMS(r.LegacySwitchOut))
+	fmt.Fprintf(w, "%-34s %11s ms\n", "Today: round trip", fmtMS(r.LegacyRoundTrip))
+	fmt.Fprintf(w, "%-34s %11.4f µs\n", "Recommended: switch in (SLAUNCH)", us(r.RecommendedSwitchIn))
+	fmt.Fprintf(w, "%-34s %11.4f µs\n", "Recommended: switch out (SYIELD)", us(r.RecommendedSwitchOut))
+	fmt.Fprintf(w, "%-34s %11.4f µs\n", "Recommended: round trip", us(r.RecommendedRoundTrip))
+	fmt.Fprintf(w, "Speedup: %.0fx (%.1f orders of magnitude; the paper projects six)\n",
+		r.Speedup, r.OrdersOfMagnitude)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Check is one paper-vs-measured comparison of the verification report.
+type Check struct {
+	// Artefact names the table/figure; Metric the specific number.
+	Artefact, Metric string
+	// Paper is the published value; Measured the regenerated one; Unit
+	// the shared unit label.
+	Paper, Measured float64
+	Unit            string
+	// TolFrac is the acceptance band as a fraction of the paper value.
+	TolFrac float64
+	// OK reports whether Measured lies within the band.
+	OK bool
+}
+
+func check(artefact, metric string, paper, measured float64, unit string, tol float64) Check {
+	ok := math.Abs(measured-paper) <= paper*tol
+	if paper < 0.05 {
+		// "0.00"/"0.01 ms"-class rows are at the paper's measurement
+		// noise floor; accept anything under a tenth of the unit.
+		ok = math.Abs(measured) <= 0.1
+	}
+	return Check{Artefact: artefact, Metric: metric, Paper: paper,
+		Measured: measured, Unit: unit, TolFrac: tol, OK: ok}
+}
+
+// VerifyAll regenerates the evaluation and compares every number the paper
+// prints (and its headline claims) against the simulator, returning one
+// Check per comparison. It is the executable form of EXPERIMENTS.md.
+func VerifyAll(cfg Config) ([]Check, error) {
+	cfg = cfg.withDefaults()
+	var out []Check
+
+	// --- Table 1 ---
+	t1, err := Table1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	paperT1 := []struct {
+		row   int
+		wants map[int]float64
+	}{
+		{0, map[int]float64{0: 0, 4096: 11.94, 8192: 22.98, 16384: 45.05, 32768: 89.21, 65536: 177.52}},
+		{1, map[int]float64{0: 0.01, 4096: 0.56, 8192: 1.11, 16384: 2.21, 32768: 4.41, 65536: 8.82}},
+		{2, map[int]float64{0: 26.39, 4096: 26.88, 8192: 27.38, 16384: 28.37, 32768: 30.46, 65536: 34.35}},
+	}
+	for _, row := range paperT1 {
+		for _, size := range Table1Sizes {
+			out = append(out, check("Table 1", fmt.Sprintf("%s @%dKB", t1[row.row].Config, size/1024),
+				row.wants[size], ms(t1[row.row].Avg[size]), "ms", 0.02))
+		}
+	}
+
+	// --- Figure 2 ---
+	f2, err := Figure2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		check("Figure 2", "PAL Gen total (\"approximately 200 ms\")", 200, ms(f2[0].Total), "ms", 0.05),
+		check("Figure 2", "PAL Use total (\"over a second\")", 1100, ms(f2[2].Total), "ms", 0.10),
+		check("Figure 2", "PAL Use Unseal", 905, ms(f2[2].Phases["Unseal"]), "ms", 0.03),
+	)
+
+	// --- Figure 3 text anchors ---
+	f3, err := Figure3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]Figure3Row{}
+	for _, r := range f3 {
+		byName[r.TPM] = r
+	}
+	broadcom := byName["Broadcom (HP dc5750)"]
+	infineon := byName["Infineon (AMD workstation)"]
+	out = append(out,
+		check("Figure 3", "Broadcom Seal (1 KB)", 20.01, ms(broadcom.Cells["Seal"].Mean), "ms", 0.15),
+		check("Figure 3", "Infineon Unseal", 390.98, ms(infineon.Cells["Unseal"].Mean), "ms", 0.03),
+		check("Figure 3", "Broadcom-Infineon Quote+Unseal delta", 1132,
+			ms(broadcom.Cells["Quote"].Mean+broadcom.Cells["Unseal"].Mean)-
+				ms(infineon.Cells["Quote"].Mean+infineon.Cells["Unseal"].Mean), "ms", 0.03),
+	)
+
+	// --- Table 2 ---
+	t2, err := Table2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		check("Table 2", "AMD VM enter", 0.5580, us(t2[0].EnterAvg), "µs", 0.01),
+		check("Table 2", "AMD VM exit", 0.5193, us(t2[0].ExitAvg), "µs", 0.01),
+		check("Table 2", "Intel VM enter", 0.4457, us(t2[1].EnterAvg), "µs", 0.01),
+		check("Table 2", "Intel VM exit", 0.4491, us(t2[1].ExitAvg), "µs", 0.01),
+	)
+
+	// --- §5.7 headline ---
+	imp, err := Impact(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		check("§5.7", "orders of magnitude (\"six\")", 6, imp.OrdersOfMagnitude, "log10", 0.10),
+	)
+	return out, nil
+}
+
+// RenderVerify writes the report; it returns the number of failed checks.
+func RenderVerify(w io.Writer, checks []Check) int {
+	fmt.Fprintln(w, "Reproduction verification: paper value vs regenerated value")
+	fmt.Fprintf(w, "%-10s %-44s %12s %12s %6s %s\n",
+		"artefact", "metric", "paper", "measured", "tol", "verdict")
+	failed := 0
+	for _, c := range checks {
+		verdict := "ok"
+		if !c.OK {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%-10s %-44s %9.4f %s %9.4f %s %5.0f%% %s\n",
+			c.Artefact, c.Metric, c.Paper, c.Unit, c.Measured, c.Unit, 100*c.TolFrac, verdict)
+	}
+	fmt.Fprintf(w, "%d checks, %d failed\n", len(checks), failed)
+	return failed
+}

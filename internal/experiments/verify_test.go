@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVerifyAllPasses(t *testing.T) {
+	checks, err := VerifyAll(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 25 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	var buf bytes.Buffer
+	failed := RenderVerify(&buf, checks)
+	if failed != 0 {
+		t.Fatalf("%d checks failed:\n%s", failed, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 failed") {
+		t.Fatal("report summary missing")
+	}
+}
+
+func TestCheckBands(t *testing.T) {
+	if c := check("a", "m", 100, 101, "ms", 0.02); !c.OK {
+		t.Fatal("within-band check failed")
+	}
+	if c := check("a", "m", 100, 103, "ms", 0.02); c.OK {
+		t.Fatal("out-of-band check passed")
+	}
+	// Noise-floor rows.
+	if c := check("a", "m", 0.01, 0.002, "ms", 0.02); !c.OK {
+		t.Fatal("noise-floor row failed")
+	}
+	if c := check("a", "m", 0, 0.5, "ms", 0.02); c.OK {
+		t.Fatal("half-millisecond passed a zero row")
+	}
+}

@@ -1,0 +1,440 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembler source into a PAL binary image. The syntax
+// is one statement per line:
+//
+//	; comment (also "#" and "//")
+//	label:
+//	        ldi   r0, 42
+//	        ldi   r1, buffer       ; labels are immediate operands
+//	        load  r2, [r1+4]
+//	        cmp   r0, r2
+//	        jz    done
+//	done:   halt
+//	buffer: .word 1, 2, 3
+//	        .byte 0xff, 'A'
+//	        .space 64
+//	        .ascii "hello"
+//
+// Directives: .word (32-bit little-endian values), .byte, .space N (zero
+// fill), .ascii "...", .align N. Numbers may be decimal, 0x hex, or
+// character literals. Assemble is a classic two-pass assembler: pass one
+// assigns label offsets, pass two encodes.
+func Assemble(src string) ([]byte, error) {
+	lines := strings.Split(src, "\n")
+
+	type stmt struct {
+		line   int
+		label  string
+		mnem   string
+		args   []string
+		offset int
+	}
+	var stmts []stmt
+	labels := make(map[string]int)
+	offset := 0
+
+	// Pass 1: tokenize, place labels, compute sizes.
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		s := stmt{line: ln + 1}
+		if i := strings.Index(line, ":"); i >= 0 && isIdent(strings.TrimSpace(line[:i])) {
+			s.label = strings.TrimSpace(line[:i])
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if s.label != "" {
+			if _, dup := labels[s.label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", s.line, s.label)
+			}
+			labels[s.label] = offset
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		s.mnem = strings.ToLower(fields[0])
+		if rest := strings.TrimSpace(line[len(fields[0]):]); rest != "" {
+			s.args = splitArgs(rest)
+		}
+		s.offset = offset
+		size, err := stmtSize(s.mnem, s.args, offset)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", s.line, err)
+		}
+		offset += size
+		stmts = append(stmts, s)
+	}
+	if offset > 1<<16 {
+		return nil, fmt.Errorf("isa: program is %d bytes; the 16-bit address space caps PALs at 64 KB", offset)
+	}
+
+	// Pass 2: encode.
+	out := make([]byte, 0, offset)
+	for _, s := range stmts {
+		b, err := encodeStmt(s.mnem, s.args, s.offset, labels)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", s.line, err)
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for statically known-good sources (examples,
+// tests); it panics on error.
+func MustAssemble(src string) []byte {
+	b, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		inStr := false
+		for i := 0; i+len(marker) <= len(line); i++ {
+			if line[i] == '"' {
+				inStr = !inStr
+			}
+			if !inStr && strings.HasPrefix(line[i:], marker) {
+				line = line[:i]
+				break
+			}
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitArgs splits on commas not inside a string literal.
+func splitArgs(s string) []string {
+	var args []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args
+}
+
+func stmtSize(mnem string, args []string, offset int) (int, error) {
+	switch mnem {
+	case ".word":
+		return 4 * len(args), nil
+	case ".byte":
+		return len(args), nil
+	case ".space":
+		if len(args) != 1 {
+			return 0, fmt.Errorf(".space wants 1 argument")
+		}
+		n, err := parseNum(args[0])
+		if err != nil {
+			return 0, err
+		}
+		return int(n), nil
+	case ".ascii":
+		if len(args) != 1 {
+			return 0, fmt.Errorf(".ascii wants 1 argument")
+		}
+		s, err := parseString(args[0])
+		if err != nil {
+			return 0, err
+		}
+		return len(s), nil
+	case ".align":
+		if len(args) != 1 {
+			return 0, fmt.Errorf(".align wants 1 argument")
+		}
+		n, err := parseNum(args[0])
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, fmt.Errorf(".align 0 is invalid")
+		}
+		pad := (int(n) - offset%int(n)) % int(n)
+		return pad, nil
+	default:
+		if _, ok := opcodeByName(mnem); !ok {
+			return 0, fmt.Errorf("unknown mnemonic %q", mnem)
+		}
+		return WordSize, nil
+	}
+}
+
+func encodeStmt(mnem string, args []string, offset int, labels map[string]int) ([]byte, error) {
+	resolve := func(tok string) (uint32, error) {
+		if v, ok := labels[tok]; ok {
+			return uint32(v), nil
+		}
+		return parseNum(tok)
+	}
+	switch mnem {
+	case ".word":
+		out := make([]byte, 0, 4*len(args))
+		for _, a := range args {
+			v, err := resolve(a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return out, nil
+	case ".byte":
+		out := make([]byte, 0, len(args))
+		for _, a := range args {
+			v, err := resolve(a)
+			if err != nil {
+				return nil, err
+			}
+			if v > 0xff {
+				return nil, fmt.Errorf(".byte value %d out of range", v)
+			}
+			out = append(out, byte(v))
+		}
+		return out, nil
+	case ".space":
+		n, err := parseNum(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return make([]byte, n), nil
+	case ".ascii":
+		s, err := parseString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []byte(s), nil
+	case ".align":
+		n, _ := parseNum(args[0])
+		pad := (int(n) - offset%int(n)) % int(n)
+		return make([]byte, pad), nil
+	}
+
+	op, _ := opcodeByName(mnem)
+	in := Instruction{Op: op}
+	wantArgs := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operand(s), got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+	switch operandsOf(op) {
+	case operandsNone:
+		if len(args) != 0 && !(len(args) == 1 && args[0] == "") {
+			return nil, fmt.Errorf("%s takes no operands", mnem)
+		}
+	case operandsRegReg:
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rb, err := parseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		in.RA, in.RB = ra, rb
+	case operandsRegImm:
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := resolve(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if imm > 0xffff && imm < 0xffff8000 { // allow negative 16-bit for addi
+			return nil, fmt.Errorf("immediate %d does not fit in 16 bits", int32(imm))
+		}
+		in.RA, in.Imm = ra, uint16(imm)
+	case operandsRegMem:
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rb, imm, err := parseMem(args[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		in.RA, in.RB, in.Imm = ra, rb, imm
+	case operandsImm:
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		imm, err := resolve(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if imm > 0xffff {
+			return nil, fmt.Errorf("address %d does not fit in 16 bits", imm)
+		}
+		in.Imm = uint16(imm)
+	case operandsReg:
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		in.RA = ra
+	}
+	return EncodeProgram([]Instruction{in}), nil
+}
+
+func opcodeByName(name string) (Opcode, bool) {
+	for op, m := range mnemonics {
+		if m == name {
+			return Opcode(op), true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(tok string) (uint8, error) {
+	tok = strings.ToLower(strings.TrimSpace(tok))
+	switch tok {
+	case "sp":
+		// sp is an alias handled by the CPU as r7 by convention.
+		return 7, nil
+	}
+	if len(tok) >= 2 && tok[0] == 'r' {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+// parseMem parses "[rb+imm]", "[rb]", or "[label]" (absolute, rb=r0 … no:
+// absolute uses imm with rb required; a bare [label] is rejected to avoid
+// silently clobbering a base register).
+func parseMem(tok string, labels map[string]int) (uint8, uint16, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 2 || tok[0] != '[' || tok[len(tok)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	inner := strings.TrimSpace(tok[1 : len(tok)-1])
+	base := inner
+	disp := ""
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		base, disp = strings.TrimSpace(inner[:i]), strings.TrimSpace(inner[i:])
+	}
+	rb, err := parseReg(base)
+	if err != nil {
+		return 0, 0, err
+	}
+	if disp == "" {
+		return rb, 0, nil
+	}
+	neg := disp[0] == '-'
+	disp = strings.TrimSpace(disp[1:])
+	var v uint32
+	if lv, ok := labels[disp]; ok {
+		v = uint32(lv)
+	} else if v, err = parseNum(disp); err != nil {
+		return 0, 0, err
+	}
+	if v > 0xffff {
+		return 0, 0, fmt.Errorf("displacement %d does not fit in 16 bits", v)
+	}
+	if neg {
+		return rb, uint16(-int32(v)), nil
+	}
+	return rb, uint16(v), nil
+}
+
+func parseNum(tok string) (uint32, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return 0, fmt.Errorf("empty numeric operand")
+	}
+	if len(tok) >= 3 && tok[0] == '\'' && tok[len(tok)-1] == '\'' {
+		inner := tok[1 : len(tok)-1]
+		if len(inner) == 1 {
+			return uint32(inner[0]), nil
+		}
+		if len(inner) == 2 && inner[0] == '\\' {
+			switch inner[1] {
+			case 'n':
+				return '\n', nil
+			case 't':
+				return '\t', nil
+			case '0':
+				return 0, nil
+			case '\\':
+				return '\\', nil
+			}
+		}
+		return 0, fmt.Errorf("bad character literal %s", tok)
+	}
+	neg := false
+	if tok[0] == '-' {
+		neg = true
+		tok = tok[1:]
+	}
+	v, err := strconv.ParseUint(tok, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", tok)
+	}
+	if neg {
+		return uint32(-int32(v)), nil
+	}
+	return uint32(v), nil
+}
+
+func parseString(tok string) (string, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 2 || tok[0] != '"' || tok[len(tok)-1] != '"' {
+		return "", fmt.Errorf("bad string literal %s", tok)
+	}
+	s, err := strconv.Unquote(tok)
+	if err != nil {
+		return "", fmt.Errorf("bad string literal %s: %v", tok, err)
+	}
+	return s, nil
+}

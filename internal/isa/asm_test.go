@@ -1,0 +1,267 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	b, err := Assemble(`
+		ldi r0, 5
+		ldi r1, 7
+		add r0, r1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := DecodeProgram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Instruction{
+		{Op: OpLdi, RA: 0, Imm: 5},
+		{Op: OpLdi, RA: 1, Imm: 7},
+		{Op: OpAdd, RA: 0, RB: 1},
+		{Op: OpHalt},
+	}
+	for i := range want {
+		if prog[i] != want[i] {
+			t.Fatalf("instruction %d = %v, want %v", i, prog[i], want[i])
+		}
+	}
+}
+
+func TestAssembleLabels(t *testing.T) {
+	b, err := Assemble(`
+	start:
+		ldi r0, 0
+	loop:
+		addi r0, 1
+		ldi r1, 10
+		cmp r0, r1
+		jnz loop
+		jmp done
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := DecodeProgram(b)
+	// "jnz loop" is instruction 4; loop is at byte offset 4.
+	if prog[4].Op != OpJnz || prog[4].Imm != 4 {
+		t.Fatalf("jnz = %v, want jnz 4", prog[4])
+	}
+	// "jmp done" is instruction 5; done is at byte offset 24.
+	if prog[5].Op != OpJmp || prog[5].Imm != 24 {
+		t.Fatalf("jmp = %v, want jmp 24", prog[5])
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	b, err := Assemble(`
+		; full-line comment
+		# hash comment
+		// slash comment
+		nop   ; trailing
+		halt  # trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 8 {
+		t.Fatalf("length %d, want 8 (two instructions)", len(b))
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	b, err := Assemble(`
+		halt
+	data:
+		.word 0x11223344, 5
+		.byte 1, 2, 0xff, 'A'
+		.space 3
+		.ascii "hi"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 (halt) + 8 (.word) + 4 (.byte) + 3 (.space) + 2 (.ascii)
+	if len(b) != 21 {
+		t.Fatalf("length %d, want 21", len(b))
+	}
+	if b[4] != 0x44 || b[5] != 0x33 || b[6] != 0x22 || b[7] != 0x11 {
+		t.Fatalf(".word not little-endian: % x", b[4:8])
+	}
+	if b[12] != 1 || b[15] != 'A' {
+		t.Fatalf(".byte wrong: % x", b[12:16])
+	}
+	if b[19] != 'h' || b[20] != 'i' {
+		t.Fatalf(".ascii wrong: % x", b[19:21])
+	}
+}
+
+func TestAssembleAlign(t *testing.T) {
+	b, err := Assemble(`
+		.byte 1
+		.align 4
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 8 {
+		t.Fatalf("length %d, want 8", len(b))
+	}
+	prog, err := DecodeProgram(b[4:])
+	if err != nil || prog[0].Op != OpHalt {
+		t.Fatalf("halt not aligned to offset 4: %v %v", prog, err)
+	}
+}
+
+func TestAssembleLabelAsImmediate(t *testing.T) {
+	b, err := Assemble(`
+		ldi r0, data
+		load r1, [r0+0]
+		halt
+	data:
+		.word 42
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := DecodeProgram(b[:12])
+	if prog[0].Imm != 12 {
+		t.Fatalf("ldi imm = %d, want 12 (offset of data)", prog[0].Imm)
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	b, err := Assemble(`
+		load r1, [r2]
+		load r3, [r4+8]
+		store r5, [r6-4]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := DecodeProgram(b)
+	if prog[0].RB != 2 || prog[0].Imm != 0 {
+		t.Fatalf("bare base: %v", prog[0])
+	}
+	if prog[1].RB != 4 || prog[1].Imm != 8 {
+		t.Fatalf("positive disp: %v", prog[1])
+	}
+	if prog[2].RB != 6 || prog[2].Imm != 0xfffc {
+		t.Fatalf("negative disp: %v", prog[2])
+	}
+}
+
+func TestAssembleSpAlias(t *testing.T) {
+	b, err := Assemble(`mov sp, r1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := DecodeProgram(b)
+	if prog[0].RA != 7 {
+		t.Fatalf("sp did not alias to r7: %v", prog[0])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"bogus r0, r1":    "unknown mnemonic",
+		"ldi r9, 1":       "bad register",
+		"ldi r0":          "wants 2 operand",
+		"jmp 99999":       "16 bits",
+		"add r0, r1, r2":  "wants 2 operand",
+		"l: nop\nl: nop":  "duplicate label",
+		"ldi r0, nowhere": "bad number",
+		".space":          "wants 1 argument",
+		".byte 300":       "out of range",
+		"load r0, r1":     "bad memory operand",
+		".ascii hello":    "bad string literal",
+		"halt r0":         "takes no operands",
+		"ldi r0, 'abc'":   "bad character literal",
+		".align 0":        ".align 0 is invalid",
+	}
+	for src, wantSub := range cases {
+		_, err := Assemble(src)
+		if err == nil {
+			t.Fatalf("Assemble(%q) succeeded, want error containing %q", src, wantSub)
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("Assemble(%q) error %q does not contain %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestAssembleTooLarge(t *testing.T) {
+	_, err := Assemble(".space 70000")
+	if err == nil || !strings.Contains(err.Error(), "64 KB") {
+		t.Fatalf("oversized program error = %v", err)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("not an instruction at all!")
+}
+
+func TestAssembleCharEscapes(t *testing.T) {
+	b, err := Assemble(`.byte '\n', '\t', '\0', '\\'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{'\n', '\t', 0, '\\'}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("escape %d = %#x, want %#x", i, b[i], want[i])
+		}
+	}
+}
+
+func TestAssembleNegativeImmediates(t *testing.T) {
+	b, err := Assemble("addi r0, -1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := DecodeProgram(b)
+	if prog[0].Imm != 0xffff {
+		t.Fatalf("addi -1 imm = %#x, want 0xffff", prog[0].Imm)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		ldi r0, 5
+		ldi r1, 7
+		add r0, r1
+		cmp r0, r1
+		jz 0
+		halt
+	`
+	b := MustAssemble(src)
+	text := Disassemble(b)
+	for _, want := range []string{"ldi r0, 5", "add r0, r1", "jz 0", "halt"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDisassembleData(t *testing.T) {
+	// 0xffffffff is not a valid instruction; must render as .word.
+	text := Disassemble([]byte{0xff, 0xff, 0xff, 0xff, 0xaa})
+	if !strings.Contains(text, ".word 0xffffffff") {
+		t.Fatalf("data word not rendered: %s", text)
+	}
+	if !strings.Contains(text, ".byte 0xaa") {
+		t.Fatalf("trailing byte not rendered: %s", text)
+	}
+}

@@ -1,0 +1,32 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a binary image as assembler text, one instruction per
+// line prefixed with its offset. Words that do not decode as instructions
+// are rendered as .word directives, so any image round-trips through the
+// disassembler (PAL images routinely mix code and data).
+func Disassemble(b []byte) string {
+	var sb strings.Builder
+	for off := 0; off < len(b); off += WordSize {
+		if off+WordSize <= len(b) {
+			word := uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+			if in, err := Decode(word); err == nil {
+				fmt.Fprintf(&sb, "%04x:  %s\n", off, in)
+				continue
+			}
+			fmt.Fprintf(&sb, "%04x:  .word 0x%08x\n", off, word)
+			continue
+		}
+		// Trailing bytes shorter than a word.
+		for _, v := range b[off:] {
+			fmt.Fprintf(&sb, "%04x:  .byte 0x%02x\n", off, v)
+			off++
+		}
+		break
+	}
+	return sb.String()
+}

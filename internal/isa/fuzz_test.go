@@ -1,0 +1,103 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that everything it
+// accepts disassembles and (for pure-code sources) re-decodes cleanly.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"ldi r0, 5\nhalt",
+		"loop: addi r0, 1\njmp loop",
+		".word 1, 2, 3\n.byte 'x'\n.ascii \"hi\"\n.space 9\n.align 8",
+		"l: call l\nret\npush r1\npop r1",
+		"store r1, [r2-4]\nload r3, [sp+0]",
+		"; comment only",
+		"svc 65535",
+		".space 70000",
+		"ldi r9, 1",
+		"a: nop\na: nop",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := Assemble(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if len(b) > MaxProgram() {
+			t.Fatalf("assembler exceeded size cap: %d bytes", len(b))
+		}
+		// Whatever assembled must disassemble without panicking.
+		_ = Disassemble(b)
+	})
+}
+
+// MaxProgram exposes the 64 KB cap for the fuzzer's invariant.
+func MaxProgram() int { return 1 << 16 }
+
+// FuzzDecodeProgram checks the decoder is total: any byte string either
+// decodes or errors, and decoded programs re-encode to the same bytes.
+func FuzzDecodeProgram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(EncodeProgram([]Instruction{{Op: OpLdi, RA: 1, Imm: 42}, {Op: OpHalt}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		prog, err := DecodeProgram(b)
+		if err != nil {
+			return
+		}
+		re := EncodeProgram(prog)
+		if len(re) != len(b) {
+			t.Fatalf("re-encode length %d != %d", len(re), len(b))
+		}
+		for i := range b {
+			if re[i] != b[i] {
+				t.Fatalf("byte %d: %#x != %#x", i, re[i], b[i])
+			}
+		}
+	})
+}
+
+// FuzzAssembleDisassembleAssemble checks that disassembler output for
+// valid programs is itself assemblable (modulo the offset prefixes, which
+// we strip).
+func FuzzAssembleDisassembleAssemble(f *testing.F) {
+	f.Add("ldi r0, 1\nadd r0, r1\nhalt")
+	f.Add("cmp r1, r2\njz 0\njmp 4")
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := Assemble(src)
+		if err != nil || len(b)%WordSize != 0 {
+			return
+		}
+		if _, err := DecodeProgram(b); err != nil {
+			return // contains data words; disassembly is .word soup
+		}
+		text := Disassemble(b)
+		var clean strings.Builder
+		for _, line := range strings.Split(text, "\n") {
+			if i := strings.Index(line, ":  "); i >= 0 {
+				line = line[i+3:]
+			}
+			clean.WriteString(line)
+			clean.WriteByte('\n')
+		}
+		b2, err := Assemble(clean.String())
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, text)
+		}
+		if len(b2) != len(b) {
+			t.Fatalf("reassembly size %d != %d", len(b2), len(b))
+		}
+		for i := range b {
+			if b2[i] != b[i] {
+				t.Fatalf("byte %d differs after round trip", i)
+			}
+		}
+	})
+}

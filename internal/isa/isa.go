@@ -1,0 +1,208 @@
+// Package isa defines the instruction set executed by simulated PALs
+// (Pieces of Application Logic) and the legacy workload.
+//
+// The paper's late-launch instructions measure the PAL binary byte-for-byte
+// before executing it, so a faithful reproduction needs PALs to be real byte
+// programs rather than Go closures: the SHA-1 that lands in PCR 17 must be a
+// hash of the same bytes the CPU then runs. This package provides that
+// program representation — a small 32-bit load/store architecture with eight
+// general-purpose registers — along with an assembler and disassembler.
+//
+// Encoding: every instruction is one 32-bit little-endian word,
+//
+//	[ opcode:8 | ra:4 | rb:4 | imm:16 ]
+//
+// Addresses in load/store and branch instructions are offsets from the base
+// of the PAL's memory region, which makes PAL binaries position-independent:
+// the untrusted OS may place a PAL at any physical address without changing
+// its measurement.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcode identifies an instruction.
+type Opcode uint8
+
+// The instruction set. Arithmetic is register-register; immediates enter via
+// LDI/LUI/ADDI. CMP sets the Z (equal), C (unsigned below) and N (signed
+// less) flags consumed by the conditional jumps.
+const (
+	OpNop    Opcode = iota // no operation
+	OpHalt                 // stop execution; PAL exit
+	OpMov                  // ra = rb
+	OpLdi                  // ra = zero-extended imm16
+	OpLui                  // ra = (ra & 0xffff) | imm16<<16
+	OpAddi                 // ra += sign-extended imm16
+	OpAdd                  // ra += rb
+	OpSub                  // ra -= rb
+	OpMul                  // ra *= rb
+	OpDivu                 // ra /= rb (unsigned; rb==0 faults)
+	OpRemu                 // ra %= rb (unsigned; rb==0 faults)
+	OpAnd                  // ra &= rb
+	OpOr                   // ra |= rb
+	OpXor                  // ra ^= rb
+	OpShl                  // ra <<= rb&31
+	OpShr                  // ra >>= rb&31 (logical)
+	OpLoad                 // ra = mem32[rb + imm16]
+	OpLoadb                // ra = mem8[rb + imm16]
+	OpStore                // mem32[rb + imm16] = ra
+	OpStoreb               // mem8[rb + imm16] = ra & 0xff
+	OpCmp                  // set flags from ra - rb
+	OpJmp                  // pc = imm16
+	OpJz                   // if Z: pc = imm16
+	OpJnz                  // if !Z: pc = imm16
+	OpJc                   // if C (unsigned <): pc = imm16
+	OpJnc                  // if !C: pc = imm16
+	OpJn                   // if N (signed <): pc = imm16
+	OpJmpr                 // pc = ra
+	OpCall                 // push pc+4; pc = imm16
+	OpRet                  // pc = pop
+	OpPush                 // sp -= 4; mem32[sp] = ra
+	OpPop                  // ra = mem32[sp]; sp += 4
+	OpSvc                  // service call imm16 (platform hypercall)
+	opMax
+)
+
+// NumRegs is the number of general-purpose registers (r0..r7).
+const NumRegs = 8
+
+// WordSize is the size in bytes of one encoded instruction.
+const WordSize = 4
+
+// Instruction is one decoded instruction.
+type Instruction struct {
+	Op  Opcode
+	RA  uint8  // first register operand
+	RB  uint8  // second register operand
+	Imm uint16 // immediate / address operand
+}
+
+var mnemonics = [...]string{
+	OpNop: "nop", OpHalt: "halt", OpMov: "mov", OpLdi: "ldi", OpLui: "lui",
+	OpAddi: "addi", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDivu: "divu",
+	OpRemu: "remu", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpLoad: "load", OpLoadb: "loadb", OpStore: "store",
+	OpStoreb: "storeb", OpCmp: "cmp", OpJmp: "jmp", OpJz: "jz", OpJnz: "jnz",
+	OpJc: "jc", OpJnc: "jnc", OpJn: "jn", OpJmpr: "jmpr", OpCall: "call",
+	OpRet: "ret", OpPush: "push", OpPop: "pop", OpSvc: "svc",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(mnemonics) && mnemonics[op] != "" {
+		return mnemonics[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op names a defined instruction.
+func (op Opcode) Valid() bool { return op < opMax }
+
+// operandKind classifies how an opcode uses its fields, shared between the
+// assembler, disassembler and interpreter.
+type operandKind int
+
+const (
+	operandsNone   operandKind = iota // nop, halt, ret
+	operandsRegReg                    // mov, add, ... cmp
+	operandsRegImm                    // ldi, lui, addi
+	operandsRegMem                    // load/store family: ra, [rb+imm]
+	operandsImm                       // jmp family, call, svc
+	operandsReg                       // push, pop, jmpr
+)
+
+func operandsOf(op Opcode) operandKind {
+	switch op {
+	case OpNop, OpHalt, OpRet:
+		return operandsNone
+	case OpMov, OpAdd, OpSub, OpMul, OpDivu, OpRemu, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpCmp:
+		return operandsRegReg
+	case OpLdi, OpLui, OpAddi:
+		return operandsRegImm
+	case OpLoad, OpLoadb, OpStore, OpStoreb:
+		return operandsRegMem
+	case OpJmp, OpJz, OpJnz, OpJc, OpJnc, OpJn, OpCall, OpSvc:
+		return operandsImm
+	case OpPush, OpPop, OpJmpr:
+		return operandsReg
+	}
+	return operandsNone
+}
+
+// Encode packs the instruction into its 32-bit wire representation.
+func (in Instruction) Encode() uint32 {
+	return uint32(in.Op)<<24 | uint32(in.RA&0x0f)<<20 | uint32(in.RB&0x0f)<<16 |
+		uint32(in.Imm)
+}
+
+// Decode unpacks a 32-bit word into an instruction. It returns an error for
+// an undefined opcode or an out-of-range register so that executing
+// arbitrary (e.g. attacker-corrupted) bytes faults instead of silently
+// doing something.
+func Decode(word uint32) (Instruction, error) {
+	in := Instruction{
+		Op:  Opcode(word >> 24),
+		RA:  uint8(word >> 20 & 0x0f),
+		RB:  uint8(word >> 16 & 0x0f),
+		Imm: uint16(word),
+	}
+	if !in.Op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	if in.RA >= NumRegs || in.RB >= NumRegs {
+		return Instruction{}, fmt.Errorf("isa: register out of range in %s r%d,r%d",
+			in.Op, in.RA, in.RB)
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instruction) String() string {
+	switch operandsOf(in.Op) {
+	case operandsNone:
+		return in.Op.String()
+	case operandsRegReg:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.RA, in.RB)
+	case operandsRegImm:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.RA, in.Imm)
+	case operandsRegMem:
+		return fmt.Sprintf("%s r%d, [r%d+%d]", in.Op, in.RA, in.RB, in.Imm)
+	case operandsImm:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case operandsReg:
+		return fmt.Sprintf("%s r%d", in.Op, in.RA)
+	}
+	return in.Op.String()
+}
+
+// EncodeProgram serializes a sequence of instructions to bytes.
+func EncodeProgram(prog []Instruction) []byte {
+	out := make([]byte, 0, len(prog)*WordSize)
+	var buf [WordSize]byte
+	for _, in := range prog {
+		binary.LittleEndian.PutUint32(buf[:], in.Encode())
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeProgram parses bytes as instructions. len(b) must be a multiple of
+// WordSize.
+func DecodeProgram(b []byte) ([]Instruction, error) {
+	if len(b)%WordSize != 0 {
+		return nil, fmt.Errorf("isa: program length %d not a multiple of %d", len(b), WordSize)
+	}
+	prog := make([]Instruction, 0, len(b)/WordSize)
+	for i := 0; i < len(b); i += WordSize {
+		in, err := Decode(binary.LittleEndian.Uint32(b[i:]))
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %d: %w", i, err)
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}

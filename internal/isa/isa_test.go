@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpMov, RA: 1, RB: 2},
+		{Op: OpLdi, RA: 7, Imm: 0xbeef},
+		{Op: OpLoad, RA: 3, RB: 4, Imm: 0x0100},
+		{Op: OpJz, Imm: 0x1234},
+		{Op: OpSvc, Imm: 5},
+	}
+	for _, in := range cases {
+		got, err := Decode(in.Encode())
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", in, err)
+		}
+		if got != in {
+			t.Fatalf("round trip %v -> %v", in, got)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(0xff << 24); err == nil {
+		t.Fatal("invalid opcode decoded without error")
+	}
+}
+
+func TestDecodeRejectsBadRegister(t *testing.T) {
+	// Register 9 in RA field of a mov.
+	w := uint32(OpMov)<<24 | 9<<20
+	if _, err := Decode(w); err == nil {
+		t.Fatal("register 9 decoded without error")
+	}
+}
+
+// Property: every instruction with valid fields round-trips exactly.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, ra, rb uint8, imm uint16) bool {
+		in := Instruction{
+			Op:  Opcode(op % uint8(opMax)),
+			RA:  ra % NumRegs,
+			RB:  rb % NumRegs,
+			Imm: imm,
+		}
+		got, err := Decode(in.Encode())
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	prog := []Instruction{
+		{Op: OpLdi, RA: 0, Imm: 10},
+		{Op: OpLdi, RA: 1, Imm: 32},
+		{Op: OpAdd, RA: 0, RB: 1},
+		{Op: OpHalt},
+	}
+	b := EncodeProgram(prog)
+	if len(b) != 16 {
+		t.Fatalf("encoded length %d, want 16", len(b))
+	}
+	got, err := DecodeProgram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("decoded %d instructions", len(got))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("instruction %d: %v != %v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeProgramBadLength(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, 7)); err == nil {
+		t.Fatal("odd-length program decoded without error")
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpLdi.String() != "ldi" {
+		t.Fatalf("OpLdi = %q", OpLdi.String())
+	}
+	if got := Opcode(200).String(); !strings.Contains(got, "200") {
+		t.Fatalf("unknown opcode string %q", got)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := map[string]Instruction{
+		"halt":             {Op: OpHalt},
+		"mov r1, r2":       {Op: OpMov, RA: 1, RB: 2},
+		"ldi r0, 99":       {Op: OpLdi, RA: 0, Imm: 99},
+		"load r3, [r4+16]": {Op: OpLoad, RA: 3, RB: 4, Imm: 16},
+		"jmp 8":            {Op: OpJmp, Imm: 8},
+		"push r5":          {Op: OpPush, RA: 5},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package mem models physical memory and the per-page access-control table
+// the paper recommends adding to the memory controller (§5.2).
+//
+// The table holds one entry per physical page. A page is in one of three
+// states (Figure 5(b) of the paper):
+//
+//   - ALL:  accessible to every CPU and to DMA-capable devices (default);
+//   - CPU i: accessible only to CPU i (a PAL is executing there);
+//   - NONE: accessible to nothing (the owning PAL is suspended).
+//
+// The package enforces the state machine's legal transitions; illegal ones
+// (e.g. a second CPU claiming a page that is not in ALL or NONE) return
+// errors that the chipset surfaces as SLAUNCH failure codes, exactly as
+// §5.6 prescribes.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of one physical page in bytes.
+const PageSize = 4096
+
+// PageState encodes the access-control entry for one page: AccessAll,
+// AccessNone, or the ID (>= 0) of the single CPU allowed to touch the page.
+type PageState int32
+
+const (
+	// AccessAll marks a page accessible by all CPUs and DMA devices.
+	AccessAll PageState = -1
+	// AccessNone marks a page inaccessible to everything on the platform
+	// (state of a suspended PAL's memory).
+	AccessNone PageState = -2
+)
+
+// String renders the state as in the paper's Figure 5(b).
+func (s PageState) String() string {
+	switch {
+	case s == AccessAll:
+		return "ALL"
+	case s == AccessNone:
+		return "NONE"
+	case s >= 0:
+		return fmt.Sprintf("CPU%d", int32(s))
+	default:
+		return fmt.Sprintf("invalid(%d)", int32(s))
+	}
+}
+
+// ErrPageBusy is returned when a transition requires a page in ALL or NONE
+// but it is currently bound to a CPU — the "another PAL is already using
+// these memory pages" failure of §5.6.
+var ErrPageBusy = errors.New("mem: page owned by another CPU")
+
+// ErrOutOfRange is returned for page or byte addresses beyond physical
+// memory.
+var ErrOutOfRange = errors.New("mem: address out of range")
+
+// ErrDenied is returned when the access-control table forbids a request.
+var ErrDenied = errors.New("mem: access denied by access-control table")
+
+// Memory is flat physical memory plus its access-control table and the
+// legacy DEV (Device Exclusion Vector) bit vector used by SKINIT to protect
+// the SLB from DMA.
+type Memory struct {
+	data  []byte
+	table []PageState
+	dev   []bool // true = page protected from DMA (DEV bit set)
+	// shares holds, per page, a bitmask of additional CPUs granted
+	// access while the page is CPU-owned — the §6 "multicore PALs"
+	// extension, where a join operation "serves to add the new CPU to
+	// the memory controller's access control table for the PAL's pages".
+	// Meaningful only while table[page] >= 0.
+	shares []uint64
+}
+
+// New allocates physical memory of the given size, rounded up to a whole
+// number of pages, with every page in the ALL state.
+func New(size int) *Memory {
+	pages := (size + PageSize - 1) / PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	m := &Memory{
+		data:   make([]byte, pages*PageSize),
+		table:  make([]PageState, pages),
+		dev:    make([]bool, pages),
+		shares: make([]uint64, pages),
+	}
+	for i := range m.table {
+		m.table[i] = AccessAll
+	}
+	return m
+}
+
+// Size returns the physical memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// NumPages returns the number of physical pages.
+func (m *Memory) NumPages() int { return len(m.table) }
+
+// PageOf returns the page number containing byte address addr.
+func PageOf(addr uint32) int { return int(addr) / PageSize }
+
+// State returns the access-control entry for a page.
+func (m *Memory) State(page int) (PageState, error) {
+	if page < 0 || page >= len(m.table) {
+		return 0, fmt.Errorf("%w: page %d", ErrOutOfRange, page)
+	}
+	return m.table[page], nil
+}
+
+// Claim transitions a page to exclusive ownership by cpu. Permitted from
+// ALL (first launch) and NONE (resume); from CPU state only if it is the
+// same CPU (idempotent re-claim). This is the transition the memory
+// controller performs during SLAUNCH.
+func (m *Memory) Claim(page, cpu int) error {
+	st, err := m.State(page)
+	if err != nil {
+		return err
+	}
+	if cpu < 0 {
+		return fmt.Errorf("mem: invalid CPU id %d", cpu)
+	}
+	switch {
+	case st == AccessAll, st == AccessNone, st == PageState(cpu):
+		m.table[page] = PageState(cpu)
+		return nil
+	default:
+		return fmt.Errorf("%w: page %d is %v, CPU%d cannot claim", ErrPageBusy, page, st, cpu)
+	}
+}
+
+// Seclude transitions a page from CPU ownership to NONE (PAL suspend). Only
+// the owning CPU may seclude. Any joined CPUs lose access: suspension
+// revokes the whole set, and a resume re-establishes joins explicitly.
+func (m *Memory) Seclude(page, cpu int) error {
+	st, err := m.State(page)
+	if err != nil {
+		return err
+	}
+	if st != PageState(cpu) {
+		return fmt.Errorf("%w: page %d is %v, CPU%d cannot seclude", ErrPageBusy, page, st, cpu)
+	}
+	m.table[page] = AccessNone
+	m.shares[page] = 0
+	return nil
+}
+
+// Release returns a page to the ALL state (SFREE by the owning CPU, or
+// SKILL on a suspended PAL whose pages are NONE).
+func (m *Memory) Release(page, cpu int) error {
+	st, err := m.State(page)
+	if err != nil {
+		return err
+	}
+	switch {
+	case st == PageState(cpu), st == AccessNone, st == AccessAll:
+		m.table[page] = AccessAll
+		m.shares[page] = 0
+		return nil
+	default:
+		return fmt.Errorf("%w: page %d is %v, CPU%d cannot release", ErrPageBusy, page, st, cpu)
+	}
+}
+
+// Share grants joiner access to a CPU-owned page alongside its owner — the
+// memory-controller half of the §6 multicore-PAL join operation. Only the
+// current owner may extend the set, and only while the page is CPU-owned.
+func (m *Memory) Share(page, owner, joiner int) error {
+	st, err := m.State(page)
+	if err != nil {
+		return err
+	}
+	if st != PageState(owner) {
+		return fmt.Errorf("%w: page %d is %v, CPU%d cannot share it", ErrPageBusy, page, st, owner)
+	}
+	if joiner < 0 || joiner >= 64 {
+		return fmt.Errorf("mem: invalid joiner CPU id %d", joiner)
+	}
+	m.shares[page] |= 1 << uint(joiner)
+	return nil
+}
+
+// Unshare revokes a joiner's access to a CPU-owned page.
+func (m *Memory) Unshare(page, joiner int) error {
+	if page < 0 || page >= len(m.shares) {
+		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
+	}
+	if joiner >= 0 && joiner < 64 {
+		m.shares[page] &^= 1 << uint(joiner)
+	}
+	return nil
+}
+
+// SharedWith reports whether cpu has joined access to the page.
+func (m *Memory) SharedWith(page, cpu int) bool {
+	if page < 0 || page >= len(m.shares) || cpu < 0 || cpu >= 64 {
+		return false
+	}
+	return m.shares[page]&(1<<uint(cpu)) != 0
+}
+
+// CheckCPU reports whether cpu may access the page under the current table.
+func (m *Memory) CheckCPU(page, cpu int) error {
+	st, err := m.State(page)
+	if err != nil {
+		return err
+	}
+	if st == AccessAll || st == PageState(cpu) {
+		return nil
+	}
+	if st >= 0 && m.SharedWith(page, cpu) {
+		return nil
+	}
+	return fmt.Errorf("%w: CPU%d -> page %d (%v)", ErrDenied, cpu, page, st)
+}
+
+// CheckDMA reports whether a DMA-capable device may access the page: the
+// page must be in ALL state and its DEV bit must be clear.
+func (m *Memory) CheckDMA(page int) error {
+	st, err := m.State(page)
+	if err != nil {
+		return err
+	}
+	if st != AccessAll {
+		return fmt.Errorf("%w: DMA -> page %d (%v)", ErrDenied, page, st)
+	}
+	if m.dev[page] {
+		return fmt.Errorf("%w: DMA -> page %d (DEV bit set)", ErrDenied, page)
+	}
+	return nil
+}
+
+// SetDEV sets or clears the DEV bit for a page. SKINIT sets the bits for
+// the SLB's pages before measurement begins.
+func (m *Memory) SetDEV(page int, protected bool) error {
+	if page < 0 || page >= len(m.dev) {
+		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
+	}
+	m.dev[page] = protected
+	return nil
+}
+
+// DEV reports the DEV bit for a page.
+func (m *Memory) DEV(page int) (bool, error) {
+	if page < 0 || page >= len(m.dev) {
+		return false, fmt.Errorf("%w: page %d", ErrOutOfRange, page)
+	}
+	return m.dev[page], nil
+}
+
+// checkRange validates [addr, addr+n).
+func (m *Memory) checkRange(addr uint32, n int) error {
+	if n < 0 || int(addr) > len(m.data) || int(addr)+n > len(m.data) {
+		return fmt.Errorf("%w: [%d, %d)", ErrOutOfRange, addr, int(addr)+n)
+	}
+	return nil
+}
+
+// ReadRaw copies n bytes at addr without access checks. Hardware microcode
+// (SKINIT streaming the SLB to the TPM) and test fixtures use it; software
+// paths must go through the chipset, which checks the table.
+func (m *Memory) ReadRaw(addr uint32, n int) ([]byte, error) {
+	if err := m.checkRange(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:])
+	return out, nil
+}
+
+// WriteRaw copies b into memory at addr without access checks.
+func (m *Memory) WriteRaw(addr uint32, b []byte) error {
+	if err := m.checkRange(addr, len(b)); err != nil {
+		return err
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// ZeroRange zeroes [addr, addr+n) without access checks; SKILL microcode
+// uses it to erase a killed PAL's pages.
+func (m *Memory) ZeroRange(addr uint32, n int) error {
+	if err := m.checkRange(addr, n); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		m.data[int(addr)+i] = 0
+	}
+	return nil
+}
+
+// Region describes a contiguous range of physical memory, page-aligned by
+// construction when created with RegionForPages.
+type Region struct {
+	Base uint32 // starting physical address
+	Size int    // length in bytes
+}
+
+// RegionForPages returns the region covering pages [first, first+count).
+func RegionForPages(first, count int) Region {
+	return Region{Base: uint32(first * PageSize), Size: count * PageSize}
+}
+
+// Pages returns the list of page numbers the region touches.
+func (r Region) Pages() []int {
+	if r.Size <= 0 {
+		return nil
+	}
+	first := PageOf(r.Base)
+	last := PageOf(r.Base + uint32(r.Size) - 1)
+	out := make([]int, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Contains reports whether addr lies inside the region.
+func (r Region) Contains(addr uint32) bool {
+	return addr >= r.Base && addr < r.Base+uint32(r.Size)
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint32 { return r.Base + uint32(r.Size) }

@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// Tests for the §6 multicore-PAL extension: joined CPUs share access to a
+// PAL's pages while it executes, and lose it on suspend/release.
+
+func TestShareGrantsAccess(t *testing.T) {
+	m := New(2 * PageSize)
+	if err := m.Claim(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCPU(0, 2); !errors.Is(err, ErrDenied) {
+		t.Fatal("pre-share access granted")
+	}
+	if err := m.Share(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCPU(0, 2); err != nil {
+		t.Fatalf("joined CPU denied: %v", err)
+	}
+	// Owner keeps access; third parties stay out.
+	if err := m.CheckCPU(0, 1); err != nil {
+		t.Fatalf("owner denied: %v", err)
+	}
+	if err := m.CheckCPU(0, 3); !errors.Is(err, ErrDenied) {
+		t.Fatal("unjoined CPU granted")
+	}
+	if !m.SharedWith(0, 2) || m.SharedWith(0, 3) {
+		t.Fatal("SharedWith wrong")
+	}
+}
+
+func TestShareRequiresOwner(t *testing.T) {
+	m := New(PageSize)
+	// Unowned page cannot be shared.
+	if err := m.Share(0, 1, 2); !errors.Is(err, ErrPageBusy) {
+		t.Fatalf("share of ALL page: %v", err)
+	}
+	m.Claim(0, 1)
+	// Only the owner may extend the set.
+	if err := m.Share(0, 2, 3); !errors.Is(err, ErrPageBusy) {
+		t.Fatalf("share by non-owner: %v", err)
+	}
+	if err := m.Share(0, 1, 99); err == nil {
+		t.Fatal("joiner id 99 accepted")
+	}
+}
+
+func TestUnshareRevokes(t *testing.T) {
+	m := New(PageSize)
+	m.Claim(0, 1)
+	m.Share(0, 1, 2)
+	if err := m.Unshare(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCPU(0, 2); !errors.Is(err, ErrDenied) {
+		t.Fatal("access survived unshare")
+	}
+	if err := m.Unshare(99, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("unshare out of range: %v", err)
+	}
+}
+
+func TestSecludeRevokesAllJoins(t *testing.T) {
+	m := New(PageSize)
+	m.Claim(0, 1)
+	m.Share(0, 1, 2)
+	m.Share(0, 1, 3)
+	if err := m.Seclude(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Resume on a different CPU: old joins must not resurface.
+	m.Claim(0, 4)
+	for _, cpu := range []int{1, 2, 3} {
+		if err := m.CheckCPU(0, cpu); !errors.Is(err, ErrDenied) {
+			t.Fatalf("stale access for CPU%d after suspend/resume: %v", cpu, err)
+		}
+	}
+}
+
+func TestReleaseClearsShares(t *testing.T) {
+	m := New(PageSize)
+	m.Claim(0, 1)
+	m.Share(0, 1, 2)
+	m.Release(0, 1)
+	// Page back to ALL; reclaim by someone else must not inherit shares.
+	m.Claim(0, 5)
+	if m.SharedWith(0, 2) {
+		t.Fatal("share mask survived release")
+	}
+}
+
+func TestDMAStillDeniedOnSharedPages(t *testing.T) {
+	m := New(PageSize)
+	m.Claim(0, 1)
+	m.Share(0, 1, 2)
+	if err := m.CheckDMA(0); !errors.Is(err, ErrDenied) {
+		t.Fatal("DMA allowed on a shared PAL page")
+	}
+}

@@ -1,0 +1,204 @@
+// Package osker models the untrusted operating system of the paper's
+// execution model. The OS stays the platform's resource manager (§5's
+// second requirement): it allocates memory pages and CPU time to PALs,
+// suspends and resumes the legacy workload around late launches, and — on
+// recommended hardware — schedules PALs alongside legacy jobs. It is
+// untrusted: nothing here is inside any PAL's TCB, and the isolation tests
+// drive attacks from exactly this layer.
+package osker
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/platform"
+)
+
+// ErrNoMemory is returned when the allocator cannot satisfy a request.
+var ErrNoMemory = errors.New("osker: out of contiguous physical pages")
+
+// PageAllocator hands out physical page ranges first-fit. The paper notes
+// the OS must cope with discontiguous physical memory once PALs carve
+// pages out (§5.2.2); this allocator models that by tracking arbitrary
+// holes, though each single allocation is contiguous (as a PAL's SLB must
+// be).
+type PageAllocator struct {
+	used []bool
+	// firstPage reserves low pages for OS structures so PALs never land
+	// at physical address 0 (which would make nil-ish addresses valid).
+	firstPage int
+}
+
+// NewPageAllocator manages pages [reserve, total).
+func NewPageAllocator(total, reserve int) *PageAllocator {
+	return &PageAllocator{used: make([]bool, total), firstPage: reserve}
+}
+
+// Alloc finds n contiguous free pages and returns their region.
+func (a *PageAllocator) Alloc(n int) (mem.Region, error) {
+	if n <= 0 {
+		return mem.Region{}, fmt.Errorf("osker: alloc of %d pages", n)
+	}
+	run := 0
+	for p := a.firstPage; p < len(a.used); p++ {
+		if a.used[p] {
+			run = 0
+			continue
+		}
+		run++
+		if run == n {
+			first := p - n + 1
+			for q := first; q <= p; q++ {
+				a.used[q] = true
+			}
+			return mem.RegionForPages(first, n), nil
+		}
+	}
+	return mem.Region{}, fmt.Errorf("%w: %d pages requested", ErrNoMemory, n)
+}
+
+// Free returns a region's pages to the allocator.
+func (a *PageAllocator) Free(r mem.Region) {
+	for _, p := range r.Pages() {
+		if p >= 0 && p < len(a.used) {
+			a.used[p] = false
+		}
+	}
+}
+
+// FreePages counts currently free pages.
+func (a *PageAllocator) FreePages() int {
+	n := 0
+	for p := a.firstPage; p < len(a.used); p++ {
+		if !a.used[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// Kernel is the untrusted OS instance on a machine.
+type Kernel struct {
+	Machine *platform.Machine
+	Alloc   *PageAllocator
+
+	// suspended tracks whether the legacy environment is parked for a
+	// late launch (the SEA kernel-module path, §4.1).
+	suspended bool
+	// SuspendCost/ResumeCost model parking and unparking the legacy
+	// environment. The paper calls both "efficient" since device and
+	// memory state stays in place; the dominant cost is quiescing other
+	// cores for SKINIT. These are charged to the clock on each switch.
+	SuspendCost, ResumeCost time.Duration
+
+	// Suspends counts legacy-environment suspensions (statistics).
+	Suspends int
+}
+
+// ReservedPages is how many low pages the kernel keeps for itself.
+const ReservedPages = 16
+
+// NewKernel boots the untrusted OS on a machine.
+func NewKernel(m *platform.Machine) *Kernel {
+	return &Kernel{
+		Machine:     m,
+		Alloc:       NewPageAllocator(m.Chipset.Memory().NumPages(), ReservedPages),
+		SuspendCost: 30 * time.Microsecond,
+		ResumeCost:  30 * time.Microsecond,
+	}
+}
+
+// PlaceImage allocates pages for an image plus extraDataPages of PAL
+// data/stack space and copies the image in. The returned region covers
+// image and data (the SECB's page list: "a superset of the pages
+// containing the PAL binary", §5.2.1).
+func (k *Kernel) PlaceImage(image []byte, extraDataPages int) (mem.Region, error) {
+	pages := (len(image)+mem.PageSize-1)/mem.PageSize + extraDataPages
+	r, err := k.Alloc.Alloc(pages)
+	if err != nil {
+		return mem.Region{}, err
+	}
+	if err := k.Machine.Chipset.Memory().WriteRaw(r.Base, image); err != nil {
+		k.Alloc.Free(r)
+		return mem.Region{}, err
+	}
+	return r, nil
+}
+
+// ReleaseRegion frees a PAL's pages back to the OS pool. The pages must
+// already be in the ALL state (SFREE/SKILL ran).
+func (k *Kernel) ReleaseRegion(r mem.Region) {
+	k.Alloc.Free(r)
+}
+
+// SuspendLegacy parks the legacy OS and applications so a late launch can
+// take the machine (SEA on today's hardware). All state stays in memory.
+func (k *Kernel) SuspendLegacy() {
+	if k.suspended {
+		return
+	}
+	k.suspended = true
+	k.Suspends++
+	k.Machine.Clock.Advance(k.SuspendCost)
+}
+
+// ResumeLegacy unparks the legacy environment after the PAL exits.
+func (k *Kernel) ResumeLegacy() {
+	if !k.suspended {
+		return
+	}
+	k.suspended = false
+	k.Machine.Clock.Advance(k.ResumeCost)
+}
+
+// Suspended reports whether the legacy environment is parked.
+func (k *Kernel) Suspended() bool { return k.suspended }
+
+// StallAllCPUs charges d of busy time to every core's timeline starting at
+// the current clock — the whole-platform stall a late launch imposes on
+// today's multi-processor hardware ("the late launch operation requires
+// all but one of the processors to be in a special idle state", §4.2).
+func (k *Kernel) StallAllCPUs(d time.Duration) {
+	now := k.Machine.Clock.Now()
+	for _, c := range k.Machine.CPUs {
+		c.Timeline.Occupy(now-d, d)
+	}
+}
+
+// OccupyCPU charges d of busy time to a single core's timeline (the
+// recommended-hardware cost model, where PALs run concurrently with the
+// legacy OS).
+func (k *Kernel) OccupyCPU(id int, d time.Duration) {
+	now := k.Machine.Clock.Now()
+	k.Machine.CPUs[id].Timeline.Occupy(now-d, d)
+}
+
+// LegacyWorkload models the throughput-oriented background jobs (builds,
+// requests, batch work) that soak up whatever CPU time secure execution
+// leaves free. The concurrency experiment uses it to turn idle CPU-seconds
+// into the user-visible quantity — legacy jobs completed — under each
+// architecture.
+type LegacyWorkload struct {
+	// JobCost is the CPU time one legacy job consumes.
+	JobCost time.Duration
+}
+
+// JobsCompleted reports how many whole jobs fit into the CPU time that
+// secure execution did not consume over the elapsed horizon, across all
+// cores of the kernel's machine.
+func (w LegacyWorkload) JobsCompleted(k *Kernel) int64 {
+	if w.JobCost <= 0 {
+		return 0
+	}
+	horizon := k.Machine.Clock.Now()
+	var jobs int64
+	for _, c := range k.Machine.CPUs {
+		idle := horizon - c.Timeline.Busy
+		if idle > 0 {
+			jobs += int64(idle / w.JobCost)
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,50 @@
+package pal
+
+import "testing"
+
+// FuzzParseHeader checks header parsing is total and self-consistent: any
+// accepted header's declared length covers its entry point.
+func FuzzParseHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{8, 0, 4, 0})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{4, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		length, entry, err := ParseHeader(raw)
+		if err != nil {
+			return
+		}
+		if length < HeaderSize || length > MaxImageSize {
+			t.Fatalf("accepted length %d out of range", length)
+		}
+		if int(entry) >= length {
+			t.Fatalf("accepted entry %d beyond length %d", entry, length)
+		}
+	})
+}
+
+// FuzzBuild checks the builder never panics and always emits a parseable
+// header whose declared length equals the image size.
+func FuzzBuild(f *testing.F) {
+	f.Add("halt")
+	f.Add("ldi r0, data\nhalt\ndata: .word 7")
+	f.Add(".space 100")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		im, err := Build(src)
+		if err != nil {
+			return
+		}
+		length, entry, err := ParseHeader(im.Bytes)
+		if err != nil {
+			t.Fatalf("built image has bad header: %v", err)
+		}
+		if length != im.Len() {
+			t.Fatalf("declared %d, actual %d", length, im.Len())
+		}
+		if entry != im.Entry {
+			t.Fatalf("entry mismatch")
+		}
+	})
+}

@@ -1,0 +1,109 @@
+// Package pal defines the on-disk/in-memory image format of a Piece of
+// Application Logic and helpers for building one from assembler source.
+//
+// The image follows AMD's Secure Loader Block layout (§2.2.1): the first
+// two 16-bit little-endian words are the image's total length and its entry
+// point offset, both of which must lie within [0, 64 KB). The late-launch
+// measurement covers the entire image, header included, so the header bytes
+// are part of the PAL's attested identity.
+package pal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"minimaltcb/internal/isa"
+)
+
+// HeaderSize is the SLB header length: length word + entry word.
+const HeaderSize = 4
+
+// MaxImageSize is the architectural SLB limit (64 KB on AMD; Intel's MPT
+// default covers 512 KB, but the paper's experiments stay within 64 KB).
+const MaxImageSize = 1 << 16
+
+// Image is a built PAL ready to be placed in memory and launched.
+type Image struct {
+	// Bytes is the full SLB image, header included.
+	Bytes []byte
+	// Entry is the entry-point offset from the image base.
+	Entry uint16
+}
+
+// Len returns the image length in bytes.
+func (im Image) Len() int { return len(im.Bytes) }
+
+// Build assembles PAL source into an SLB image. The source is laid out
+// after the 4-byte header, so label arithmetic inside the source is
+// automatically correct; execution starts at the first byte after the
+// header.
+func Build(src string) (Image, error) {
+	full := "slb_header: .space 4\n" + src
+	code, err := isa.Assemble(full)
+	if err != nil {
+		return Image{}, err
+	}
+	return FromCode(code[HeaderSize:], HeaderSize)
+}
+
+// MustBuild is Build for statically known-good sources; it panics on error.
+func MustBuild(src string) Image {
+	im, err := Build(src)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+// FromCode wraps raw code bytes in an SLB header. entry is the offset of
+// the first instruction measured from the image base (i.e. HeaderSize for
+// code that starts immediately after the header).
+func FromCode(code []byte, entry uint16) (Image, error) {
+	total := HeaderSize + len(code)
+	if total > MaxImageSize {
+		return Image{}, fmt.Errorf("pal: image %d bytes exceeds the %d-byte SLB limit", total, MaxImageSize)
+	}
+	if int(entry) >= total {
+		return Image{}, fmt.Errorf("pal: entry %d beyond image end %d", entry, total)
+	}
+	img := make([]byte, total)
+	binary.LittleEndian.PutUint16(img[0:2], uint16(total))
+	binary.LittleEndian.PutUint16(img[2:4], entry)
+	copy(img[HeaderSize:], code)
+	return Image{Bytes: img, Entry: entry}, nil
+}
+
+// Pad returns a copy of the image zero-padded to exactly size bytes (the
+// header's length field is updated to match). Table 1's sweep launches the
+// same trivial PAL at 4/8/16/32/64 KB this way.
+func (im Image) Pad(size int) (Image, error) {
+	if size < len(im.Bytes) {
+		return Image{}, fmt.Errorf("pal: cannot pad %d-byte image down to %d", len(im.Bytes), size)
+	}
+	if size > MaxImageSize {
+		return Image{}, fmt.Errorf("pal: padded size %d exceeds the %d-byte SLB limit", size, MaxImageSize)
+	}
+	out := make([]byte, size)
+	copy(out, im.Bytes)
+	binary.LittleEndian.PutUint16(out[0:2], uint16(size%MaxImageSize))
+	return Image{Bytes: out, Entry: im.Entry}, nil
+}
+
+// ParseHeader reads and validates an SLB header from the start of raw.
+func ParseHeader(raw []byte) (length int, entry uint16, err error) {
+	if len(raw) < HeaderSize {
+		return 0, 0, fmt.Errorf("pal: image shorter than header")
+	}
+	l := int(binary.LittleEndian.Uint16(raw[0:2]))
+	if l == 0 {
+		l = MaxImageSize // length field wraps at 64 KB
+	}
+	entry = binary.LittleEndian.Uint16(raw[2:4])
+	if l < HeaderSize {
+		return 0, 0, fmt.Errorf("pal: declared length %d below header size", l)
+	}
+	if int(entry) >= l {
+		return 0, 0, fmt.Errorf("pal: entry %d beyond declared length %d", entry, l)
+	}
+	return l, entry, nil
+}

@@ -1,0 +1,151 @@
+package pal
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"minimaltcb/internal/isa"
+)
+
+func TestBuildProducesValidHeader(t *testing.T) {
+	im, err := Build(`
+		ldi r0, 1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	length, entry, err := ParseHeader(im.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != len(im.Bytes) {
+		t.Fatalf("declared length %d, actual %d", length, len(im.Bytes))
+	}
+	if entry != HeaderSize || im.Entry != HeaderSize {
+		t.Fatalf("entry %d, want %d", entry, HeaderSize)
+	}
+	// The code after the header must decode to the assembled program.
+	prog, err := isa.DecodeProgram(im.Bytes[HeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Op != isa.OpLdi || prog[1].Op != isa.OpHalt {
+		t.Fatalf("program %v", prog)
+	}
+}
+
+func TestBuildLabelArithmeticAccountsForHeader(t *testing.T) {
+	im, err := Build(`
+		ldi r0, data
+		halt
+	data:
+		.word 42
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := isa.DecodeProgram(im.Bytes[HeaderSize : HeaderSize+8])
+	// data sits after header (4) + two instructions (8) = offset 12.
+	if prog[0].Imm != 12 {
+		t.Fatalf("data label = %d, want 12 (header-adjusted)", prog[0].Imm)
+	}
+	// And the word is really there.
+	if binary.LittleEndian.Uint32(im.Bytes[12:]) != 42 {
+		t.Fatal("data not at label offset")
+	}
+}
+
+func TestBuildBadSource(t *testing.T) {
+	if _, err := Build("bogus instruction"); err == nil {
+		t.Fatal("bad source built")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	MustBuild("nonsense!")
+}
+
+func TestFromCodeTooLarge(t *testing.T) {
+	if _, err := FromCode(make([]byte, MaxImageSize), HeaderSize); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+}
+
+func TestFromCodeBadEntry(t *testing.T) {
+	if _, err := FromCode([]byte{1, 2, 3, 4}, 200); err == nil {
+		t.Fatal("entry beyond image accepted")
+	}
+}
+
+func TestPad(t *testing.T) {
+	im := MustBuild("halt")
+	padded, err := im.Pad(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.Len() != 4096 {
+		t.Fatalf("padded length %d", padded.Len())
+	}
+	length, entry, err := ParseHeader(padded.Bytes)
+	if err != nil || length != 4096 || entry != HeaderSize {
+		t.Fatalf("padded header: %d %d %v", length, entry, err)
+	}
+	// Original code preserved.
+	prog, _ := isa.DecodeProgram(padded.Bytes[HeaderSize : HeaderSize+4])
+	if prog[0].Op != isa.OpHalt {
+		t.Fatal("code lost in padding")
+	}
+}
+
+func TestPadToFull64KB(t *testing.T) {
+	im := MustBuild("halt")
+	padded, err := im.Pad(MaxImageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Length field wraps to 0 at exactly 64 KB; ParseHeader must read it
+	// back as the full size.
+	length, _, err := ParseHeader(padded.Bytes)
+	if err != nil || length != MaxImageSize {
+		t.Fatalf("64KB header: %d, %v", length, err)
+	}
+}
+
+func TestPadErrors(t *testing.T) {
+	im := MustBuild("halt\nhalt\nhalt")
+	if _, err := im.Pad(4); err == nil {
+		t.Fatal("pad below current size accepted")
+	}
+	if _, err := im.Pad(MaxImageSize + 1); err == nil {
+		t.Fatal("pad beyond SLB limit accepted")
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2},
+		{2, 0, 0, 0},   // declared length 2 < header
+		{10, 0, 50, 0}, // entry 50 beyond length 10
+	}
+	for _, raw := range cases {
+		if _, _, err := ParseHeader(raw); err == nil {
+			t.Fatalf("ParseHeader(% x) succeeded", raw)
+		}
+	}
+}
+
+func TestBuildRespectsSLBLimit(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(".space 65534\n")
+	if _, err := Build(sb.String()); err == nil {
+		t.Fatal("image beyond 64 KB built")
+	}
+}

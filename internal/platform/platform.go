@@ -1,0 +1,214 @@
+// Package platform assembles complete simulated machines — CPUs, memory,
+// chipset, LPC bus, TPM, and (on Intel) the ACMod — and defines the five
+// hardware profiles the paper measures.
+package platform
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"time"
+
+	"minimaltcb/internal/acmod"
+	"minimaltcb/internal/chipset"
+	"minimaltcb/internal/cpu"
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
+)
+
+// Profile describes a machine configuration.
+type Profile struct {
+	// Name identifies the machine, matching the paper's test systems.
+	Name string
+	// CPUParams is the per-core timing model.
+	CPUParams cpu.Params
+	// NumCPUs is the core count.
+	NumCPUs int
+	// MemorySize is physical memory in bytes.
+	MemorySize int
+	// BusTiming is the LPC/TPM bus model.
+	BusTiming lpc.Timing
+	// TPM configures the TPM; HasTPM false models the Tyan n3600R.
+	HasTPM     bool
+	TPMProfile tpm.Profile
+	// NumSePCRs provisions the proposed secure-execution PCRs; 0 models
+	// stock 2007 hardware.
+	NumSePCRs int
+	// Seed drives all platform randomness; KeyBits the RSA modulus size
+	// (0 = 2048).
+	Seed    uint64
+	KeyBits int
+}
+
+// Machine is an assembled platform.
+type Machine struct {
+	Profile Profile
+	Clock   *sim.Clock
+	Chipset *chipset.Chipset
+	CPUs    []*cpu.CPU
+	// ACMod and FusedKey are the Intel launch module and the chipset's
+	// burned-in verification key (nil on AMD machines).
+	ACMod    *acmod.Module
+	FusedKey *rsa.PublicKey
+}
+
+// New assembles a machine from a profile.
+func New(p Profile) (*Machine, error) {
+	if p.NumCPUs < 1 {
+		return nil, fmt.Errorf("platform: %q has %d CPUs", p.Name, p.NumCPUs)
+	}
+	if err := p.BusTiming.Validate(); err != nil {
+		return nil, fmt.Errorf("platform: %q: %w", p.Name, err)
+	}
+	clock := sim.NewClock()
+	m := mem.New(p.MemorySize)
+	bus := lpc.NewBus(clock, p.BusTiming)
+
+	var chip *tpm.TPM
+	if p.HasTPM {
+		var err error
+		chip, err = tpm.New(clock, bus, tpm.Config{
+			Profile:   p.TPMProfile,
+			Seed:      p.Seed,
+			KeyBits:   p.KeyBits,
+			NumSePCRs: p.NumSePCRs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("platform: %q: %w", p.Name, err)
+		}
+	}
+	cs := chipset.New(clock, m, bus, chip)
+
+	mach := &Machine{Profile: p, Clock: clock, Chipset: cs}
+	for i := 0; i < p.NumCPUs; i++ {
+		mach.CPUs = append(mach.CPUs, cpu.New(i, p.CPUParams, cs))
+	}
+
+	if p.CPUParams.Vendor == cpu.Intel {
+		vendor, err := acmod.NewVendor(p.Seed, p.KeyBits)
+		if err != nil {
+			return nil, err
+		}
+		module, err := vendor.Sign(nil)
+		if err != nil {
+			return nil, err
+		}
+		mach.ACMod = module
+		mach.FusedKey = vendor.Public()
+	}
+	return mach, nil
+}
+
+// TPM returns the machine's TPM (nil if none).
+func (m *Machine) TPM() *tpm.TPM { return m.Chipset.TPM() }
+
+// BootCPU returns core 0.
+func (m *Machine) BootCPU() *cpu.CPU { return m.CPUs[0] }
+
+// LateLaunch performs the machine's native late launch (SKINIT on AMD,
+// SENTER on Intel) of the SLB at base on core c.
+func (m *Machine) LateLaunch(c *cpu.CPU, base uint32) (*cpu.LaunchResult, error) {
+	if m.Profile.CPUParams.Vendor == cpu.Intel {
+		return c.SENTER(base, m.ACMod, m.FusedKey)
+	}
+	return c.SKINIT(base)
+}
+
+// DefaultMemory is the memory size profiles use unless overridden: 64 MB is
+// ample for PALs plus OS structures and keeps the page table small.
+const DefaultMemory = 64 << 20
+
+// intelTEPBus is the TEP's LPC timing: calibrated so the 10.3 KB ACMod
+// transfer plus signature verification reproduces SENTER's 26.39 ms base.
+func intelTEPBus() lpc.Timing {
+	return lpc.Timing{
+		HashStartEnd:    900 * time.Microsecond,
+		HashDataPerKB:   2400 * time.Microsecond,
+		CommandOverhead: 150 * time.Microsecond,
+		BytesPerCommand: 4,
+	}
+}
+
+// HPdc5750 is the paper's primary machine: 2.2 GHz AMD Athlon64 X2 with a
+// Broadcom v1.2 TPM whose long wait cycles dominate SKINIT (Table 1 row 1,
+// Figure 2).
+func HPdc5750() Profile {
+	return Profile{
+		Name:       "HP dc5750 (AMD + Broadcom TPM)",
+		CPUParams:  cpu.ParamsAMDdc5750(),
+		NumCPUs:    2,
+		MemorySize: DefaultMemory,
+		BusTiming:  lpc.LongWait(),
+		HasTPM:     true,
+		TPMProfile: tpm.ProfileBroadcom(),
+	}
+}
+
+// TyanN3600R is the TPM-less dual-Opteron server board that isolates
+// SKINIT's bus transfer from TPM overhead (Table 1 row 2, Table 2 AMD).
+func TyanN3600R() Profile {
+	return Profile{
+		Name:       "Tyan n3600R (AMD, no TPM)",
+		CPUParams:  cpu.ParamsAMDTyan(),
+		NumCPUs:    4,
+		MemorySize: DefaultMemory,
+		BusTiming:  lpc.FullSpeed(),
+		HasTPM:     false,
+	}
+}
+
+// IntelTEP is the MPC ClientPro Advantage 385 TXT Technology Enabling
+// Platform: 2.66 GHz Core 2 Duo, Atmel TPM (Table 1 row 3, Table 2 Intel).
+func IntelTEP() Profile {
+	return Profile{
+		Name:       "Intel TEP (Core 2 Duo + Atmel TPM)",
+		CPUParams:  cpu.ParamsIntelTEP(),
+		NumCPUs:    2,
+		MemorySize: DefaultMemory,
+		BusTiming:  intelTEPBus(),
+		HasTPM:     true,
+		TPMProfile: tpm.ProfileAtmelTEP(),
+	}
+}
+
+// LenovoT60 is the laptop whose Atmel TPM appears in Figure 3.
+func LenovoT60() Profile {
+	return Profile{
+		Name:       "Lenovo T60 (Atmel TPM)",
+		CPUParams:  cpu.ParamsIntelTEP(), // Core Duo laptop; VM numbers unused
+		NumCPUs:    2,
+		MemorySize: DefaultMemory,
+		BusTiming:  lpc.LongWait(),
+		HasTPM:     true,
+		TPMProfile: tpm.ProfileAtmelT60(),
+	}
+}
+
+// AMDInfineonWS is the AMD workstation with the Infineon TPM of Figure 3.
+func AMDInfineonWS() Profile {
+	return Profile{
+		Name:       "AMD workstation (Infineon TPM)",
+		CPUParams:  cpu.ParamsAMDdc5750(),
+		NumCPUs:    2,
+		MemorySize: DefaultMemory,
+		BusTiming:  lpc.LongWait(),
+		HasTPM:     true,
+		TPMProfile: tpm.ProfileInfineon(),
+	}
+}
+
+// Recommended returns a machine profile with the paper's §5 hardware
+// recommendations enabled on top of a base profile: sePCRs in the TPM (one
+// per desired concurrent PAL) and, implicitly, the SLAUNCH instruction set
+// implemented by internal/sksm.
+func Recommended(base Profile, sePCRs int) Profile {
+	base.Name = base.Name + " + recommendations"
+	base.NumSePCRs = sePCRs
+	return base
+}
+
+// AllMeasured returns the five machines the paper benchmarks.
+func AllMeasured() []Profile {
+	return []Profile{HPdc5750(), TyanN3600R(), IntelTEP(), LenovoT60(), AMDInfineonWS()}
+}

@@ -1,0 +1,66 @@
+package sea
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"minimaltcb/internal/pal"
+)
+
+// Chain automates the continuation pattern nearly every long-running SEA
+// application uses on today's hardware (§4.1's distributed-computing
+// shape): run a session, let the application inspect the output — which
+// typically carries a sealed continuation blob — and either feed the next
+// session or stop. The paper's distributed factoring and our
+// examples/factoring are instances.
+
+// ErrChainTooLong is returned when maxSessions elapse without completion.
+var ErrChainTooLong = errors.New("sea: session chain exceeded its session budget")
+
+// ChainStep inspects one session's output and returns the next session's
+// input, or done=true to stop the chain. Returning an error aborts.
+type ChainStep func(sessionIndex int, output []byte) (next []byte, done bool, err error)
+
+// ChainResult aggregates a completed chain.
+type ChainResult struct {
+	// Sessions is how many sessions ran.
+	Sessions int
+	// Total is the summed virtual time of all sessions — all of it
+	// whole-platform stall on today's hardware.
+	Total time.Duration
+	// Last is the final session.
+	Last *Session
+}
+
+// Chain runs image repeatedly under SEA, threading inputs via step, until
+// step reports done or maxSessions sessions have run (0 means a default
+// budget of 1000).
+func (rt *Runtime) Chain(image pal.Image, first []byte, step ChainStep, maxSessions int) (*ChainResult, error) {
+	if maxSessions <= 0 {
+		maxSessions = 1000
+	}
+	res := &ChainResult{}
+	input := first
+	for res.Sessions < maxSessions {
+		s, err := rt.Execute(image, input)
+		if err != nil {
+			return res, err
+		}
+		res.Sessions++
+		res.Total += s.Total
+		res.Last = s
+		if s.ExitStatus != 0 {
+			return res, fmt.Errorf("sea: chain session %d exited %d", res.Sessions, s.ExitStatus)
+		}
+		next, done, err := step(res.Sessions-1, s.Output)
+		if err != nil {
+			return res, err
+		}
+		if done {
+			return res, nil
+		}
+		input = next
+	}
+	return res, ErrChainTooLong
+}

@@ -1,0 +1,159 @@
+package sea
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"minimaltcb/internal/pal"
+)
+
+// chainPAL counts up by one per session, carrying the counter in a sealed
+// blob. Output: [done:1][bloblen:2][blob]. done=1 when the counter hits 4.
+const chainPAL = `
+	ldi	r0, inbuf
+	ldi	r1, 1024
+	svc	7
+	ldi	r2, 0
+	cmp	r0, r2
+	jz	first
+	ldi	r1, inbuf	; parse [bloblen:2][blob]
+	loadb	r2, [r1]
+	loadb	r3, [r1+1]
+	ldi	r4, 8
+	shl	r3, r4
+	or	r2, r3
+	ldi	r0, inbuf
+	addi	r0, 2
+	mov	r1, r2
+	ldi	r2, state
+	svc	4
+	ldi	r3, 0
+	cmp	r1, r3
+	jnz	fail
+	ldi	r1, state
+	load	r5, [r1]
+	jmp	haveval
+first:
+	ldi	r5, 0
+haveval:
+	addi	r5, 1
+	ldi	r1, state
+	store	r5, [r1]
+	ldi	r6, 4
+	cmp	r5, r6
+	jz	finish
+	; continue: output [0][len:2][blob]
+	ldi	r0, state
+	ldi	r1, 4
+	ldi	r2, blob
+	svc	3
+	ldi	r1, hdr
+	ldi	r2, 0
+	storeb	r2, [r1]
+	storeb	r0, [r1+1]
+	mov	r2, r0
+	ldi	r3, 8
+	shr	r2, r3
+	storeb	r2, [r1+2]
+	push	r0
+	ldi	r0, hdr
+	ldi	r1, 3
+	svc	6
+	pop	r1
+	ldi	r0, blob
+	svc	6
+	ldi	r0, 0
+	svc	0
+finish:
+	ldi	r1, hdr
+	ldi	r2, 1
+	storeb	r2, [r1]
+	ldi	r0, hdr
+	ldi	r1, 1
+	svc	6
+	ldi	r0, state
+	ldi	r1, 4
+	svc	6
+	ldi	r0, 0
+	svc	0
+fail:
+	ldi	r0, 1
+	svc	0
+state:	.word 0
+hdr:	.space 3
+	.align 4
+inbuf:	.space 1024
+blob:	.space 768
+stack:	.space 96
+`
+
+// chainStep parses the chain PAL's output convention.
+func chainStep(_ int, output []byte) ([]byte, bool, error) {
+	if len(output) == 0 {
+		return nil, false, errors.New("empty output")
+	}
+	if output[0] == 1 {
+		return nil, true, nil
+	}
+	n := binary.LittleEndian.Uint16(output[1:3])
+	return output[1 : 3+n], false, nil
+}
+
+func TestChainRunsToCompletion(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	im := pal.MustBuild(chainPAL)
+	res, err := rt.Chain(im, nil, chainStep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 4 {
+		t.Fatalf("sessions = %d, want 4", res.Sessions)
+	}
+	// Final output carries done flag + the counter value 4.
+	if res.Last.Output[0] != 1 {
+		t.Fatal("last session not marked done")
+	}
+	if binary.LittleEndian.Uint32(res.Last.Output[1:5]) != 4 {
+		t.Fatalf("final counter %d", binary.LittleEndian.Uint32(res.Last.Output[1:5]))
+	}
+	// Each of the 4 sessions pays the full late-launch + TPM toll.
+	if res.Total < 4*res.Last.Breakdown[PhaseLaunch] {
+		t.Fatalf("total %v too small for 4 launches", res.Total)
+	}
+}
+
+func TestChainBudget(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	im := pal.MustBuild(chainPAL)
+	_, err := rt.Chain(im, nil, chainStep, 2)
+	if !errors.Is(err, ErrChainTooLong) {
+		t.Fatalf("budget overrun: %v", err)
+	}
+}
+
+func TestChainStepErrorAborts(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	im := pal.MustBuild(chainPAL)
+	boom := fmt.Errorf("application rejects output")
+	res, err := rt.Chain(im, nil, func(int, []byte) ([]byte, bool, error) {
+		return nil, false, boom
+	}, 0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Sessions != 1 {
+		t.Fatalf("sessions = %d", res.Sessions)
+	}
+}
+
+func TestChainPALFailureSurfaces(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	// A PAL that always exits 1.
+	im := pal.MustBuild("ldi r0, 1\nsvc 0")
+	_, err := rt.Chain(im, nil, chainStep, 0)
+	if err == nil {
+		t.Fatal("failing chain session unreported")
+	}
+}

@@ -1,0 +1,164 @@
+package sea
+
+import (
+	"fmt"
+
+	"minimaltcb/internal/pal"
+)
+
+// This file provides the two generic PALs of §4.1, whose overheads Figure 2
+// decomposes. Nearly every practical SEA application is one of these two
+// shapes:
+//
+//   - PAL Gen launches, generates application data (here: TPM-random
+//     bytes, standing in for key generation), seals it under its own
+//     late-launch identity, outputs the sealed blob, and exits.
+//
+//   - PAL Use launches, unseals state from a previous session, operates on
+//     it, optionally reseals, outputs, and exits.
+//
+// The paper's certificate authority, SSH password handler, rootkit
+// detector and distributed-factoring applications (examples/) are concrete
+// instances of these flows.
+
+// GenPayload is the amount of state PAL Gen creates and seals: 1 KB, the
+// convention that puts the Broadcom Seal at its published 20.01 ms.
+const GenPayload = 1024
+
+// blobCapacity is the PAL-side buffer reserved for sealed blobs; a sealed
+// 1 KB payload plus envelope fits comfortably.
+const blobCapacity = 2048
+
+// palGenSource is the PAL Gen program.
+const palGenSource = `
+	; PAL Gen: generate 1 KB of data, seal it, output the blob.
+	ldi	r0, data
+	ldi	r1, 1024
+	svc	5		; TPM GetRandom -> data
+	ldi	r0, data
+	ldi	r1, 1024
+	ldi	r2, blob
+	svc	3		; TPM Seal(data) -> blob, r0 = blob len
+	mov	r1, r0
+	ldi	r0, blob
+	svc	6		; output blob
+	ldi	r0, 0
+	svc	0		; exit(0)
+data:	.space 1024
+blob:	.space 2048
+stack:	.space 128
+`
+
+// palUseSource is the PAL Use program. reseal selects whether the modified
+// state is sealed again before exit (the distributed-computing pattern) or
+// simply discarded (the signing-key pattern).
+func palUseSource(reseal bool) string {
+	resealCode := ""
+	if reseal {
+		resealCode = `
+	ldi	r0, data
+	ldi	r1, 1024
+	ldi	r2, blob
+	svc	3		; TPM Seal(modified data) -> blob
+	mov	r1, r0
+	ldi	r0, blob
+	svc	6		; output new blob
+`
+	}
+	return `
+	; PAL Use: read blob, unseal, modify state, optionally reseal.
+	ldi	r0, blob
+	ldi	r1, 2048
+	svc	7		; input -> blob, r0 = blob len
+	mov	r1, r0
+	ldi	r0, blob
+	ldi	r2, data
+	svc	4		; TPM Unseal(blob) -> data; r1 = status
+	ldi	r3, 0
+	cmp	r1, r3
+	jnz	fail
+	; operate on the state: increment the first byte.
+	ldi	r4, data
+	loadb	r5, [r4]
+	addi	r5, 1
+	storeb	r5, [r4]
+` + resealCode + `
+	ldi	r0, 0
+	svc	0		; exit(0)
+fail:
+	ldi	r0, 1
+	svc	0		; exit(1): unseal refused
+data:	.space 1024
+blob:	.space 2048
+stack:	.space 128
+`
+}
+
+// BuildPALGen assembles the generic PAL Gen image, padded to the full
+// 64 KB SLB — Figure 2's sessions "use the full 64 KB supported by AMD".
+func BuildPALGen() pal.Image {
+	im, err := pal.MustBuild(palGenSource).Pad(pal.MaxImageSize)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+// BuildPALUse assembles the generic PAL Use image at the full 64 KB SLB.
+func BuildPALUse(reseal bool) pal.Image {
+	im, err := pal.MustBuild(palUseSource(reseal)).Pad(pal.MaxImageSize)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+// SealForImage seals data to the late-launch identity of image: it
+// launches the image (setting the dynamic PCRs), performs the seal, and
+// tears the session down without running the PAL. Experiments use it to
+// provision the prior-session state PAL Use consumes.
+func (rt *Runtime) SealForImage(image pal.Image, data []byte) ([]byte, error) {
+	k := rt.Kernel
+	m := k.Machine
+	region, err := k.PlaceImage(image.Bytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		m.Chipset.SetDEVRegion(region, false)
+		k.ReleaseRegion(region)
+	}()
+	if _, err := m.LateLaunch(m.BootCPU(), region.Base); err != nil {
+		return nil, err
+	}
+	return m.TPM().Seal(rt.sealSelection(), data)
+}
+
+// RunPALGen executes the PAL Gen flow and returns the session (whose
+// Output is the sealed blob).
+func (rt *Runtime) RunPALGen() (*Session, error) {
+	s, err := rt.Execute(BuildPALGen(), nil)
+	if err != nil {
+		return s, err
+	}
+	if s.ExitStatus != 0 {
+		return s, fmt.Errorf("sea: PAL Gen exited with status %d", s.ExitStatus)
+	}
+	if len(s.Output) == 0 {
+		return s, fmt.Errorf("sea: PAL Gen produced no sealed blob")
+	}
+	return s, nil
+}
+
+// RunPALUse executes the PAL Use flow over a blob from a previous PAL Gen
+// (or PAL Use) session.
+func (rt *Runtime) RunPALUse(blob []byte, reseal bool) (*Session, error) {
+	s, err := rt.Execute(BuildPALUse(reseal), blob)
+	if err != nil {
+		return s, err
+	}
+	if s.ExitStatus != 0 {
+		return s, fmt.Errorf("sea: PAL Use exited with status %d (unseal refused?)", s.ExitStatus)
+	}
+	return s, nil
+}

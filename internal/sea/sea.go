@@ -1,0 +1,161 @@
+// Package sea implements the Secure Execution Architecture on *today's*
+// (2007) hardware, the system whose overheads Section 4 of the paper
+// measures: a kernel-module-style driver suspends the untrusted OS, late
+// launches a PAL with SKINIT/SENTER, serves the PAL's TPM needs (seal,
+// unseal, extend, random) against the dynamic PCRs, and resumes the OS when
+// the PAL exits. PAL state that must survive across sessions is protected
+// with TPM sealed storage — the context-switch mechanism whose cost
+// motivates the paper's hardware recommendations.
+package sea
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"minimaltcb/internal/cpu"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/osker"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
+)
+
+// Runtime drives SEA sessions on one machine.
+type Runtime struct {
+	Kernel *osker.Kernel
+}
+
+// NewRuntime installs the SEA driver into an untrusted kernel.
+func NewRuntime(k *osker.Kernel) *Runtime { return &Runtime{Kernel: k} }
+
+// Phase names used in Session.Breakdown, matching Figure 2's legend.
+const (
+	PhaseLaunch = "SKINIT" // includes SENTER on Intel machines
+	PhaseSeal   = "Seal"
+	PhaseUnseal = "Unseal"
+	PhaseQuote  = "Quote"
+	PhaseExec   = "PAL exec"
+)
+
+// Session is one PAL execution on today's hardware.
+type Session struct {
+	rt     *Runtime
+	cpu    *cpu.CPU
+	Image  pal.Image
+	Region mem.Region
+	Launch *cpu.LaunchResult
+
+	// Input is presented to the PAL via SvcNumInput; Output collects
+	// SvcNumOutput bytes.
+	Input  []byte
+	Output []byte
+
+	// Breakdown maps phase names to accumulated virtual time, the
+	// decomposition Figure 2 charts.
+	Breakdown map[string]time.Duration
+	// Total is the end-to-end session overhead.
+	Total time.Duration
+	// ExitStatus is r0 at SvcNumExit.
+	ExitStatus uint32
+
+	// tpmTime accumulates time spent in TPM service calls, so PhaseExec
+	// can be reported net of the separately-charted TPM phases.
+	tpmTime time.Duration
+}
+
+// ErrPALFault wraps a PAL crash.
+var ErrPALFault = errors.New("sea: PAL faulted")
+
+// sealSelection is the PCR set PAL state is bound to: PCR 17 on AMD, 17+18
+// on Intel (§3.3).
+func (rt *Runtime) sealSelection() tpm.Selection {
+	if rt.Kernel.Machine.Profile.CPUParams.Vendor == cpu.Intel {
+		return tpm.Selection{17, 18}
+	}
+	return tpm.Selection{17}
+}
+
+// Execute suspends the legacy environment, late launches the image, runs
+// the PAL to completion, and resumes the legacy environment. The whole
+// platform is stalled for the session's duration — SEA's fundamental
+// concurrency cost on today's hardware (§4.2).
+func (rt *Runtime) Execute(image pal.Image, input []byte) (*Session, error) {
+	k := rt.Kernel
+	m := k.Machine
+	s := &Session{
+		rt:        rt,
+		Image:     image,
+		Input:     input,
+		Breakdown: map[string]time.Duration{},
+	}
+	total := sim.StartStopwatch(m.Clock)
+
+	region, err := k.PlaceImage(image.Bytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.Region = region
+	defer func() {
+		// The driver zeroes the PAL's memory before handing the pages
+		// back to the OS pool. Well-behaved PALs erase their own
+		// secrets (§3.3), but a crashed PAL must not leak through the
+		// allocator either.
+		m.Chipset.Memory().ZeroRange(region.Base, region.Size)
+		m.Chipset.SetDEVRegion(region, false)
+		k.ReleaseRegion(region)
+	}()
+
+	// Deferred in this order so that, on any return path, the legacy OS
+	// resumes first and the session total then covers the whole window
+	// including that resume (defers run LIFO).
+	defer s.finish(total)
+	k.SuspendLegacy()
+	defer k.ResumeLegacy()
+
+	core := m.BootCPU()
+	s.cpu = core
+
+	sw := sim.StartStopwatch(m.Clock)
+	launch, err := m.LateLaunch(core, region.Base)
+	if err != nil {
+		return nil, fmt.Errorf("sea: late launch: %w", err)
+	}
+	s.Launch = launch
+	s.Breakdown[PhaseLaunch] = sw.Elapsed()
+
+	core.SetService(s.service)
+	sw = sim.StartStopwatch(m.Clock)
+	reason, err := core.Run(0)
+	s.Breakdown[PhaseExec] += sw.Elapsed() - s.tpmTime
+	if err != nil {
+		return s, fmt.Errorf("%w: %v", ErrPALFault, err)
+	}
+	if reason != cpu.StopHalt {
+		return s, fmt.Errorf("%w: unexpected stop %v", ErrPALFault, reason)
+	}
+	core.ClearMicroarchState()
+	return s, nil
+}
+
+// finish closes the books: total time, whole-platform stall accounting.
+func (s *Session) finish(total sim.Stopwatch) {
+	s.Total = total.Elapsed()
+	s.rt.Kernel.StallAllCPUs(s.Total)
+}
+
+// Quote produces the attestation an external party needs, over the dynamic
+// PCRs holding the PAL measurement. The paper charts this separately in
+// Figure 2 because it can run after the OS resumes.
+func (rt *Runtime) Quote(nonce []byte) (*tpm.Quote, time.Duration, error) {
+	m := rt.Kernel.Machine
+	if !m.Chipset.HasTPM() {
+		return nil, 0, errors.New("sea: no TPM on this platform")
+	}
+	sw := sim.StartStopwatch(m.Clock)
+	q, err := m.TPM().QuoteCommand(rt.sealSelection(), nonce)
+	if err != nil {
+		return nil, 0, err
+	}
+	return q, sw.Elapsed(), nil
+}

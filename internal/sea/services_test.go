@@ -1,0 +1,120 @@
+package sea
+
+import (
+	"errors"
+	"testing"
+
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/platform"
+)
+
+// TPM-dependent services must fault the PAL on TPM-less platforms rather
+// than silently succeed.
+func TestTPMServicesFaultWithoutTPM(t *testing.T) {
+	rt := newRuntime(t, platform.TyanN3600R())
+	for _, svc := range []int{2, 3, 4, 5} {
+		im := pal.MustBuild("svc " + string(rune('0'+svc)) + "\nldi r0, 0\nsvc 0")
+		_, err := rt.Execute(im, nil)
+		if !errors.Is(err, ErrPALFault) {
+			t.Errorf("svc %d without TPM: %v", svc, err)
+		}
+	}
+}
+
+func TestUnknownServiceFaults(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	im := pal.MustBuild("svc 99")
+	if _, err := rt.Execute(im, nil); !errors.Is(err, ErrPALFault) {
+		t.Fatalf("unknown service: %v", err)
+	}
+}
+
+func TestInputTruncation(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	// The PAL asks for up to 4 bytes; the host supplies 10.
+	im := pal.MustBuild(`
+		ldi	r0, buf
+		ldi	r1, 4
+		svc	7
+		mov	r1, r0	; r1 = bytes copied
+		ldi	r0, buf
+		svc	6
+		ldi	r0, 0
+		svc	0
+	buf:	.space 16
+	`)
+	s, err := rt.Execute(im, []byte("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Output) != "0123" {
+		t.Fatalf("output %q, want truncated read... got full input?", s.Output)
+	}
+}
+
+func TestGetTimeService(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	im := pal.MustBuild(`
+		svc	8
+		ldi	r1, out
+		store	r0, [r1]
+		ldi	r0, out
+		ldi	r1, 4
+		svc	6
+		ldi	r0, 0
+		svc	0
+	out:	.word 0
+	`)
+	s, err := rt.Execute(im, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := uint32(s.Output[0]) | uint32(s.Output[1])<<8 | uint32(s.Output[2])<<16 | uint32(s.Output[3])<<24
+	// The launch alone costs ~ms of virtual time before the PAL reads
+	// the clock, so the value must be well above zero.
+	if v == 0 {
+		t.Fatal("PAL read zero virtual time after a late launch")
+	}
+}
+
+func TestExtendServiceChangesPCR17(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	im := pal.MustBuild(`
+		ldi	r0, data
+		ldi	r1, 5
+		svc	2
+		ldi	r0, 0
+		svc	0
+	data:	.ascii "input"
+	`)
+	before17 := func() [20]byte {
+		v, _ := rt.Kernel.Machine.TPM().PCRValue(17)
+		return v
+	}
+	if _, err := rt.Execute(im, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := before17()
+	// PCR17 = extend(extend(0, PAL), input-measurement) — two links.
+	launchOnly := pal.MustBuild("ldi r0, 0\nsvc 0")
+	if _, err := rt.Execute(launchOnly, nil); err != nil {
+		t.Fatal(err)
+	}
+	other := before17()
+	if after == other {
+		t.Fatal("svc 2 left no trace in PCR17")
+	}
+}
+
+// A service call with a bad pointer faults cleanly.
+func TestServiceBadPointerFaults(t *testing.T) {
+	rt := newRuntime(t, fastProfile())
+	im := pal.MustBuild(`
+		ldi	r0, 0xff00	; outside the image
+		ldi	r1, 64
+		svc	6
+	`)
+	if _, err := rt.Execute(im, nil); !errors.Is(err, ErrPALFault) {
+		t.Fatalf("bad output pointer: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package sim provides the simulation substrate shared by every hardware
+// model in this repository: a virtual clock, per-component timelines,
+// run-statistics helpers, and a deterministic random source.
+//
+// All hardware latencies in the simulator are expressed as virtual
+// time.Duration values charged against a Clock. Nothing in the simulator
+// sleeps; "time" is pure accounting, which keeps experiments deterministic
+// and lets a full PAL session that would take seconds of wall-clock time on
+// 2007 hardware run in microseconds of real time.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is a clock at time zero, ready to
+// use. Clock is not safe for concurrent use; the simulator is structured as
+// a deterministic single-threaded discrete-event loop.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as an offset from simulation start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Advance panics if d is negative:
+// virtual time never flows backwards, and a negative charge always indicates
+// a bug in a timing model.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to the absolute virtual time t. It is a
+// no-op if t is in the past; this makes it convenient for synchronizing a
+// component timeline with another that has raced ahead.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Only test harnesses and the benchmark
+// driver call this, between independent trials.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Stopwatch measures an interval of virtual time on a Clock.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// StartStopwatch begins an interval measurement at the clock's current time.
+func StartStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed returns the virtual time accumulated since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }
+
+// Timeline tracks the busy time of one component (typically a CPU core) on
+// top of a shared clock. The paper's concurrency results hinge on which
+// cores are stalled during which operations, so each core keeps its own
+// availability horizon.
+type Timeline struct {
+	// BusyUntil is the absolute virtual time at which the component
+	// becomes free again.
+	BusyUntil time.Duration
+	// Busy accumulates total busy time, for utilization reporting.
+	Busy time.Duration
+}
+
+// Occupy marks the component busy for d starting no earlier than `from`,
+// and returns the time at which the work completes.
+func (t *Timeline) Occupy(from, d time.Duration) time.Duration {
+	start := from
+	if t.BusyUntil > start {
+		start = t.BusyUntil
+	}
+	t.BusyUntil = start + d
+	t.Busy += d
+	return t.BusyUntil
+}
+
+// Utilization returns the fraction of the window [0, horizon] the component
+// spent busy. It reports 0 for a non-positive horizon.
+func (t *Timeline) Utilization(horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	u := float64(t.Busy) / float64(horizon)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(3 * time.Millisecond)
+	c.Advance(250 * time.Microsecond)
+	if got, want := c.Now(), 3250*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-time.Nanosecond)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(10 * time.Millisecond)
+	if c.Now() != 10*time.Millisecond {
+		t.Fatalf("AdvanceTo forward: got %v", c.Now())
+	}
+	c.AdvanceTo(5 * time.Millisecond) // in the past: no-op
+	if c.Now() != 10*time.Millisecond {
+		t.Fatalf("AdvanceTo backward moved the clock: %v", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset clock at %v", c.Now())
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Millisecond)
+	sw := StartStopwatch(c)
+	c.Advance(7 * time.Millisecond)
+	if got := sw.Elapsed(); got != 7*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 7ms", got)
+	}
+}
+
+// Property: the clock is monotone under any sequence of non-negative
+// advances, and its final reading equals the sum of the advances.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock()
+		var sum time.Duration
+		prev := c.Now()
+		for _, s := range steps {
+			d := time.Duration(s) * time.Microsecond
+			c.Advance(d)
+			sum += d
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineOccupySequential(t *testing.T) {
+	var tl Timeline
+	end := tl.Occupy(0, 10*time.Millisecond)
+	if end != 10*time.Millisecond {
+		t.Fatalf("first occupy ends at %v", end)
+	}
+	// A request arriving at t=5ms must queue behind the busy window.
+	end = tl.Occupy(5*time.Millisecond, 10*time.Millisecond)
+	if end != 20*time.Millisecond {
+		t.Fatalf("queued occupy ends at %v, want 20ms", end)
+	}
+	if tl.Busy != 20*time.Millisecond {
+		t.Fatalf("busy total %v, want 20ms", tl.Busy)
+	}
+}
+
+func TestTimelineOccupyIdleGap(t *testing.T) {
+	var tl Timeline
+	tl.Occupy(0, time.Millisecond)
+	end := tl.Occupy(10*time.Millisecond, 2*time.Millisecond)
+	if end != 12*time.Millisecond {
+		t.Fatalf("occupy after gap ends at %v, want 12ms", end)
+	}
+	if tl.Busy != 3*time.Millisecond {
+		t.Fatalf("busy total %v, want 3ms (gap must not count)", tl.Busy)
+	}
+}
+
+func TestTimelineUtilization(t *testing.T) {
+	var tl Timeline
+	tl.Occupy(0, 25*time.Millisecond)
+	if u := tl.Utilization(100 * time.Millisecond); u != 0.25 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+	if u := tl.Utilization(0); u != 0 {
+		t.Fatalf("utilization over zero horizon = %v, want 0", u)
+	}
+	if u := tl.Utilization(10 * time.Millisecond); u != 1 {
+		t.Fatalf("utilization clamps to 1, got %v", u)
+	}
+}
+
+// Property: BusyUntil never decreases across any sequence of Occupy calls.
+func TestTimelineBusyUntilMonotoneProperty(t *testing.T) {
+	f := func(reqs []struct{ From, Dur uint16 }) bool {
+		var tl Timeline
+		prev := tl.BusyUntil
+		for _, r := range reqs {
+			tl.Occupy(time.Duration(r.From)*time.Microsecond,
+				time.Duration(r.Dur)*time.Microsecond)
+			if tl.BusyUntil < prev {
+				return false
+			}
+			prev = tl.BusyUntil
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

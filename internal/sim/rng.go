@@ -1,0 +1,66 @@
+package sim
+
+import "encoding/binary"
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64). The
+// simulator uses it for noise injection in timing models and for TPM
+// GetRandom output so that every experiment is exactly reproducible from a
+// seed. It is not, and does not need to be, cryptographically strong: the
+// only cryptographic randomness the system consumes (RSA key generation)
+// comes from crypto/rand via a seeded stream in the TPM package.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds yield
+// independent-looking streams; seed 0 is valid.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// NormFloat64 returns an approximately standard-normal variate using the
+// sum-of-uniforms (Irwin–Hall) method, which is plenty for timing jitter.
+func (r *RNG) NormFloat64() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return s - 6
+}
+
+// Fill writes pseudo-random bytes into p.
+func (r *RNG) Fill(p []byte) {
+	var buf [8]byte
+	for len(p) > 0 {
+		binary.LittleEndian.PutUint64(buf[:], r.Uint64())
+		n := copy(p, buf[:])
+		p = p[n:]
+	}
+}
+
+// Read implements io.Reader, never returning an error. This lets the RNG
+// stand in wherever a randomness stream is needed deterministically.
+func (r *RNG) Read(p []byte) (int, error) {
+	r.Fill(p)
+	return len(p), nil
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 collisions between distinct seeds", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(0).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGNormRoughlyCentered(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.NormFloat64()
+	}
+	mean := sum / n
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+}
+
+func TestRNGFillAndRead(t *testing.T) {
+	r := NewRNG(3)
+	buf := make([]byte, 37)
+	n, err := r.Read(buf)
+	if err != nil || n != 37 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	allZero := true
+	for _, b := range buf {
+		if b != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("Read produced all-zero bytes")
+	}
+}
+
+// Property: Fill is deterministic per seed and length.
+func TestRNGFillDeterministicProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		a := make([]byte, int(n))
+		b := make([]byte, int(n))
+		NewRNG(seed).Fill(a)
+		NewRNG(seed).Fill(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates duration observations across repeated trials of an
+// experiment and reports the summary statistics the paper publishes
+// (averages over 100 runs in Figure 2, averages with standard deviation over
+// 20 trials in Figure 3 and Table 2).
+type Sample struct {
+	values []time.Duration
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) { s.values = append(s.values, d) }
+
+// N returns the number of observations recorded.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean of the observations, or 0 if empty.
+func (s *Sample) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / time.Duration(len(s.values))
+}
+
+// Stdev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two observations.
+func (s *Sample) Stdev() time.Duration {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var ss float64
+	for _, v := range s.values {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Sample) Min() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Sample) Max() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on a sorted copy; it returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.values))
+	copy(sorted, s.values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Millis formats a duration as fractional milliseconds with two decimals,
+// the unit every table in the paper uses.
+func Millis(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// Micros formats a duration as fractional microseconds with four decimals,
+// matching Table 2's precision.
+func Micros(d time.Duration) string {
+	return fmt.Sprintf("%.4f", float64(d)/float64(time.Microsecond))
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Stdev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty sample percentile must be 0")
+	}
+}
+
+func TestSampleMean(t *testing.T) {
+	var s Sample
+	for _, v := range []time.Duration{10, 20, 30} {
+		s.Add(v * time.Millisecond)
+	}
+	if got := s.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("mean = %v, want 20ms", got)
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestSampleStdev(t *testing.T) {
+	var s Sample
+	// Values 2,4,4,4,5,5,7,9 have sample stdev sqrt(32/7) ≈ 2.138.
+	for _, v := range []time.Duration{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v * time.Second)
+	}
+	got := float64(s.Stdev()) / float64(time.Second)
+	if got < 2.13 || got > 2.15 {
+		t.Fatalf("stdev = %v s, want ≈2.138 s", got)
+	}
+}
+
+func TestSampleStdevSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(time.Second)
+	if s.Stdev() != 0 {
+		t.Fatal("stdev of single observation must be 0")
+	}
+}
+
+func TestSampleMinMax(t *testing.T) {
+	var s Sample
+	for _, v := range []time.Duration{5, 1, 9, 3} {
+		s.Add(v)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSamplePercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v, want 100", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+}
+
+// Property: Min <= Mean <= Max for any non-empty sample, and the mean of n
+// copies of x is x.
+func TestSampleOrderingProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleConstantProperty(t *testing.T) {
+	f := func(x uint32, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		var s Sample
+		for i := 0; i < int(n); i++ {
+			s.Add(time.Duration(x))
+		}
+		return s.Mean() == time.Duration(x) && s.Stdev() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMillisFormatting(t *testing.T) {
+	if got := Millis(177520 * time.Microsecond); got != "177.52" {
+		t.Fatalf("Millis = %q, want 177.52", got)
+	}
+	if got := Millis(0); got != "0.00" {
+		t.Fatalf("Millis(0) = %q", got)
+	}
+}
+
+func TestMicrosFormatting(t *testing.T) {
+	if got := Micros(558 * time.Nanosecond); got != "0.5580" {
+		t.Fatalf("Micros = %q, want 0.5580", got)
+	}
+}

@@ -1,0 +1,136 @@
+package sksm
+
+import (
+	"errors"
+	"testing"
+
+	"minimaltcb/internal/cpu"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/pal"
+)
+
+// launchExecuting launches a PAL that yields immediately so tests can hold
+// it in the Execute state: SLAUNCH it without running.
+func launchExecuting(t *testing.T, mg *Manager, src string, coreID int) (*SECB, *cpu.CPU) {
+	t.Helper()
+	im := pal.MustBuild(src)
+	s, err := mg.NewSECB(im, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := mg.Kernel.Machine.CPUs[coreID]
+	if err := mg.SLAUNCH(core, s); err != nil {
+		t.Fatal(err)
+	}
+	return s, core
+}
+
+func TestJoinGrantsWorkerAccess(t *testing.T) {
+	mg := newManager(t, 2)
+	s, owner := launchExecuting(t, mg, `
+		ldi r0, 0
+		svc 0
+	shared:	.word 0
+	stack:	.space 32
+	`, 1)
+	worker := mg.Kernel.Machine.CPUs[2]
+
+	// Before joining: the worker is refused.
+	if _, err := mg.Kernel.Machine.Chipset.CPURead(worker.ID, s.Region.Base, 4); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("unjoined worker read PAL memory: %v", err)
+	}
+	if err := mg.Join(worker, s); err != nil {
+		t.Fatal(err)
+	}
+	// Joined worker reads and writes PAL memory alongside the owner.
+	if err := mg.Kernel.Machine.Chipset.CPUWrite(worker.ID, s.Region.Base+12, []byte{42}); err != nil {
+		t.Fatalf("joined worker write: %v", err)
+	}
+	got, err := mg.Kernel.Machine.Chipset.CPURead(owner.ID, s.Region.Base+12, 1)
+	if err != nil || got[0] != 42 {
+		t.Fatalf("owner sees %v, %v", got, err)
+	}
+	// A third, unjoined core is still refused.
+	if _, err := mg.Kernel.Machine.Chipset.CPURead(3, s.Region.Base, 4); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("unjoined third core read PAL memory: %v", err)
+	}
+	// The joined worker can execute PAL code.
+	if reason, err := worker.Run(0); err != nil || reason != cpu.StopHalt {
+		t.Fatalf("worker run: %v %v", reason, err)
+	}
+	// Finish the PAL on the owner.
+	if reason, err := owner.Run(0); err != nil || reason != cpu.StopHalt {
+		t.Fatalf("owner run: %v %v", reason, err)
+	}
+	if err := mg.Leave(worker, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.SFREE(owner, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	mg := newManager(t, 2)
+	s, owner := launchExecuting(t, mg, "ldi r0, 0\nsvc 0", 1)
+	worker := mg.Kernel.Machine.CPUs[2]
+
+	if err := mg.Join(owner, s); err == nil {
+		t.Fatal("owner joined its own PAL")
+	}
+	if err := mg.Join(worker, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Join(worker, s); err == nil {
+		t.Fatal("double join accepted")
+	}
+	if err := mg.Leave(mg.Kernel.Machine.CPUs[3], s); err == nil {
+		t.Fatal("leave by non-member accepted")
+	}
+	// A SECB that is not executing cannot be joined.
+	other, _ := mg.NewSECB(pal.MustBuild("ldi r0, 0\nsvc 0"), 0, 0)
+	if err := mg.Join(worker, other); !errors.Is(err, ErrBadState) {
+		t.Fatalf("join of non-executing SECB: %v", err)
+	}
+}
+
+func TestSuspendAllRevokesJoins(t *testing.T) {
+	mg := newManager(t, 2)
+	s, owner := launchExecuting(t, mg, `
+		svc 1
+		ldi r0, 0
+		svc 0
+	secret: .ascii "shared secret"
+	stack:	.space 32
+	`, 1)
+	worker := mg.Kernel.Machine.CPUs[2]
+	if err := mg.Join(worker, s); err != nil {
+		t.Fatal(err)
+	}
+	// Owner yields; suspend the whole multicore PAL.
+	if reason, err := owner.Run(0); err != nil || reason != cpu.StopYield {
+		t.Fatalf("%v %v", reason, err)
+	}
+	if err := mg.SuspendAll(owner, s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.JoinedCPUs) != 0 {
+		t.Fatal("join list survived suspension")
+	}
+	// Neither former member can touch the secluded pages.
+	for _, id := range []int{1, 2} {
+		if _, err := mg.Kernel.Machine.Chipset.CPURead(id, s.Region.Base, 8); !errors.Is(err, mem.ErrDenied) {
+			t.Fatalf("CPU%d read suspended multicore PAL: %v", id, err)
+		}
+	}
+	// Worker registers were cleared on leave.
+	for i, r := range worker.Regs {
+		if r != 0 {
+			t.Fatalf("worker r%d = %#x after suspend", i, r)
+		}
+	}
+	// Resume and finish.
+	if _, err := mg.RunSlice(owner, s); err != nil {
+		t.Fatal(err)
+	}
+}

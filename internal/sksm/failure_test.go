@@ -1,0 +1,153 @@
+package sksm
+
+import (
+	"errors"
+	"testing"
+
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/osker"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/platform"
+)
+
+// Failure-injection tests: the recommended architecture must fail closed
+// under resource exhaustion, contended hardware, and power events.
+
+func TestSLAUNCHFailsWhileTPMBusLocked(t *testing.T) {
+	mg := newManager(t, 2)
+	// Another CPU holds the hardware TPM lock (§5.4.5).
+	bus := mg.Kernel.Machine.Chipset.Bus()
+	if err := bus.Acquire(3); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := mg.NewSECB(pal.MustBuild("ldi r0, 0\nsvc 0"), 0, 0)
+	err := mg.SLAUNCH(mg.Kernel.Machine.CPUs[1], s)
+	if !errors.Is(err, ErrLaunchFailed) {
+		t.Fatalf("launch with locked TPM: %v", err)
+	}
+	// Fail-closed: pages rolled back to ALL, no sePCR consumed.
+	st, _ := mg.Kernel.Machine.Chipset.RegionState(s.Region)
+	if st != mem.AccessAll {
+		t.Fatalf("region leaked in state %v", st)
+	}
+	if _, err := mg.Kernel.Machine.TPM().AllocateSePCR(0, [20]byte{}); err != nil {
+		t.Fatalf("sePCR leaked by failed launch: %v", err)
+	}
+	// Lock released by the holder: launch proceeds on the remaining
+	// register.
+	bus.Release(3)
+	if err := mg.SLAUNCH(mg.Kernel.Machine.CPUs[1], s); err != nil {
+		t.Fatalf("launch after lock release: %v", err)
+	}
+}
+
+func TestSLAUNCHReleasesBusLockAfterMeasure(t *testing.T) {
+	mg := newManager(t, 1)
+	s, _ := mg.NewSECB(pal.MustBuild("ldi r0, 0\nsvc 0"), 0, 0)
+	core := mg.Kernel.Machine.CPUs[1]
+	if err := mg.SLAUNCH(core, s); err != nil {
+		t.Fatal(err)
+	}
+	if holder := mg.Kernel.Machine.Chipset.Bus().Holder(); holder != -1 {
+		t.Fatalf("TPM lock still held by CPU%d after SLAUNCH", holder)
+	}
+}
+
+func TestTPMRebootInvalidatesSuspendedPALSeals(t *testing.T) {
+	// A PAL seals data under its sePCR; the machine power-cycles (TPM
+	// boot); the sePCR bank resets, so the old handle is dead and the
+	// blob only unseals after a fresh launch of the same PAL.
+	mg := newManager(t, 2)
+	s, core := func() (*SECB, int) {
+		im := pal.MustBuild("svc 1\nldi r0, 0\nsvc 0")
+		s, _ := mg.NewSECB(im, 0, 0)
+		mg.RunSlice(mg.Kernel.Machine.CPUs[1], s)
+		return s, 1
+	}()
+	chip := mg.Kernel.Machine.TPM()
+	blob, err := func() ([]byte, error) {
+		// Seal while suspended via the TPM directly (owner binding is
+		// on the sePCR, still held by CPU1 for the suspended PAL).
+		return chip.SealSePCR(s.SePCRHandle, core, []byte("survives?"))
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.Boot() // power event
+	if _, err := chip.UnsealSePCR(s.SePCRHandle, core, blob); err == nil {
+		t.Fatal("stale handle worked after reboot")
+	}
+	// Fresh launch of the same PAL code on a new platform lifetime:
+	// identity-bound release still works.
+	meas := s.Measurement
+	h, err := chip.AllocateSePCR(2, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := chip.UnsealSePCR(h, 2, blob)
+	if err != nil || string(got) != "survives?" {
+		t.Fatalf("post-reboot unseal by same identity: %q, %v", got, err)
+	}
+}
+
+func TestLaunchFailsWhenMemoryExhausted(t *testing.T) {
+	p := platform.Recommended(platform.HPdc5750(), 2)
+	p.KeyBits = 1024
+	p.MemorySize = (osker.ReservedPages + 3) * mem.PageSize // 3 usable pages: SECB + image + data
+	m, err := platform.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := NewManager(osker.NewKernel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := pal.MustBuild("ldi r0, 0\nsvc 0")
+	// First SECB takes both pages (1 image + 1 data).
+	if _, err := mg.NewSECB(im, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Second allocation must fail cleanly at the OS layer.
+	if _, err := mg.NewSECB(im, 1, 0); !errors.Is(err, osker.ErrNoMemory) {
+		t.Fatalf("OOM SECB allocation: %v", err)
+	}
+}
+
+func TestSchedulerSurvivesMixedFailures(t *testing.T) {
+	mg := newManager(t, 4)
+	sch := NewScheduler(mg)
+	good, _ := mg.NewSECB(buildCounter(t), 0, 0)
+	// crash1 runs off the end of its region after a yield; crash2 hits a
+	// division fault after a yield.
+	crash1, _ := mg.NewSECB(pal.MustBuild(`
+		svc 1
+		ldi r0, 0xfff0
+		jmpr r0
+	`), 0, 0)
+	crash2, _ := mg.NewSECB(pal.MustBuild(`
+		svc 1
+		ldi r0, 1
+		ldi r1, 0
+		remu r0, r1
+	`), 0, 0)
+	faults, err := sch.RunAll([]*SECB{good, crash1, crash2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.State != StateDone || good.ExitStatus != 0 {
+		t.Fatal("healthy PAL harmed by neighbours' crashes")
+	}
+	if len(faults) == 0 {
+		t.Fatal("no faults recorded for crashing PALs")
+	}
+	// Every SECB reached Done (SKILLed or completed): no leaked pages.
+	for i, s := range []*SECB{good, crash1, crash2} {
+		if s.State != StateDone {
+			t.Fatalf("SECB %d state %v", i, s.State)
+		}
+		st, err := mg.Kernel.Machine.Chipset.RegionState(s.Region)
+		if err != nil || st != mem.AccessAll {
+			t.Fatalf("SECB %d region %v %v", i, st, err)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package sksm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"minimaltcb/internal/cpu"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/osker"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/tpm"
+)
+
+// Manager is the recommended-hardware extension: its methods are the
+// microcode of the proposed SLAUNCH/SYIELD/SFREE/SKILL instructions plus
+// the OS-side driver that sequences them.
+type Manager struct {
+	Kernel *osker.Kernel
+}
+
+// NewManager enables the recommendations on a machine. The machine's TPM
+// must provision sePCRs (platform.Recommended does this).
+func NewManager(k *osker.Kernel) (*Manager, error) {
+	if !k.Machine.Chipset.HasTPM() {
+		return nil, errors.New("sksm: recommended hardware requires a TPM")
+	}
+	if k.Machine.TPM().NumSePCRs() == 0 {
+		return nil, errors.New("sksm: TPM has no sePCRs; build the platform with platform.Recommended")
+	}
+	return &Manager{Kernel: k}, nil
+}
+
+// Errors of the instruction set.
+var (
+	ErrBadState = errors.New("sksm: SECB in wrong state")
+	// ErrLaunchFailed is the SLAUNCH failure code: page conflict or
+	// sePCR exhaustion (§5.6).
+	ErrLaunchFailed = errors.New("sksm: SLAUNCH failed")
+	ErrPALFault     = errors.New("sksm: PAL faulted")
+)
+
+// NewSECB is the OS resource-allocation step of Figure 6's Start state:
+// allocate one control page plus pages for the image plus extraDataPages —
+// SECB and PAL contiguous, per §5.1 — copy the image in, and configure the
+// preemption timer.
+func (mg *Manager) NewSECB(image pal.Image, extraDataPages int, quantum time.Duration) (*SECB, error) {
+	imagePages := (len(image.Bytes) + mem.PageSize - 1) / mem.PageSize
+	full, err := mg.Kernel.Alloc.Alloc(1 + imagePages + extraDataPages)
+	if err != nil {
+		return nil, err
+	}
+	secbRegion := mem.Region{Base: full.Base, Size: mem.PageSize}
+	palRegion := mem.Region{Base: full.Base + mem.PageSize, Size: full.Size - mem.PageSize}
+	if err := mg.Kernel.Machine.Chipset.Memory().WriteRaw(palRegion.Base, image.Bytes); err != nil {
+		mg.Kernel.Alloc.Free(full)
+		return nil, err
+	}
+	return &SECB{
+		Image:        image,
+		Region:       palRegion,
+		SECBRegion:   secbRegion,
+		Entry:        image.Entry,
+		SePCRHandle:  -1,
+		PreemptTimer: quantum,
+		OwnerCPU:     -1,
+		State:        StateStart,
+	}, nil
+}
+
+// SLAUNCH implements the proposed instruction (Figure 7): from Start it
+// protects, measures and begins executing the PAL; from Suspend it
+// re-protects the pages and resumes the saved state at world-switch cost.
+// On failure the memory protections are rolled back and the error wraps
+// ErrLaunchFailed.
+func (mg *Manager) SLAUNCH(c *cpu.CPU, s *SECB) error {
+	m := mg.Kernel.Machine
+	switch s.State {
+	case StateStart:
+		// Protect: the memory controller claims the pages — SECB and
+		// PAL both — for this CPU ("for the memory region defined in
+		// the SECB and for the SECB itself", §5.1).
+		s.State = StateProtect
+		if err := m.Chipset.ProtectRegion(s.fullRegion(), c.ID); err != nil {
+			s.State = StateStart
+			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+		}
+		// Measure: take the hardware TPM lock (§5.4.5 — with PALs on
+		// multiple CPUs, TPM access is arbitrated in hardware, not by
+		// untrusted software locks), allocate a sePCR, and stream the
+		// PAL to the TPM once.
+		s.State = StateMeasure
+		s.Measurement = tpm.Measure(s.Image.Bytes)
+		bus := m.Chipset.Bus()
+		if err := bus.Acquire(c.ID); err != nil {
+			m.Chipset.ReleaseRegion(s.fullRegion(), c.ID)
+			s.State = StateStart
+			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+		}
+		handle, err := m.TPM().AllocateSePCR(c.ID, s.Measurement)
+		if err != nil {
+			bus.Release(c.ID)
+			m.Chipset.ReleaseRegion(s.fullRegion(), c.ID)
+			s.State = StateStart
+			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+		}
+		s.SePCRHandle = handle
+		bus.TransferHash(s.Image.Bytes)
+		bus.Release(c.ID)
+		s.MeasuredFlag = true
+
+		// Execute: reinitialize the core to its trusted state and enter.
+		c.Reset()
+		m.Clock.Advance(c.Params.InitCost)
+		c.EnterRegion(s.Region, s.Entry)
+		c.SetService(mg.serviceFor(s))
+		s.OwnerCPU = c.ID
+		s.State = StateExecute
+		return nil
+
+	case StateSuspend:
+		// Resume: the MeasuredFlag is honored because the pages are in
+		// NONE (§5.3.1); re-protect for this CPU and reload state.
+		if !s.MeasuredFlag {
+			return fmt.Errorf("%w: resume of unmeasured SECB", ErrLaunchFailed)
+		}
+		s.State = StateProtect
+		if err := m.Chipset.ProtectRegion(s.fullRegion(), c.ID); err != nil {
+			s.State = StateSuspend
+			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+		}
+		// The saved state is read back from the protected SECB page —
+		// the hardware's copy, which the OS could not have touched
+		// while the pages were NONE. There is deliberately no fallback
+		// to the software-visible SECB struct: honoring one would let a
+		// forged control block resume a victim PAL with attacker-chosen
+		// registers and program counter.
+		if s.SECBRegion.Size == 0 {
+			m.Chipset.SecludeRegion(s.fullRegion(), c.ID)
+			s.State = StateSuspend
+			return fmt.Errorf("%w: SECB has no protected control page", ErrLaunchFailed)
+		}
+		saved, savedHandle, err := readArchState(m.Chipset.Memory(), s.SECBRegion.Base)
+		if err != nil {
+			m.Chipset.SecludeRegion(s.fullRegion(), c.ID)
+			s.State = StateSuspend
+			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+		}
+		if err := m.TPM().RebindSePCR(savedHandle, s.OwnerCPU, c.ID); err != nil {
+			m.Chipset.SecludeRegion(s.fullRegion(), c.ID)
+			s.State = StateSuspend
+			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+		}
+		s.SePCRHandle = savedHandle
+		c.Reset()
+		c.EnterRegion(s.Region, s.Entry)
+		c.LoadState(saved)
+		c.SetService(mg.serviceFor(s))
+		c.VMEnter() // the hardware context-switch cost (§5.3.2, Table 2)
+		s.OwnerCPU = c.ID
+		s.State = StateExecute
+		s.Resumes++
+		return nil
+
+	default:
+		return fmt.Errorf("%w: SLAUNCH from %v", ErrBadState, s.State)
+	}
+}
+
+// Suspend implements the preemption-timer expiry / SYIELD path (§5.3):
+// architectural state is written to the SECB, microarchitectural state is
+// cleared, and the pages transition to NONE.
+func (mg *Manager) Suspend(c *cpu.CPU, s *SECB) error {
+	if s.State != StateExecute || s.OwnerCPU != c.ID {
+		return fmt.Errorf("%w: suspend from %v (owner CPU%d, caller CPU%d)",
+			ErrBadState, s.State, s.OwnerCPU, c.ID)
+	}
+	s.CPUState = c.SaveState()
+	if s.SECBRegion.Size != 0 {
+		// Hardware writes the architectural state into the SECB page;
+		// the page is about to become inaccessible to all software.
+		if err := writeArchState(mg.Kernel.Machine.Chipset.Memory(),
+			s.SECBRegion.Base, s.CPUState, s.SePCRHandle); err != nil {
+			return err
+		}
+	}
+	c.ClearMicroarchState()
+	if err := mg.Kernel.Machine.Chipset.SecludeRegion(s.fullRegion(), c.ID); err != nil {
+		return err
+	}
+	c.VMExit() // world-switch cost back to the untrusted OS
+	s.State = StateSuspend
+	return nil
+}
+
+// SFREE implements clean PAL termination (§5.5): the PAL has erased its
+// secrets; pages return to ALL for the OS to reuse, and the sePCR
+// transitions to the Quote state so untrusted code can attest the run.
+func (mg *Manager) SFREE(c *cpu.CPU, s *SECB) error {
+	if s.State != StateExecute || s.OwnerCPU != c.ID {
+		return fmt.Errorf("%w: SFREE from %v", ErrBadState, s.State)
+	}
+	m := mg.Kernel.Machine
+	if err := m.TPM().ReleaseSePCR(s.SePCRHandle, c.ID); err != nil {
+		return err
+	}
+	c.ClearMicroarchState()
+	if err := m.Chipset.ReleaseRegion(s.fullRegion(), c.ID); err != nil {
+		return err
+	}
+	s.OwnerCPU = -1
+	s.State = StateDone
+	return nil
+}
+
+// SKILL implements abnormal termination of a suspended, misbehaving PAL
+// (§5.5): erase its pages, return them to ALL, extend the kill marker into
+// its sePCR and free the register.
+func (mg *Manager) SKILL(s *SECB) error {
+	if s.State != StateSuspend {
+		return fmt.Errorf("%w: SKILL from %v (only suspended PALs can be killed)", ErrBadState, s.State)
+	}
+	m := mg.Kernel.Machine
+	full := s.fullRegion()
+	if err := m.Chipset.Memory().ZeroRange(full.Base, full.Size); err != nil {
+		return err
+	}
+	// Pages are NONE; Release from NONE is the SKILL transition.
+	if err := m.Chipset.ReleaseRegion(full, -1); err != nil {
+		return err
+	}
+	if err := m.TPM().KillSePCR(s.SePCRHandle); err != nil {
+		return err
+	}
+	s.State = StateDone
+	s.OwnerCPU = -1
+	return nil
+}
+
+// RunSlice executes one scheduling slice of the PAL on core c: launch or
+// resume via SLAUNCH, run until halt/yield/preemption, then suspend or
+// free. It returns the stop reason.
+func (mg *Manager) RunSlice(c *cpu.CPU, s *SECB) (cpu.StopReason, error) {
+	if err := mg.SLAUNCH(c, s); err != nil {
+		return cpu.StopFault, err
+	}
+	s.Slices++
+	reason, err := c.Run(s.PreemptTimer)
+	switch {
+	case err != nil:
+		// Faulting PALs are suspended (their state secluded) and left
+		// for the OS to SKILL — their secrets never become readable.
+		if serr := mg.Suspend(c, s); serr != nil {
+			return cpu.StopFault, fmt.Errorf("%w: %v (suspend also failed: %v)", ErrPALFault, err, serr)
+		}
+		return cpu.StopFault, fmt.Errorf("%w: %v", ErrPALFault, err)
+	case reason == cpu.StopHalt:
+		if err := mg.SFREE(c, s); err != nil {
+			return reason, err
+		}
+		return reason, nil
+	default: // yield or preempted
+		if err := mg.Suspend(c, s); err != nil {
+			return reason, err
+		}
+		return reason, nil
+	}
+}
+
+// RunToCompletion drives a PAL through as many slices as needed on core c.
+func (mg *Manager) RunToCompletion(c *cpu.CPU, s *SECB) error {
+	for s.State != StateDone {
+		if _, err := mg.RunSlice(c, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QuoteAfterExit generates the attestation for a completed PAL from
+// untrusted code, using the sePCR handle the PAL reported (§5.4.3). The
+// caller releases the SECB's pages to the OS afterwards.
+func (mg *Manager) QuoteAfterExit(s *SECB, nonce []byte) (*tpm.Quote, error) {
+	if s.State != StateDone {
+		return nil, fmt.Errorf("%w: quote of %v SECB", ErrBadState, s.State)
+	}
+	return mg.Kernel.Machine.TPM().QuoteSePCR(s.SePCRHandle, nonce)
+}
+
+// Release returns a Done SECB's pages to the OS allocator.
+func (mg *Manager) Release(s *SECB) error {
+	if s.State != StateDone {
+		return fmt.Errorf("%w: release of %v SECB", ErrBadState, s.State)
+	}
+	mg.Kernel.ReleaseRegion(s.fullRegion())
+	return nil
+}

@@ -1,0 +1,148 @@
+package sksm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
+)
+
+// System-level property: under any random interleaving of slice
+// scheduling, SKILLs, and core choices, the platform invariants hold after
+// every step:
+//
+//  1. no physical page is accessible to two different CPUs (unless ALL);
+//  2. a suspended or done PAL's pages are never CPU-accessible, and an
+//     executing PAL's pages belong exactly to its owner;
+//  3. sePCR states track SECB states (Execute/Suspend -> Exclusive,
+//     Done -> Quote or Free);
+//  4. no pages leak: after driving every PAL to Done and releasing, the
+//     allocator is back to its starting level.
+func TestRandomScheduleInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		mg := newManager(t, 4)
+		kern := mg.Kernel
+		freeBefore := kern.Alloc.FreePages()
+
+		// A mix of PAL shapes: yielding counters, spinners (preempted),
+		// and one crasher.
+		var secbs []*SECB
+		for i := 0; i < 4; i++ {
+			var src string
+			switch i % 3 {
+			case 0:
+				src = counterPALSource
+			case 1:
+				src = "spin: jmp spin"
+			default:
+				src = "svc 1\nldi r0, 1\nldi r1, 0\ndivu r0, r1"
+			}
+			s, err := mg.NewSECB(pal.MustBuild(src), 0, 5*time.Microsecond)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			secbs = append(secbs, s)
+		}
+
+		check := func() bool {
+			m := kern.Machine.Chipset.Memory()
+			for _, s := range secbs {
+				for _, p := range s.fullRegion().Pages() {
+					st, _ := m.State(p)
+					switch s.State {
+					case StateExecute:
+						if st != mem.PageState(s.OwnerCPU) {
+							t.Logf("executing PAL page %d state %v owner %d", p, st, s.OwnerCPU)
+							return false
+						}
+					case StateSuspend:
+						if st != mem.AccessNone {
+							t.Logf("suspended PAL page %d state %v", p, st)
+							return false
+						}
+					case StateDone:
+						if st != mem.AccessAll {
+							t.Logf("done PAL page %d state %v", p, st)
+							return false
+						}
+					}
+				}
+				if s.SePCRHandle >= 0 {
+					st, _ := kern.Machine.TPM().SePCRStateOf(s.SePCRHandle)
+					switch s.State {
+					case StateExecute, StateSuspend:
+						if st != tpm.SePCRExclusive {
+							t.Logf("PAL %v sePCR state %v", s.State, st)
+							return false
+						}
+					}
+				}
+			}
+			return true
+		}
+
+		// Random driving loop.
+		for step := 0; step < 120; step++ {
+			i := rng.Intn(len(secbs))
+			s := secbs[i]
+			core := kern.Machine.CPUs[1+rng.Intn(3)]
+			switch {
+			case s.State == StateDone:
+				continue
+			case s.State == StateSuspend && rng.Intn(4) == 0:
+				if err := mg.SKILL(s); err != nil {
+					t.Log(err)
+					return false
+				}
+			default:
+				_, err := mg.RunSlice(core, s)
+				if err != nil && !errors.Is(err, ErrPALFault) && !errors.Is(err, ErrLaunchFailed) {
+					t.Log(err)
+					return false
+				}
+			}
+			if !check() {
+				return false
+			}
+		}
+
+		// Drain: kill everything still live, then release.
+		for _, s := range secbs {
+			for s.State != StateDone {
+				if s.State == StateSuspend {
+					if err := mg.SKILL(s); err != nil {
+						t.Log(err)
+						return false
+					}
+					continue
+				}
+				if _, err := mg.RunSlice(kern.Machine.CPUs[1], s); err != nil {
+					continue // fault paths leave the PAL suspended
+				}
+			}
+			// Free the sePCR if the PAL exited cleanly (Quote state).
+			if st, _ := kern.Machine.TPM().SePCRStateOf(s.SePCRHandle); st == tpm.SePCRQuote {
+				kern.Machine.TPM().FreeSePCR(s.SePCRHandle)
+			}
+			if err := mg.Release(s); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if got := kern.Alloc.FreePages(); got != freeBefore {
+			t.Logf("page leak: %d free, started with %d", got, freeBefore)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package sksm
+
+import (
+	"errors"
+	"fmt"
+
+	"minimaltcb/internal/cpu"
+)
+
+// Scheduler multiprograms PALs on recommended hardware: more PALs than
+// cores, round-robin with the SECB preemption timer, resumable on any core
+// (§5.3's "the PAL may execute on a different CPU each time it is
+// resumed"). The legacy OS keeps core 0; PALs share the remaining cores —
+// the execution model of Figure 4.
+type Scheduler struct {
+	mg *Manager
+	// PALCores are the core IDs PALs may use (all but core 0 by default).
+	PALCores []int
+}
+
+// NewScheduler builds a round-robin PAL scheduler over all cores but 0.
+func NewScheduler(mg *Manager) *Scheduler {
+	sch := &Scheduler{mg: mg}
+	for i := 1; i < len(mg.Kernel.Machine.CPUs); i++ {
+		sch.PALCores = append(sch.PALCores, i)
+	}
+	if len(sch.PALCores) == 0 {
+		sch.PALCores = []int{0} // single-core machine: share core 0
+	}
+	return sch
+}
+
+// ErrStalled reports a scheduling round in which no runnable PAL made
+// progress (all launches failed), which would otherwise loop forever.
+var ErrStalled = errors.New("sksm: scheduler stalled: no PAL made progress")
+
+// RunAll drives every SECB to Done. Faulting PALs are SKILLed and reported
+// in the returned map (SECB index -> error); other PALs keep running.
+func (sch *Scheduler) RunAll(secbs []*SECB) (map[int]error, error) {
+	faults := map[int]error{}
+	cores := sch.mg.Kernel.Machine.CPUs
+	next := 0
+	for {
+		remaining := 0
+		progressed := false
+		for i, s := range secbs {
+			if s.State == StateDone {
+				continue
+			}
+			if faults[i] != nil {
+				continue
+			}
+			remaining++
+			core := cores[sch.PALCores[next%len(sch.PALCores)]]
+			next++
+			if _, err := sch.mg.RunSlice(core, s); err != nil {
+				if errors.Is(err, ErrPALFault) && s.State == StateSuspend {
+					// The OS kills the misbehaving PAL (§5.5).
+					if kerr := sch.mg.SKILL(s); kerr != nil {
+						return faults, kerr
+					}
+					faults[i] = err
+					progressed = true
+					continue
+				}
+				return faults, fmt.Errorf("sksm: scheduling SECB %d: %w", i, err)
+			}
+			progressed = true
+		}
+		if remaining == 0 {
+			return faults, nil
+		}
+		if !progressed {
+			return faults, ErrStalled
+		}
+	}
+}
+
+// RunConcurrently interleaves PAL slices with a legacy-work accounting
+// callback, modeling Figure 4: PALs occupy their cores' timelines while
+// core 0's legacy workload keeps running. legacyTick is invoked once per
+// scheduling round with the virtual time the round consumed, letting the
+// caller account legacy throughput.
+func (sch *Scheduler) RunConcurrently(secbs []*SECB, legacyTick func(elapsed int64)) (map[int]error, error) {
+	clock := sch.mg.Kernel.Machine.Clock
+	faults := map[int]error{}
+	cores := sch.mg.Kernel.Machine.CPUs
+	next := 0
+	for {
+		remaining := 0
+		progressed := false
+		roundStart := clock.Now()
+		for i, s := range secbs {
+			if s.State == StateDone || faults[i] != nil {
+				continue
+			}
+			remaining++
+			coreID := sch.PALCores[next%len(sch.PALCores)]
+			next++
+			core := cores[coreID]
+			sliceStart := clock.Now()
+			_, err := sch.mg.RunSlice(core, s)
+			sch.mg.Kernel.OccupyCPU(coreID, clock.Now()-sliceStart)
+			if err != nil {
+				if errors.Is(err, ErrPALFault) && s.State == StateSuspend {
+					if kerr := sch.mg.SKILL(s); kerr != nil {
+						return faults, kerr
+					}
+					faults[i] = err
+					progressed = true
+					continue
+				}
+				return faults, err
+			}
+			progressed = true
+		}
+		if legacyTick != nil {
+			legacyTick(int64(clock.Now() - roundStart))
+		}
+		if remaining == 0 {
+			return faults, nil
+		}
+		if !progressed {
+			return faults, ErrStalled
+		}
+	}
+}
+
+// CPU returns core by ID (helper for tests and experiments).
+func (sch *Scheduler) CPU(id int) *cpu.CPU { return sch.mg.Kernel.Machine.CPUs[id] }

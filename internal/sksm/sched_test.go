@@ -1,0 +1,120 @@
+package sksm
+
+import (
+	"testing"
+	"time"
+
+	"minimaltcb/internal/pal"
+)
+
+func TestSchedulerRunsMorePALsThanCores(t *testing.T) {
+	// 4 cores (3 PAL cores), 6 concurrent PALs: multiprogramming needs
+	// context switching, which needs one sePCR per live PAL.
+	mg := newManager(t, 6)
+	sch := NewScheduler(mg)
+	var secbs []*SECB
+	for i := 0; i < 6; i++ {
+		im := buildCounter(t)
+		s, err := mg.NewSECB(im, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secbs = append(secbs, s)
+	}
+	faults, err := sch.RunAll(secbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 0 {
+		t.Fatalf("faults: %v", faults)
+	}
+	for i, s := range secbs {
+		if s.State != StateDone || s.ExitStatus != 0 {
+			t.Fatalf("PAL %d: state %v exit %d", i, s.State, s.ExitStatus)
+		}
+		if len(s.Output) != 4 || s.Output[0] != 5 {
+			t.Fatalf("PAL %d output % x", i, s.Output)
+		}
+		// Each PAL was suspended and resumed (round-robin interleaving).
+		if s.Resumes == 0 {
+			t.Fatalf("PAL %d never context-switched", i)
+		}
+	}
+}
+
+func TestSchedulerKillsFaultingPAL(t *testing.T) {
+	mg := newManager(t, 3)
+	sch := NewScheduler(mg)
+	good1, _ := mg.NewSECB(buildCounter(t), 0, 0)
+	bad, _ := mg.NewSECB(pal.MustBuild(`
+		svc 1
+		ldi r0, 1
+		ldi r1, 0
+		divu r0, r1
+	`), 0, 0)
+	good2, _ := mg.NewSECB(buildCounter(t), 0, 0)
+	faults, err := sch.RunAll([]*SECB{good1, bad, good2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 1 || faults[1] == nil {
+		t.Fatalf("faults %v, want exactly PAL 1", faults)
+	}
+	if good1.State != StateDone || good2.State != StateDone {
+		t.Fatal("healthy PALs did not finish")
+	}
+	if bad.State != StateDone {
+		t.Fatalf("faulting PAL state %v, want Done (SKILLed)", bad.State)
+	}
+}
+
+func TestSchedulerConcurrentWithLegacyAccounting(t *testing.T) {
+	mg := newManager(t, 4)
+	sch := NewScheduler(mg)
+	var secbs []*SECB
+	for i := 0; i < 3; i++ {
+		s, _ := mg.NewSECB(buildCounter(t), 0, 50*time.Microsecond)
+		secbs = append(secbs, s)
+	}
+	var legacyTicks int
+	faults, err := sch.RunConcurrently(secbs, func(elapsed int64) {
+		legacyTicks++
+		if elapsed < 0 {
+			t.Fatal("negative round time")
+		}
+	})
+	if err != nil || len(faults) != 0 {
+		t.Fatalf("%v %v", faults, err)
+	}
+	if legacyTicks == 0 {
+		t.Fatal("legacy callback never invoked")
+	}
+	// Core 0 (legacy) must have no PAL busy time; PAL cores must.
+	if mg.Kernel.Machine.CPUs[0].Timeline.Busy != 0 {
+		t.Fatal("legacy core charged with PAL work")
+	}
+	palBusy := time.Duration(0)
+	for _, id := range sch.PALCores {
+		palBusy += mg.Kernel.Machine.CPUs[id].Timeline.Busy
+	}
+	if palBusy == 0 {
+		t.Fatal("no PAL core busy time recorded")
+	}
+}
+
+func TestSchedulerSingleCoreMachine(t *testing.T) {
+	mg := func() *Manager {
+		// Build a 1-CPU recommended machine.
+		p := platformRecommendedSingleCore(t)
+		return p
+	}()
+	sch := NewScheduler(mg)
+	if len(sch.PALCores) != 1 || sch.PALCores[0] != 0 {
+		t.Fatalf("single-core PAL cores %v", sch.PALCores)
+	}
+	s, _ := mg.NewSECB(buildCounter(t), 0, 0)
+	faults, err := sch.RunAll([]*SECB{s})
+	if err != nil || len(faults) != 0 {
+		t.Fatalf("%v %v", faults, err)
+	}
+}

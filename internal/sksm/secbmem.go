@@ -1,0 +1,87 @@
+package sksm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"minimaltcb/internal/cpu"
+	"minimaltcb/internal/isa"
+	"minimaltcb/internal/mem"
+)
+
+// Serialization of the hardware-written SECB fields into the SECB page.
+// Layout (little-endian):
+//
+//	offset 0   magic "SECB"
+//	offset 4   8 × 4 bytes   general-purpose registers
+//	offset 36  4 bytes       pc
+//	offset 40  1 byte        flags (bit0 Z, bit1 C, bit2 N)
+//	offset 41  1 byte        interrupts enabled
+//	offset 42  2 bytes       reserved
+//	offset 44  8 × 2 bytes   IDT
+//	offset 60  4 bytes       sePCR handle
+//
+// The page lives under the same access-control protection as the PAL, so
+// while the PAL is suspended (pages NONE) the untrusted OS cannot read or
+// forge the saved state; the resume microcode reads it back from memory,
+// not from any software-visible structure.
+
+const secbMagic = "SECB"
+const secbBlockSize = 64
+
+// writeArchState is the suspend microcode's store of CPU state into the
+// SECB page. It uses raw (hardware) memory access: at this point the page
+// may already be secluded from all software.
+func writeArchState(m *mem.Memory, base uint32, st cpu.ArchState, sePCR int) error {
+	buf := make([]byte, secbBlockSize)
+	copy(buf[0:4], secbMagic)
+	for i := 0; i < isa.NumRegs; i++ {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], st.Regs[i])
+	}
+	binary.LittleEndian.PutUint32(buf[36:], st.PC)
+	var flags byte
+	if st.FlagZ {
+		flags |= 1
+	}
+	if st.FlagC {
+		flags |= 2
+	}
+	if st.FlagN {
+		flags |= 4
+	}
+	buf[40] = flags
+	if st.IntrEnabled {
+		buf[41] = 1
+	}
+	for i := 0; i < cpu.NumIntrVectors; i++ {
+		binary.LittleEndian.PutUint16(buf[44+2*i:], st.IDT[i])
+	}
+	binary.LittleEndian.PutUint32(buf[60:], uint32(int32(sePCR)))
+	return m.WriteRaw(base, buf)
+}
+
+// readArchState is the resume microcode's load of CPU state from the SECB
+// page.
+func readArchState(m *mem.Memory, base uint32) (cpu.ArchState, int, error) {
+	buf, err := m.ReadRaw(base, secbBlockSize)
+	if err != nil {
+		return cpu.ArchState{}, 0, err
+	}
+	if string(buf[0:4]) != secbMagic {
+		return cpu.ArchState{}, 0, fmt.Errorf("sksm: SECB page lacks magic (never suspended?)")
+	}
+	var st cpu.ArchState
+	for i := 0; i < isa.NumRegs; i++ {
+		st.Regs[i] = binary.LittleEndian.Uint32(buf[4+4*i:])
+	}
+	st.PC = binary.LittleEndian.Uint32(buf[36:])
+	st.FlagZ = buf[40]&1 != 0
+	st.FlagC = buf[40]&2 != 0
+	st.FlagN = buf[40]&4 != 0
+	st.IntrEnabled = buf[41] != 0
+	for i := 0; i < cpu.NumIntrVectors; i++ {
+		st.IDT[i] = binary.LittleEndian.Uint16(buf[44+2*i:])
+	}
+	handle := int(int32(binary.LittleEndian.Uint32(buf[60:])))
+	return st, handle, nil
+}

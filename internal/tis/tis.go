@@ -1,0 +1,345 @@
+// Package tis implements a byte-level command interface to the software
+// TPM, in the spirit of the TPM v1.2 command transport the paper's
+// platforms use (TPM Main Specification part 3 framing over the TIS
+// interface): big-endian request/response frames with a tag, a parameter
+// size and an ordinal or return code.
+//
+// The higher layers of this repository call the TPM's Go API directly; this
+// package exists for the parts of the system that genuinely exchange bytes
+// — the remote-attestation service and tools that want driver-level access
+// — and as a contract test that every TPM feature is reachable through a
+// serialized interface.
+package tis
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"minimaltcb/internal/tpm"
+)
+
+// Request/response tags (TPM 1.2 values).
+const (
+	TagRequest  = 0x00C1 // TPM_TAG_RQU_COMMAND
+	TagResponse = 0x00C4 // TPM_TAG_RSP_COMMAND
+)
+
+// Ordinals for the implemented commands. Values for the standard commands
+// match TPM 1.2; the sePCR family uses a vendor-specific range.
+const (
+	OrdExtend    = 0x00000014
+	OrdPCRRead   = 0x00000015
+	OrdQuote     = 0x00000016
+	OrdSeal      = 0x00000017
+	OrdUnseal    = 0x00000018
+	OrdGetRandom = 0x00000046
+
+	OrdSePCRExtend = 0x20000001
+	OrdSePCRQuote  = 0x20000002
+	OrdSePCRFree   = 0x20000003
+)
+
+// Return codes.
+const (
+	RCSuccess    = 0
+	RCBadTag     = 30
+	RCBadOrdinal = 10
+	RCFail       = 9
+	RCBadParam   = 3
+)
+
+// headerSize is tag(2) + paramSize(4) + ordinal/returncode(4).
+const headerSize = 10
+
+// Errors for malformed frames.
+var (
+	ErrShortFrame = errors.New("tis: frame shorter than header")
+	ErrBadSize    = errors.New("tis: paramSize disagrees with frame length")
+)
+
+// EncodeRequest frames a command.
+func EncodeRequest(ordinal uint32, params []byte) []byte {
+	out := make([]byte, headerSize+len(params))
+	binary.BigEndian.PutUint16(out[0:2], TagRequest)
+	binary.BigEndian.PutUint32(out[2:6], uint32(len(out)))
+	binary.BigEndian.PutUint32(out[6:10], ordinal)
+	copy(out[headerSize:], params)
+	return out
+}
+
+// DecodeRequest validates and splits a command frame.
+func DecodeRequest(frame []byte) (ordinal uint32, params []byte, err error) {
+	if len(frame) < headerSize {
+		return 0, nil, ErrShortFrame
+	}
+	if binary.BigEndian.Uint16(frame[0:2]) != TagRequest {
+		return 0, nil, fmt.Errorf("tis: bad request tag %#x", binary.BigEndian.Uint16(frame[0:2]))
+	}
+	if int(binary.BigEndian.Uint32(frame[2:6])) != len(frame) {
+		return 0, nil, ErrBadSize
+	}
+	return binary.BigEndian.Uint32(frame[6:10]), frame[headerSize:], nil
+}
+
+// EncodeResponse frames a response.
+func EncodeResponse(rc uint32, params []byte) []byte {
+	out := make([]byte, headerSize+len(params))
+	binary.BigEndian.PutUint16(out[0:2], TagResponse)
+	binary.BigEndian.PutUint32(out[2:6], uint32(len(out)))
+	binary.BigEndian.PutUint32(out[6:10], rc)
+	copy(out[headerSize:], params)
+	return out
+}
+
+// DecodeResponse validates and splits a response frame.
+func DecodeResponse(frame []byte) (rc uint32, params []byte, err error) {
+	if len(frame) < headerSize {
+		return 0, nil, ErrShortFrame
+	}
+	if binary.BigEndian.Uint16(frame[0:2]) != TagResponse {
+		return 0, nil, fmt.Errorf("tis: bad response tag %#x", binary.BigEndian.Uint16(frame[0:2]))
+	}
+	if int(binary.BigEndian.Uint32(frame[2:6])) != len(frame) {
+		return 0, nil, ErrBadSize
+	}
+	return binary.BigEndian.Uint32(frame[6:10]), frame[headerSize:], nil
+}
+
+// Driver dispatches framed commands to a TPM instance, as the kernel's TPM
+// driver would through the TIS MMIO window.
+type Driver struct {
+	chip *tpm.TPM
+}
+
+// NewDriver binds a driver to a chip.
+func NewDriver(chip *tpm.TPM) *Driver { return &Driver{chip: chip} }
+
+// Execute runs one framed command and returns the framed response. Framing
+// errors surface as Go errors; TPM-level failures surface as non-zero
+// return codes in a well-formed response, as on real hardware.
+func (d *Driver) Execute(frame []byte) ([]byte, error) {
+	ordinal, params, err := DecodeRequest(frame)
+	if err != nil {
+		return nil, err
+	}
+	rc, out := d.dispatch(ordinal, params)
+	return EncodeResponse(rc, out), nil
+}
+
+// dispatch implements each ordinal's parameter layout.
+func (d *Driver) dispatch(ordinal uint32, p []byte) (uint32, []byte) {
+	switch ordinal {
+	case OrdExtend:
+		// [pcrIndex:4][digest:20]
+		if len(p) != 4+tpm.DigestSize {
+			return RCBadParam, nil
+		}
+		var digest tpm.Digest
+		copy(digest[:], p[4:])
+		v, err := d.chip.Extend(int(binary.BigEndian.Uint32(p[0:4])), digest)
+		if err != nil {
+			return RCFail, nil
+		}
+		return RCSuccess, v[:]
+
+	case OrdPCRRead:
+		// [pcrIndex:4]
+		if len(p) != 4 {
+			return RCBadParam, nil
+		}
+		v, err := d.chip.PCRRead(int(binary.BigEndian.Uint32(p[0:4])))
+		if err != nil {
+			return RCFail, nil
+		}
+		return RCSuccess, v[:]
+
+	case OrdGetRandom:
+		// [bytesRequested:4] -> [randomBytesSize:4][bytes]
+		if len(p) != 4 {
+			return RCBadParam, nil
+		}
+		n := int(binary.BigEndian.Uint32(p[0:4]))
+		if n > 1<<20 {
+			return RCBadParam, nil
+		}
+		b, err := d.chip.GetRandom(n)
+		if err != nil {
+			return RCFail, nil
+		}
+		out := make([]byte, 4+len(b))
+		binary.BigEndian.PutUint32(out[0:4], uint32(len(b)))
+		copy(out[4:], b)
+		return RCSuccess, out
+
+	case OrdSeal:
+		// [nsel:2][sel...][dataSize:4][data] -> [blob]
+		sel, rest, ok := parseSelection(p)
+		if !ok || len(rest) < 4 {
+			return RCBadParam, nil
+		}
+		n := int(binary.BigEndian.Uint32(rest[0:4]))
+		if len(rest) != 4+n {
+			return RCBadParam, nil
+		}
+		blob, err := d.chip.Seal(sel, rest[4:])
+		if err != nil {
+			return RCFail, nil
+		}
+		return RCSuccess, blob
+
+	case OrdUnseal:
+		// [blob] -> [data]
+		data, err := d.chip.Unseal(p)
+		if err != nil {
+			return RCFail, nil
+		}
+		return RCSuccess, data
+
+	case OrdQuote:
+		// [nsel:2][sel...][nonceSize:4][nonce] ->
+		// [composite:20][sigSize:4][sig]
+		sel, rest, ok := parseSelection(p)
+		if !ok || len(rest) < 4 {
+			return RCBadParam, nil
+		}
+		n := int(binary.BigEndian.Uint32(rest[0:4]))
+		if len(rest) != 4+n {
+			return RCBadParam, nil
+		}
+		q, err := d.chip.QuoteCommand(sel, rest[4:])
+		if err != nil {
+			return RCFail, nil
+		}
+		out := make([]byte, tpm.DigestSize+4+len(q.Signature))
+		copy(out, q.Composite[:])
+		binary.BigEndian.PutUint32(out[tpm.DigestSize:], uint32(len(q.Signature)))
+		copy(out[tpm.DigestSize+4:], q.Signature)
+		return RCSuccess, out
+
+	case OrdSePCRExtend:
+		// [handle:4][owner:4][digest:20]
+		if len(p) != 8+tpm.DigestSize {
+			return RCBadParam, nil
+		}
+		var digest tpm.Digest
+		copy(digest[:], p[8:])
+		v, err := d.chip.SePCRExtend(
+			int(binary.BigEndian.Uint32(p[0:4])),
+			int(binary.BigEndian.Uint32(p[4:8])), digest)
+		if err != nil {
+			return RCFail, nil
+		}
+		return RCSuccess, v[:]
+
+	case OrdSePCRQuote:
+		// [handle:4][nonceSize:4][nonce] -> [value:20][sigSize:4][sig]
+		if len(p) < 8 {
+			return RCBadParam, nil
+		}
+		n := int(binary.BigEndian.Uint32(p[4:8]))
+		if len(p) != 8+n {
+			return RCBadParam, nil
+		}
+		q, err := d.chip.QuoteSePCR(int(binary.BigEndian.Uint32(p[0:4])), p[8:])
+		if err != nil {
+			return RCFail, nil
+		}
+		out := make([]byte, tpm.DigestSize+4+len(q.Signature))
+		copy(out, q.Composite[:])
+		binary.BigEndian.PutUint32(out[tpm.DigestSize:], uint32(len(q.Signature)))
+		copy(out[tpm.DigestSize+4:], q.Signature)
+		return RCSuccess, out
+
+	case OrdSePCRFree:
+		// [handle:4]
+		if len(p) != 4 {
+			return RCBadParam, nil
+		}
+		if err := d.chip.FreeSePCR(int(binary.BigEndian.Uint32(p[0:4]))); err != nil {
+			return RCFail, nil
+		}
+		return RCSuccess, nil
+	}
+	return RCBadOrdinal, nil
+}
+
+// parseSelection reads [nsel:2][index:1...] and returns the remainder.
+func parseSelection(p []byte) (tpm.Selection, []byte, bool) {
+	if len(p) < 2 {
+		return nil, nil, false
+	}
+	n := int(binary.BigEndian.Uint16(p[0:2]))
+	if len(p) < 2+n {
+		return nil, nil, false
+	}
+	sel := make(tpm.Selection, n)
+	for i := 0; i < n; i++ {
+		sel[i] = int(p[2+i])
+	}
+	return sel, p[2+n:], true
+}
+
+// Helper encoders for clients.
+
+// ExtendParams builds OrdExtend parameters.
+func ExtendParams(pcr int, digest tpm.Digest) []byte {
+	out := make([]byte, 4+tpm.DigestSize)
+	binary.BigEndian.PutUint32(out[0:4], uint32(pcr))
+	copy(out[4:], digest[:])
+	return out
+}
+
+// PCRReadParams builds OrdPCRRead parameters.
+func PCRReadParams(pcr int) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, uint32(pcr))
+	return out
+}
+
+// GetRandomParams builds OrdGetRandom parameters.
+func GetRandomParams(n int) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, uint32(n))
+	return out
+}
+
+// SealParams builds OrdSeal parameters.
+func SealParams(sel tpm.Selection, data []byte) []byte {
+	out := encodeSelection(sel)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(data)))
+	out = append(out, l[:]...)
+	return append(out, data...)
+}
+
+// QuoteParams builds OrdQuote parameters.
+func QuoteParams(sel tpm.Selection, nonce []byte) []byte {
+	out := encodeSelection(sel)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(nonce)))
+	out = append(out, l[:]...)
+	return append(out, nonce...)
+}
+
+func encodeSelection(sel tpm.Selection) []byte {
+	out := make([]byte, 2, 2+len(sel))
+	binary.BigEndian.PutUint16(out, uint16(len(sel)))
+	for _, idx := range sel {
+		out = append(out, byte(idx))
+	}
+	return out
+}
+
+// ParseQuoteResponse splits an OrdQuote/OrdSePCRQuote response body.
+func ParseQuoteResponse(p []byte) (composite tpm.Digest, sig []byte, err error) {
+	if len(p) < tpm.DigestSize+4 {
+		return tpm.Digest{}, nil, fmt.Errorf("tis: short quote response")
+	}
+	copy(composite[:], p[:tpm.DigestSize])
+	n := int(binary.BigEndian.Uint32(p[tpm.DigestSize:]))
+	if len(p) != tpm.DigestSize+4+n {
+		return tpm.Digest{}, nil, fmt.Errorf("tis: quote response size mismatch")
+	}
+	return composite, p[tpm.DigestSize+4:], nil
+}

@@ -1,0 +1,205 @@
+package tis
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha1"
+	"encoding/binary"
+	"testing"
+
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
+)
+
+func testDriver(t *testing.T, sePCRs int) (*Driver, *tpm.TPM) {
+	t.Helper()
+	clock := sim.NewClock()
+	bus := lpc.NewBus(clock, lpc.FullSpeed())
+	chip, err := tpm.New(clock, bus, tpm.Config{KeyBits: 1024, Seed: 4, NumSePCRs: sePCRs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDriver(chip), chip
+}
+
+// exec runs a command and asserts the return code.
+func exec(t *testing.T, d *Driver, ordinal uint32, params []byte, wantRC uint32) []byte {
+	t.Helper()
+	resp, err := d.Execute(EncodeRequest(ordinal, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, body, err := DecodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != wantRC {
+		t.Fatalf("ordinal %#x: rc=%d, want %d", ordinal, rc, wantRC)
+	}
+	return body
+}
+
+func TestFraming(t *testing.T) {
+	req := EncodeRequest(OrdPCRRead, []byte{1, 2, 3})
+	ord, params, err := DecodeRequest(req)
+	if err != nil || ord != OrdPCRRead || !bytes.Equal(params, []byte{1, 2, 3}) {
+		t.Fatalf("%v %v %v", ord, params, err)
+	}
+	resp := EncodeResponse(RCSuccess, []byte{9})
+	rc, body, err := DecodeResponse(resp)
+	if err != nil || rc != RCSuccess || body[0] != 9 {
+		t.Fatalf("%v %v %v", rc, body, err)
+	}
+}
+
+func TestFramingErrors(t *testing.T) {
+	if _, _, err := DecodeRequest([]byte{1, 2}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	// Wrong tag.
+	bad := EncodeRequest(OrdPCRRead, nil)
+	bad[0] = 0xff
+	if _, _, err := DecodeRequest(bad); err == nil {
+		t.Fatal("bad tag accepted")
+	}
+	// Lying size field.
+	bad = EncodeRequest(OrdPCRRead, nil)
+	binary.BigEndian.PutUint32(bad[2:6], 99)
+	if _, _, err := DecodeRequest(bad); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	// Response-side symmetry.
+	if _, _, err := DecodeResponse([]byte{1}); err == nil {
+		t.Fatal("short response accepted")
+	}
+	if _, _, err := DecodeResponse(EncodeRequest(OrdPCRRead, nil)); err == nil {
+		t.Fatal("request tag accepted as response")
+	}
+}
+
+func TestExtendAndRead(t *testing.T) {
+	d, chip := testDriver(t, 0)
+	meas := tpm.Measure([]byte("event"))
+	body := exec(t, d, OrdExtend, ExtendParams(5, meas), RCSuccess)
+	direct, _ := chip.PCRValue(5)
+	if !bytes.Equal(body, direct[:]) {
+		t.Fatal("wire extend result differs from chip state")
+	}
+	body = exec(t, d, OrdPCRRead, PCRReadParams(5), RCSuccess)
+	if !bytes.Equal(body, direct[:]) {
+		t.Fatal("wire read differs from chip state")
+	}
+	exec(t, d, OrdExtend, ExtendParams(99, meas), RCFail)
+	exec(t, d, OrdExtend, []byte{1}, RCBadParam)
+	exec(t, d, OrdPCRRead, nil, RCBadParam)
+}
+
+func TestGetRandomWire(t *testing.T) {
+	d, _ := testDriver(t, 0)
+	body := exec(t, d, OrdGetRandom, GetRandomParams(32), RCSuccess)
+	if binary.BigEndian.Uint32(body[:4]) != 32 || len(body) != 36 {
+		t.Fatalf("body %d bytes", len(body))
+	}
+	exec(t, d, OrdGetRandom, GetRandomParams(1<<21), RCBadParam)
+	exec(t, d, OrdGetRandom, []byte{1, 2}, RCBadParam)
+}
+
+func TestSealUnsealWire(t *testing.T) {
+	d, _ := testDriver(t, 0)
+	secret := []byte("wire-level secret")
+	blob := exec(t, d, OrdSeal, SealParams(tpm.Selection{0, 17}, secret), RCSuccess)
+	got := exec(t, d, OrdUnseal, blob, RCSuccess)
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("unsealed %q", got)
+	}
+	// PCR change breaks release, via the wire too.
+	exec(t, d, OrdExtend, ExtendParams(0, tpm.Measure([]byte("x"))), RCSuccess)
+	exec(t, d, OrdUnseal, blob, RCFail)
+	// Malformed seal params.
+	exec(t, d, OrdSeal, []byte{0}, RCBadParam)
+	exec(t, d, OrdSeal, append(encodeSelection(tpm.Selection{0}), 0, 0, 0, 9), RCBadParam)
+}
+
+func TestQuoteWire(t *testing.T) {
+	d, chip := testDriver(t, 0)
+	nonce := []byte("wire nonce")
+	body := exec(t, d, OrdQuote, QuoteParams(tpm.Selection{17}, nonce), RCSuccess)
+	composite, sig, err := ParseQuoteResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the quote and verify with the chip's AIK.
+	q := &tpm.Quote{Composite: composite, Nonce: nonce, Signature: sig, SePCRHandle: -1}
+	if err := tpm.VerifyQuote(chip.AIKPublic(), q); err != nil {
+		t.Fatalf("wire quote rejected: %v", err)
+	}
+	exec(t, d, OrdQuote, []byte{}, RCBadParam)
+}
+
+func TestSePCRWire(t *testing.T) {
+	d, chip := testDriver(t, 2)
+	meas := tpm.Measure([]byte("pal"))
+	h, err := chip.AllocateSePCR(3, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extend over the wire with the right owner.
+	params := make([]byte, 8)
+	binary.BigEndian.PutUint32(params[0:4], uint32(h))
+	binary.BigEndian.PutUint32(params[4:8], 3)
+	params = append(params, meas[:]...)
+	exec(t, d, OrdSePCRExtend, params, RCSuccess)
+	// Wrong owner fails at the chip, surfacing as RCFail.
+	bad := make([]byte, 8)
+	binary.BigEndian.PutUint32(bad[0:4], uint32(h))
+	binary.BigEndian.PutUint32(bad[4:8], 7)
+	bad = append(bad, meas[:]...)
+	exec(t, d, OrdSePCRExtend, bad, RCFail)
+
+	chip.ReleaseSePCR(h, 3)
+	// Quote over the wire, then the register is Free.
+	qp := make([]byte, 8)
+	binary.BigEndian.PutUint32(qp[0:4], uint32(h))
+	binary.BigEndian.PutUint32(qp[4:8], 2)
+	qp = append(qp, 'n', '1')
+	body := exec(t, d, OrdSePCRQuote, qp, RCSuccess)
+	composite, sig, err := ParseQuoteResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha1.Sum(append(append([]byte("QUOT"), composite[:]...), 'n', '1'))
+	if err := rsa.VerifyPKCS1v15(chip.AIKPublic(), crypto.SHA1, digest[:], sig); err != nil {
+		t.Fatalf("wire sePCR quote rejected: %v", err)
+	}
+	st, _ := chip.SePCRStateOf(h)
+	if st != tpm.SePCRFree {
+		t.Fatalf("state %v after wire quote", st)
+	}
+
+	// TPM_SEPCR_Free over the wire.
+	h2, _ := chip.AllocateSePCR(0, meas)
+	chip.ReleaseSePCR(h2, 0)
+	fp := make([]byte, 4)
+	binary.BigEndian.PutUint32(fp, uint32(h2))
+	exec(t, d, OrdSePCRFree, fp, RCSuccess)
+	exec(t, d, OrdSePCRFree, fp, RCFail) // already Free
+	exec(t, d, OrdSePCRFree, []byte{1}, RCBadParam)
+}
+
+func TestUnknownOrdinal(t *testing.T) {
+	d, _ := testDriver(t, 0)
+	exec(t, d, 0x12345678, nil, RCBadOrdinal)
+}
+
+func TestParseQuoteResponseErrors(t *testing.T) {
+	if _, _, err := ParseQuoteResponse([]byte{1, 2}); err == nil {
+		t.Fatal("short response parsed")
+	}
+	bad := make([]byte, tpm.DigestSize+4+2)
+	binary.BigEndian.PutUint32(bad[tpm.DigestSize:], 99)
+	if _, _, err := ParseQuoteResponse(bad); err == nil {
+		t.Fatal("size-lying response parsed")
+	}
+}

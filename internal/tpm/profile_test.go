@@ -1,0 +1,121 @@
+package tpm
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// The profiles must honour every numeric anchor the paper's text states.
+func TestProfileAnchors(t *testing.T) {
+	broadcom := ProfileBroadcom()
+	infineon := ProfileInfineon()
+
+	// Broadcom Seal: 11.39 ms minimal, 20.01 ms at the PAL Gen payload.
+	if got := ms(broadcom.SealLatency(0)); got != 11.39 {
+		t.Errorf("Broadcom minimal Seal = %.2f ms, want 11.39", got)
+	}
+	if got := ms(broadcom.SealLatency(SealGenPayload)); got != 20.01 {
+		t.Errorf("Broadcom PAL-Gen Seal = %.2f ms, want 20.01", got)
+	}
+	// Infineon Unseal: 390.98 ms.
+	if got := ms(infineon.UnsealLatency); got != 390.98 {
+		t.Errorf("Infineon Unseal = %.2f ms, want 390.98", got)
+	}
+	// Infineon Seal adds 213 ms over Broadcom.
+	delta := ms(infineon.SealLatency(SealGenPayload)) - ms(broadcom.SealLatency(SealGenPayload))
+	if delta != 213 {
+		t.Errorf("Infineon-Broadcom Seal delta = %.2f ms, want 213", delta)
+	}
+	// Broadcom (Quote+Unseal) exceeds Infineon's by 1132 ms.
+	delta = ms(broadcom.QuoteLatency+broadcom.UnsealLatency) -
+		ms(infineon.QuoteLatency+infineon.UnsealLatency)
+	if delta != 1132 {
+		t.Errorf("Quote+Unseal delta = %.2f ms, want 1132", delta)
+	}
+}
+
+func TestBroadcomSlowestQuoteAndUnseal(t *testing.T) {
+	broadcom := ProfileBroadcom()
+	for _, p := range Profiles() {
+		if p.Name == broadcom.Name {
+			continue
+		}
+		if p.QuoteLatency >= broadcom.QuoteLatency {
+			t.Errorf("%s Quote (%v) >= Broadcom (%v)", p.Name, p.QuoteLatency, broadcom.QuoteLatency)
+		}
+		if p.UnsealLatency >= broadcom.UnsealLatency {
+			t.Errorf("%s Unseal (%v) >= Broadcom (%v)", p.Name, p.UnsealLatency, broadcom.UnsealLatency)
+		}
+	}
+}
+
+func TestBroadcomFastestSeal(t *testing.T) {
+	broadcom := ProfileBroadcom()
+	for _, p := range Profiles() {
+		if p.Name == broadcom.Name {
+			continue
+		}
+		if p.SealLatency(SealGenPayload) <= broadcom.SealLatency(SealGenPayload) {
+			t.Errorf("%s Seal not slower than Broadcom's", p.Name)
+		}
+	}
+}
+
+func TestInfineonBestAverage(t *testing.T) {
+	infineon := ProfileInfineon()
+	for _, p := range Profiles() {
+		if p.Name == infineon.Name {
+			continue
+		}
+		if p.FigureAverage() <= infineon.FigureAverage() {
+			t.Errorf("%s average (%v) <= Infineon (%v)",
+				p.Name, p.FigureAverage(), infineon.FigureAverage())
+		}
+	}
+}
+
+func TestProfilesHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Profiles() {
+		if p.Name == "" {
+			t.Fatal("unnamed profile")
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("%d profiles, want 4 (Figure 3's legend)", len(seen))
+	}
+}
+
+func TestZeroProfileIsFree(t *testing.T) {
+	var p Profile
+	if !p.IsZero() {
+		t.Fatal("zero profile not IsZero")
+	}
+	if ProfileBroadcom().IsZero() {
+		t.Fatal("Broadcom profile IsZero")
+	}
+	if p.SealLatency(1<<20) != 0 || p.RandomLatency(128) != 0 {
+		t.Fatal("zero profile charges time")
+	}
+}
+
+// Figure-2 arithmetic: PAL Gen on the Broadcom ≈ 200 ms of TPM cost
+// (Seal only; SKINIT is charged by the bus), PAL Use ≈ >1 s with the
+// 905 ms Unseal.
+func TestFigure2TPMComponents(t *testing.T) {
+	b := ProfileBroadcom()
+	gen := b.SealLatency(SealGenPayload)
+	if gen < 15*time.Millisecond || gen > 25*time.Millisecond {
+		t.Fatalf("PAL Gen seal component = %v", gen)
+	}
+	use := b.UnsealLatency + b.SealLatency(SealGenPayload)
+	if use < 900*time.Millisecond || use > 950*time.Millisecond {
+		t.Fatalf("PAL Use TPM component = %v", use)
+	}
+}

@@ -1,0 +1,67 @@
+package tpm
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha1"
+	"fmt"
+)
+
+// Quote is the TPM's signed statement about platform state: an RSA
+// signature by the AIK over the composite digest of the selected PCRs and a
+// verifier-chosen nonce (§2.1.1). The same structure carries sePCR quotes,
+// with the handle recorded so the verifier knows which register was signed.
+type Quote struct {
+	// Selection lists the static/dynamic PCR indices covered (nil for an
+	// sePCR quote).
+	Selection Selection
+	// SePCRHandle is the sePCR covered, or -1 for a PCR quote.
+	SePCRHandle int
+	// Composite is the digest the signature covers.
+	Composite Digest
+	// Nonce is the anti-replay challenge supplied by the verifier.
+	Nonce []byte
+	// Signature is the RSA-PKCS#1v1.5-SHA1 signature by the AIK.
+	Signature []byte
+}
+
+// quoteDigest computes the signed message: SHA1("QUOT" || composite || nonce).
+func quoteDigest(composite Digest, nonce []byte) []byte {
+	h := sha1.New()
+	h.Write([]byte("QUOT"))
+	h.Write(composite[:])
+	h.Write(nonce)
+	return h.Sum(nil)
+}
+
+// QuoteCommand executes TPM_Quote over a PCR selection. The private-key RSA
+// signature dominates the latency (§4.2).
+func (t *TPM) QuoteCommand(sel Selection, nonce []byte) (*Quote, error) {
+	composite, err := t.Composite(sel)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := rsa.SignPKCS1v15(nil, t.aik, crypto.SHA1, quoteDigest(composite, nonce))
+	if err != nil {
+		return nil, fmt.Errorf("tpm: quote signature: %w", err)
+	}
+	t.busCommand(40+len(nonce), len(sig)+40)
+	t.charge(t.profile.QuoteLatency, t.profile.Jitter)
+	return &Quote{
+		Selection:   append(Selection(nil), sel...),
+		SePCRHandle: -1,
+		Composite:   composite,
+		Nonce:       append([]byte(nil), nonce...),
+		Signature:   sig,
+	}, nil
+}
+
+// VerifyQuote checks a quote's signature against an AIK public key. It does
+// not charge virtual time: verification happens on the verifier's machine,
+// outside the measured platform.
+func VerifyQuote(aik *rsa.PublicKey, q *Quote) error {
+	if q == nil {
+		return fmt.Errorf("tpm: nil quote")
+	}
+	return rsa.VerifyPKCS1v15(aik, crypto.SHA1, quoteDigest(q.Composite, q.Nonce), q.Signature)
+}

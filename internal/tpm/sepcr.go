@@ -1,0 +1,256 @@
+package tpm
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"fmt"
+)
+
+// This file implements the paper's proposed TPM extension (§5.4): a bank of
+// secure-execution PCRs (sePCRs). Each concurrently executing PAL is bound
+// to one sePCR at SLAUNCH time. A sePCR moves through three states:
+//
+//	Free      -> (SLAUNCH allocates, resets, extends)  -> Exclusive
+//	Exclusive -> (SFREE: PAL terminated)               -> Quote
+//	Quote     -> (TPM_Quote generated / TPM_SEPCR_Free) -> Free
+//	Exclusive -> (SKILL: extend kill marker)           -> Free
+//
+// While Exclusive, only the bound PAL — identified to the TPM by the CPU
+// hardware, modeled here as an owner token — may Extend, Seal to, or Unseal
+// under the register. Untrusted code may quote a register in the Quote
+// state, which is how attestations get generated after PAL exit (§5.4.3).
+
+// SePCRState is the life-cycle state of one sePCR.
+type SePCRState uint8
+
+// sePCR states, in the paper's terminology.
+const (
+	SePCRFree SePCRState = iota
+	SePCRExclusive
+	SePCRQuote
+)
+
+// String renders the state name.
+func (s SePCRState) String() string {
+	switch s {
+	case SePCRFree:
+		return "Free"
+	case SePCRExclusive:
+		return "Exclusive"
+	case SePCRQuote:
+		return "Quote"
+	}
+	return fmt.Sprintf("SePCRState(%d)", uint8(s))
+}
+
+type sePCR struct {
+	state SePCRState
+	value Digest
+	owner int // CPU-enforced binding token while Exclusive
+}
+
+// SKillMarker is the well-known constant extended into a sePCR when SKILL
+// terminates a misbehaving PAL (§5.5), so a verifier can distinguish a
+// killed PAL's register from a cleanly exited one.
+var SKillMarker = Measure([]byte("TPM_SEPCR_SKILL"))
+
+// NumSePCRs returns how many sePCRs this TPM provisions.
+func (t *TPM) NumSePCRs() int { return len(t.sePCRs) }
+
+// SePCRStateOf reports the state of a sePCR handle.
+func (t *TPM) SePCRStateOf(handle int) (SePCRState, error) {
+	if handle < 0 || handle >= len(t.sePCRs) {
+		return 0, fmt.Errorf("%w: %d", ErrSePCRHandle, handle)
+	}
+	return t.sePCRs[handle].state, nil
+}
+
+// SePCRValue returns the current register value (verifier/debug view).
+func (t *TPM) SePCRValue(handle int) (Digest, error) {
+	if handle < 0 || handle >= len(t.sePCRs) {
+		return Digest{}, fmt.Errorf("%w: %d", ErrSePCRHandle, handle)
+	}
+	return t.sePCRs[handle].value, nil
+}
+
+// AllocateSePCR finds a Free sePCR, resets it to zero, extends the PAL
+// measurement into it, binds it to owner (the launching CPU), and returns
+// its handle. It fails with ErrNoSePCR when all registers are busy — the
+// condition that makes SLAUNCH return a failure code (§5.4.1).
+func (t *TPM) AllocateSePCR(owner int, palMeasurement Digest) (int, error) {
+	for i := range t.sePCRs {
+		if t.sePCRs[i].state != SePCRFree {
+			continue
+		}
+		t.sePCRs[i] = sePCR{
+			state: SePCRExclusive,
+			value: chain(Digest{}, palMeasurement),
+			owner: owner,
+		}
+		t.charge(t.profile.ExtendLatency, 0)
+		return i, nil
+	}
+	return -1, ErrNoSePCR
+}
+
+// checkExclusive validates handle, state and owner for PAL-only commands.
+func (t *TPM) checkExclusive(handle, owner int) error {
+	if handle < 0 || handle >= len(t.sePCRs) {
+		return fmt.Errorf("%w: %d", ErrSePCRHandle, handle)
+	}
+	p := &t.sePCRs[handle]
+	if p.state != SePCRExclusive {
+		return fmt.Errorf("%w: sePCR %d is %v, need Exclusive", ErrSePCRState, handle, p.state)
+	}
+	if p.owner != owner {
+		return fmt.Errorf("%w: sePCR %d bound to CPU%d, request from CPU%d",
+			ErrSePCRState, handle, p.owner, owner)
+	}
+	return nil
+}
+
+// RebindSePCR moves the hardware binding to a new CPU when the untrusted OS
+// resumes a PAL on a different core (§5.3: "the PAL may execute on a
+// different CPU each time it is resumed"). Only the context-switch
+// microcode calls this; the sePCR must be Exclusive.
+func (t *TPM) RebindSePCR(handle, oldOwner, newOwner int) error {
+	if err := t.checkExclusive(handle, oldOwner); err != nil {
+		return err
+	}
+	t.sePCRs[handle].owner = newOwner
+	return nil
+}
+
+// SePCRExtend extends a measurement into the PAL's own sePCR (e.g. of its
+// inputs). Only the bound PAL may do this (§5.4.2).
+func (t *TPM) SePCRExtend(handle, owner int, measurement Digest) (Digest, error) {
+	if err := t.checkExclusive(handle, owner); err != nil {
+		return Digest{}, err
+	}
+	p := &t.sePCRs[handle]
+	p.value = chain(p.value, measurement)
+	t.busCommand(34, 30)
+	t.charge(t.profile.ExtendLatency, t.profile.Jitter)
+	return p.value, nil
+}
+
+// SealSePCR seals data such that it can only be unsealed by a PAL whose
+// sePCR holds the same value — identity-bound rather than handle-bound, so
+// the same PAL unseals successfully even if a later launch assigns it a
+// different register (§5.4.4, Challenge 4).
+func (t *TPM) SealSePCR(handle, owner int, data []byte) ([]byte, error) {
+	if err := t.checkExclusive(handle, owner); err != nil {
+		return nil, err
+	}
+	release := t.sePCRs[handle].value
+	blob, err := t.sealBlob(sealModeSePCR, nil, release, data)
+	if err != nil {
+		return nil, err
+	}
+	t.busCommand(64+len(data), len(blob))
+	t.charge(t.sealCost(len(data)), t.profile.Jitter)
+	return blob, nil
+}
+
+// UnsealSePCR unseals a blob sealed with SealSePCR, provided the calling
+// PAL's sePCR currently holds the value recorded at seal time.
+func (t *TPM) UnsealSePCR(handle, owner int, blob []byte) ([]byte, error) {
+	if err := t.checkExclusive(handle, owner); err != nil {
+		return nil, err
+	}
+	mode, selBytes, release, ekey, nonce, ct, err := parseBlob(blob)
+	if err != nil {
+		return nil, err
+	}
+	if mode != sealModeSePCR {
+		return nil, fmt.Errorf("%w: blob sealed to static PCRs; use Unseal", ErrBadBlob)
+	}
+	t.busCommand(len(blob), 64)
+	t.charge(t.profile.UnsealLatency, t.profile.Jitter)
+	if !equalDigest(t.sePCRs[handle].value, release) {
+		return nil, fmt.Errorf("%w: sePCR %x, sealed to %x",
+			ErrPCRMismatch, t.sePCRs[handle].value, release)
+	}
+	aad := append(append([]byte{mode}, selBytes...), release[:]...)
+	pt, err := t.openBlob(ekey, nonce, ct, aad)
+	if err != nil {
+		return nil, err
+	}
+	t.unsealOK++
+	return pt, nil
+}
+
+// ReleaseSePCR transitions Exclusive -> Quote on clean PAL exit (SFREE,
+// §5.5). Only the bound CPU's microcode may release.
+func (t *TPM) ReleaseSePCR(handle, owner int) error {
+	if err := t.checkExclusive(handle, owner); err != nil {
+		return err
+	}
+	t.sePCRs[handle].state = SePCRQuote
+	t.sePCRs[handle].owner = -1
+	return nil
+}
+
+// KillSePCR implements SKILL's TPM side (§5.5): extend the well-known kill
+// marker and transition straight to Free. It accepts registers in
+// Exclusive state regardless of owner — SKILL is issued by the OS against
+// a suspended or wedged PAL, whose CPU binding may be stale.
+func (t *TPM) KillSePCR(handle int) error {
+	if handle < 0 || handle >= len(t.sePCRs) {
+		return fmt.Errorf("%w: %d", ErrSePCRHandle, handle)
+	}
+	p := &t.sePCRs[handle]
+	if p.state != SePCRExclusive {
+		return fmt.Errorf("%w: sePCR %d is %v, SKILL needs Exclusive", ErrSePCRState, handle, p.state)
+	}
+	p.value = chain(p.value, SKillMarker)
+	p.state = SePCRFree
+	p.owner = -1
+	t.charge(t.profile.ExtendLatency, 0)
+	return nil
+}
+
+// QuoteSePCR generates an attestation over a sePCR in the Quote state.
+// Untrusted code calls this after PAL exit, passing the handle the PAL
+// output (§5.4.3). The register transitions to Free afterwards.
+func (t *TPM) QuoteSePCR(handle int, nonce []byte) (*Quote, error) {
+	if handle < 0 || handle >= len(t.sePCRs) {
+		return nil, fmt.Errorf("%w: %d", ErrSePCRHandle, handle)
+	}
+	p := &t.sePCRs[handle]
+	if p.state != SePCRQuote {
+		return nil, fmt.Errorf("%w: sePCR %d is %v, quote needs Quote state",
+			ErrSePCRState, handle, p.state)
+	}
+	sig, err := rsa.SignPKCS1v15(nil, t.aik, crypto.SHA1, quoteDigest(p.value, nonce))
+	if err != nil {
+		return nil, fmt.Errorf("tpm: sePCR quote signature: %w", err)
+	}
+	q := &Quote{
+		SePCRHandle: handle,
+		Composite:   p.value,
+		Nonce:       append([]byte(nil), nonce...),
+		Signature:   sig,
+	}
+	p.state = SePCRFree
+	p.value = Digest{}
+	t.busCommand(40+len(nonce), len(sig)+40)
+	t.charge(t.profile.QuoteLatency, t.profile.Jitter)
+	return q, nil
+}
+
+// FreeSePCR implements TPM_SEPCR_Free (§5.4.3): untrusted code releases a
+// register in the Quote state without generating an attestation.
+func (t *TPM) FreeSePCR(handle int) error {
+	if handle < 0 || handle >= len(t.sePCRs) {
+		return fmt.Errorf("%w: %d", ErrSePCRHandle, handle)
+	}
+	p := &t.sePCRs[handle]
+	if p.state != SePCRQuote {
+		return fmt.Errorf("%w: sePCR %d is %v, TPM_SEPCR_Free needs Quote state",
+			ErrSePCRState, handle, p.state)
+	}
+	p.state = SePCRFree
+	p.value = Digest{}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Threat-model suite: each test is one capability §3.2 grants the
+// adversary, driven end to end against the platform. The per-package tests
+// check mechanisms; these check the paper's security story.
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"minimaltcb/internal/attest"
+	"minimaltcb/internal/chipset"
+	"minimaltcb/internal/core"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/platform"
+	"minimaltcb/internal/tpm"
+)
+
+const victimPAL = `
+	ldi	r0, key
+	ldi	r1, 32
+	svc	5		; generate a secret
+	ldi	r0, key
+	ldi	r1, 32
+	ldi	r2, blob
+	svc	3		; seal it to this code
+	mov	r1, r0
+	ldi	r0, blob
+	svc	6
+	; wipe before exit
+	ldi	r0, key
+	ldi	r1, 0
+	ldi	r2, 32
+w:	storeb	r1, [r0]
+	addi	r0, 1
+	addi	r2, -1
+	ldi	r3, 0
+	cmp	r2, r3
+	jnz	w
+	ldi	r0, 0
+	svc	0
+key:	.space 32
+blob:	.space 1024
+stack:	.space 64
+`
+
+// Capability: "he can invoke the SKINIT or SENTER instruction with
+// arguments of its choosing". The attacker late launches his own code and
+// hands it the victim's sealed blob: the TPM measured *his* code, so the
+// unseal policy refuses, and any attestation he produces names his code.
+func TestAttackerControlledLateLaunch(t *testing.T) {
+	sys, err := core.NewSystem(fast(platform.HPdc5750()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := core.CompilePAL("victim", victimPAL)
+	res, err := sys.RunLegacy(victim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := res.Output
+
+	attacker, _ := core.CompilePAL("attacker", `
+		ldi	r0, blob
+		ldi	r1, 1024
+		svc	7
+		mov	r1, r0
+		ldi	r0, blob
+		ldi	r2, out
+		svc	4		; try to unseal the victim's secret
+		mov	r0, r1		; exit status = unseal status
+		svc	0
+	blob:	.space 1024
+	out:	.space 64
+	stack:	.space 32
+	`)
+	ares, err := sys.RunLegacy(attacker, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.ExitStatus == 0 {
+		t.Fatal("attacker's late launch unsealed the victim's secret")
+	}
+
+	// The attestation of the attacker's session cannot be passed off as
+	// the victim: the quoted PCR17 holds the attacker's measurement.
+	nonce := []byte("tm nonce 1")
+	q, _, err := sys.SEA.Quote(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Verifier.Approve(victim.Name, victim.Measurement())
+	forgedLog := attest.Log{{PCR: 17, Description: "victim", Measurement: victim.Measurement()}}
+	if _, err := sys.Verifier.VerifyPALQuote(sys.Cert, q, forgedLog, nonce); err == nil {
+		t.Fatal("attacker session attested as the victim")
+	}
+}
+
+// Capability: ring-0 code on another core while a PAL executes
+// (recommended hardware; on 2007 hardware the whole platform is halted).
+func TestRing0NeighborDuringExecution(t *testing.T) {
+	sys, err := core.NewSystem(fast(platform.Recommended(platform.HPdc5750(), 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := core.CompilePAL("target", "svc 1\nldi r0, 0\nsvc 0")
+	secb, err := sys.SKSM.NewSECB(p.Image, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core1 := sys.Machine.CPUs[1]
+	if err := sys.SKSM.SLAUNCH(core1, secb); err != nil {
+		t.Fatal(err)
+	}
+	// While executing: the "OS" on core 0 probes PAL memory and the SECB.
+	cs := sys.Machine.Chipset
+	if _, err := cs.CPURead(0, secb.Region.Base, 64); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("OS read executing PAL: %v", err)
+	}
+	if err := cs.CPUWrite(0, secb.Region.Base+8, []byte{0xcc}); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("OS patched executing PAL code: %v", err)
+	}
+	if _, err := cs.CPURead(0, secb.SECBRegion.Base, 16); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("OS read the SECB: %v", err)
+	}
+	// Drive it to completion and clean up.
+	if _, err := core1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SKSM.Suspend(core1, secb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SKSM.RunSlice(core1, secb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Capability: "a DMA-capable Ethernet card with access to the PCI bus".
+func TestDMACardAgainstBothArchitectures(t *testing.T) {
+	// 2007 hardware: DEV protects the measured SLB during the session.
+	sys, err := core.NewSystem(fast(platform.HPdc5750()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic := chipset.NewDevice("pci-nic", sys.Machine.Chipset)
+	p, _ := core.CompilePAL("dev-covered", "ldi r0, 0\nsvc 0")
+	region, err := sys.Kernel.PlaceImage(p.Image.Bytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Machine.LateLaunch(sys.Machine.BootCPU(), region.Base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nic.Read(region.Base, 32); !errors.Is(err, mem.ErrDenied) {
+		t.Fatalf("DMA into DEV-protected SLB: %v", err)
+	}
+	sys.Machine.Chipset.SetDEVRegion(region, false)
+	sys.Kernel.ReleaseRegion(region)
+
+	// Recommended hardware: the access-control table covers executing
+	// and suspended PALs alike (exercised in TestDMAAttackDuringSession).
+}
+
+// Capability: power cycling. A reboot resets the dynamic PCRs to -1 so a
+// verifier can tell nothing was launched, and sealed state only returns
+// after a genuine relaunch of the same code.
+func TestPowerCycling(t *testing.T) {
+	sys, err := core.NewSystem(fast(platform.HPdc5750()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := core.CompilePAL("victim", victimPAL)
+	res, err := sys.RunLegacy(victim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := res.Output
+
+	chip := sys.Machine.TPM()
+	chip.Boot() // power cycle
+
+	// Post-reboot, PCR17 is -1: direct unseal fails.
+	if _, err := chip.Unseal(blob); err == nil {
+		t.Fatal("sealed state released after reboot without a launch")
+	}
+	// A quote straight after reboot cannot claim a launch happened.
+	nonce := []byte("tm nonce reboot")
+	q, err := chip.QuoteCommand(tpm.Selection{17}, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Verifier.Approve(victim.Name, victim.Measurement())
+	log := attest.Log{{PCR: 17, Description: "victim", Measurement: victim.Measurement()}}
+	if _, err := sys.Verifier.VerifyPALQuote(sys.Cert, q, log, nonce); err == nil {
+		t.Fatal("reboot-state quote verified as a launch")
+	}
+
+	// Genuine relaunch of the same code: the secret flows again. Consume
+	// the blob with a PAL Use-style unseal via a fresh session.
+	consumer, _ := core.CompilePAL("victim", victimPAL) // same bytes
+	if _, err := sys.RunLegacy(consumer, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chip.Unseal(blob); err != nil {
+		t.Fatalf("same code cannot unseal after relaunch: %v", err)
+	}
+}
+
+// Capability: replaying a previously captured attestation. Nonce tracking
+// in the verifier forces freshness.
+func TestQuoteReplay(t *testing.T) {
+	sys, err := core.NewSystem(fast(platform.HPdc5750()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := core.CompilePAL("fresh", "ldi r0, 0\nsvc 0")
+	if _, err := sys.RunLegacy(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("tm nonce replay")
+	q, _, err := sys.SEA.Quote(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Verifier.Approve(p.Name, p.Measurement())
+	log := attest.Log{{PCR: 17, Description: p.Name, Measurement: p.Measurement()}}
+	if _, err := sys.Verifier.VerifyPALQuote(sys.Cert, q, log, nonce); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Verifier.VerifyPALQuote(sys.Cert, q, log, nonce); !errors.Is(err, attest.ErrNonceReplay) {
+		t.Fatalf("replayed quote: %v", err)
+	}
+}
