@@ -1,0 +1,24 @@
+# Tier-1 verification lives here: `make check` is what CI and the roadmap
+# run. The race pass covers the packages with real concurrency — the PAL
+# service and the remote-attestation protocol.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/palsvc ./internal/attest
+
+bench:
+	$(GO) test -bench . -benchtime 1x .

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"minimaltcb/internal/experiments"
+	"minimaltcb/internal/palsvc"
+	"minimaltcb/internal/platform"
 )
 
 func benchCfg() experiments.Config {
@@ -181,6 +183,93 @@ func BenchmarkAblation_CrossPlatform(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationFigure2CrossPlatform(benchCfg()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchService builds the multi-tenant PAL service used by the
+// BenchmarkService_* benchmarks: recommended HP dc5750, sePCR bank of 8.
+func benchService(b *testing.B) *palsvc.Service {
+	b.Helper()
+	prof := platform.Recommended(platform.HPdc5750(), 8)
+	prof.KeyBits = 1024
+	prof.Seed = 42
+	s, err := palsvc.New(palsvc.Config{Profile: prof, Workers: 8, QueueDepth: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+const benchPAL = `
+	ldi r0, msg
+	ldi r1, 5
+	svc 6
+	ldi r0, 0
+	svc 0
+msg:	.ascii "bench"
+`
+
+// BenchmarkService_Pipeline pushes jobs through the full palsvc pipeline —
+// queue, sePCR admission, SLAUNCH execution, quote generation, verification
+// — keeping a window of jobs in flight so admission and the TPM-arbitration
+// locks are actually contended.
+func BenchmarkService_Pipeline(b *testing.B) {
+	s := benchService(b)
+	const window = 16
+	inflight := make(chan *palsvc.Ticket, window)
+	done := make(chan error, 1)
+	go func() {
+		for tk := range inflight {
+			if res := tk.Wait(); res.Err != nil {
+				done <- res.Err
+				return
+			}
+		}
+		done <- nil
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			tk, err := s.Submit(palsvc.Job{Name: "bench", Source: benchPAL})
+			if err != nil {
+				if palsvc.IsRetryable(err) {
+					continue // bounded queue pushed back; resubmit
+				}
+				b.Fatal(err)
+			}
+			inflight <- tk
+			break
+		}
+	}
+	close(inflight)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	m := s.Metrics()
+	b.ReportMetric(msMetric(m.Execute.P50), "vms_exec_p50")
+	b.ReportMetric(msMetric(m.QuoteGen.P50), "vms_quote_p50")
+	b.ReportMetric(float64(m.MaxSePCROccupancy), "max_occupancy")
+	if m.CacheHits+m.CacheMisses > 0 {
+		b.ReportMetric(float64(m.CacheHits)/float64(m.CacheHits+m.CacheMisses), "cache_hit_ratio")
+	}
+}
+
+// BenchmarkService_NoAttest isolates the execution path: same pipeline but
+// the sePCR is freed unquoted, skipping quote generation and RSA
+// verification.
+func BenchmarkService_NoAttest(b *testing.B) {
+	s := benchService(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(palsvc.Job{Name: "bench", Source: benchPAL, NoAttest: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Err != nil {
+			b.Fatal(res.Err)
 		}
 	}
 }

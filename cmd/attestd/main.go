@@ -21,10 +21,12 @@ import (
 	"crypto/rsa"
 	"crypto/sha1"
 	"encoding/gob"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"minimaltcb/internal/attest"
 	"minimaltcb/internal/core"
@@ -54,16 +56,18 @@ func main() {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen/connect address")
 	palFile := fs.String("pal", "", "PAL assembler source file (serve only)")
 	anchors := fs.String("anchors", "", "trust-anchors file: written by serve, read by verify")
+	timeout := fs.Duration("timeout", attest.DefaultTimeout,
+		"per-exchange I/O deadline (0 disables)")
 	fs.Parse(os.Args[2:])
 
 	var err error
 	switch sub {
 	case "serve":
-		err = serve(*addr, *palFile, *anchors, nil)
+		err = serve(*addr, *palFile, *anchors, *timeout, nil)
 	case "verify":
-		err = verify(*addr, *anchors)
+		err = verify(*addr, *anchors, *timeout)
 	case "demo":
-		err = demo()
+		err = demo(*timeout)
 	default:
 		err = usage()
 	}
@@ -116,7 +120,7 @@ type anchorsFile struct {
 
 // serve runs the platform side. If ready is non-nil the bound address is
 // sent on it once listening (used by demo and tests).
-func serve(addr, palFile, anchorsPath string, ready chan<- string) error {
+func serve(addr, palFile, anchorsPath string, timeout time.Duration, ready chan<- string) error {
 	sys, p, err := buildSystem(palFile)
 	if err != nil {
 		return err
@@ -161,7 +165,7 @@ func serve(addr, palFile, anchorsPath string, ready chan<- string) error {
 	if ready != nil {
 		ready <- l.Addr().String()
 	}
-	return attest.Serve(l, respond)
+	return attest.Serve(l, respond, attest.WithTimeout(timeout))
 }
 
 func caFingerprint(sys *core.System) []byte {
@@ -172,7 +176,7 @@ func caFingerprint(sys *core.System) []byte {
 // verify runs the verifier side. Trust anchors come from -anchors when
 // given (cross-process), otherwise from rebuilding the shared-seed system
 // in this process (the demo path).
-func verify(addr, anchorsPath string) error {
+func verify(addr, anchorsPath string, timeout time.Duration) error {
 	var v *attest.Verifier
 	if anchorsPath != "" {
 		f, err := os.Open(anchorsPath)
@@ -200,8 +204,12 @@ func verify(addr, anchorsPath string) error {
 		return err
 	}
 	nonce := []byte(fmt.Sprintf("attestd-nonce-%d", os.Getpid()))
-	name, err := v.ChallengeAndVerify(conn, nonce, false, 0)
+	name, err := v.ChallengeAndVerify(conn, nonce, false, 0, attest.WithTimeout(timeout))
 	if err != nil {
+		var te *attest.TimeoutError
+		if errors.As(err, &te) {
+			return fmt.Errorf("attestation TIMED OUT (%s after %v): %w", te.Op, te.Limit, err)
+		}
 		return fmt.Errorf("attestation REJECTED: %w", err)
 	}
 	fmt.Printf("attestation verified: platform ran %q under late launch\n", name)
@@ -209,13 +217,13 @@ func verify(addr, anchorsPath string) error {
 }
 
 // demo runs both halves over the loopback.
-func demo() error {
+func demo(timeout time.Duration) error {
 	ready := make(chan string, 1)
 	errs := make(chan error, 1)
-	go func() { errs <- serve("127.0.0.1:0", "", "", ready) }()
+	go func() { errs <- serve("127.0.0.1:0", "", "", timeout, ready) }()
 	select {
 	case addr := <-ready:
-		if err := verify(addr, ""); err != nil {
+		if err := verify(addr, "", timeout); err != nil {
 			return err
 		}
 		fmt.Println("demo complete")

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"minimaltcb/internal/attest"
 )
 
 func TestDemoEndToEnd(t *testing.T) {
-	if err := demo(); err != nil {
+	if err := demo(attest.DefaultTimeout); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,7 +22,7 @@ func TestServeWithAnchorsAndVerify(t *testing.T) {
 	anchors := filepath.Join(dir, "anchors.gob")
 	ready := make(chan string, 1)
 	errs := make(chan error, 1)
-	go func() { errs <- serve("127.0.0.1:0", "", anchors, ready) }()
+	go func() { errs <- serve("127.0.0.1:0", "", anchors, attest.DefaultTimeout, ready) }()
 	var addr string
 	select {
 	case addr = <-ready:
@@ -27,7 +32,7 @@ func TestServeWithAnchorsAndVerify(t *testing.T) {
 	if _, err := os.Stat(anchors); err != nil {
 		t.Fatalf("anchors not written: %v", err)
 	}
-	if err := verify(addr, anchors); err != nil {
+	if err := verify(addr, anchors, attest.DefaultTimeout); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,12 +43,12 @@ func TestServeCustomPAL(t *testing.T) {
 	os.WriteFile(palSrc, []byte("ldi r0, 0\nsvc 0\n"), 0o644)
 	ready := make(chan string, 1)
 	errs := make(chan error, 1)
-	go func() { errs <- serve("127.0.0.1:0", palSrc, "", ready) }()
+	go func() { errs <- serve("127.0.0.1:0", palSrc, "", attest.DefaultTimeout, ready) }()
 	select {
 	case addr := <-ready:
 		// The default-anchor verifier approves only the built-in PAL,
 		// so verification must fail for the custom one.
-		if err := verify(addr, ""); err == nil {
+		if err := verify(addr, "", attest.DefaultTimeout); err == nil {
 			t.Fatal("custom PAL verified against default anchors")
 		}
 	case err := <-errs:
@@ -64,7 +69,37 @@ func TestBuildSystemBadPALFile(t *testing.T) {
 }
 
 func TestVerifyConnectError(t *testing.T) {
-	if err := verify("127.0.0.1:1", ""); err == nil {
+	if err := verify("127.0.0.1:1", "", attest.DefaultTimeout); err == nil {
 		t.Fatal("verify against closed port succeeded")
+	}
+}
+
+func TestVerifyTimeoutAgainstSilentServer(t *testing.T) {
+	// A listener that accepts but never answers must surface the typed
+	// timeout, not hang for the old hardcoded 10s.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold open, say nothing
+		}
+	}()
+	start := time.Now()
+	err = verify(l.Addr().String(), "", 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("verify against silent server succeeded")
+	}
+	if !strings.Contains(err.Error(), "TIMED OUT") {
+		t.Fatalf("error %v does not report the typed timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v; flag not plumbed through", elapsed)
 	}
 }

@@ -1,0 +1,211 @@
+// Command palservd fronts internal/palsvc with a TCP server: a
+// multi-tenant PAL-execution service whose admission control is bounded by
+// the simulated platform's sePCR bank (§5.6 of the paper).
+//
+// Usage:
+//
+//	palservd [-addr 127.0.0.1:7080] [-machines N] [-sepcrs K] ...
+//	    Serve the length-prefixed JSON job protocol (see
+//	    internal/palsvc/wire.go) until killed.
+//
+//	palservd -loadgen [-clients N] [-rate R] [-duration D] [-addr A]
+//	    Load-generator mode: hammer a palservd at -addr, or — when -addr
+//	    is left at its default — self-host a server in-process first.
+//	    Prints throughput and p50/p95/p99 end-to-end latency, then the
+//	    server-side metrics snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"minimaltcb/internal/palsvc"
+	"minimaltcb/internal/platform"
+)
+
+// defaultPAL is what loadgen submits when no -pal file is given: it echoes
+// its input through the attested channel.
+const defaultPAL = `
+	ldi r0, buf
+	ldi r1, 32
+	svc 7
+	mov r1, r0
+	ldi r0, buf
+	svc 6
+	ldi r0, 0
+	svc 0
+buf:	.ascii "--------------------------------"
+`
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "listen address (serve) or target address (loadgen); default 127.0.0.1:7080 / self-hosted")
+		machines    = flag.Int("machines", 1, "platform replicas")
+		sePCRs      = flag.Int("sepcrs", 8, "sePCR bank size per replica")
+		workers     = flag.Int("workers", 0, "worker-pool size (0 = 2x total bank)")
+		queueDepth  = flag.Int("queue", 64, "submission-queue depth")
+		quantum     = flag.Duration("quantum", 0, "SLAUNCH preemption quantum, virtual time (0 = run to completion)")
+		keyBits     = flag.Int("keybits", 1024, "RSA modulus size for the simulated TPM/CA")
+		seed        = flag.Uint64("seed", 42, "platform randomness seed")
+		deadline    = flag.Duration("deadline", 0, "default per-job deadline (0 = none)")
+		connTimeout = flag.Duration("conn-timeout", 30*time.Second, "per-request connection deadline (0 = none)")
+		reject      = flag.Bool("reject", false, "reject (not queue) jobs when the sePCR bank is exhausted")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		clients  = flag.Int("clients", 4, "loadgen: concurrent client connections")
+		rate     = flag.Float64("rate", 0, "loadgen: aggregate requests/second (0 = unpaced)")
+		duration = flag.Duration("duration", 2*time.Second, "loadgen: run length")
+		palFile  = flag.String("pal", "", "loadgen: PAL assembler source file (default: built-in echo PAL)")
+		noAttest = flag.Bool("no-attest", false, "loadgen: skip quote generation and verification")
+	)
+	flag.Parse()
+
+	var err error
+	if *loadgen {
+		err = runLoadgen(loadgenOpts{
+			addr: *addr, clients: *clients, rate: *rate, duration: *duration,
+			palFile: *palFile, noAttest: *noAttest,
+			svc: serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
+				*quantum, *keyBits, *seed, *deadline, *reject),
+			connTimeout: *connTimeout,
+		})
+	} else {
+		listen := *addr
+		if listen == "" {
+			listen = "127.0.0.1:7080"
+		}
+		err = runServer(listen, *connTimeout,
+			serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
+				*quantum, *keyBits, *seed, *deadline, *reject), nil)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palservd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func serviceConfig(machines, sePCRs, workers, queueDepth int,
+	quantum time.Duration, keyBits int, seed uint64,
+	deadline time.Duration, reject bool) palsvc.Config {
+	prof := platform.Recommended(platform.HPdc5750(), sePCRs)
+	prof.KeyBits = keyBits
+	prof.Seed = seed
+	cfg := palsvc.Config{
+		Profile:         prof,
+		Machines:        machines,
+		Workers:         workers,
+		QueueDepth:      queueDepth,
+		Quantum:         quantum,
+		DefaultDeadline: deadline,
+	}
+	if reject {
+		cfg.Admission = palsvc.AdmitReject
+	}
+	return cfg
+}
+
+// runServer builds the service and serves until the listener dies. If ready
+// is non-nil the bound address is sent once listening (tests and loadgen
+// self-hosting use it).
+func runServer(addr string, connTimeout time.Duration, cfg palsvc.Config, ready chan<- string) error {
+	s, err := palsvc.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("palservd: %d machine(s) x %d sePCRs (bank %d), queue depth %d\n",
+		cfg.Machines, cfg.Profile.NumSePCRs, s.Bank(), cfg.QueueDepth)
+	fmt.Printf("palservd: serving PAL jobs on %s\n", l.Addr())
+	if ready != nil {
+		ready <- l.Addr().String()
+	}
+	return s.Serve(l, connTimeout)
+}
+
+type loadgenOpts struct {
+	addr        string
+	clients     int
+	rate        float64
+	duration    time.Duration
+	palFile     string
+	noAttest    bool
+	svc         palsvc.Config
+	connTimeout time.Duration
+}
+
+// runLoadgen drives palsvc.RunLoad, self-hosting a server when no target
+// address is given.
+func runLoadgen(o loadgenOpts) error {
+	src := defaultPAL
+	name := "loadgen-echo"
+	if o.palFile != "" {
+		b, err := os.ReadFile(o.palFile)
+		if err != nil {
+			return err
+		}
+		src, name = string(b), o.palFile
+	}
+
+	target := o.addr
+	var hosted *palsvc.Service
+	if target == "" {
+		s, err := palsvc.New(o.svc)
+		if err != nil {
+			return err
+		}
+		hosted = s
+		defer s.Close()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		go func() { _ = s.Serve(l, o.connTimeout) }()
+		target = l.Addr().String()
+		fmt.Printf("palservd: self-hosted server on %s (bank %d)\n", target, s.Bank())
+	}
+
+	fmt.Printf("palservd: loadgen %d client(s) against %s for %v\n",
+		o.clients, target, o.duration)
+	rep, err := palsvc.RunLoad(palsvc.LoadConfig{
+		Addr:     target,
+		Clients:  o.clients,
+		Rate:     o.rate,
+		Duration: o.duration,
+		Name:     name,
+		Source:   src,
+		Input:    []byte("loadgen"),
+		NoAttest: o.noAttest,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	// Server-side view: either from the self-hosted service or over the
+	// wire from the remote one.
+	var stats *palsvc.Metrics
+	if hosted != nil {
+		m := hosted.Metrics()
+		stats = &m
+	} else if cl, err := palsvc.Dial(target); err == nil {
+		defer cl.Close()
+		stats, _ = cl.Stats()
+	}
+	if stats != nil {
+		out, err := json.MarshalIndent(stats, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server metrics:\n%s\n", out)
+	}
+	return nil
+}

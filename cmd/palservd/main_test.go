@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"minimaltcb/internal/palsvc"
+)
+
+func testCfg(sePCRs int) palsvc.Config {
+	return serviceConfig(1, sePCRs, 0, 64, 0, 1024, 42, 0, false)
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	errs := make(chan error, 1)
+	go func() { errs <- runServer("127.0.0.1:0", 10*time.Second, testCfg(4), ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errs:
+		t.Fatal(err)
+	}
+
+	cl, err := palsvc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Run(&palsvc.WireRequest{Name: "echo", Source: defaultPAL, Input: []byte("over the wire")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("run failed: %s", resp.Err)
+	}
+	if string(resp.Output) != "over the wire" {
+		t.Fatalf("output %q", resp.Output)
+	}
+	if resp.VerifiedAs != "echo" {
+		t.Fatalf("verified as %q", resp.VerifiedAs)
+	}
+}
+
+func TestLoadgenSelfHosted(t *testing.T) {
+	err := runLoadgen(loadgenOpts{
+		clients:     2,
+		duration:    300 * time.Millisecond,
+		svc:         testCfg(4),
+		connTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadgenAgainstRemote(t *testing.T) {
+	ready := make(chan string, 1)
+	errs := make(chan error, 1)
+	go func() { errs <- runServer("127.0.0.1:0", 10*time.Second, testCfg(4), ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errs:
+		t.Fatal(err)
+	}
+	err := runLoadgen(loadgenOpts{
+		addr:     addr,
+		clients:  2,
+		rate:     50,
+		duration: 300 * time.Millisecond,
+		noAttest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadgenBadPALFile(t *testing.T) {
+	err := runLoadgen(loadgenOpts{palFile: "/nonexistent.pal"})
+	if err == nil {
+		t.Fatal("missing PAL file accepted")
+	}
+}

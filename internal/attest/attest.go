@@ -128,23 +128,126 @@ func VerifyCert(caPub *rsa.PublicKey, cert *AIKCert) error {
 
 // Verifier is the external party of §3.1: it trusts a Privacy CA and a set
 // of known-good PAL measurements, and nothing on the attesting platform.
+//
+// A Verifier is safe for concurrent use: a single verifier instance can
+// serve many challenge/verify exchanges at once (the palsvc worker pool and
+// concurrent attestd clients rely on this). RSA verification results are
+// memoized — an AIK certificate or quote signature that has already been
+// validated byte-for-byte skips the RSA work on later exchanges, so
+// repeated tenants against the same platform pay the public-key cost once.
 type Verifier struct {
 	caPub *rsa.PublicKey
+
+	mu sync.Mutex
 	// known maps PAL measurement -> human-readable name.
 	known map[tpm.Digest]string
 	// usedNonces provides replay protection.
 	usedNonces map[string]bool
+	// verifiedCerts and verifiedSigs memoize successful RSA
+	// verifications, keyed by the exact signed message plus signature
+	// bytes — a memo hit is only possible for an input that already
+	// passed verification unchanged.
+	verifiedCerts map[string]bool
+	verifiedSigs  map[string]bool
+	memoHits      uint64
+	memoMisses    uint64
 }
 
 // NewVerifier builds a verifier trusting the given CA.
 func NewVerifier(caPub *rsa.PublicKey) *Verifier {
-	return &Verifier{caPub: caPub, known: map[tpm.Digest]string{}, usedNonces: map[string]bool{}}
+	return &Verifier{
+		caPub:         caPub,
+		known:         map[tpm.Digest]string{},
+		usedNonces:    map[string]bool{},
+		verifiedCerts: map[string]bool{},
+		verifiedSigs:  map[string]bool{},
+	}
 }
 
 // Approve registers a PAL image hash as known-good. Verifiers approve
 // code, not platforms: any platform may run an approved PAL.
 func (v *Verifier) Approve(name string, palMeasurement tpm.Digest) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.known[palMeasurement] = name
+}
+
+// MemoStats reports how many RSA signature verifications were skipped
+// (hits) versus performed (misses) since the verifier was created.
+func (v *Verifier) MemoStats() (hits, misses uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.memoHits, v.memoMisses
+}
+
+// verifyCertMemo is VerifyCert with memoization of successful results.
+func (v *Verifier) verifyCertMemo(cert *AIKCert) error {
+	if cert == nil || cert.AIK == nil {
+		return errors.New("attest: nil certificate")
+	}
+	key := string(certDigest(cert.PlatformID, cert.AIK)) + "|" + string(cert.Signature)
+	v.mu.Lock()
+	if v.verifiedCerts[key] {
+		v.memoHits++
+		v.mu.Unlock()
+		return nil
+	}
+	v.memoMisses++
+	v.mu.Unlock()
+	if err := VerifyCert(v.caPub, cert); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.verifiedCerts[key] = true
+	v.mu.Unlock()
+	return nil
+}
+
+// verifyQuoteSigMemo is tpm.VerifyQuote with memoization of successful
+// results. The key binds the AIK, the quoted composite, the nonce and the
+// signature bytes, so a hit can only replay an identical verification.
+func (v *Verifier) verifyQuoteSigMemo(aik *rsa.PublicKey, q *tpm.Quote) error {
+	if q == nil || aik == nil {
+		return errors.New("attest: nil quote or AIK")
+	}
+	key := string(aik.N.Bytes()) + "|" + string(q.Composite[:]) + "|" +
+		string(q.Nonce) + "|" + string(q.Signature)
+	v.mu.Lock()
+	if v.verifiedSigs[key] {
+		v.memoHits++
+		v.mu.Unlock()
+		return nil
+	}
+	v.memoMisses++
+	v.mu.Unlock()
+	if err := tpm.VerifyQuote(aik, q); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.verifiedSigs[key] = true
+	v.mu.Unlock()
+	return nil
+}
+
+// consumeNonce atomically checks freshness and marks the nonce used. It is
+// called only after all other validation passed, so a failed verification
+// never burns a nonce.
+func (v *Verifier) consumeNonce(nonce []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.usedNonces[string(nonce)] {
+		return ErrNonceReplay
+	}
+	v.usedNonces[string(nonce)] = true
+	return nil
+}
+
+// lookup returns the approved name for a measurement.
+func (v *Verifier) lookup(m tpm.Digest) (string, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	name, ok := v.known[m]
+	return name, ok
 }
 
 // Verification errors.
@@ -166,17 +269,14 @@ var (
 // measurement events the platform claims (for the simple SEA flow this is
 // one event: the PAL into PCR 17, plus the ACMod and PAL on Intel).
 func (v *Verifier) VerifyPALQuote(cert *AIKCert, q *tpm.Quote, log Log, nonce []byte) (string, error) {
-	if err := VerifyCert(v.caPub, cert); err != nil {
+	if err := v.verifyCertMemo(cert); err != nil {
 		return "", err
 	}
-	if err := tpm.VerifyQuote(cert.AIK, q); err != nil {
+	if err := v.verifyQuoteSigMemo(cert.AIK, q); err != nil {
 		return "", fmt.Errorf("%w: %v", ErrBadSignature, err)
 	}
 	if string(q.Nonce) != string(nonce) {
 		return "", ErrWrongNonce
-	}
-	if v.usedNonces[string(nonce)] {
-		return "", ErrNonceReplay
 	}
 
 	// Replay the log and reconstruct the composite.
@@ -202,7 +302,9 @@ func (v *Verifier) VerifyPALQuote(cert *AIKCert, q *tpm.Quote, log Log, nonce []
 	if err != nil {
 		return "", err
 	}
-	v.usedNonces[string(nonce)] = true
+	if err := v.consumeNonce(nonce); err != nil {
+		return "", err
+	}
 	return name, nil
 }
 
@@ -225,7 +327,7 @@ func (v *Verifier) rootApproved(log Log, sel tpm.Selection) (string, error) {
 		if !inSel {
 			continue
 		}
-		if name, ok := v.known[e.Measurement]; ok {
+		if name, ok := v.lookup(e.Measurement); ok {
 			return name, nil
 		}
 	}
@@ -236,17 +338,14 @@ func (v *Verifier) rootApproved(log Log, sel tpm.Selection) (string, error) {
 // hardware (§5.4.3): same chain, but the composite is the single register
 // value and the log is the PAL measurement (plus any input extensions).
 func (v *Verifier) VerifySePCRQuote(cert *AIKCert, q *tpm.Quote, log Log, nonce []byte) (string, error) {
-	if err := VerifyCert(v.caPub, cert); err != nil {
+	if err := v.verifyCertMemo(cert); err != nil {
 		return "", err
 	}
-	if err := tpm.VerifyQuote(cert.AIK, q); err != nil {
+	if err := v.verifyQuoteSigMemo(cert.AIK, q); err != nil {
 		return "", fmt.Errorf("%w: %v", ErrBadSignature, err)
 	}
 	if string(q.Nonce) != string(nonce) {
 		return "", ErrWrongNonce
-	}
-	if v.usedNonces[string(nonce)] {
-		return "", ErrNonceReplay
 	}
 	if q.SePCRHandle < 0 {
 		return "", errors.New("attest: quote does not cover a sePCR")
@@ -271,10 +370,12 @@ func (v *Verifier) VerifySePCRQuote(cert *AIKCert, q *tpm.Quote, log Log, nonce 
 	if len(log) == 0 {
 		return "", ErrUnknownPAL
 	}
-	name, ok := v.known[log[0].Measurement]
+	name, ok := v.lookup(log[0].Measurement)
 	if !ok {
 		return "", ErrUnknownPAL
 	}
-	v.usedNonces[string(nonce)] = true
+	if err := v.consumeNonce(nonce); err != nil {
+		return "", err
+	}
 	return name, nil
 }

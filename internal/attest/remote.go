@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"minimaltcb/internal/tpm"
@@ -40,14 +41,85 @@ type Evidence struct {
 // it (typically wrapping TPM quote generation and its event log).
 type Responder func(ch Challenge) (*Evidence, error)
 
+// DefaultTimeout bounds one remote exchange (challenge in, evidence out)
+// unless overridden with WithTimeout.
+const DefaultTimeout = 10 * time.Second
+
+// TimeoutError reports that a remote attestation exchange exceeded its
+// deadline. It wraps the underlying net error and satisfies
+// net.Error-style Timeout() checks, so callers can distinguish a stalled
+// peer from a protocol failure.
+type TimeoutError struct {
+	// Op names the phase that timed out ("reading challenge", ...).
+	Op string
+	// Limit is the deadline that was exceeded.
+	Limit time.Duration
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("attest: %s timed out after %v: %v", e.Op, e.Limit, e.Err)
+}
+
+// Unwrap exposes the underlying net error to errors.Is/As.
+func (e *TimeoutError) Unwrap() error { return e.Err }
+
+// Timeout reports true, mirroring net.Error.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Option configures a remote exchange.
+type Option func(*exchangeConfig)
+
+type exchangeConfig struct {
+	timeout time.Duration
+}
+
+// WithTimeout bounds the whole exchange on one connection. d <= 0 disables
+// the deadline entirely (the exchange then trusts the peer to make
+// progress). Without this option, DefaultTimeout applies.
+func WithTimeout(d time.Duration) Option {
+	return func(c *exchangeConfig) { c.timeout = d }
+}
+
+func newExchangeConfig(opts []Option) exchangeConfig {
+	cfg := exchangeConfig{timeout: DefaultTimeout}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// wrapTimeout converts deadline-induced failures into *TimeoutError while
+// passing every other error through untouched.
+func wrapTimeout(op string, limit time.Duration, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &TimeoutError{Op: op, Limit: limit, Err: err}
+	}
+	return err
+}
+
 // ServeOne answers exactly one challenge on conn. It is the unit Serve
-// loops over and what tests drive directly over a net.Pipe.
-func ServeOne(conn net.Conn, respond Responder) error {
+// loops over and what tests drive directly over a net.Pipe. The exchange
+// must complete within the configured timeout (DefaultTimeout unless
+// overridden), so a slow-loris client that connects and never sends a
+// complete challenge is cut off with a *TimeoutError.
+func ServeOne(conn net.Conn, respond Responder, opts ...Option) error {
+	cfg := newExchangeConfig(opts)
 	defer conn.Close()
+	if cfg.timeout > 0 {
+		// Wall-clock (not virtual) deadline: the peer is a real socket.
+		_ = conn.SetDeadline(time.Now().Add(cfg.timeout))
+	}
 	var ch Challenge
 	dec := gob.NewDecoder(conn)
 	if err := dec.Decode(&ch); err != nil {
-		return fmt.Errorf("attest: decoding challenge: %w", err)
+		return wrapTimeout("reading challenge", cfg.timeout,
+			fmt.Errorf("attest: decoding challenge: %w", err))
 	}
 	if len(ch.Nonce) == 0 || len(ch.Nonce) > 256 {
 		return errors.New("attest: refusing challenge with absent or oversized nonce")
@@ -58,34 +130,54 @@ func ServeOne(conn net.Conn, respond Responder) error {
 		_ = gob.NewEncoder(conn).Encode(&Evidence{})
 		return err
 	}
-	return gob.NewEncoder(conn).Encode(ev)
+	return wrapTimeout("sending evidence", cfg.timeout, gob.NewEncoder(conn).Encode(ev))
 }
 
 // Serve accepts connections until the listener closes, answering one
-// challenge per connection.
-func Serve(l net.Listener, respond Responder) error {
+// challenge per connection. Each connection is handled on its own
+// goroutine — with a panic-safe close — so a slow or stalled client cannot
+// block the accept loop. The responder itself is serialized with a mutex:
+// it typically fronts a single-threaded simulated platform (see
+// internal/sim), so only the network I/O runs concurrently.
+func Serve(l net.Listener, respond Responder, opts ...Option) error {
+	var mu sync.Mutex
+	serial := func(ch Challenge) (*Evidence, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return respond(ch)
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		// Connections are handled serially: the simulated platform is
-		// single-threaded by design (see internal/sim).
-		_ = ServeOne(conn, respond)
+		go func(c net.Conn) {
+			defer func() {
+				if r := recover(); r != nil {
+					_ = c.Close()
+				}
+			}()
+			_ = ServeOne(c, serial, opts...)
+		}(conn)
 	}
 }
 
 // Request performs the verifier side of one exchange on conn.
-func Request(conn net.Conn, ch Challenge) (*Evidence, error) {
+func Request(conn net.Conn, ch Challenge, opts ...Option) (*Evidence, error) {
+	cfg := newExchangeConfig(opts)
 	defer conn.Close()
-	// Wall-clock (not virtual) deadline: the peer is a real socket.
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if cfg.timeout > 0 {
+		// Wall-clock (not virtual) deadline: the peer is a real socket.
+		_ = conn.SetDeadline(time.Now().Add(cfg.timeout))
+	}
 	if err := gob.NewEncoder(conn).Encode(&ch); err != nil {
-		return nil, fmt.Errorf("attest: sending challenge: %w", err)
+		return nil, wrapTimeout("sending challenge", cfg.timeout,
+			fmt.Errorf("attest: sending challenge: %w", err))
 	}
 	var ev Evidence
 	if err := gob.NewDecoder(conn).Decode(&ev); err != nil {
-		return nil, fmt.Errorf("attest: decoding evidence: %w", err)
+		return nil, wrapTimeout("reading evidence", cfg.timeout,
+			fmt.Errorf("attest: decoding evidence: %w", err))
 	}
 	if ev.Quote == nil || ev.Cert == nil {
 		return nil, errors.New("attest: platform returned no evidence")
@@ -96,8 +188,8 @@ func Request(conn net.Conn, ch Challenge) (*Evidence, error) {
 // ChallengeAndVerify runs the complete verifier flow over conn: send a
 // challenge, receive evidence, and validate it against this verifier's
 // trust anchors. It returns the approved PAL's name.
-func (v *Verifier) ChallengeAndVerify(conn net.Conn, nonce []byte, sePCR bool, handle int) (string, error) {
-	ev, err := Request(conn, Challenge{Nonce: nonce, SePCR: sePCR, Handle: handle})
+func (v *Verifier) ChallengeAndVerify(conn net.Conn, nonce []byte, sePCR bool, handle int, opts ...Option) (string, error) {
+	ev, err := Request(conn, Challenge{Nonce: nonce, SePCR: sePCR, Handle: handle}, opts...)
 	if err != nil {
 		return "", err
 	}

@@ -226,14 +226,18 @@ func (s *System) RunRecommended(p *PAL, input []byte, quantum time.Duration, non
 	return res, nil
 }
 
-// palCore picks the core PALs run on: core 1 when available (core 0 stays
-// with the legacy OS, Figure 4), else core 0.
-func (s *System) palCore() *cpu.CPU {
+// PALCore picks the core PALs run on: core 1 when available (core 0 stays
+// with the legacy OS, Figure 4), else core 0. Long-running services
+// (internal/palsvc) dispatch their SECBs to this core.
+func (s *System) PALCore() *cpu.CPU {
 	if len(s.Machine.CPUs) > 1 {
 		return s.Machine.CPUs[1]
 	}
 	return s.Machine.CPUs[0]
 }
+
+// palCore is the internal alias RunRecommended uses.
+func (s *System) palCore() *cpu.CPU { return s.PALCore() }
 
 // VerifyRecommended validates a result's sePCR quote against the system's
 // verifier, returning the approved PAL name.

@@ -1,0 +1,105 @@
+package palsvc
+
+import (
+	"errors"
+	"time"
+)
+
+// Job is one PAL-execution request from a tenant.
+type Job struct {
+	// Name identifies the tenant's PAL to the verifier. Tenants
+	// submitting byte-identical source share one cached image and
+	// therefore one attested identity — code, not names, is what the
+	// attestation chain binds.
+	Name string
+	// Source is PAL assembler source (see internal/isa); it is compiled
+	// through the service's image cache.
+	Source string
+	// Input is delivered on the PAL's input channel (svc 7).
+	Input []byte
+	// Deadline bounds the job's whole stay in the service, in wall-clock
+	// time (queueing and admission happen in real time; only execution
+	// is simulated). Zero means Config.DefaultDeadline, which may itself
+	// be zero (no deadline).
+	Deadline time.Time
+	// NoAttest skips quote generation and verification; the sePCR is
+	// freed unquoted via TPM_SEPCR_Free (§5.4.3).
+	NoAttest bool
+}
+
+// JobResult reports one completed (or failed) job.
+type JobResult struct {
+	// Name echoes the job's name.
+	Name string
+	// Machine is the index of the platform replica that ran the PAL.
+	Machine int
+	// Output is what the PAL wrote to its output channel.
+	Output []byte
+	// ExitStatus is the PAL's exit code.
+	ExitStatus uint32
+	// VerifiedAs is the approved PAL name the quote verification
+	// returned; empty when NoAttest was set.
+	VerifiedAs string
+	// Slices and Resumes count scheduling slices and hardware resumes.
+	Slices, Resumes int
+
+	// Per-stage latencies. QueueWait, ArbWait and Verify are wall-clock
+	// (they happen in real time); Execute and QuoteGen are virtual time
+	// charged to the machine's sim clock.
+	QueueWait time.Duration
+	ArbWait   time.Duration
+	Execute   time.Duration
+	QuoteGen  time.Duration
+	Verify    time.Duration
+
+	// Err is nil on success. Use IsRetryable to decide whether
+	// resubmission can help.
+	Err error
+}
+
+// Ticket is the caller's handle on a submitted job.
+type Ticket struct {
+	done chan *JobResult
+}
+
+func newTicket() *Ticket { return &Ticket{done: make(chan *JobResult, 1)} }
+
+// deliver hands the result to the waiting caller. Each ticket is delivered
+// exactly once.
+func (t *Ticket) deliver(r *JobResult) { t.done <- r }
+
+// Done returns a channel that receives the job's result exactly once.
+func (t *Ticket) Done() <-chan *JobResult { return t.done }
+
+// Wait blocks until the job finishes and returns its result.
+func (t *Ticket) Wait() *JobResult { return <-t.done }
+
+// retryableError marks conditions that are expected to clear on their own —
+// full queue, exhausted sePCR bank — so tenants know resubmission is the
+// right response.
+type retryableError struct{ msg string }
+
+func (e *retryableError) Error() string   { return e.msg }
+func (e *retryableError) Retryable() bool { return true }
+
+// Service errors.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("palsvc: service closed")
+	// ErrQueueFull reports backpressure: the bounded submission queue is
+	// at capacity. Retryable.
+	ErrQueueFull error = &retryableError{"palsvc: submission queue full"}
+	// ErrBankExhausted reports that admission control found every sePCR
+	// occupied (§5.6) under the AdmitReject policy. Retryable.
+	ErrBankExhausted error = &retryableError{"palsvc: sePCR bank exhausted"}
+	// ErrDeadlineExceeded reports that the job's deadline expired before
+	// it finished dispatch.
+	ErrDeadlineExceeded = errors.New("palsvc: job deadline exceeded")
+)
+
+// IsRetryable reports whether err (anywhere in its chain) marks a
+// transient condition that a later resubmission can clear.
+func IsRetryable(err error) bool {
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}

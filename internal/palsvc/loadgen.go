@@ -1,0 +1,132 @@
+package palsvc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"minimaltcb/internal/sim"
+)
+
+// LoadConfig drives the built-in load generator: N client connections
+// submitting the same job in a loop, optionally paced to an aggregate
+// request rate.
+type LoadConfig struct {
+	// Addr is the palsvc server to hammer.
+	Addr string
+	// Clients is the number of concurrent client connections; default 4.
+	Clients int
+	// Rate is the aggregate request rate across all clients in requests
+	// per second; <= 0 means submit as fast as responses come back.
+	Rate float64
+	// Duration bounds the run; default 2s.
+	Duration time.Duration
+
+	// The job every request submits.
+	Name       string
+	Source     string
+	Input      []byte
+	DeadlineMS int64
+	NoAttest   bool
+}
+
+// LoadReport summarizes one load-generator run.
+type LoadReport struct {
+	Clients    int
+	Sent       int
+	OK         int
+	Rejected   int // retryable failures (queue full / bank exhausted)
+	Failed     int // everything else
+	Elapsed    time.Duration
+	Throughput float64 // successful jobs per wall-clock second
+	Latency    StageStats
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"clients=%d sent=%d ok=%d rejected=%d failed=%d elapsed=%v throughput=%.1f jobs/s\nlatency: %v",
+		r.Clients, r.Sent, r.OK, r.Rejected, r.Failed, r.Elapsed, r.Throughput, r.Latency)
+}
+
+// RunLoad runs the load generator against cfg.Addr and reports aggregate
+// throughput and end-to-end request latency (wall-clock, as a tenant sees
+// it).
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	var pace time.Duration
+	if cfg.Rate > 0 {
+		pace = time.Duration(float64(cfg.Clients) / cfg.Rate * float64(time.Second))
+	}
+	req := WireRequest{
+		Name:       cfg.Name,
+		Source:     cfg.Source,
+		Input:      cfg.Input,
+		DeadlineMS: cfg.DeadlineMS,
+		NoAttest:   cfg.NoAttest,
+	}
+
+	var (
+		mu      sync.Mutex
+		lat     sim.Sample
+		rep     = LoadReport{Clients: cfg.Clients}
+		wg      sync.WaitGroup
+		start   = time.Now()
+		stop    = start.Add(cfg.Duration)
+		dialErr error
+	)
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := Dial(cfg.Addr)
+		if err != nil {
+			mu.Lock()
+			dialErr = err
+			mu.Unlock()
+			break
+		}
+		wg.Add(1)
+		go func(cl *Client) {
+			defer wg.Done()
+			defer cl.Close()
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				resp, err := cl.Run(&req)
+				d := time.Since(t0)
+				mu.Lock()
+				rep.Sent++
+				switch {
+				case err != nil:
+					rep.Failed++
+					mu.Unlock()
+					return // connection-level error: this client is done
+				case resp.OK:
+					rep.OK++
+					lat.Add(d)
+				case resp.Retryable:
+					rep.Rejected++
+				default:
+					rep.Failed++
+				}
+				mu.Unlock()
+				if pace > 0 {
+					if sleep := pace - d; sleep > 0 {
+						time.Sleep(sleep)
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	if dialErr != nil && rep.Sent == 0 {
+		return nil, fmt.Errorf("palsvc: load generator dial: %w", dialErr)
+	}
+	rep.Elapsed = time.Since(start)
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.OK) / secs
+	}
+	rep.Latency = stageOf(&lat)
+	return &rep, nil
+}

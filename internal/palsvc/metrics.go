@@ -1,0 +1,146 @@
+package palsvc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"minimaltcb/internal/sim"
+)
+
+// StageStats summarizes one pipeline stage's latency distribution. For the
+// Execute and QuoteGen stages the durations are virtual time on the
+// machine's sim clock; for QueueWait, ArbWait and Verify they are
+// wall-clock. JSON-encodable for the wire protocol's stats op.
+type StageStats struct {
+	N    int           `json:"n"`
+	Mean time.Duration `json:"mean_ns"`
+	P50  time.Duration `json:"p50_ns"`
+	P95  time.Duration `json:"p95_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	Max  time.Duration `json:"max_ns"`
+}
+
+func (s StageStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.N, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Metrics is a point-in-time snapshot of the service.
+type Metrics struct {
+	// Counters over the service lifetime.
+	Submitted        uint64 `json:"submitted"`
+	Admitted         uint64 `json:"admitted"`
+	Rejected         uint64 `json:"rejected"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+
+	// QueueDepth is the number of jobs waiting in the submission queue
+	// at snapshot time.
+	QueueDepth int `json:"queue_depth"`
+
+	// SePCRCapacity is the total bank size across machines;
+	// SePCROccupancy the currently admitted jobs holding (or reserved
+	// for) a register; MaxSePCROccupancy the high-water mark. The
+	// admission invariant is MaxSePCROccupancy <= SePCRCapacity.
+	SePCRCapacity     int `json:"sepcr_capacity"`
+	SePCROccupancy    int `json:"sepcr_occupancy"`
+	MaxSePCROccupancy int `json:"sepcr_occupancy_max"`
+
+	// Image-cache and verifier-memo effectiveness.
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	VerifyMemoHits   uint64 `json:"verify_memo_hits"`
+	VerifyMemoMisses uint64 `json:"verify_memo_misses"`
+
+	// Per-stage latency distributions.
+	QueueWait StageStats `json:"queue_wait"`
+	ArbWait   StageStats `json:"arb_wait"`
+	Execute   StageStats `json:"execute"`
+	QuoteGen  StageStats `json:"quote_gen"`
+	Verify    StageStats `json:"verify"`
+}
+
+// metrics is the service's internal mutable state behind Metrics.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted, admitted, rejected    uint64
+	completed, failed, deadlineEx    uint64
+	occupancy, maxOccupancy          int
+	queueWait, arbWait, exec, quote, verify sim.Sample
+}
+
+func (m *metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) incCompleted() { m.mu.Lock(); m.completed++; m.mu.Unlock() }
+func (m *metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *metrics) incDeadline()  { m.mu.Lock(); m.deadlineEx++; m.mu.Unlock() }
+
+// admitOne records a successful admission and bumps the occupancy gauge.
+func (m *metrics) admitOne() {
+	m.mu.Lock()
+	m.admitted++
+	m.occupancy++
+	if m.occupancy > m.maxOccupancy {
+		m.maxOccupancy = m.occupancy
+	}
+	m.mu.Unlock()
+}
+
+// releaseOne drops the occupancy gauge when a job's register is free again.
+func (m *metrics) releaseOne() {
+	m.mu.Lock()
+	m.occupancy--
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeQueue(d time.Duration)  { m.mu.Lock(); m.queueWait.Add(d); m.mu.Unlock() }
+func (m *metrics) observeArb(d time.Duration)    { m.mu.Lock(); m.arbWait.Add(d); m.mu.Unlock() }
+func (m *metrics) observeExec(d time.Duration)   { m.mu.Lock(); m.exec.Add(d); m.mu.Unlock() }
+func (m *metrics) observeQuote(d time.Duration)  { m.mu.Lock(); m.quote.Add(d); m.mu.Unlock() }
+func (m *metrics) observeVerify(d time.Duration) { m.mu.Lock(); m.verify.Add(d); m.mu.Unlock() }
+
+func stageOf(s *sim.Sample) StageStats {
+	return StageStats{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+		P99:  s.Percentile(99),
+		Max:  s.Max(),
+	}
+}
+
+// Metrics returns a consistent snapshot of the service's counters, gauges
+// and latency distributions.
+func (s *Service) Metrics() Metrics {
+	m := s.metrics
+	m.mu.Lock()
+	out := Metrics{
+		Submitted:         m.submitted,
+		Admitted:          m.admitted,
+		Rejected:          m.rejected,
+		Completed:         m.completed,
+		Failed:            m.failed,
+		DeadlineExceeded:  m.deadlineEx,
+		SePCRCapacity:     s.bank,
+		SePCROccupancy:    m.occupancy,
+		MaxSePCROccupancy: m.maxOccupancy,
+		QueueWait:         stageOf(&m.queueWait),
+		ArbWait:           stageOf(&m.arbWait),
+		Execute:           stageOf(&m.exec),
+		QuoteGen:          stageOf(&m.quote),
+		Verify:            stageOf(&m.verify),
+	}
+	m.mu.Unlock()
+	out.QueueDepth = len(s.queue)
+	out.CacheHits, out.CacheMisses = s.cache.stats()
+	for _, mc := range s.machines {
+		h, miss := mc.sys.Verifier.MemoStats()
+		out.VerifyMemoHits += h
+		out.VerifyMemoMisses += miss
+	}
+	return out
+}

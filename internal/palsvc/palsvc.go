@@ -1,0 +1,424 @@
+// Package palsvc turns the one-shot simulator sessions of internal/core
+// into a long-running, multi-tenant PAL-execution service — the runtime
+// layer the paper's §5 recommendations exist to enable: PALs executing
+// concurrently with (and isolated from) everything else, with admission
+// bounded by the TPM's sePCR bank (§5.6).
+//
+// The pipeline per job is queue → admit → execute → quote → verify:
+//
+//   - a bounded submission queue provides backpressure (ErrQueueFull) and
+//     per-request deadlines;
+//   - admission control reads the live sePCR bank through
+//     sksm.Manager.FreeSePCRs and never lets more jobs hold registers than
+//     the bank provides — the 𝑛+1-th concurrent PAL either waits
+//     (AdmitQueue) or is rejected with a retryable error (AdmitReject),
+//     exactly the SLAUNCH failure-code contract of §5.4.1;
+//   - a worker pool multiplexes jobs across one or more platform replicas.
+//     Each machine is a single-threaded simulator, so a per-machine mutex
+//     plays the role of the hardware TPM arbitration of §5.4.5: execution
+//     and quote generation serialize on it, while verification (pure
+//     public-key cryptography, off-platform by definition) runs fully in
+//     parallel;
+//   - the result layer caches compiled PAL images by source digest and
+//     relies on internal/attest's memoized verifier so repeated tenants
+//     skip assembler and RSA work.
+//
+// Metrics (counters, queue depth, sePCR occupancy, per-stage latency
+// distributions over sim time) are available programmatically via
+// Service.Metrics and over the wire via the stats op of the length-prefixed
+// protocol in wire.go, which cmd/palservd fronts with a TCP server and a
+// built-in load generator.
+package palsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minimaltcb/internal/attest"
+	"minimaltcb/internal/core"
+	"minimaltcb/internal/platform"
+	"minimaltcb/internal/sim"
+)
+
+// AdmissionPolicy selects what happens when every sePCR is occupied.
+type AdmissionPolicy int
+
+const (
+	// AdmitQueue makes jobs wait (bounded by their deadline) for a
+	// register to free up.
+	AdmitQueue AdmissionPolicy = iota
+	// AdmitReject fails jobs immediately with ErrBankExhausted, leaving
+	// the retry decision to the tenant.
+	AdmitReject
+)
+
+// Config assembles a Service.
+type Config struct {
+	// Profile is the platform every replica is built from. It must
+	// provision sePCRs (wrap it in platform.Recommended).
+	Profile platform.Profile
+	// Machines is the number of platform replicas; default 1.
+	Machines int
+	// Workers is the worker-pool size; default 2× the total sePCR bank.
+	Workers int
+	// QueueDepth bounds the submission queue; default 64.
+	QueueDepth int
+	// Quantum is the SLAUNCH preemption quantum (virtual time); 0 runs
+	// each PAL to completion in one slice.
+	Quantum time.Duration
+	// DefaultDeadline applies to jobs submitted without one; 0 means no
+	// deadline.
+	DefaultDeadline time.Duration
+	// Admission selects the bank-exhaustion behaviour.
+	Admission AdmissionPolicy
+}
+
+// machine is one platform replica plus the lock that stands in for the
+// hardware arbitration serializing access to the (single-threaded)
+// simulated platform.
+type machine struct {
+	id  int
+	sys *core.System
+	mu  sync.Mutex
+	// pending counts admitted jobs that have not yet SLAUNCHed — their
+	// registers are still Free in the TPM, so the live-bank reading must
+	// subtract them. Guarded by mu.
+	pending int
+}
+
+// tryReserve implements one admission probe: if the machine is idle enough
+// to answer and its live bank has an unreserved Free register, reserve it.
+// A machine whose lock is held (a PAL is executing or quoting) reports no
+// capacity for this probe — callers loop or reject per policy.
+func (m *machine) tryReserve() bool {
+	if !m.mu.TryLock() {
+		return false
+	}
+	defer m.mu.Unlock()
+	if m.sys.SKSM.FreeSePCRs()-m.pending <= 0 {
+		return false
+	}
+	m.pending++
+	return true
+}
+
+// task is a queued job.
+type task struct {
+	job      Job
+	ticket   *Ticket
+	enqueued time.Time
+	deadline time.Time // zero = none
+}
+
+// Service is a concurrent multi-tenant PAL-execution service.
+type Service struct {
+	cfg      Config
+	machines []*machine
+	bank     int // total sePCRs across machines
+	queue    chan *task
+	freed    chan struct{} // admission wakeup, capacity 1
+	cache    *palCache
+	metrics  *metrics
+	nonceSeq atomic.Uint64
+
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New assembles the platform replicas and starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	if cfg.Profile.NumSePCRs <= 0 {
+		return nil, errors.New("palsvc: profile provisions no sePCRs; wrap it in platform.Recommended")
+	}
+	if cfg.Machines <= 0 {
+		cfg.Machines = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2 * cfg.Machines * cfg.Profile.NumSePCRs
+	}
+	s := &Service{
+		cfg:     cfg,
+		queue:   make(chan *task, cfg.QueueDepth),
+		freed:   make(chan struct{}, 1),
+		cache:   newPALCache(),
+		metrics: &metrics{},
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		sys, err := core.NewSystem(cfg.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("palsvc: building machine %d: %w", i, err)
+		}
+		if sys.SKSM == nil || sys.Verifier == nil {
+			return nil, errors.New("palsvc: profile lacks recommended hardware or a TPM")
+		}
+		s.machines = append(s.machines, &machine{id: i, sys: sys})
+		s.bank += sys.Machine.TPM().NumSePCRs()
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Bank returns the total sePCR capacity across all replicas.
+func (s *Service) Bank() int { return s.bank }
+
+// Submit enqueues a job. It returns immediately with a Ticket, ErrQueueFull
+// when the bounded queue is at capacity (retryable backpressure), or
+// ErrClosed after Close.
+func (s *Service) Submit(j Job) (*Ticket, error) {
+	if j.Source == "" {
+		return nil, errors.New("palsvc: job has no source")
+	}
+	if j.Name == "" {
+		j.Name = "pal"
+	}
+	now := time.Now()
+	t := &task{job: j, ticket: newTicket(), enqueued: now, deadline: j.Deadline}
+	if t.deadline.IsZero() && s.cfg.DefaultDeadline > 0 {
+		t.deadline = now.Add(s.cfg.DefaultDeadline)
+	}
+
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- t:
+		s.metrics.incSubmitted()
+		return t.ticket, nil
+	default:
+		s.metrics.incRejected()
+		return nil, fmt.Errorf("%w: depth %d", ErrQueueFull, cap(s.queue))
+	}
+}
+
+// Run submits a job and waits for its result — the synchronous convenience
+// path cmd/palservd and tests use.
+func (s *Service) Run(j Job) (*JobResult, error) {
+	tk, err := s.Submit(j)
+	if err != nil {
+		return nil, err
+	}
+	return tk.Wait(), nil
+}
+
+// Close stops accepting submissions, drains every queued job, and waits
+// for the workers to finish. Safe to call more than once.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.handle(t)
+	}
+}
+
+// fail finalizes a job with an error.
+func (s *Service) fail(t *task, res *JobResult, err error) {
+	res.Err = err
+	t.ticket.deliver(res)
+}
+
+func (s *Service) handle(t *task) {
+	res := &JobResult{Name: t.job.Name, Machine: -1, QueueWait: time.Since(t.enqueued)}
+	s.metrics.observeQueue(res.QueueWait)
+
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		s.metrics.incDeadline()
+		s.fail(t, res, fmt.Errorf("%w: expired in queue after %v", ErrDeadlineExceeded, res.QueueWait))
+		return
+	}
+
+	p, err := s.cache.get(t.job.Name, t.job.Source)
+	if err != nil {
+		s.metrics.incFailed()
+		s.fail(t, res, err)
+		return
+	}
+
+	m, err := s.admit(t)
+	if err != nil {
+		if errors.Is(err, ErrDeadlineExceeded) {
+			s.metrics.incDeadline()
+		} else {
+			s.metrics.incRejected()
+		}
+		s.fail(t, res, err)
+		return
+	}
+	s.metrics.admitOne()
+	s.execute(m, t, p, res)
+	t.ticket.deliver(res)
+}
+
+// admit finds a machine with live sePCR capacity, per the configured
+// policy. On success the returned machine carries one reservation
+// (machine.pending) the execute phase converts into a real SLAUNCH
+// allocation.
+func (s *Service) admit(t *task) (*machine, error) {
+	for {
+		for _, m := range s.machines {
+			if m.tryReserve() {
+				return m, nil
+			}
+		}
+		if s.cfg.Admission == AdmitReject {
+			return nil, fmt.Errorf("%w: all %d sePCRs occupied", ErrBankExhausted, s.bank)
+		}
+		var deadlineC <-chan time.Time
+		if !t.deadline.IsZero() {
+			d := time.Until(t.deadline)
+			if d <= 0 {
+				return nil, fmt.Errorf("%w: while waiting for a sePCR", ErrDeadlineExceeded)
+			}
+			deadlineC = time.After(d)
+		}
+		select {
+		case <-s.freed:
+		case <-time.After(200 * time.Microsecond):
+			// Poll fallback: a freed signal can be consumed by another
+			// waiter, so never rely on it exclusively.
+		case <-deadlineC:
+			return nil, fmt.Errorf("%w: while waiting for a sePCR", ErrDeadlineExceeded)
+		}
+	}
+}
+
+// releaseSlot returns a job's admission slot to the bank and wakes one
+// waiter.
+func (s *Service) releaseSlot() {
+	s.metrics.releaseOne()
+	select {
+	case s.freed <- struct{}{}:
+	default:
+	}
+}
+
+// nextNonce returns a service-unique attestation nonce.
+func (s *Service) nextNonce() []byte {
+	return []byte(fmt.Sprintf("palsvc-nonce-%d", s.nonceSeq.Add(1)))
+}
+
+// execute drives the admitted job through execute → quote → verify. The
+// machine lock is held only for the phases that touch the simulated
+// platform; verification runs lock-free so it overlaps other jobs'
+// execution.
+func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
+	res.Machine = m.id
+	sys := m.sys
+
+	// EXECUTE — under the machine lock (the TPM-arbitration stand-in).
+	arbStart := time.Now()
+	m.mu.Lock()
+	res.ArbWait = time.Since(arbStart)
+	s.metrics.observeArb(res.ArbWait)
+	m.pending-- // the reservation becomes a real SLAUNCH allocation now
+	secb, err := sys.SKSM.NewSECB(p.Image, 1, s.cfg.Quantum)
+	if err != nil {
+		m.mu.Unlock()
+		s.releaseSlot()
+		s.metrics.incFailed()
+		res.Err = fmt.Errorf("palsvc: allocating SECB: %w", err)
+		return
+	}
+	secb.Input = t.job.Input
+	sw := sim.StartStopwatch(sys.Machine.Clock)
+	runErr := sys.SKSM.RunToCompletion(sys.PALCore(), secb)
+	res.Execute = sw.Elapsed()
+	s.metrics.observeExec(res.Execute)
+	if runErr != nil {
+		// The faulted PAL was suspended holding its register; SKILL
+		// reclaims both the register and (after Release) the pages.
+		if kerr := sys.SKSM.SKILL(secb); kerr == nil {
+			_ = sys.SKSM.Release(secb)
+		}
+		m.mu.Unlock()
+		s.releaseSlot()
+		s.metrics.incFailed()
+		res.Err = fmt.Errorf("palsvc: PAL execution: %w", runErr)
+		return
+	}
+	res.Output = secb.Output
+	res.ExitStatus = secb.ExitStatus
+	res.Slices = secb.Slices
+	res.Resumes = secb.Resumes
+	m.mu.Unlock()
+	// The register is now parked in the Quote state: this job still
+	// occupies its sePCR until untrusted code quotes or frees it
+	// (§5.4.3) — that occupancy is exactly what admission counts.
+
+	if t.job.NoAttest {
+		m.mu.Lock()
+		err := sys.Machine.TPM().FreeSePCR(secb.SePCRHandle)
+		if rerr := sys.SKSM.Release(secb); err == nil {
+			err = rerr
+		}
+		m.mu.Unlock()
+		s.releaseSlot()
+		if err != nil {
+			s.metrics.incFailed()
+			res.Err = fmt.Errorf("palsvc: freeing sePCR: %w", err)
+			return
+		}
+		s.metrics.incCompleted()
+		return
+	}
+
+	// QUOTE — back under the machine lock for the TPM command.
+	nonce := s.nextNonce()
+	m.mu.Lock()
+	swq := sim.StartStopwatch(sys.Machine.Clock)
+	q, qerr := sys.SKSM.QuoteAfterExit(secb, nonce)
+	res.QuoteGen = swq.Elapsed()
+	relErr := sys.SKSM.Release(secb)
+	m.mu.Unlock()
+	s.releaseSlot() // the register is Free again
+	s.metrics.observeQuote(res.QuoteGen)
+	if qerr != nil {
+		s.metrics.incFailed()
+		res.Err = fmt.Errorf("palsvc: quoting: %w", qerr)
+		return
+	}
+	if relErr != nil {
+		s.metrics.incFailed()
+		res.Err = fmt.Errorf("palsvc: releasing SECB: %w", relErr)
+		return
+	}
+
+	// VERIFY — pure public-key cryptography, no platform access: runs
+	// concurrently with other jobs' execution. The memoized verifier
+	// makes the repeated-tenant case cheap.
+	vStart := time.Now()
+	sys.Verifier.Approve(t.job.Name, p.Measurement())
+	log := attest.Log{{PCR: -1, Description: t.job.Name, Measurement: p.Measurement()}}
+	name, verr := sys.Verifier.VerifySePCRQuote(sys.Cert, q, log, nonce)
+	res.Verify = time.Since(vStart)
+	s.metrics.observeVerify(res.Verify)
+	if verr != nil {
+		s.metrics.incFailed()
+		res.Err = fmt.Errorf("palsvc: quote verification: %w", verr)
+		return
+	}
+	res.VerifiedAs = name
+	s.metrics.incCompleted()
+}

@@ -1,0 +1,167 @@
+package palsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPropertyAdmissionNeverExceedsBank is the acceptance stress test: many
+// concurrent jobs pushed through one platform whose sePCR bank holds 8,
+// with the invariant that the service never lets more simultaneous PALs
+// hold registers than the bank provides. Occupancy is tracked by the
+// service's own gauge, whose high-water mark must stay within the bank.
+func TestPropertyAdmissionNeverExceedsBank(t *testing.T) {
+	const (
+		bank = 8
+		jobs = 120
+	)
+	s := newTestService(t, Config{
+		Profile:    testProfile(bank),
+		Workers:    16,
+		QueueDepth: 256,
+	})
+
+	// Mix of fast and slow sources so register-holding times vary.
+	sources := []struct {
+		name, src string
+	}{
+		{"hello", helloSource},
+		{"slow", slowSource},
+		{"echo", echoSource},
+	}
+
+	var wg sync.WaitGroup
+	errC := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := sources[i%len(sources)]
+			// Submissions race against a bounded queue: retry on
+			// backpressure, which is exactly what the retryable error
+			// contract tells tenants to do.
+			for {
+				res, err := s.Run(Job{
+					Name:   src.name,
+					Source: src.src,
+					Input:  []byte("stress"),
+				})
+				if err != nil {
+					if IsRetryable(err) {
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					errC <- fmt.Errorf("job %d: %w", i, err)
+					return
+				}
+				if res.Err != nil {
+					errC <- fmt.Errorf("job %d: %w", i, res.Err)
+					return
+				}
+				if src.name == "hello" && string(res.Output) != "hello" {
+					errC <- fmt.Errorf("job %d: output %q", i, res.Output)
+				}
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errC)
+	for err := range errC {
+		t.Error(err)
+	}
+
+	m := s.Metrics()
+	if m.MaxSePCROccupancy > bank {
+		t.Fatalf("admission invariant violated: max occupancy %d > bank %d",
+			m.MaxSePCROccupancy, bank)
+	}
+	if m.MaxSePCROccupancy == 0 {
+		t.Fatal("occupancy gauge never moved")
+	}
+	if m.Completed != jobs {
+		t.Fatalf("completed %d of %d (admitted %d, failed %d, deadline %d)",
+			m.Completed, jobs, m.Admitted, m.Failed, m.DeadlineExceeded)
+	}
+	if m.Admitted != jobs {
+		t.Fatalf("admitted %d, want %d", m.Admitted, jobs)
+	}
+	if m.SePCROccupancy != 0 {
+		t.Fatalf("occupancy %d after drain, want 0", m.SePCROccupancy)
+	}
+	t.Logf("max occupancy %d/%d, queue-wait p95 %v, exec p95 %v (virtual)",
+		m.MaxSePCROccupancy, bank, m.QueueWait.P95, m.Execute.P95)
+}
+
+// TestPropertyRejectedJobsAreRetryable drives the AdmitReject policy to
+// exhaustion with a tiny bank and checks that every rejection carries the
+// retryable marker and that retrying eventually lands every job.
+func TestPropertyRejectedJobsAreRetryable(t *testing.T) {
+	const jobs = 40
+	s := newTestService(t, Config{
+		Profile:    testProfile(2),
+		Workers:    8,
+		QueueDepth: 64,
+		Admission:  AdmitReject,
+	})
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		rejects   int
+		completed int
+	)
+	errC := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				res, err := s.Run(Job{Name: "slow", Source: slowSource})
+				if err != nil {
+					if IsRetryable(err) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					errC <- fmt.Errorf("job %d: %w", i, err)
+					return
+				}
+				if res.Err != nil {
+					if !IsRetryable(res.Err) {
+						errC <- fmt.Errorf("job %d: non-retryable %w", i, res.Err)
+						return
+					}
+					if !errors.Is(res.Err, ErrBankExhausted) {
+						errC <- fmt.Errorf("job %d: retryable but not ErrBankExhausted: %w", i, res.Err)
+						return
+					}
+					mu.Lock()
+					rejects++
+					mu.Unlock()
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errC)
+	for err := range errC {
+		t.Error(err)
+	}
+	if completed != jobs {
+		t.Fatalf("completed %d, want %d", completed, jobs)
+	}
+	m := s.Metrics()
+	if m.MaxSePCROccupancy > 2 {
+		t.Fatalf("max occupancy %d > bank 2", m.MaxSePCROccupancy)
+	}
+	t.Logf("retry loop saw %d bank-exhausted rejections before all %d jobs landed", rejects, jobs)
+}

@@ -1,0 +1,253 @@
+package palsvc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Wire protocol: each message is a 4-byte big-endian length followed by a
+// JSON body. The same framing runs in both directions; a connection carries
+// any number of request/response pairs in order.
+
+// MaxFrame bounds a single frame body; anything larger is rejected before
+// allocation so a hostile peer cannot make the service reserve gigabytes
+// from four header bytes.
+const MaxFrame = 1 << 20
+
+// ErrFrameTooLarge reports a frame header exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("palsvc: frame exceeds size limit")
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting empty and oversized
+// bodies.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, errors.New("palsvc: empty frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: header claims %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("palsvc: truncated frame: %w", err)
+	}
+	return body, nil
+}
+
+// Wire ops.
+const (
+	OpRun   = "run"
+	OpStats = "stats"
+	OpPing  = "ping"
+)
+
+// WireRequest is one client request.
+type WireRequest struct {
+	Op         string `json:"op"`
+	Name       string `json:"name,omitempty"`
+	Source     string `json:"source,omitempty"`
+	Input      []byte `json:"input,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	NoAttest   bool   `json:"no_attest,omitempty"`
+}
+
+// WireResponse is the server's answer.
+type WireResponse struct {
+	OK        bool   `json:"ok"`
+	Err       string `json:"err,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+
+	Output     []byte `json:"output,omitempty"`
+	ExitStatus uint32 `json:"exit_status,omitempty"`
+	VerifiedAs string `json:"verified_as,omitempty"`
+
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	ArbWaitNS   int64 `json:"arb_wait_ns,omitempty"`
+	ExecuteNS   int64 `json:"execute_ns,omitempty"`
+	QuoteGenNS  int64 `json:"quote_gen_ns,omitempty"`
+	VerifyNS    int64 `json:"verify_ns,omitempty"`
+
+	Stats *Metrics `json:"stats,omitempty"`
+}
+
+// Serve accepts connections on l until the listener closes, handling each
+// connection in its own goroutine. connTimeout bounds each request
+// read/response write (0 means no per-request deadline). Serve returns the
+// accept error that ended the loop.
+func (s *Service) Serve(l net.Listener, connTimeout time.Duration) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func(c net.Conn) {
+			// A panicking handler must not leak the connection or kill
+			// the whole server.
+			defer func() {
+				if r := recover(); r != nil {
+					_ = c.Close()
+				}
+			}()
+			defer c.Close()
+			s.serveConn(c, connTimeout)
+		}(conn)
+	}
+}
+
+// serveConn runs the request loop for one connection until the peer closes
+// or a framing/deadline error occurs.
+func (s *Service) serveConn(c net.Conn, connTimeout time.Duration) {
+	for {
+		if connTimeout > 0 {
+			_ = c.SetDeadline(time.Now().Add(connTimeout))
+		}
+		body, err := ReadFrame(c)
+		if err != nil {
+			return
+		}
+		var req WireRequest
+		resp := &WireResponse{}
+		if err := json.Unmarshal(body, &req); err != nil {
+			resp.Err = "bad request: " + err.Error()
+		} else {
+			resp = s.dispatch(&req)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := WriteFrame(c, out); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one wire request against the service.
+func (s *Service) dispatch(req *WireRequest) *WireResponse {
+	switch req.Op {
+	case OpPing:
+		return &WireResponse{OK: true}
+	case OpStats:
+		m := s.Metrics()
+		return &WireResponse{OK: true, Stats: &m}
+	case OpRun:
+		j := Job{Name: req.Name, Source: req.Source, Input: req.Input, NoAttest: req.NoAttest}
+		if req.DeadlineMS > 0 {
+			j.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+		}
+		res, err := s.Run(j)
+		if err != nil {
+			return &WireResponse{Err: err.Error(), Retryable: IsRetryable(err)}
+		}
+		resp := &WireResponse{
+			Output:      res.Output,
+			ExitStatus:  res.ExitStatus,
+			VerifiedAs:  res.VerifiedAs,
+			QueueWaitNS: res.QueueWait.Nanoseconds(),
+			ArbWaitNS:   res.ArbWait.Nanoseconds(),
+			ExecuteNS:   res.Execute.Nanoseconds(),
+			QuoteGenNS:  res.QuoteGen.Nanoseconds(),
+			VerifyNS:    res.Verify.Nanoseconds(),
+		}
+		if res.Err != nil {
+			resp.Err = res.Err.Error()
+			resp.Retryable = IsRetryable(res.Err)
+		} else {
+			resp.OK = true
+		}
+		return resp
+	default:
+		return &WireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a tenant-side connection to a palsvc server.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a palsvc server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req *WireRequest) (*WireResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(c.conn, body); err != nil {
+		return nil, err
+	}
+	out, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	var resp WireResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Run submits a job over the wire and waits for its result.
+func (c *Client) Run(req *WireRequest) (*WireResponse, error) {
+	r := *req
+	r.Op = OpRun
+	return c.roundTrip(&r)
+}
+
+// Stats fetches the server's metrics snapshot.
+func (c *Client) Stats() (*Metrics, error) {
+	resp, err := c.roundTrip(&WireRequest{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK || resp.Stats == nil {
+		return nil, fmt.Errorf("palsvc: stats failed: %s", resp.Err)
+	}
+	return resp.Stats, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(&WireRequest{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("palsvc: ping failed: %s", resp.Err)
+	}
+	return nil
+}

@@ -31,6 +31,23 @@ func NewManager(k *osker.Kernel) (*Manager, error) {
 	return &Manager{Kernel: k}, nil
 }
 
+// FreeSePCRs reports how many sePCRs are currently in the Free state — the
+// platform's live admission capacity for additional concurrent PALs
+// (§5.6). The scan models the chipset reading bank state rather than a TPM
+// command, so it advances no simulated time. Callers multiplexing one
+// machine across goroutines must hold whatever lock serializes the machine
+// (the simulator is single-threaded by design; see internal/sim).
+func (mg *Manager) FreeSePCRs() int {
+	t := mg.Kernel.Machine.TPM()
+	free := 0
+	for h := 0; h < t.NumSePCRs(); h++ {
+		if st, err := t.SePCRStateOf(h); err == nil && st == tpm.SePCRFree {
+			free++
+		}
+	}
+	return free
+}
+
 // Errors of the instruction set.
 var (
 	ErrBadState = errors.New("sksm: SECB in wrong state")
