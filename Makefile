@@ -18,7 +18,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/palsvc ./internal/attest
+	$(GO) test -race ./internal/palsvc ./internal/attest ./internal/obs \
+		./cmd/palservd ./cmd/attestd
 
+# bench commits a machine-readable artifact so later sessions can diff
+# against this PR's numbers. -benchtime keeps the run short but real.
 bench:
-	$(GO) test -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem . ./internal/obs ./internal/palsvc \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json

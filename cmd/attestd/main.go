@@ -30,6 +30,7 @@ import (
 
 	"minimaltcb/internal/attest"
 	"minimaltcb/internal/core"
+	"minimaltcb/internal/obs"
 	"minimaltcb/internal/platform"
 	"minimaltcb/internal/tpm"
 )
@@ -58,12 +59,14 @@ func main() {
 	anchors := fs.String("anchors", "", "trust-anchors file: written by serve, read by verify")
 	timeout := fs.Duration("timeout", attest.DefaultTimeout,
 		"per-exchange I/O deadline (0 disables)")
+	debugAddr := fs.String("debug", "",
+		"debug HTTP listen address for /metrics, /healthz, /debug/trace, /debug/pprof (serve only; \"\" disables)")
 	fs.Parse(os.Args[2:])
 
 	var err error
 	switch sub {
 	case "serve":
-		err = serve(*addr, *palFile, *anchors, *timeout, nil)
+		err = serveDebug(*addr, *palFile, *anchors, *timeout, *debugAddr, nil)
 	case "verify":
 		err = verify(*addr, *anchors, *timeout)
 	case "demo":
@@ -118,12 +121,49 @@ type anchorsFile struct {
 	PALMeas tpm.Digest
 }
 
-// serve runs the platform side. If ready is non-nil the bound address is
-// sent on it once listening (used by demo and tests).
+// serve runs the platform side with no debug server. If ready is non-nil
+// the bound address is sent on it once listening (used by demo and tests).
 func serve(addr, palFile, anchorsPath string, timeout time.Duration, ready chan<- string) error {
+	return serveDebug(addr, palFile, anchorsPath, timeout, "", ready)
+}
+
+// serveDebug is serve plus an optional debug HTTP server: when debugAddr
+// is set, every answered challenge is counted and traced (the TPM command
+// spans under it come through the machine's obs.Scope), and the /metrics,
+// /healthz, /debug/trace and /debug/pprof endpoints are exposed.
+func serveDebug(addr, palFile, anchorsPath string, timeout time.Duration, debugAddr string, ready chan<- string) error {
 	sys, p, err := buildSystem(palFile)
 	if err != nil {
 		return err
+	}
+
+	// A nil tracer/scope/counter no-ops through every call below, so the
+	// undebugged path stays unchanged.
+	var (
+		tracer     *obs.Tracer
+		scope      *obs.Scope
+		health     *obs.Health
+		challenges *obs.Counter
+		chErrors   *obs.Counter
+		quoteH     *obs.Histogram
+	)
+	if debugAddr != "" {
+		tracer = obs.NewTracer(0)
+		reg := obs.NewRegistry()
+		health = &obs.Health{}
+		scope = obs.NewScope(tracer, sys.Machine.Clock)
+		sys.Machine.TPM().SetTrace(scope)
+		challenges = reg.Counter("attestd_challenges_total", "Attestation challenges answered.")
+		chErrors = reg.Counter("attestd_challenge_errors_total", "Attestation challenges that failed on the platform side.")
+		quoteH = reg.Histogram("attestd_quote_duration_seconds",
+			"Wall-clock time to produce quote evidence per challenge.", nil)
+		srv, err := obs.ListenAndServeDebug(debugAddr, obs.NewDebugMux(reg, tracer, health))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		defer health.Fail("attestd shutting down")
+		fmt.Printf("debug server on http://%s (/metrics /healthz /debug/trace /debug/pprof)\n", srv.Addr())
 	}
 	if _, err := sys.RunLegacy(p, nil); err != nil {
 		return err
@@ -150,10 +190,19 @@ func serve(addr, palFile, anchorsPath string, timeout time.Duration, ready chan<
 
 	log := attest.Log{{PCR: 17, Description: p.Name, Measurement: p.Measurement()}}
 	respond := func(ch attest.Challenge) (*attest.Evidence, error) {
+		sp := tracer.StartSpan(tracer.NewTrace(), "challenge", "attest")
+		prev := scope.Swap(sp.Context())
+		t0 := time.Now()
 		q, _, err := sys.SEA.Quote(ch.Nonce)
+		quoteH.Observe(time.Since(t0).Seconds())
+		scope.Swap(prev)
+		challenges.Inc()
 		if err != nil {
+			chErrors.Inc()
+			sp.Attr("error", err.Error()).End()
 			return nil, err
 		}
+		sp.End()
 		return &attest.Evidence{Cert: sys.Cert, Quote: q, Log: log}, nil
 	}
 

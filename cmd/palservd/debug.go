@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"minimaltcb/internal/obs"
+	"minimaltcb/internal/palsvc"
+)
+
+// debugOpts collects the observability flags shared by serve and loadgen
+// mode.
+type debugOpts struct {
+	// addr is the debug HTTP listen address ("" disables the server).
+	addr string
+	// trace records spans even when no -debug / -trace-out sink is set,
+	// so a later /debug/trace scrape or test can read them.
+	trace bool
+	// traceBuf is the recorder ring capacity (0 = obs.DefaultCapacity).
+	traceBuf int
+	// traceOut, when set, receives the recorder dump on exit.
+	traceOut string
+	// traceFormat selects the dump encoding: "jsonl" or "chrome".
+	traceFormat string
+}
+
+// enabled reports whether any observability feature was requested.
+func (o debugOpts) enabled() bool { return o.addr != "" || o.trace || o.traceOut != "" }
+
+// debugStack is the assembled observability plumbing: the tracer and
+// registry handed to palsvc, the health state behind /healthz, and the
+// debug HTTP server once started. The zero stack (all nil) is valid and
+// makes every method a no-op — palsvc then compiles its instrumentation
+// down to nil checks.
+type debugStack struct {
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	health *obs.Health
+	srv    *obs.DebugServer
+}
+
+// newDebugStack builds the tracer/registry/health trio per opts.
+func newDebugStack(o debugOpts) *debugStack {
+	d := &debugStack{}
+	if !o.enabled() {
+		return d
+	}
+	d.tracer = obs.NewTracer(o.traceBuf)
+	d.reg = obs.NewRegistry()
+	d.health = &obs.Health{}
+	return d
+}
+
+// apply hands the tracer and registry to a service config.
+func (d *debugStack) apply(cfg *palsvc.Config) {
+	cfg.Tracer = d.tracer
+	cfg.Registry = d.reg
+}
+
+// serve starts the debug HTTP server when addr is set.
+func (d *debugStack) serve(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	srv, err := obs.ListenAndServeDebug(addr, obs.NewDebugMux(d.reg, d.tracer, d.health))
+	if err != nil {
+		return err
+	}
+	d.srv = srv
+	fmt.Printf("palservd: debug server on http://%s (/metrics /healthz /debug/trace /debug/pprof)\n", srv.Addr())
+	return nil
+}
+
+// shutdown flips /healthz to 503 with reason, then closes the listener.
+// The ordering means a scraper that races the close sees "unavailable"
+// rather than a healthy endpoint vanishing mid-poll.
+func (d *debugStack) shutdown(reason string) {
+	d.health.Fail(reason)
+	if d.srv != nil {
+		_ = d.srv.Close()
+	}
+}
+
+// writeTrace dumps the recorder to path in the requested format.
+func (d *debugStack) writeTrace(path, format string) error {
+	if path == "" || d.tracer == nil {
+		return nil
+	}
+	recs, dropped := d.tracer.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "chrome":
+		err = obs.WriteChromeTrace(f, recs)
+	default:
+		err = obs.WriteJSONL(f, recs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("palservd: wrote %d trace record(s) to %s (%s format, %d overwritten by the ring)\n",
+		len(recs), path, format, dropped)
+	return nil
+}

@@ -61,9 +61,19 @@ func main() {
 		duration = flag.Duration("duration", 2*time.Second, "loadgen: run length")
 		palFile  = flag.String("pal", "", "loadgen: PAL assembler source file (default: built-in echo PAL)")
 		noAttest = flag.Bool("no-attest", false, "loadgen: skip quote generation and verification")
+
+		debugAddr   = flag.String("debug", "", "debug HTTP listen address for /metrics, /healthz, /debug/trace, /debug/pprof (\"\" disables)")
+		trace       = flag.Bool("trace", false, "record execution traces (implied by -debug or -trace-out)")
+		traceBuf    = flag.Int("trace-buf", 0, "trace recorder ring capacity (0 = default 8192)")
+		traceOut    = flag.String("trace-out", "", "write the trace dump to this file on exit (self-hosted loadgen only)")
+		traceFormat = flag.String("trace-format", "chrome", "trace dump format: chrome (Perfetto-loadable) or jsonl")
 	)
 	flag.Parse()
 
+	dbg := debugOpts{
+		addr: *debugAddr, trace: *trace, traceBuf: *traceBuf,
+		traceOut: *traceOut, traceFormat: *traceFormat,
+	}
 	var err error
 	if *loadgen {
 		err = runLoadgen(loadgenOpts{
@@ -72,6 +82,7 @@ func main() {
 			svc: serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
 				*quantum, *keyBits, *seed, *deadline, *reject),
 			connTimeout: *connTimeout,
+			debug:       dbg,
 		})
 	} else {
 		listen := *addr
@@ -80,7 +91,7 @@ func main() {
 		}
 		err = runServer(listen, *connTimeout,
 			serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
-				*quantum, *keyBits, *seed, *deadline, *reject), nil)
+				*quantum, *keyBits, *seed, *deadline, *reject), dbg, nil)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "palservd: %v\n", err)
@@ -111,12 +122,18 @@ func serviceConfig(machines, sePCRs, workers, queueDepth int,
 // runServer builds the service and serves until the listener dies. If ready
 // is non-nil the bound address is sent once listening (tests and loadgen
 // self-hosting use it).
-func runServer(addr string, connTimeout time.Duration, cfg palsvc.Config, ready chan<- string) error {
+func runServer(addr string, connTimeout time.Duration, cfg palsvc.Config, dbg debugOpts, ready chan<- string) error {
+	d := newDebugStack(dbg)
+	d.apply(&cfg)
 	s, err := palsvc.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
+	if err := d.serve(dbg.addr); err != nil {
+		return err
+	}
+	defer d.shutdown("palservd shutting down")
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -139,6 +156,7 @@ type loadgenOpts struct {
 	noAttest    bool
 	svc         palsvc.Config
 	connTimeout time.Duration
+	debug       debugOpts
 }
 
 // runLoadgen drives palsvc.RunLoad, self-hosting a server when no target
@@ -156,13 +174,21 @@ func runLoadgen(o loadgenOpts) error {
 
 	target := o.addr
 	var hosted *palsvc.Service
+	d := newDebugStack(o.debug)
 	if target == "" {
+		// Tracing and metrics live server-side: they only capture
+		// anything when the server is hosted in this process.
+		d.apply(&o.svc)
 		s, err := palsvc.New(o.svc)
 		if err != nil {
 			return err
 		}
 		hosted = s
 		defer s.Close()
+		if err := d.serve(o.debug.addr); err != nil {
+			return err
+		}
+		defer d.shutdown("loadgen finished")
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -207,5 +233,5 @@ func runLoadgen(o loadgenOpts) error {
 		}
 		fmt.Printf("server metrics:\n%s\n", out)
 	}
-	return nil
+	return d.writeTrace(o.debug.traceOut, o.debug.traceFormat)
 }

@@ -14,7 +14,7 @@ func testCfg(sePCRs int) palsvc.Config {
 func TestServerEndToEnd(t *testing.T) {
 	ready := make(chan string, 1)
 	errs := make(chan error, 1)
-	go func() { errs <- runServer("127.0.0.1:0", 10*time.Second, testCfg(4), ready) }()
+	go func() { errs <- runServer("127.0.0.1:0", 10*time.Second, testCfg(4), debugOpts{}, ready) }()
 	var addr string
 	select {
 	case addr = <-ready:
@@ -60,7 +60,7 @@ func TestLoadgenSelfHosted(t *testing.T) {
 func TestLoadgenAgainstRemote(t *testing.T) {
 	ready := make(chan string, 1)
 	errs := make(chan error, 1)
-	go func() { errs <- runServer("127.0.0.1:0", 10*time.Second, testCfg(4), ready) }()
+	go func() { errs <- runServer("127.0.0.1:0", 10*time.Second, testCfg(4), debugOpts{}, ready) }()
 	var addr string
 	select {
 	case addr = <-ready:

@@ -1,0 +1,219 @@
+// Command tcbtrace renders a trace dump from the PAL execution stack
+// (/debug/trace, or palservd -trace-out with -trace-format jsonl) as a
+// human-readable per-session timeline.
+//
+// Every span in the dump carries two timestamps: wall-clock time (what the
+// tenant waited) and virtual sim.Clock time (what the simulated hardware
+// charged). The tree view prints both, so the paper's central comparison —
+// microseconds of virtual TPM latency buried under milliseconds of real
+// queueing and crypto — is visible per job.
+//
+// Usage:
+//
+//	tcbtrace [-f dump.jsonl] [-trace N] [-events]
+//	    Read a JSONL trace dump (stdin by default) and print one tree per
+//	    trace, spans nested under their parents, with a wall/virtual
+//	    duration breakdown and a per-trace summary line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"minimaltcb/internal/obs"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "trace dump file in JSONL format (default: stdin)")
+		only    = flag.Uint64("trace", 0, "render only this trace ID (0 = all)")
+		events  = flag.Bool("events", true, "include instant events in the tree")
+		summary = flag.Bool("summary", false, "print only the per-trace summary lines")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := obs.ReadJSONL(in)
+	if err != nil {
+		fail(err)
+	}
+	if err := render(os.Stdout, recs, renderOpts{only: *only, events: *events, summaryOnly: *summary}); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tcbtrace: %v\n", err)
+	os.Exit(1)
+}
+
+type renderOpts struct {
+	only        uint64
+	events      bool
+	summaryOnly bool
+}
+
+// trace is one reassembled session: its records indexed for tree walking.
+type trace struct {
+	id       uint64
+	recs     []obs.Record
+	children map[uint64][]int // parent span ID -> indices into recs
+	byID     map[uint64]int
+}
+
+// render groups records by trace ID and prints one tree per trace,
+// oldest-first.
+func render(w io.Writer, recs []obs.Record, o renderOpts) error {
+	byTrace := map[uint64]*trace{}
+	var order []uint64
+	for i, r := range recs {
+		if o.only != 0 && r.Trace != o.only {
+			continue
+		}
+		t := byTrace[r.Trace]
+		if t == nil {
+			t = &trace{id: r.Trace, children: map[uint64][]int{}, byID: map[uint64]int{}}
+			byTrace[r.Trace] = t
+			order = append(order, r.Trace)
+		}
+		t.recs = append(t.recs, recs[i])
+	}
+	if len(order) == 0 {
+		_, err := fmt.Fprintln(w, "tcbtrace: no records")
+		return err
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		if err := byTrace[id].render(w, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *trace) index() {
+	// Chronological order inside each sibling list; the recorder appends
+	// spans at End, so raw order is end-time order, not start order.
+	sort.SliceStable(t.recs, func(i, j int) bool { return t.recs[i].WallStart < t.recs[j].WallStart })
+	for i, r := range t.recs {
+		if r.Kind == obs.KindSpan {
+			t.byID[r.ID] = i
+		}
+	}
+	for i, r := range t.recs {
+		parent := r.Parent
+		if _, ok := t.byID[parent]; !ok {
+			parent = 0 // orphan (parent overwritten by the ring): promote to root
+		}
+		t.children[parent] = append(t.children[parent], i)
+	}
+}
+
+// summarize totals the trace's two clocks: wall time from the root spans,
+// virtual time summed over spans that carry it (nested virtual spans are
+// skipped so TPM commands inside an execute span are not double-counted).
+func (t *trace) summarize() (name string, wall, virt time.Duration) {
+	for _, i := range t.children[0] {
+		r := t.recs[i]
+		if r.Kind != obs.KindSpan {
+			continue
+		}
+		wall += time.Duration(r.WallDur)
+		if name == "" {
+			name = r.Name
+			for _, a := range r.Attrs {
+				if a.Key == "name" {
+					name = r.Name + " " + a.Val
+				}
+			}
+		}
+	}
+	virt = t.virtUnder(0)
+	return name, wall, virt
+}
+
+// virtUnder sums virtual durations of the shallowest virtual spans under
+// parent.
+func (t *trace) virtUnder(parent uint64) time.Duration {
+	var sum time.Duration
+	for _, i := range t.children[parent] {
+		r := t.recs[i]
+		if r.Kind != obs.KindSpan {
+			continue
+		}
+		if r.VirtDur >= 0 {
+			sum += time.Duration(r.VirtDur)
+			continue
+		}
+		sum += t.virtUnder(r.ID)
+	}
+	return sum
+}
+
+func (t *trace) render(w io.Writer, o renderOpts) error {
+	t.index()
+	name, wall, virt := t.summarize()
+	if _, err := fmt.Fprintf(w, "trace %d: %s  wall=%v virtual=%v\n",
+		t.id, name, wall, virt); err != nil {
+		return err
+	}
+	if o.summaryOnly {
+		return nil
+	}
+	return t.renderChildren(w, 0, 1, o)
+}
+
+func (t *trace) renderChildren(w io.Writer, parent uint64, depth int, o renderOpts) error {
+	for _, i := range t.children[parent] {
+		r := t.recs[i]
+		if r.Kind == obs.KindEvent && !o.events {
+			continue
+		}
+		if err := t.renderLine(w, r, depth); err != nil {
+			return err
+		}
+		if r.Kind == obs.KindSpan {
+			if err := t.renderChildren(w, r.ID, depth+1, o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (t *trace) renderLine(w io.Writer, r obs.Record, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	var b strings.Builder
+	b.WriteString(indent)
+	if r.Kind == obs.KindEvent {
+		b.WriteString("• ")
+		b.WriteString(r.Name)
+		if r.VirtStart >= 0 {
+			fmt.Fprintf(&b, " @virt %v", time.Duration(r.VirtStart))
+		}
+	} else {
+		b.WriteString(r.Name)
+		fmt.Fprintf(&b, "  wall=%v", time.Duration(r.WallDur))
+		if r.VirtDur >= 0 {
+			fmt.Fprintf(&b, " virt=%v", time.Duration(r.VirtDur))
+		}
+	}
+	for _, a := range r.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+	}
+	_, err := fmt.Fprintln(w, b.String())
+	return err
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"minimaltcb/internal/obs"
+)
+
+// span builds a synthetic span record the way the recorder would emit it.
+func span(traceID, id, parent uint64, name string, wallStart, wallDur, virtStart, virtDur int64, attrs ...obs.Attr) obs.Record {
+	return obs.Record{
+		Kind: obs.KindSpan, Trace: traceID, ID: id, Parent: parent,
+		Name: name, Cat: "test",
+		WallStart: wallStart, WallDur: wallDur,
+		VirtStart: virtStart, VirtDur: virtDur,
+		Attrs: attrs,
+	}
+}
+
+func event(traceID uint64, name string, wallStart, virtStart int64) obs.Record {
+	return obs.Record{
+		Kind: obs.KindEvent, Trace: traceID, ID: 0, Parent: 0,
+		Name: name, Cat: "test",
+		WallStart: wallStart, WallDur: 0,
+		VirtStart: virtStart, VirtDur: 0,
+	}
+}
+
+// jobTrace is a miniature PAL session: a job root holding queue and execute
+// stages, a TPM command nested under execute, and a free event.
+func jobTrace(id uint64) []obs.Record {
+	return []obs.Record{
+		// Recorder order is end order: children complete before parents.
+		span(id, 2, 1, "queue", 1000, 500, -1, -1),
+		span(id, 4, 3, "TPM_Quote", 2100, 50, 40, 10),
+		span(id, 3, 1, "execute", 2000, 800, 0, 100, obs.Attr{Key: "cpu", Val: "0"}),
+		event(id, "sePCR.Free", 2900, 120),
+		span(id, 1, 0, "job", 900, 2200, -1, -1, obs.Attr{Key: "name", Val: "hello"}),
+	}
+}
+
+func renderString(t *testing.T, recs []obs.Record, o renderOpts) string {
+	t.Helper()
+	var b strings.Builder
+	if err := render(&b, recs, o); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRenderTree(t *testing.T) {
+	out := renderString(t, jobTrace(7), renderOpts{events: true})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	want := []string{
+		"trace 7: job hello  wall=2.2µs virtual=100ns",
+		"  job  wall=2.2µs name=hello",
+		"    queue  wall=500ns",
+		"    execute  wall=800ns virt=100ns cpu=0",
+		"      TPM_Quote  wall=50ns virt=10ns",
+		"  • sePCR.Free @virt 120ns",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), out)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestRenderSummaryOnly(t *testing.T) {
+	out := renderString(t, jobTrace(3), renderOpts{summaryOnly: true})
+	if out != "trace 3: job hello  wall=2.2µs virtual=100ns\n" {
+		t.Fatalf("summary output %q", out)
+	}
+}
+
+func TestRenderEventsSuppressed(t *testing.T) {
+	out := renderString(t, jobTrace(1), renderOpts{events: false})
+	if strings.Contains(out, "sePCR.Free") {
+		t.Fatalf("event rendered with -events=false:\n%s", out)
+	}
+}
+
+func TestRenderTraceFilter(t *testing.T) {
+	recs := append(jobTrace(1), jobTrace(2)...)
+	out := renderString(t, recs, renderOpts{only: 2, events: true})
+	if strings.Contains(out, "trace 1:") || !strings.Contains(out, "trace 2:") {
+		t.Fatalf("filter output:\n%s", out)
+	}
+}
+
+func TestRenderMultipleTracesSorted(t *testing.T) {
+	recs := append(jobTrace(9), jobTrace(4)...)
+	out := renderString(t, recs, renderOpts{summaryOnly: true})
+	i4, i9 := strings.Index(out, "trace 4:"), strings.Index(out, "trace 9:")
+	if i4 < 0 || i9 < 0 || i4 > i9 {
+		t.Fatalf("traces out of order:\n%s", out)
+	}
+}
+
+// A span whose parent fell out of the ring buffer is promoted to root
+// rather than silently dropped.
+func TestRenderOrphanPromoted(t *testing.T) {
+	recs := []obs.Record{
+		span(5, 11, 99, "verify", 100, 30, -1, -1), // parent 99 missing
+	}
+	out := renderString(t, recs, renderOpts{})
+	if !strings.Contains(out, "  verify  wall=30ns") {
+		t.Fatalf("orphan not rendered at root:\n%s", out)
+	}
+	if !strings.Contains(out, "trace 5: verify") {
+		t.Fatalf("orphan not summarized:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := renderString(t, nil, renderOpts{})
+	if !strings.Contains(out, "no records") {
+		t.Fatalf("empty output %q", out)
+	}
+}
+
+// Virtual time must not double-count nested virtual spans: an execute span
+// with virt=100ns containing a TPM span with virt=10ns contributes 100ns.
+func TestSummaryVirtualNoDoubleCount(t *testing.T) {
+	out := renderString(t, jobTrace(8), renderOpts{summaryOnly: true})
+	if !strings.Contains(out, "virtual=100ns") {
+		t.Fatalf("virtual total wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"minimaltcb/internal/sim"
+)
+
+// The disabled paths are what every hot loop in sksm/tpm/palsvc pays when
+// tracing is compiled in but off — ISSUE 2 budgets them at <5% of loadgen
+// throughput, so they must stay at nil-check cost.
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	tr := NewTracer(64)
+	tr.SetEnabled(false)
+	ctx := Context{Trace: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan(ctx, "x", "y")
+		sp.Attr("k", "v")
+		sp.End()
+	}
+}
+
+func BenchmarkScopeDisabled(b *testing.B) {
+	var sc *Scope // a machine with no tracer carries a nil scope
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := sc.Start("x", "y")
+		sc.End(sp)
+	}
+}
+
+func BenchmarkScopeEnabled(b *testing.B) {
+	sc := NewScope(NewTracer(1024), sim.NewClock())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := sc.Start("x", "y")
+		sc.End(sp)
+	}
+}
+
+func BenchmarkEventEnabled(b *testing.B) {
+	tr := NewTracer(1024)
+	ctx := tr.NewTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event(ctx, "x", "y", time.Duration(i))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteJSONL writes one Record per line — the recorder's canonical dump
+// format, served by /debug/trace and consumed by cmd/tcbtrace and
+// ReadJSONL.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL trace dump, skipping blank lines. It fails on
+// the first malformed line, reporting its 1-based number.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Chrome trace-event export. The dump loads in Perfetto (ui.perfetto.dev)
+// or chrome://tracing and renders the stack twice:
+//
+//   - pid 1 "wall clock": every span at its real timestamp, one thread
+//     (tid) per trace — this is where queueing, lock arbitration and
+//     verification time are visible;
+//   - pid 2 "virtual clock": spans that carry sim time, at their virtual
+//     timestamps — this is what the simulated hardware charged.
+//
+// sePCR life-cycle spans (category "sepcr") outlive the call frames that
+// open and close them, so they are emitted as async begin/end pairs keyed
+// by register handle rather than as complete events.
+const (
+	chromePIDWall = 1
+	chromePIDVirt = 2
+
+	// CatSePCR marks sePCR life-cycle spans for async rendering.
+	CatSePCR = "sepcr"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders records as a Chrome trace-event JSON document.
+// Wall timestamps are rebased to the earliest record so the viewer opens
+// at t=0.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	var events []chromeEvent
+	meta := func(pid int, name string) chromeEvent {
+		return chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		}
+	}
+	events = append(events, meta(chromePIDWall, "wall clock"), meta(chromePIDVirt, "virtual clock"))
+
+	base := int64(0)
+	for i := range recs {
+		if i == 0 || recs[i].WallStart < base {
+			base = recs[i].WallStart
+		}
+	}
+
+	micros := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for i := range recs {
+		r := &recs[i]
+		args := map[string]any{
+			"trace": r.Trace, "span": r.ID, "parent": r.Parent,
+			"wall_dur_ns": r.WallDur,
+		}
+		if r.VirtStart >= 0 {
+			args["virt_start_ns"] = r.VirtStart
+			args["virt_dur_ns"] = r.VirtDur
+		}
+		for _, a := range r.Attrs {
+			args[a.Key] = a.Val
+		}
+
+		switch {
+		case r.Kind == KindEvent:
+			events = append(events, chromeEvent{
+				Name: r.Name, Cat: r.Cat, Phase: "i", Scope: "t",
+				TS: micros(r.WallStart - base), PID: chromePIDWall, TID: r.Trace, Args: args,
+			})
+		case r.Cat == CatSePCR:
+			// Async pair: visible even though the span crosses call
+			// frames and machine-lock sections.
+			id := r.Name
+			for _, a := range r.Attrs {
+				if a.Key == "handle" {
+					id = "sepcr-" + a.Val
+				}
+			}
+			events = append(events,
+				chromeEvent{Name: r.Name, Cat: r.Cat, Phase: "b", ID: id,
+					TS: micros(r.WallStart - base), PID: chromePIDWall, TID: r.Trace, Args: args},
+				chromeEvent{Name: r.Name, Cat: r.Cat, Phase: "e", ID: id,
+					TS: micros(r.WallStart - base + r.WallDur), PID: chromePIDWall, TID: r.Trace})
+		default:
+			dur := micros(r.WallDur)
+			events = append(events, chromeEvent{
+				Name: r.Name, Cat: r.Cat, Phase: "X",
+				TS: micros(r.WallStart - base), Dur: &dur,
+				PID: chromePIDWall, TID: r.Trace, Args: args,
+			})
+		}
+
+		// Second rendering on the virtual timeline for spans that carry
+		// sim time.
+		if r.Kind == KindSpan && r.VirtStart >= 0 && r.Cat != CatSePCR {
+			vdur := micros(max64(r.VirtDur, 0))
+			events = append(events, chromeEvent{
+				Name: r.Name, Cat: r.Cat, Phase: "X",
+				TS: micros(r.VirtStart), Dur: &vdur,
+				PID: chromePIDVirt, TID: r.Trace, Args: args,
+			})
+		}
+	}
+
+	// Deterministic output: viewer-irrelevant, diff-relevant.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].PID != events[j].PID {
+			return events[i].PID < events[j].PID
+		}
+		return events[i].TS < events[j].TS
+	})
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ns"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: KindSpan, Trace: 1, ID: 2, Parent: 1, Name: "execute", Cat: "pipeline",
+			WallStart: 1000, WallDur: 500, VirtStart: 100, VirtDur: 50,
+			Attrs: []Attr{{Key: "cpu", Val: "1"}}},
+		{Kind: KindSpan, Trace: 1, ID: 3, Name: "sePCR.Exclusive", Cat: CatSePCR,
+			WallStart: 1100, WallDur: 200, VirtStart: 110, VirtDur: 20,
+			Attrs: []Attr{{Key: "handle", Val: "0"}}},
+		{Kind: KindEvent, Trace: 1, ID: 4, Parent: 2, Name: "SYIELD", Cat: "sksm",
+			WallStart: 1200, VirtStart: 120, VirtDur: -1},
+		{Kind: KindSpan, Trace: 2, ID: 5, Name: "verify", Cat: "pipeline",
+			WallStart: 2000, WallDur: 300, VirtStart: -1, VirtDur: -1},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", recs, got)
+	}
+}
+
+func TestReadJSONLSkipsBlanksReportsBadLine(t *testing.T) {
+	in := "\n" + `{"kind":"span","name":"a","cat":"c"}` + "\n\n" + `{"kind":` + "\n"
+	_, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %v does not name line 4", err)
+	}
+	good := "\n" + `{"kind":"span","name":"a","cat":"c"}` + "\n"
+	recs, err := ReadJSONL(strings.NewReader(good))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+}
+
+// chromeDoc mirrors the trace-event document shape for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		TS    float64        `json:"ts"`
+		Dur   *float64       `json:"dur"`
+		PID   int            `json:"pid"`
+		TID   uint64         `json:"tid"`
+		ID    string         `json:"id"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+
+	var (
+		metaNames   []string
+		sawComplete bool
+		sawInstant  bool
+		asyncBegin  bool
+		asyncEnd    bool
+		virtCopy    bool
+	)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if n, ok := ev.Args["name"].(string); ok {
+				metaNames = append(metaNames, n)
+			}
+		case "X":
+			sawComplete = true
+			if ev.PID == chromePIDVirt && ev.Name == "execute" {
+				virtCopy = true
+				if ev.TS != 0.1 { // 100 ns = 0.1 µs
+					t.Fatalf("virtual execute at ts %v µs, want 0.1", ev.TS)
+				}
+			}
+			if ev.Dur == nil {
+				t.Fatalf("complete event %s without dur", ev.Name)
+			}
+		case "i":
+			sawInstant = true
+		case "b":
+			asyncBegin = ev.ID == "sepcr-0"
+		case "e":
+			asyncEnd = ev.ID == "sepcr-0"
+		}
+	}
+	if len(metaNames) != 2 {
+		t.Fatalf("process metadata %v", metaNames)
+	}
+	if !sawComplete || !sawInstant {
+		t.Fatalf("complete=%v instant=%v", sawComplete, sawInstant)
+	}
+	if !asyncBegin || !asyncEnd {
+		t.Fatalf("sePCR async pair missing: b=%v e=%v", asyncBegin, asyncEnd)
+	}
+	if !virtCopy {
+		t.Fatal("no virtual-timeline rendering of the execute span")
+	}
+
+	// Wall timestamps are rebased to the earliest record.
+	minTS := -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" || ev.PID != chromePIDWall {
+			continue
+		}
+		if minTS < 0 || ev.TS < minTS {
+			minTS = ev.TS
+		}
+	}
+	if minTS != 0 {
+		t.Fatalf("earliest wall event at %v µs, want 0", minTS)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 { // just the two process_name records
+		t.Fatalf("%d events for empty input", len(doc.TraceEvents))
+	}
+}
+
+func TestChromeTraceSePCROrdering(t *testing.T) {
+	// An Exclusive span recorded before the Quote span of the same handle
+	// must keep that order among async begins after the stable sort.
+	now := time.Now().UnixNano()
+	recs := []Record{
+		{Kind: KindSpan, Trace: 1, ID: 1, Name: "sePCR.Exclusive", Cat: CatSePCR,
+			WallStart: now, WallDur: 100, Attrs: []Attr{{Key: "handle", Val: "3"}}},
+		{Kind: KindSpan, Trace: 1, ID: 2, Name: "sePCR.Quote", Cat: CatSePCR,
+			WallStart: now + 100, WallDur: 50, Attrs: []Attr{{Key: "handle", Val: "3"}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var begins []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "b" {
+			begins = append(begins, ev.Name)
+		}
+	}
+	want := []string{"sePCR.Exclusive", "sePCR.Quote"}
+	if !reflect.DeepEqual(begins, want) {
+		t.Fatalf("async begin order %v, want %v", begins, want)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Health is the readiness state behind /healthz. The zero value is
+// healthy; Fail flips the endpoint to 503 with a reason (service
+// shutdown, listener death).
+type Health struct {
+	down   atomic.Bool
+	reason atomic.Value // string
+}
+
+// Fail marks the process unhealthy.
+func (h *Health) Fail(reason string) {
+	if h == nil {
+		return
+	}
+	h.reason.Store(reason)
+	h.down.Store(true)
+}
+
+// Ready marks the process healthy again.
+func (h *Health) Ready() {
+	if h == nil {
+		return
+	}
+	h.down.Store(false)
+}
+
+// Healthy reports the current state.
+func (h *Health) Healthy() bool { return h == nil || !h.down.Load() }
+
+// Reason returns the failure reason ("" while healthy).
+func (h *Health) Reason() string {
+	if h == nil || !h.down.Load() {
+		return ""
+	}
+	if r, ok := h.reason.Load().(string); ok {
+		return r
+	}
+	return "unhealthy"
+}
+
+// NewDebugMux assembles the operational endpoints every daemon in this
+// repository exposes:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      200 "ok" until health.Fail, then 503 + reason
+//	/debug/trace  the tracer's ring buffer as JSONL (?format=chrome for a
+//	              Chrome/Perfetto trace-event document)
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// Any of reg, tracer, health may be nil; the endpoints degrade gracefully
+// (empty exposition, always-healthy, empty trace).
+func NewDebugMux(reg *Registry, tracer *Tracer, health *Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if health.Healthy() {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "unavailable: "+health.Reason(), http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		recs, dropped := tracer.Snapshot()
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, recs)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Trace-Dropped", fmt.Sprint(dropped))
+		_ = WriteJSONL(w, recs)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "minimaltcb debug server\n\n"+
+			"  /metrics       Prometheus text exposition\n"+
+			"  /healthz       readiness\n"+
+			"  /debug/trace   span recorder dump (JSONL; ?format=chrome)\n"+
+			"  /debug/pprof/  Go profiler\n")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	srv *http.Server
+	l   net.Listener
+}
+
+// ListenAndServeDebug binds addr (e.g. "127.0.0.1:7081"; ":0" for an
+// ephemeral port) and serves h on it in a background goroutine.
+func ListenAndServeDebug(addr string, h http.Handler) (*DebugServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{srv: &http.Server{Handler: h}, l: l}
+	go func() { _ = ds.srv.Serve(l) }()
+	return ds, nil
+}
+
+// Addr returns the bound address.
+func (ds *DebugServer) Addr() string { return ds.l.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (ds *DebugServer) Close() error { return ds.srv.Close() }

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func debugFixture(t *testing.T) (*httptest.Server, *Registry, *Tracer, *Health) {
+	t.Helper()
+	reg := NewRegistry()
+	tracer := NewTracer(64)
+	health := &Health{}
+	srv := httptest.NewServer(NewDebugMux(reg, tracer, health))
+	t.Cleanup(srv.Close)
+	return srv, reg, tracer, health
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestMetricsEndpointServesPrometheusText(t *testing.T) {
+	srv, reg, _, _ := debugFixture(t)
+	reg.Counter("palsvc_jobs_submitted_total", "Jobs.").Add(4)
+	reg.Histogram("palsvc_stage_duration_seconds", "Stages.", nil,
+		Label{Name: "stage", Value: "execute"}).Observe(0.002)
+
+	resp, body := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(body, "palsvc_jobs_submitted_total 4") {
+		t.Fatalf("counter missing:\n%s", body)
+	}
+	if !strings.Contains(body, `palsvc_stage_duration_seconds_bucket{stage="execute",le="+Inf"} 1`) {
+		t.Fatalf("histogram missing:\n%s", body)
+	}
+	// Every sample line must parse.
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if err := checkSampleLine(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+}
+
+func TestHealthzFlipsTo503(t *testing.T) {
+	srv, _, _, health := debugFixture(t)
+	resp, body := get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy: status %d body %q", resp.StatusCode, body)
+	}
+
+	health.Fail("shutting down")
+	resp, body = get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("failed health: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "shutting down") {
+		t.Fatalf("reason missing from %q", body)
+	}
+
+	health.Ready()
+	resp, _ = get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered health: status %d", resp.StatusCode)
+	}
+}
+
+func TestDebugTraceRoundTripsJSONL(t *testing.T) {
+	srv, _, tracer, _ := debugFixture(t)
+	ctx := tracer.NewTrace()
+	tracer.StartSpan(ctx, "execute", "pipeline").Attr("cpu", "0").End()
+	tracer.Event(ctx, "SYIELD", "sksm", 5*time.Nanosecond)
+
+	resp, body := get(t, srv.URL+"/debug/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Dropped") != "0" {
+		t.Fatalf("dropped header %q", resp.Header.Get("X-Trace-Dropped"))
+	}
+	recs, err := ReadJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("dump does not round-trip: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Name != "execute" || recs[1].Name != "SYIELD" {
+		t.Fatalf("records %+v", recs)
+	}
+}
+
+func TestDebugTraceChromeFormat(t *testing.T) {
+	srv, _, tracer, _ := debugFixture(t)
+	tracer.StartSpan(tracer.NewTrace(), "quote", "pipeline").End()
+	resp, body := get(t, srv.URL+"/debug/trace?format=chrome")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) < 3 {
+		t.Fatalf("%d trace events", len(doc.TraceEvents))
+	}
+}
+
+func TestDebugIndexAndPprof(t *testing.T) {
+	srv, _, _, _ := debugFixture(t)
+	resp, body := get(t, srv.URL+"/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/debug/trace") {
+		t.Fatalf("index: %d %q", resp.StatusCode, body)
+	}
+	resp, _ = get(t, srv.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", resp.StatusCode)
+	}
+}
+
+func TestDebugMuxNilComponents(t *testing.T) {
+	srv := httptest.NewServer(NewDebugMux(nil, nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/healthz", "/debug/trace"} {
+		resp, _ := get(t, srv.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s with nil components: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestListenAndServeDebug(t *testing.T) {
+	ds, err := ListenAndServeDebug("127.0.0.1:0", NewDebugMux(nil, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, _ := get(t, "http://"+ds.Addr()+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + ds.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// checkSampleLine validates one non-comment exposition line against the
+// text-format grammar subset this repo emits: metric{label="v",...} value.
+func checkSampleLine(line string) error {
+	name := line
+	rest := ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	if !metricNameRE.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set")
+		}
+		labels := rest[1:end]
+		for _, pair := range splitLabels(labels) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !labelNameRE.MatchString(k) && k != "le" {
+				return fmt.Errorf("bad label pair %q", pair)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return fmt.Errorf("unquoted label value %q", v)
+			}
+		}
+		rest = rest[end+1:]
+	}
+	value := strings.TrimSpace(rest)
+	if value == "+Inf" || value == "-Inf" || value == "NaN" {
+		return nil
+	}
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		return fmt.Errorf("bad sample value %q: %v", value, err)
+	}
+	return nil
+}
+
+// splitLabels splits a rendered label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func exposition(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// mustLine asserts the exposition contains the exact line.
+func mustLine(t *testing.T, text, line string) {
+	t.Helper()
+	for _, l := range strings.Split(text, "\n") {
+		if l == line {
+			return
+		}
+	}
+	t.Fatalf("exposition missing line %q:\n%s", line, text)
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Total jobs.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	if c.Value() != 3 {
+		t.Fatalf("counter value %v", c.Value())
+	}
+	text := exposition(t, r)
+	mustLine(t, text, "# HELP jobs_total Total jobs.")
+	mustLine(t, text, "# TYPE jobs_total counter")
+	mustLine(t, text, "jobs_total 3")
+}
+
+func TestLabeledSeriesShareOneFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rej_total", "Rejections.", Label{Name: "cause", Value: "queue_full"}).Inc()
+	r.Counter("rej_total", "Rejections.", Label{Name: "cause", Value: "bank"}).Add(2)
+	text := exposition(t, r)
+	if strings.Count(text, "# TYPE rej_total counter") != 1 {
+		t.Fatalf("family headers duplicated:\n%s", text)
+	}
+	mustLine(t, text, `rej_total{cause="queue_full"} 1`)
+	mustLine(t, text, `rej_total{cause="bank"} 2`)
+}
+
+func TestGaugeAndCallbacks(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge %v", g.Value())
+	}
+	n := 7.0
+	r.GaugeFunc("live", "Sampled.", func() float64 { return n })
+	r.CounterFunc("served_total", "Sampled counter.", func() float64 { return 11 })
+	text := exposition(t, r)
+	mustLine(t, text, "depth 3")
+	mustLine(t, text, "live 7")
+	mustLine(t, text, "served_total 11")
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	text := exposition(t, r)
+	mustLine(t, text, "# TYPE lat_seconds histogram")
+	mustLine(t, text, `lat_seconds_bucket{le="0.1"} 1`)
+	mustLine(t, text, `lat_seconds_bucket{le="1"} 3`)
+	mustLine(t, text, `lat_seconds_bucket{le="10"} 4`)
+	mustLine(t, text, `lat_seconds_bucket{le="+Inf"} 5`)
+	mustLine(t, text, "lat_seconds_count 5")
+	if !strings.Contains(text, "lat_seconds_sum 106.05") {
+		t.Fatalf("sum missing:\n%s", text)
+	}
+}
+
+func TestHistogramLabelSplicesLe(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stage_seconds", "Stages.", []float64{1},
+		Label{Name: "stage", Value: "execute"})
+	h.Observe(0.5)
+	text := exposition(t, r)
+	mustLine(t, text, `stage_seconds_bucket{stage="execute",le="1"} 1`)
+	mustLine(t, text, `stage_seconds_bucket{stage="execute",le="+Inf"} 1`)
+	mustLine(t, text, `stage_seconds_count{stage="execute"} 1`)
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{Name: "p", Value: `a"b\c` + "\n"}).Inc()
+	text := exposition(t, r)
+	mustLine(t, text, `esc_total{p="a\"b\\c\n"} 1`)
+}
+
+func TestInvalidNamesAndTypeClashesPanic(t *testing.T) {
+	r := NewRegistry()
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("bad metric name", func() { r.Counter("1bad", "") })
+	expectPanic("bad label name", func() { r.Counter("ok_total", "", Label{Name: "0x", Value: "v"}) })
+	r.Counter("twice", "")
+	expectPanic("type clash", func() { r.Gauge("twice", "") })
+	expectPanic("unsorted bounds", func() { r.Histogram("h_seconds", "", []float64{2, 1}) })
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("a_total", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c_seconds", "", nil).Observe(1)
+	r.CounterFunc("d_total", "", func() float64 { return 1 })
+	r.GaugeFunc("e", "", func() float64 { return 1 })
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpositionParses runs a minimal line-shape parser over a fully
+// populated registry: every non-comment line must be `name{labels} value`
+// with a parseable float value — the contract a Prometheus scraper needs.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs.").Add(3)
+	r.Gauge("depth", "Depth.").Set(2)
+	r.Histogram("lat_seconds", "Latency.", nil, Label{Name: "stage", Value: "q"}).Observe(0.01)
+	for i, line := range strings.Split(exposition(t, r), "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if err := checkSampleLine(line); err != nil {
+			t.Fatalf("line %d %q: %v", i+1, line, err)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package obs is the observability layer for the PAL execution stack: a
+// stdlib-only structured tracer whose spans and events carry **dual
+// timestamps** — wall-clock time and virtual sim.Clock time — plus a
+// hand-rolled Prometheus-style metrics registry (metrics.go), exporters
+// for JSONL and the Chrome trace-event format (export.go), and an embedded
+// debug HTTP server (http.go).
+//
+// The paper's entire argument is a latency story: ~200 ms SKINIT sessions
+// and >1 s seal/unseal context switches on 2007 TPMs versus the ~1 µs
+// SLAUNCH/sePCR design. Reproducing that argument requires seeing where
+// both kinds of time go. Every span therefore records when it happened in
+// real time (what the service's tenants experience: queueing, lock
+// arbitration, RSA verification) and in virtual time (what the simulated
+// hardware charges: TPM command latency, world switches, instruction
+// execution). A span with VirtStart < 0 happened outside any simulated
+// machine and has no virtual component.
+//
+// Recording is a bounded ring buffer behind one short mutex. The disabled
+// path is a single atomic load returning nil, and every method of the
+// handle types is nil-receiver-safe, so instrumentation can stay compiled
+// into the hot paths at negligible cost (see bench_test.go and the <5%
+// loadgen budget in ISSUE 2).
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minimaltcb/internal/sim"
+)
+
+// Record kinds.
+const (
+	// KindSpan is a completed interval.
+	KindSpan = "span"
+	// KindEvent is an instant annotation.
+	KindEvent = "event"
+)
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// Int renders an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Val: strconv.Itoa(v)} }
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, Val: v} }
+
+// Context identifies a position in a trace: which trace a new span belongs
+// to and which span is its parent. The zero Context parents a span at the
+// root of the anonymous trace 0 (untraced sessions, e.g. a bare attestd
+// quote, still record spans there).
+type Context struct {
+	Trace uint64 `json:"trace"`
+	Span  uint64 `json:"span"`
+}
+
+// Record is one entry in the recorder: a completed span or an instant
+// event, JSONL-encodable as-is. Durations are -1 when the corresponding
+// clock does not apply (events have no duration; spans outside a simulated
+// machine have no virtual time).
+type Record struct {
+	Kind   string `json:"kind"`
+	Trace  uint64 `json:"trace"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Cat    string `json:"cat"`
+	// WallStart is absolute wall time in Unix nanoseconds; WallDur the
+	// wall duration in nanoseconds.
+	WallStart int64 `json:"wall_start_ns"`
+	WallDur   int64 `json:"wall_dur_ns"`
+	// VirtStart/VirtDur are virtual sim.Clock nanoseconds, or -1 when the
+	// span ran outside any simulated machine.
+	VirtStart int64  `json:"virt_start_ns"`
+	VirtDur   int64  `json:"virt_dur_ns"`
+	Attrs     []Attr `json:"attrs,omitempty"`
+}
+
+// Tracer allocates trace/span IDs and records completed spans into a
+// bounded ring buffer. The zero capacity default keeps the last 8192
+// records; older records are overwritten and counted as dropped.
+//
+// A nil *Tracer is a valid, permanently disabled tracer.
+type Tracer struct {
+	enabled  atomic.Bool
+	spanSeq  atomic.Uint64
+	traceSeq atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []Record
+	next    int // ring index of the next write
+	n       int // records currently stored
+	dropped uint64
+}
+
+// DefaultCapacity is the recorder size NewTracer uses for capacity <= 0.
+const DefaultCapacity = 8192
+
+// NewTracer returns an enabled tracer whose ring holds capacity records
+// (DefaultCapacity if <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{ring: make([]Record, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether the tracer records anything. Nil-safe.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled turns recording on or off. Disabling does not discard
+// already-recorded spans. Nil-safe.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// NewTrace allocates a fresh trace ID (e.g. one per PAL job) and returns
+// its root context. Nil-safe: a nil tracer hands out the zero Context.
+func (t *Tracer) NewTrace() Context {
+	if t == nil {
+		return Context{}
+	}
+	return Context{Trace: t.traceSeq.Add(1)}
+}
+
+// append stores one finished record, overwriting the oldest when full.
+func (t *Tracer) append(r Record) {
+	t.mu.Lock()
+	t.ring[t.next] = r
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot copies the recorded spans oldest-first and reports how many
+// older records the ring has already overwritten. Nil-safe.
+func (t *Tracer) Snapshot() (recs []Record, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	recs = make([]Record, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		recs = append(recs, t.ring[(start+i)%len(t.ring)])
+	}
+	return recs, t.dropped
+}
+
+// Len reports how many records the ring currently holds. Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped reports how many records the ring has overwritten. Nil-safe.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// StartSpan opens a span under ctx with its wall clock running. The caller
+// attaches virtual time via Span.Virt/EndVirt when a sim clock applies.
+// Returns nil (a valid no-op handle) when disabled.
+func (t *Tracer) StartSpan(ctx Context, name, cat string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	return &Span{
+		t: t,
+		rec: Record{
+			Kind:      KindSpan,
+			Trace:     ctx.Trace,
+			ID:        t.spanSeq.Add(1),
+			Parent:    ctx.Span,
+			Name:      name,
+			Cat:       cat,
+			WallStart: time.Now().UnixNano(),
+			VirtStart: -1,
+			VirtDur:   -1,
+		},
+	}
+}
+
+// RecordSpan appends a span after the fact — for intervals whose start was
+// only bookmarked, like a job's stay in the submission queue. Virtual
+// timestamps are recorded as absent.
+func (t *Tracer) RecordSpan(ctx Context, name, cat string, wallStart time.Time, wallDur time.Duration, attrs ...Attr) {
+	if !t.Enabled() {
+		return
+	}
+	if wallDur < 0 {
+		wallDur = 0
+	}
+	t.append(Record{
+		Kind:      KindSpan,
+		Trace:     ctx.Trace,
+		ID:        t.spanSeq.Add(1),
+		Parent:    ctx.Span,
+		Name:      name,
+		Cat:       cat,
+		WallStart: wallStart.UnixNano(),
+		WallDur:   wallDur.Nanoseconds(),
+		VirtStart: -1,
+		VirtDur:   -1,
+		Attrs:     attrs,
+	})
+}
+
+// Event records an instant annotation under ctx. virt is the virtual
+// timestamp, or a negative value when no simulated clock applies.
+func (t *Tracer) Event(ctx Context, name, cat string, virt time.Duration, attrs ...Attr) {
+	if !t.Enabled() {
+		return
+	}
+	v := int64(-1)
+	if virt >= 0 {
+		v = virt.Nanoseconds()
+	}
+	t.append(Record{
+		Kind:      KindEvent,
+		Trace:     ctx.Trace,
+		ID:        t.spanSeq.Add(1),
+		Parent:    ctx.Span,
+		Name:      name,
+		Cat:       cat,
+		WallStart: time.Now().UnixNano(),
+		VirtStart: v,
+		VirtDur:   -1,
+		Attrs:     attrs,
+	})
+}
+
+// Span is an open interval. All methods are nil-receiver-safe so disabled
+// tracing costs only the nil checks.
+type Span struct {
+	t   *Tracer
+	rec Record
+}
+
+// Context returns the context under which children of this span nest.
+// A nil span yields the zero Context.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{Trace: s.rec.Trace, Span: s.rec.ID}
+}
+
+// Attr annotates the span. Returns s for chaining.
+func (s *Span) Attr(key, val string) *Span {
+	if s != nil {
+		s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Val: val})
+	}
+	return s
+}
+
+// AttrInt annotates the span with an integer, formatting it only when the
+// span is live — hot paths use this so a disabled tracer never pays for
+// string conversion.
+func (s *Span) AttrInt(key string, v int) *Span {
+	if s != nil {
+		s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Val: strconv.Itoa(v)})
+	}
+	return s
+}
+
+// Virt marks the span's virtual start time.
+func (s *Span) Virt(start time.Duration) *Span {
+	if s != nil {
+		s.rec.VirtStart = start.Nanoseconds()
+	}
+	return s
+}
+
+// WallStart overrides the wall start (for spans reconstructed after the
+// fact).
+func (s *Span) WallStart(t time.Time) *Span {
+	if s != nil {
+		s.rec.WallStart = t.UnixNano()
+	}
+	return s
+}
+
+// End closes the span's wall interval and records it. If Virt was set but
+// EndVirt never called, the virtual duration is recorded as zero.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.WallDur = time.Now().UnixNano() - s.rec.WallStart
+	if s.rec.WallDur < 0 {
+		s.rec.WallDur = 0
+	}
+	if s.rec.VirtStart >= 0 && s.rec.VirtDur < 0 {
+		s.rec.VirtDur = 0
+	}
+	s.t.append(s.rec)
+}
+
+// EndVirt closes both clocks: the virtual duration is virtEnd minus the
+// Virt start, and the wall interval ends now.
+func (s *Span) EndVirt(virtEnd time.Duration) {
+	if s == nil {
+		return
+	}
+	if s.rec.VirtStart >= 0 {
+		s.rec.VirtDur = virtEnd.Nanoseconds() - s.rec.VirtStart
+		if s.rec.VirtDur < 0 {
+			s.rec.VirtDur = 0
+		}
+	}
+	s.End()
+}
+
+// Scope binds a tracer to one simulated machine: its clock supplies the
+// virtual timestamps, and an ambient Context carries the current parent
+// span through layers whose signatures predate tracing (sksm.Manager,
+// tpm.TPM). The service sets the ambient context under the same machine
+// lock that serializes all access to the simulator, so the internal mutex
+// exists only to keep the race detector satisfied on the debug paths.
+//
+// A nil *Scope is a valid disabled scope.
+type Scope struct {
+	tracer *Tracer
+	clock  *sim.Clock
+
+	mu  sync.Mutex
+	cur Context
+}
+
+// NewScope binds tracer and clock. Either may be nil (nil clock: spans get
+// wall time only).
+func NewScope(t *Tracer, c *sim.Clock) *Scope {
+	return &Scope{tracer: t, clock: c}
+}
+
+// Tracer returns the underlying tracer (nil for a nil scope).
+func (sc *Scope) Tracer() *Tracer {
+	if sc == nil {
+		return nil
+	}
+	return sc.tracer
+}
+
+// Enabled reports whether spans started on this scope record anything.
+func (sc *Scope) Enabled() bool { return sc != nil && sc.tracer.Enabled() }
+
+// Swap installs ctx as the ambient parent context and returns the previous
+// one, for the enter/restore pattern:
+//
+//	prev := scope.Swap(span.Context())
+//	defer scope.Swap(prev)
+func (sc *Scope) Swap(ctx Context) Context {
+	// When the tracer is off every span is nil and every context zero, so
+	// the ambient context carries no information — skip the mutex.
+	if sc == nil || !sc.tracer.Enabled() {
+		return Context{}
+	}
+	sc.mu.Lock()
+	prev := sc.cur
+	sc.cur = ctx
+	sc.mu.Unlock()
+	return prev
+}
+
+// Current returns the ambient context.
+func (sc *Scope) Current() Context {
+	if sc == nil {
+		return Context{}
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.cur
+}
+
+// Start opens a span under the ambient context with both clocks running.
+func (sc *Scope) Start(name, cat string) *Span {
+	if !sc.Enabled() {
+		return nil
+	}
+	sp := sc.tracer.StartSpan(sc.Current(), name, cat)
+	if sp != nil && sc.clock != nil {
+		sp.Virt(sc.clock.Now())
+	}
+	return sp
+}
+
+// End closes a span started on this scope, reading the virtual end time
+// from the scope's clock.
+func (sc *Scope) End(sp *Span) {
+	if sp == nil {
+		return
+	}
+	if sc != nil && sc.clock != nil {
+		sp.EndVirt(sc.clock.Now())
+		return
+	}
+	sp.End()
+}
+
+// Event records an instant event under the ambient context at the current
+// virtual time.
+func (sc *Scope) Event(name, cat string, attrs ...Attr) {
+	if !sc.Enabled() {
+		return
+	}
+	virt := time.Duration(-1)
+	if sc.clock != nil {
+		virt = sc.clock.Now()
+	}
+	sc.tracer.Event(sc.Current(), name, cat, virt, attrs...)
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"minimaltcb/internal/sim"
+)
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.SetEnabled(true)
+	if ctx := tr.NewTrace(); ctx != (Context{}) {
+		t.Fatalf("nil tracer handed out trace %+v", ctx)
+	}
+	sp := tr.StartSpan(Context{}, "x", "y")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	sp.Attr("k", "v").Virt(time.Second).WallStart(time.Now())
+	sp.End()
+	sp.EndVirt(2 * time.Second)
+	if sp.Context() != (Context{}) {
+		t.Fatal("nil span context not zero")
+	}
+	tr.RecordSpan(Context{}, "x", "y", time.Now(), time.Second)
+	tr.Event(Context{}, "x", "y", -1)
+	if recs, dropped := tr.Snapshot(); recs != nil || dropped != 0 {
+		t.Fatal("nil tracer snapshot not empty")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer non-empty")
+	}
+
+	var sc *Scope
+	if sc.Enabled() || sc.Tracer() != nil {
+		t.Fatal("nil scope enabled")
+	}
+	sc.Swap(Context{Trace: 1})
+	if sc.Current() != (Context{}) {
+		t.Fatal("nil scope carries context")
+	}
+	sc.End(sc.Start("x", "y"))
+	sc.Event("x", "y")
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(false)
+	if sp := tr.StartSpan(tr.NewTrace(), "a", "b"); sp != nil {
+		t.Fatal("disabled tracer returned a live span")
+	}
+	tr.RecordSpan(Context{}, "a", "b", time.Now(), time.Second)
+	tr.Event(Context{}, "a", "b", -1)
+	if tr.Len() != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", tr.Len())
+	}
+	// Re-enabling records again without losing the ring.
+	tr.SetEnabled(true)
+	tr.StartSpan(Context{}, "a", "b").End()
+	if tr.Len() != 1 {
+		t.Fatalf("re-enabled tracer recorded %d spans, want 1", tr.Len())
+	}
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.StartSpan(tr.NewTrace(), "job", "pipeline")
+	child := tr.StartSpan(root.Context(), "execute", "pipeline")
+	child.Attr("cpu", "1").End()
+	root.End()
+
+	recs, dropped := tr.Snapshot()
+	if dropped != 0 {
+		t.Fatalf("dropped %d", dropped)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// The recorder appends at End, so the child lands first.
+	c, r := recs[0], recs[1]
+	if c.Name != "execute" || r.Name != "job" {
+		t.Fatalf("order: %s, %s", c.Name, r.Name)
+	}
+	if c.Trace != r.Trace {
+		t.Fatalf("trace split: %d vs %d", c.Trace, r.Trace)
+	}
+	if c.Parent != r.ID {
+		t.Fatalf("child parent %d, root id %d", c.Parent, r.ID)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0].Key != "cpu" || c.Attrs[0].Val != "1" {
+		t.Fatalf("attrs %+v", c.Attrs)
+	}
+	if c.VirtStart != -1 || c.VirtDur != -1 {
+		t.Fatalf("span without sim clock carries virtual time: %+v", c)
+	}
+	if c.WallDur < 0 {
+		t.Fatalf("negative wall duration %d", c.WallDur)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := tr.NewTrace()
+	for i := 0; i < 6; i++ {
+		tr.Event(ctx, "e", "c", time.Duration(i))
+	}
+	recs, dropped := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d, want 2", dropped)
+	}
+	// Oldest-first snapshot: the two earliest events are gone.
+	if recs[0].VirtStart != 2 || recs[3].VirtStart != 5 {
+		t.Fatalf("snapshot window [%d, %d], want [2, 5]", recs[0].VirtStart, recs[3].VirtStart)
+	}
+}
+
+func TestScopeVirtualTimestamps(t *testing.T) {
+	clock := sim.NewClock()
+	tr := NewTracer(8)
+	sc := NewScope(tr, clock)
+
+	clock.Advance(100 * time.Nanosecond)
+	sp := sc.Start("TPM_Extend", "tpm")
+	clock.Advance(250 * time.Nanosecond)
+	sc.End(sp)
+
+	recs, _ := tr.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.VirtStart != 100 {
+		t.Fatalf("virt start %d, want 100", r.VirtStart)
+	}
+	if r.VirtDur != 250 {
+		t.Fatalf("virt dur %d, want 250", r.VirtDur)
+	}
+}
+
+func TestScopeSwapCarriesAmbientContext(t *testing.T) {
+	tr := NewTracer(8)
+	sc := NewScope(tr, nil)
+	parent := tr.StartSpan(tr.NewTrace(), "execute", "pipeline")
+
+	prev := sc.Swap(parent.Context())
+	if prev != (Context{}) {
+		t.Fatalf("initial ambient context %+v", prev)
+	}
+	inner := sc.Start("slice", "sksm")
+	sc.End(inner)
+	sc.Swap(prev)
+	parent.End()
+
+	recs, _ := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Parent != parent.Context().Span {
+		t.Fatalf("inner parent %d, want %d", recs[0].Parent, parent.Context().Span)
+	}
+	if sc.Current() != (Context{}) {
+		t.Fatal("ambient context not restored")
+	}
+}
+
+func TestRecordSpanAndEvent(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := tr.NewTrace()
+	start := time.Now().Add(-5 * time.Millisecond)
+	tr.RecordSpan(ctx, "queue", "pipeline", start, 5*time.Millisecond, String("k", "v"))
+	tr.Event(ctx, "preempt", "sksm", 42*time.Nanosecond, Int("cpu", 1))
+
+	recs, _ := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	q := recs[0]
+	if q.Kind != KindSpan || q.WallDur != (5*time.Millisecond).Nanoseconds() {
+		t.Fatalf("queue record %+v", q)
+	}
+	e := recs[1]
+	if e.Kind != KindEvent || e.VirtStart != 42 {
+		t.Fatalf("event record %+v", e)
+	}
+	if e.Attrs[0].Val != "1" {
+		t.Fatalf("Int attr rendered %q", e.Attrs[0].Val)
+	}
+}
+
+func TestNewTraceIDsAreUnique(t *testing.T) {
+	tr := NewTracer(8)
+	a, b := tr.NewTrace(), tr.NewTrace()
+	if a.Trace == b.Trace {
+		t.Fatalf("duplicate trace IDs %d", a.Trace)
+	}
+}

@@ -32,20 +32,26 @@ type LoadConfig struct {
 
 // LoadReport summarizes one load-generator run.
 type LoadReport struct {
-	Clients    int
-	Sent       int
-	OK         int
-	Rejected   int // retryable failures (queue full / bank exhausted)
-	Failed     int // everything else
-	Elapsed    time.Duration
-	Throughput float64 // successful jobs per wall-clock second
-	Latency    StageStats
+	Clients  int
+	Sent     int
+	OK       int
+	Rejected int // retryable failures (queue full / bank exhausted)
+	// Rejection breakdown by wire code, so a capacity experiment can tell
+	// submission backpressure from sePCR-bank exhaustion at a glance.
+	RejectedQueueFull int
+	RejectedBank      int
+	DeadlineExceeded  int // non-retryable deadline expiries
+	Failed            int // everything else
+	Elapsed           time.Duration
+	Throughput        float64 // successful jobs per wall-clock second
+	Latency           StageStats
 }
 
 func (r LoadReport) String() string {
 	return fmt.Sprintf(
-		"clients=%d sent=%d ok=%d rejected=%d failed=%d elapsed=%v throughput=%.1f jobs/s\nlatency: %v",
-		r.Clients, r.Sent, r.OK, r.Rejected, r.Failed, r.Elapsed, r.Throughput, r.Latency)
+		"clients=%d sent=%d ok=%d rejected=%d (queue_full=%d bank_exhausted=%d) deadline_exceeded=%d failed=%d elapsed=%v throughput=%.1f jobs/s\nlatency: %v",
+		r.Clients, r.Sent, r.OK, r.Rejected, r.RejectedQueueFull, r.RejectedBank,
+		r.DeadlineExceeded, r.Failed, r.Elapsed, r.Throughput, r.Latency)
 }
 
 // RunLoad runs the load generator against cfg.Addr and reports aggregate
@@ -107,6 +113,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					lat.Add(d)
 				case resp.Retryable:
 					rep.Rejected++
+					switch resp.Code {
+					case CodeQueueFull:
+						rep.RejectedQueueFull++
+					case CodeBankExhausted:
+						rep.RejectedBank++
+					}
+				case resp.Code == CodeDeadline:
+					rep.DeadlineExceeded++
 				default:
 					rep.Failed++
 				}

@@ -1,10 +1,12 @@
 package palsvc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"minimaltcb/internal/obs"
 	"minimaltcb/internal/sim"
 )
 
@@ -28,13 +30,17 @@ func (s StageStats) String() string {
 
 // Metrics is a point-in-time snapshot of the service.
 type Metrics struct {
-	// Counters over the service lifetime.
-	Submitted        uint64 `json:"submitted"`
-	Admitted         uint64 `json:"admitted"`
-	Rejected         uint64 `json:"rejected"`
-	Completed        uint64 `json:"completed"`
-	Failed           uint64 `json:"failed"`
-	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	// Counters over the service lifetime. Rejected splits by cause:
+	// RejectedQueueFull counts ErrQueueFull backpressure at Submit,
+	// RejectedBank counts ErrBankExhausted under AdmitReject.
+	Submitted         uint64 `json:"submitted"`
+	Admitted          uint64 `json:"admitted"`
+	Rejected          uint64 `json:"rejected"`
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	RejectedBank      uint64 `json:"rejected_bank_exhausted"`
+	Completed         uint64 `json:"completed"`
+	Failed            uint64 `json:"failed"`
+	DeadlineExceeded  uint64 `json:"deadline_exceeded"`
 
 	// QueueDepth is the number of jobs waiting in the submission queue
 	// at snapshot time.
@@ -49,8 +55,8 @@ type Metrics struct {
 	MaxSePCROccupancy int `json:"sepcr_occupancy_max"`
 
 	// Image-cache and verifier-memo effectiveness.
-	CacheHits    uint64 `json:"cache_hits"`
-	CacheMisses  uint64 `json:"cache_misses"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
 	VerifyMemoHits   uint64 `json:"verify_memo_hits"`
 	VerifyMemoMisses uint64 `json:"verify_memo_misses"`
 
@@ -62,21 +68,52 @@ type Metrics struct {
 	Verify    StageStats `json:"verify"`
 }
 
-// metrics is the service's internal mutable state behind Metrics.
+// metrics is the service's internal mutable state behind Metrics. When the
+// service is built with an obs.Registry (Config.Registry), hooks mirrors
+// every update into Prometheus-style instruments at event time.
 type metrics struct {
 	mu sync.Mutex
 
-	submitted, admitted, rejected    uint64
-	completed, failed, deadlineEx    uint64
-	occupancy, maxOccupancy          int
+	submitted, admitted, rejected           uint64
+	rejQueueFull, rejBank                   uint64
+	completed, failed, deadlineEx           uint64
+	occupancy, maxOccupancy                 int
 	queueWait, arbWait, exec, quote, verify sim.Sample
+
+	// hooks is a value, not a pointer: its zero value holds nil instrument
+	// handles, and every obs handle method no-ops on nil, so a service
+	// built without a Registry pays only nil checks here.
+	hooks obsHooks
 }
 
-func (m *metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
-func (m *metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *metrics) incCompleted() { m.mu.Lock(); m.completed++; m.mu.Unlock() }
-func (m *metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
-func (m *metrics) incDeadline()  { m.mu.Lock(); m.deadlineEx++; m.mu.Unlock() }
+func (m *metrics) incSubmitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+	m.hooks.submitted.Inc()
+}
+
+// incRejected records a rejection attributed to its cause (the wire
+// protocol and the Prometheus exposition both break rejections out).
+func (m *metrics) incRejected(err error) {
+	m.mu.Lock()
+	m.rejected++
+	var c *obs.Counter
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		m.rejQueueFull++
+		c = m.hooks.rejQueueFull
+	case errors.Is(err, ErrBankExhausted):
+		m.rejBank++
+		c = m.hooks.rejBank
+	}
+	m.mu.Unlock()
+	c.Inc()
+}
+
+func (m *metrics) incCompleted() { m.mu.Lock(); m.completed++; m.mu.Unlock(); m.hooks.completed.Inc() }
+func (m *metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock(); m.hooks.failed.Inc() }
+func (m *metrics) incDeadline()  { m.mu.Lock(); m.deadlineEx++; m.mu.Unlock(); m.hooks.deadline.Inc() }
 
 // admitOne records a successful admission and bumps the occupancy gauge.
 func (m *metrics) admitOne() {
@@ -87,6 +124,7 @@ func (m *metrics) admitOne() {
 		m.maxOccupancy = m.occupancy
 	}
 	m.mu.Unlock()
+	m.hooks.admitted.Inc()
 }
 
 // releaseOne drops the occupancy gauge when a job's register is free again.
@@ -96,19 +134,52 @@ func (m *metrics) releaseOne() {
 	m.mu.Unlock()
 }
 
-func (m *metrics) observeQueue(d time.Duration)  { m.mu.Lock(); m.queueWait.Add(d); m.mu.Unlock() }
-func (m *metrics) observeArb(d time.Duration)    { m.mu.Lock(); m.arbWait.Add(d); m.mu.Unlock() }
-func (m *metrics) observeExec(d time.Duration)   { m.mu.Lock(); m.exec.Add(d); m.mu.Unlock() }
-func (m *metrics) observeQuote(d time.Duration)  { m.mu.Lock(); m.quote.Add(d); m.mu.Unlock() }
-func (m *metrics) observeVerify(d time.Duration) { m.mu.Lock(); m.verify.Add(d); m.mu.Unlock() }
+func (m *metrics) observeQueue(d time.Duration) {
+	m.mu.Lock()
+	m.queueWait.Add(d)
+	m.mu.Unlock()
+	m.hooks.queueH.Observe(d.Seconds())
+}
 
+func (m *metrics) observeArb(d time.Duration) {
+	m.mu.Lock()
+	m.arbWait.Add(d)
+	m.mu.Unlock()
+	m.hooks.arbH.Observe(d.Seconds())
+}
+
+func (m *metrics) observeExec(d time.Duration) {
+	m.mu.Lock()
+	m.exec.Add(d)
+	m.mu.Unlock()
+	m.hooks.execH.Observe(d.Seconds())
+}
+
+func (m *metrics) observeQuote(d time.Duration) {
+	m.mu.Lock()
+	m.quote.Add(d)
+	m.mu.Unlock()
+	m.hooks.quoteH.Observe(d.Seconds())
+}
+
+func (m *metrics) observeVerify(d time.Duration) {
+	m.mu.Lock()
+	m.verify.Add(d)
+	m.mu.Unlock()
+	m.hooks.verifyH.Observe(d.Seconds())
+}
+
+// stageOf summarizes a sample with one sort for all three ranks. The
+// degenerate cases are well-defined (see sim.Sample.Percentiles): n=0
+// reports all zeros, n=1 reports Mean=P50=P95=P99=Max.
 func stageOf(s *sim.Sample) StageStats {
+	ps := s.Percentiles(50, 95, 99)
 	return StageStats{
 		N:    s.N(),
 		Mean: s.Mean(),
-		P50:  s.Percentile(50),
-		P95:  s.Percentile(95),
-		P99:  s.Percentile(99),
+		P50:  ps[0],
+		P95:  ps[1],
+		P99:  ps[2],
 		Max:  s.Max(),
 	}
 }
@@ -122,6 +193,8 @@ func (s *Service) Metrics() Metrics {
 		Submitted:         m.submitted,
 		Admitted:          m.admitted,
 		Rejected:          m.rejected,
+		RejectedQueueFull: m.rejQueueFull,
+		RejectedBank:      m.rejBank,
 		Completed:         m.completed,
 		Failed:            m.failed,
 		DeadlineExceeded:  m.deadlineEx,

@@ -39,6 +39,7 @@ import (
 
 	"minimaltcb/internal/attest"
 	"minimaltcb/internal/core"
+	"minimaltcb/internal/obs"
 	"minimaltcb/internal/platform"
 	"minimaltcb/internal/sim"
 )
@@ -74,6 +75,15 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// Admission selects the bank-exhaustion behaviour.
 	Admission AdmissionPolicy
+	// Tracer, when non-nil, records one trace per job: pipeline-stage
+	// spans plus the sksm/tpm spans nested under them through each
+	// machine's obs.Scope. A nil Tracer compiles the instrumentation out
+	// to nil checks.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, receives Prometheus-style instruments
+	// (job counters, sePCR occupancy gauges, stage-latency histograms)
+	// mirrored from the service's internal metrics.
+	Registry *obs.Registry
 }
 
 // machine is one platform replica plus the lock that stands in for the
@@ -83,6 +93,10 @@ type machine struct {
 	id  int
 	sys *core.System
 	mu  sync.Mutex
+	// scope carries the ambient trace context into the sksm/tpm layers;
+	// it is swapped under mu, the same lock that serializes all simulator
+	// access. Nil when the service has no tracer.
+	scope *obs.Scope
 	// pending counts admitted jobs that have not yet SLAUNCHed — their
 	// registers are still Free in the TPM, so the live-bank reading must
 	// subtract them. Guarded by mu.
@@ -111,6 +125,9 @@ type task struct {
 	ticket   *Ticket
 	enqueued time.Time
 	deadline time.Time // zero = none
+	// root is the job's trace root span (nil when tracing is off); every
+	// pipeline-stage span nests under it.
+	root *obs.Span
 }
 
 // Service is a concurrent multi-tenant PAL-execution service.
@@ -122,6 +139,7 @@ type Service struct {
 	freed    chan struct{} // admission wakeup, capacity 1
 	cache    *palCache
 	metrics  *metrics
+	tracer   *obs.Tracer // nil when tracing is off
 	nonceSeq atomic.Uint64
 
 	closeMu sync.RWMutex
@@ -149,6 +167,7 @@ func New(cfg Config) (*Service, error) {
 		freed:   make(chan struct{}, 1),
 		cache:   newPALCache(),
 		metrics: &metrics{},
+		tracer:  cfg.Tracer,
 	}
 	for i := 0; i < cfg.Machines; i++ {
 		sys, err := core.NewSystem(cfg.Profile)
@@ -158,9 +177,19 @@ func New(cfg Config) (*Service, error) {
 		if sys.SKSM == nil || sys.Verifier == nil {
 			return nil, errors.New("palsvc: profile lacks recommended hardware or a TPM")
 		}
-		s.machines = append(s.machines, &machine{id: i, sys: sys})
+		m := &machine{id: i, sys: sys}
+		if cfg.Tracer != nil {
+			// One scope per machine: its clock stamps the virtual
+			// timestamps, and the sksm/tpm layers pick up the ambient
+			// context the execute/quote phases swap in under m.mu.
+			m.scope = obs.NewScope(cfg.Tracer, sys.Machine.Clock)
+			sys.SKSM.Trace = m.scope
+			sys.Machine.TPM().SetTrace(m.scope)
+		}
+		s.machines = append(s.machines, m)
 		s.bank += sys.Machine.TPM().NumSePCRs()
 	}
+	s.bindRegistry(cfg.Registry)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -186,6 +215,12 @@ func (s *Service) Submit(j Job) (*Ticket, error) {
 	if t.deadline.IsZero() && s.cfg.DefaultDeadline > 0 {
 		t.deadline = now.Add(s.cfg.DefaultDeadline)
 	}
+	if s.tracer.Enabled() {
+		// One trace per job; the root span covers the job's whole stay in
+		// the service and every stage span nests under it.
+		t.root = s.tracer.StartSpan(s.tracer.NewTrace(), "job", "pipeline").
+			Attr("name", j.Name)
+	}
 
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
@@ -197,8 +232,10 @@ func (s *Service) Submit(j Job) (*Ticket, error) {
 		s.metrics.incSubmitted()
 		return t.ticket, nil
 	default:
-		s.metrics.incRejected()
-		return nil, fmt.Errorf("%w: depth %d", ErrQueueFull, cap(s.queue))
+		err := fmt.Errorf("%w: depth %d", ErrQueueFull, cap(s.queue))
+		s.metrics.incRejected(err)
+		t.root.Attr("error", err.Error()).End()
+		return nil, err
 	}
 }
 
@@ -236,12 +273,30 @@ func (s *Service) worker() {
 // fail finalizes a job with an error.
 func (s *Service) fail(t *task, res *JobResult, err error) {
 	res.Err = err
+	s.finish(t, res)
+}
+
+// finish closes the job's root trace span and delivers the result.
+func (s *Service) finish(t *task, res *JobResult) {
+	if t.root != nil {
+		if res.Err != nil {
+			t.root.Attr("error", res.Err.Error())
+		}
+		if res.Machine >= 0 {
+			t.root.Attr("machine", fmt.Sprint(res.Machine))
+		}
+		t.root.End()
+	}
 	t.ticket.deliver(res)
 }
 
 func (s *Service) handle(t *task) {
 	res := &JobResult{Name: t.job.Name, Machine: -1, QueueWait: time.Since(t.enqueued)}
 	s.metrics.observeQueue(res.QueueWait)
+	rctx := t.root.Context()
+	// The queue stay is recorded after the fact: its start was bookmarked
+	// at Submit and its duration is attributed wall-clock only.
+	s.tracer.RecordSpan(rctx, "queue", "pipeline", t.enqueued, res.QueueWait)
 
 	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
 		s.metrics.incDeadline()
@@ -256,19 +311,22 @@ func (s *Service) handle(t *task) {
 		return
 	}
 
+	admitSp := s.tracer.StartSpan(rctx, "admit", "pipeline")
 	m, err := s.admit(t)
 	if err != nil {
+		admitSp.Attr("error", err.Error()).End()
 		if errors.Is(err, ErrDeadlineExceeded) {
 			s.metrics.incDeadline()
 		} else {
-			s.metrics.incRejected()
+			s.metrics.incRejected(err)
 		}
 		s.fail(t, res, err)
 		return
 	}
+	admitSp.Attr("machine", fmt.Sprint(m.id)).End()
 	s.metrics.admitOne()
 	s.execute(m, t, p, res)
-	t.ticket.deliver(res)
+	s.finish(t, res)
 }
 
 // admit finds a machine with live sePCR capacity, per the configured
@@ -326,15 +384,28 @@ func (s *Service) nextNonce() []byte {
 func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	res.Machine = m.id
 	sys := m.sys
+	rctx := t.root.Context()
 
 	// EXECUTE — under the machine lock (the TPM-arbitration stand-in).
 	arbStart := time.Now()
 	m.mu.Lock()
 	res.ArbWait = time.Since(arbStart)
 	s.metrics.observeArb(res.ArbWait)
+	s.tracer.RecordSpan(rctx, "arb_wait", "pipeline", arbStart, res.ArbWait)
+	// The execute span is swapped in as the machine's ambient context so
+	// the sksm slice/instruction spans (and the TPM commands under them)
+	// nest inside it. Swaps happen under m.mu, which serializes all
+	// simulator access.
+	execSp := s.tracer.StartSpan(rctx, "execute", "pipeline")
+	if execSp != nil {
+		execSp.Virt(sys.Machine.Clock.Now())
+	}
+	prevCtx := m.scope.Swap(execSp.Context())
 	m.pending-- // the reservation becomes a real SLAUNCH allocation now
 	secb, err := sys.SKSM.NewSECB(p.Image, 1, s.cfg.Quantum)
 	if err != nil {
+		m.scope.Swap(prevCtx)
+		execSp.Attr("error", err.Error()).EndVirt(sys.Machine.Clock.Now())
 		m.mu.Unlock()
 		s.releaseSlot()
 		s.metrics.incFailed()
@@ -352,6 +423,8 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 		if kerr := sys.SKSM.SKILL(secb); kerr == nil {
 			_ = sys.SKSM.Release(secb)
 		}
+		m.scope.Swap(prevCtx)
+		execSp.Attr("error", runErr.Error()).EndVirt(sys.Machine.Clock.Now())
 		m.mu.Unlock()
 		s.releaseSlot()
 		s.metrics.incFailed()
@@ -362,6 +435,10 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	res.ExitStatus = secb.ExitStatus
 	res.Slices = secb.Slices
 	res.Resumes = secb.Resumes
+	m.scope.Swap(prevCtx)
+	if execSp != nil {
+		execSp.Attr("slices", fmt.Sprint(secb.Slices)).EndVirt(sys.Machine.Clock.Now())
+	}
 	m.mu.Unlock()
 	// The register is now parked in the Quote state: this job still
 	// occupies its sePCR until untrusted code quotes or frees it
@@ -369,10 +446,12 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 
 	if t.job.NoAttest {
 		m.mu.Lock()
+		prev := m.scope.Swap(rctx)
 		err := sys.Machine.TPM().FreeSePCR(secb.SePCRHandle)
 		if rerr := sys.SKSM.Release(secb); err == nil {
 			err = rerr
 		}
+		m.scope.Swap(prev)
 		m.mu.Unlock()
 		s.releaseSlot()
 		if err != nil {
@@ -387,10 +466,22 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	// QUOTE — back under the machine lock for the TPM command.
 	nonce := s.nextNonce()
 	m.mu.Lock()
+	quoteSp := s.tracer.StartSpan(rctx, "quote", "pipeline")
+	if quoteSp != nil {
+		quoteSp.Virt(sys.Machine.Clock.Now())
+	}
+	prevCtx = m.scope.Swap(quoteSp.Context())
 	swq := sim.StartStopwatch(sys.Machine.Clock)
 	q, qerr := sys.SKSM.QuoteAfterExit(secb, nonce)
 	res.QuoteGen = swq.Elapsed()
 	relErr := sys.SKSM.Release(secb)
+	m.scope.Swap(prevCtx)
+	if qerr != nil {
+		quoteSp.Attr("error", qerr.Error())
+	}
+	if quoteSp != nil {
+		quoteSp.EndVirt(sys.Machine.Clock.Now())
+	}
 	m.mu.Unlock()
 	s.releaseSlot() // the register is Free again
 	s.metrics.observeQuote(res.QuoteGen)
@@ -409,16 +500,19 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	// concurrently with other jobs' execution. The memoized verifier
 	// makes the repeated-tenant case cheap.
 	vStart := time.Now()
+	verifySp := s.tracer.StartSpan(rctx, "verify", "pipeline")
 	sys.Verifier.Approve(t.job.Name, p.Measurement())
 	log := attest.Log{{PCR: -1, Description: t.job.Name, Measurement: p.Measurement()}}
 	name, verr := sys.Verifier.VerifySePCRQuote(sys.Cert, q, log, nonce)
 	res.Verify = time.Since(vStart)
 	s.metrics.observeVerify(res.Verify)
 	if verr != nil {
+		verifySp.Attr("error", verr.Error()).End()
 		s.metrics.incFailed()
 		res.Err = fmt.Errorf("palsvc: quote verification: %w", verr)
 		return
 	}
+	verifySp.Attr("verified_as", name).End()
 	res.VerifiedAs = name
 	s.metrics.incCompleted()
 }

@@ -79,6 +79,10 @@ type WireResponse struct {
 	OK        bool   `json:"ok"`
 	Err       string `json:"err,omitempty"`
 	Retryable bool   `json:"retryable,omitempty"`
+	// Code is a stable machine-readable cause for Err (see ErrorCode):
+	// "queue_full", "bank_exhausted", "deadline_exceeded", "closed" or
+	// "error". Empty on success.
+	Code string `json:"code,omitempty"`
 
 	Output     []byte `json:"output,omitempty"`
 	ExitStatus uint32 `json:"exit_status,omitempty"`
@@ -160,7 +164,7 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 		}
 		res, err := s.Run(j)
 		if err != nil {
-			return &WireResponse{Err: err.Error(), Retryable: IsRetryable(err)}
+			return &WireResponse{Err: err.Error(), Retryable: IsRetryable(err), Code: ErrorCode(err)}
 		}
 		resp := &WireResponse{
 			Output:      res.Output,
@@ -175,6 +179,7 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 		if res.Err != nil {
 			resp.Err = res.Err.Error()
 			resp.Retryable = IsRetryable(res.Err)
+			resp.Code = ErrorCode(res.Err)
 		} else {
 			resp.OK = true
 		}

@@ -83,20 +83,40 @@ func (s *Sample) Percentile(p float64) time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
+	return s.Percentiles(p)[0]
+}
+
+// Percentiles computes several percentiles with a single sort — callers
+// summarizing a distribution (mean/p50/p95/p99) would otherwise re-sort
+// the sample once per rank. Degenerate samples are well-defined: an empty
+// sample yields all zeros, a single observation yields that value at every
+// rank, and p outside [0, 100] (including NaN) clamps to the extremes.
+func (s *Sample) Percentiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(s.values) == 0 {
+		return out
+	}
 	sorted := make([]time.Duration, len(s.values))
 	copy(sorted, s.values)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	if p <= 0 {
-		return sorted[0]
+	for i, p := range ps {
+		switch {
+		case !(p > 0): // includes NaN
+			out[i] = sorted[0]
+		case p >= 100:
+			out[i] = sorted[len(sorted)-1]
+		default:
+			rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(sorted) {
+				rank = len(sorted)
+			}
+			out[i] = sorted[rank-1]
+		}
 	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
-	}
-	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	return sorted[rank-1]
+	return out
 }
 
 // Millis formats a duration as fractional milliseconds with two decimals,

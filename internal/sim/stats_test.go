@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -75,6 +76,56 @@ func TestSamplePercentile(t *testing.T) {
 	}
 	if got := s.Percentile(99); got != 99 {
 		t.Fatalf("p99 = %v, want 99", got)
+	}
+}
+
+func TestSamplePercentilesBatch(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i))
+	}
+	got := s.Percentiles(50, 95, 99)
+	want := []time.Duration{50, 95, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The batch must agree with the single-rank method.
+	for _, p := range []float64{0, 1, 25, 50, 99, 100} {
+		if b := s.Percentiles(p)[0]; b != s.Percentile(p) {
+			t.Fatalf("Percentiles(%v) = %v, Percentile = %v", p, b, s.Percentile(p))
+		}
+	}
+}
+
+func TestSamplePercentilesDegenerate(t *testing.T) {
+	var empty Sample
+	for i, v := range empty.Percentiles(50, 95, 99) {
+		if v != 0 {
+			t.Fatalf("empty sample rank %d = %v", i, v)
+		}
+	}
+
+	var one Sample
+	one.Add(7 * time.Millisecond)
+	for i, v := range one.Percentiles(0, 50, 100) {
+		if v != 7*time.Millisecond {
+			t.Fatalf("single-value sample rank %d = %v", i, v)
+		}
+	}
+
+	// Out-of-range and NaN ranks clamp to the extremes; no index panics.
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	got := s.Percentiles(-50, math.NaN(), 150)
+	if got[0] != 1 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("clamped ranks = %v", got)
+	}
+
+	if out := s.Percentiles(); len(out) != 0 {
+		t.Fatalf("no-rank call returned %v", out)
 	}
 }
 

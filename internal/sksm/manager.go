@@ -7,6 +7,7 @@ import (
 
 	"minimaltcb/internal/cpu"
 	"minimaltcb/internal/mem"
+	"minimaltcb/internal/obs"
 	"minimaltcb/internal/osker"
 	"minimaltcb/internal/pal"
 	"minimaltcb/internal/tpm"
@@ -17,6 +18,31 @@ import (
 // the OS-side driver that sequences them.
 type Manager struct {
 	Kernel *osker.Kernel
+	// Trace, when set, records a dual-timestamp span per instruction
+	// (SLAUNCH, suspend, SFREE, SKILL, per-slice) with the machine's TPM
+	// command spans nested underneath. Nil disables tracing.
+	Trace *obs.Scope
+}
+
+// traced wraps one instruction in a span: the ambient context moves to the
+// span for its duration so TPM command spans issued by the microcode nest
+// under it.
+func (mg *Manager) traced(name string, f func() error, attrs ...obs.Attr) error {
+	if !mg.Trace.Enabled() {
+		return f()
+	}
+	sp := mg.Trace.Start(name, "sksm")
+	for _, a := range attrs {
+		sp.Attr(a.Key, a.Val)
+	}
+	prev := mg.Trace.Swap(sp.Context())
+	err := f()
+	mg.Trace.Swap(prev)
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	mg.Trace.End(sp)
+	return err
 }
 
 // NewManager enables the recommendations on a machine. The machine's TPM
@@ -91,6 +117,14 @@ func (mg *Manager) NewSECB(image pal.Image, extraDataPages int, quantum time.Dur
 // On failure the memory protections are rolled back and the error wraps
 // ErrLaunchFailed.
 func (mg *Manager) SLAUNCH(c *cpu.CPU, s *SECB) error {
+	if !mg.Trace.Enabled() {
+		return mg.slaunch(c, s)
+	}
+	return mg.traced("SLAUNCH", func() error { return mg.slaunch(c, s) },
+		obs.Int("cpu", c.ID), obs.Attr{Key: "from", Val: s.State.String()})
+}
+
+func (mg *Manager) slaunch(c *cpu.CPU, s *SECB) error {
 	m := mg.Kernel.Machine
 	switch s.State {
 	case StateStart:
@@ -188,6 +222,14 @@ func (mg *Manager) SLAUNCH(c *cpu.CPU, s *SECB) error {
 // architectural state is written to the SECB, microarchitectural state is
 // cleared, and the pages transition to NONE.
 func (mg *Manager) Suspend(c *cpu.CPU, s *SECB) error {
+	if !mg.Trace.Enabled() {
+		return mg.suspend(c, s)
+	}
+	return mg.traced("Suspend", func() error { return mg.suspend(c, s) },
+		obs.Int("cpu", c.ID))
+}
+
+func (mg *Manager) suspend(c *cpu.CPU, s *SECB) error {
 	if s.State != StateExecute || s.OwnerCPU != c.ID {
 		return fmt.Errorf("%w: suspend from %v (owner CPU%d, caller CPU%d)",
 			ErrBadState, s.State, s.OwnerCPU, c.ID)
@@ -214,6 +256,14 @@ func (mg *Manager) Suspend(c *cpu.CPU, s *SECB) error {
 // secrets; pages return to ALL for the OS to reuse, and the sePCR
 // transitions to the Quote state so untrusted code can attest the run.
 func (mg *Manager) SFREE(c *cpu.CPU, s *SECB) error {
+	if !mg.Trace.Enabled() {
+		return mg.sfree(c, s)
+	}
+	return mg.traced("SFREE", func() error { return mg.sfree(c, s) },
+		obs.Int("cpu", c.ID))
+}
+
+func (mg *Manager) sfree(c *cpu.CPU, s *SECB) error {
 	if s.State != StateExecute || s.OwnerCPU != c.ID {
 		return fmt.Errorf("%w: SFREE from %v", ErrBadState, s.State)
 	}
@@ -234,6 +284,14 @@ func (mg *Manager) SFREE(c *cpu.CPU, s *SECB) error {
 // (§5.5): erase its pages, return them to ALL, extend the kill marker into
 // its sePCR and free the register.
 func (mg *Manager) SKILL(s *SECB) error {
+	if !mg.Trace.Enabled() {
+		return mg.skill(s)
+	}
+	return mg.traced("SKILL", func() error { return mg.skill(s) },
+		obs.Int("sepcr", s.SePCRHandle))
+}
+
+func (mg *Manager) skill(s *SECB) error {
 	if s.State != StateSuspend {
 		return fmt.Errorf("%w: SKILL from %v (only suspended PALs can be killed)", ErrBadState, s.State)
 	}
@@ -258,6 +316,23 @@ func (mg *Manager) SKILL(s *SECB) error {
 // resume via SLAUNCH, run until halt/yield/preemption, then suspend or
 // free. It returns the stop reason.
 func (mg *Manager) RunSlice(c *cpu.CPU, s *SECB) (cpu.StopReason, error) {
+	if !mg.Trace.Enabled() {
+		return mg.runSlice(c, s)
+	}
+	sp := mg.Trace.Start("slice", "sksm").
+		AttrInt("cpu", c.ID).AttrInt("slice", s.Slices)
+	prev := mg.Trace.Swap(sp.Context())
+	reason, err := mg.runSlice(c, s)
+	mg.Trace.Swap(prev)
+	sp.Attr("stop", reason.String())
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	mg.Trace.End(sp)
+	return reason, err
+}
+
+func (mg *Manager) runSlice(c *cpu.CPU, s *SECB) (cpu.StopReason, error) {
 	if err := mg.SLAUNCH(c, s); err != nil {
 		return cpu.StopFault, err
 	}
@@ -277,6 +352,13 @@ func (mg *Manager) RunSlice(c *cpu.CPU, s *SECB) (cpu.StopReason, error) {
 		}
 		return reason, nil
 	default: // yield or preempted
+		if mg.Trace.Enabled() {
+			if reason == cpu.StopPreempted {
+				mg.Trace.Event("preempt", "sksm", obs.Int("cpu", c.ID))
+			} else {
+				mg.Trace.Event("SYIELD", "sksm", obs.Int("cpu", c.ID))
+			}
+		}
 		if err := mg.Suspend(c, s); err != nil {
 			return reason, err
 		}
@@ -301,7 +383,13 @@ func (mg *Manager) QuoteAfterExit(s *SECB, nonce []byte) (*tpm.Quote, error) {
 	if s.State != StateDone {
 		return nil, fmt.Errorf("%w: quote of %v SECB", ErrBadState, s.State)
 	}
-	return mg.Kernel.Machine.TPM().QuoteSePCR(s.SePCRHandle, nonce)
+	var q *tpm.Quote
+	err := mg.traced("QuoteAfterExit", func() error {
+		var err error
+		q, err = mg.Kernel.Machine.TPM().QuoteSePCR(s.SePCRHandle, nonce)
+		return err
+	}, obs.Int("sepcr", s.SePCRHandle))
+	return q, err
 }
 
 // Release returns a Done SECB's pages to the OS allocator.

@@ -41,12 +41,16 @@ func (t *TPM) QuoteCommand(sel Selection, nonce []byte) (*Quote, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := t.cmdSpan("TPM_Quote").Attr("mode", "pcr")
 	sig, err := rsa.SignPKCS1v15(nil, t.aik, crypto.SHA1, quoteDigest(composite, nonce))
 	if err != nil {
-		return nil, fmt.Errorf("tpm: quote signature: %w", err)
+		err = fmt.Errorf("tpm: quote signature: %w", err)
+		t.endCmd(sp, err)
+		return nil, err
 	}
 	t.busCommand(40+len(nonce), len(sig)+40)
 	t.charge(t.profile.QuoteLatency, t.profile.Jitter)
+	t.endCmd(sp, nil)
 	return &Quote{
 		Selection:   append(Selection(nil), sel...),
 		SePCRHandle: -1,

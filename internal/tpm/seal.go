@@ -44,12 +44,15 @@ func (t *TPM) Seal(sel Selection, data []byte) ([]byte, error) {
 	for i, idx := range sel {
 		selBytes[i] = byte(idx)
 	}
+	sp := t.cmdSpan("TPM_Seal").Attr("mode", "pcr").AttrInt("bytes", len(data))
 	blob, err := t.sealBlob(sealModePCR, selBytes, release, data)
 	if err != nil {
+		t.endCmd(sp, err)
 		return nil, err
 	}
 	t.busCommand(64+len(data), len(blob))
 	t.charge(t.sealCost(len(data)), t.profile.Jitter)
+	t.endCmd(sp, nil)
 	return blob, nil
 }
 
@@ -81,17 +84,22 @@ func (t *TPM) Unseal(blob []byte) ([]byte, error) {
 	}
 	// Latency is charged even for a failed unseal: the TPM performs the
 	// RSA decryption before it can compare the release policy.
+	sp := t.cmdSpan("TPM_Unseal").Attr("mode", "pcr")
 	t.busCommand(len(blob), 64)
 	t.charge(t.profile.UnsealLatency, t.profile.Jitter)
 	if !equalDigest(now, release) {
-		return nil, fmt.Errorf("%w: composite %x, sealed to %x", ErrPCRMismatch, now, release)
+		err := fmt.Errorf("%w: composite %x, sealed to %x", ErrPCRMismatch, now, release)
+		t.endCmd(sp, err)
+		return nil, err
 	}
 	aad := append(append([]byte{mode}, selBytes...), release[:]...)
 	pt, err := t.openBlob(ekey, nonce, ct, aad)
 	if err != nil {
+		t.endCmd(sp, err)
 		return nil, err
 	}
 	t.unsealOK++
+	t.endCmd(sp, nil)
 	return pt, nil
 }
 

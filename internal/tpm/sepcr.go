@@ -4,6 +4,8 @@ import (
 	"crypto"
 	"crypto/rsa"
 	"fmt"
+
+	"minimaltcb/internal/obs"
 )
 
 // This file implements the paper's proposed TPM extension (§5.4): a bank of
@@ -54,6 +56,38 @@ type sePCR struct {
 // killed PAL's register from a cleanly exited one.
 var SKillMarker = Measure([]byte("TPM_SEPCR_SKILL"))
 
+// lifeOpen starts the life-cycle span for sePCR h entering the named
+// state. The span stays open across TPM commands — a register can sit in
+// Exclusive for many scheduling slices — and is recorded on the next
+// transition.
+func (t *TPM) lifeOpen(h int, state string) {
+	if t.trace == nil || t.sepcrLife == nil {
+		return
+	}
+	t.sepcrLife[h] = t.trace.Start("sePCR."+state, obs.CatSePCR).AttrInt("handle", h)
+}
+
+// lifeClose ends the open life-cycle span of sePCR h, if any.
+func (t *TPM) lifeClose(h int, attrs ...obs.Attr) {
+	if t.trace == nil || t.sepcrLife == nil || t.sepcrLife[h] == nil {
+		return
+	}
+	sp := t.sepcrLife[h]
+	t.sepcrLife[h] = nil
+	for _, a := range attrs {
+		sp.Attr(a.Key, a.Val)
+	}
+	t.trace.End(sp)
+}
+
+// lifeFree marks the instant a register returns to the Free pool.
+func (t *TPM) lifeFree(h int) {
+	if t.trace == nil {
+		return
+	}
+	t.trace.Event("sePCR.Free", obs.CatSePCR, obs.Int("handle", h))
+}
+
 // NumSePCRs returns how many sePCRs this TPM provisions.
 func (t *TPM) NumSePCRs() int { return len(t.sePCRs) }
 
@@ -82,12 +116,15 @@ func (t *TPM) AllocateSePCR(owner int, palMeasurement Digest) (int, error) {
 		if t.sePCRs[i].state != SePCRFree {
 			continue
 		}
+		sp := t.cmdSpan("TPM_SEPCR_Alloc").AttrInt("handle", i)
 		t.sePCRs[i] = sePCR{
 			state: SePCRExclusive,
 			value: chain(Digest{}, palMeasurement),
 			owner: owner,
 		}
 		t.charge(t.profile.ExtendLatency, 0)
+		t.endCmd(sp, nil)
+		t.lifeOpen(i, "Exclusive")
 		return i, nil
 	}
 	return -1, ErrNoSePCR
@@ -127,10 +164,12 @@ func (t *TPM) SePCRExtend(handle, owner int, measurement Digest) (Digest, error)
 	if err := t.checkExclusive(handle, owner); err != nil {
 		return Digest{}, err
 	}
+	sp := t.cmdSpan("TPM_SEPCR_Extend").AttrInt("handle", handle)
 	p := &t.sePCRs[handle]
 	p.value = chain(p.value, measurement)
 	t.busCommand(34, 30)
 	t.charge(t.profile.ExtendLatency, t.profile.Jitter)
+	t.endCmd(sp, nil)
 	return p.value, nil
 }
 
@@ -142,13 +181,16 @@ func (t *TPM) SealSePCR(handle, owner int, data []byte) ([]byte, error) {
 	if err := t.checkExclusive(handle, owner); err != nil {
 		return nil, err
 	}
+	sp := t.cmdSpan("TPM_Seal").Attr("mode", "sepcr").AttrInt("bytes", len(data))
 	release := t.sePCRs[handle].value
 	blob, err := t.sealBlob(sealModeSePCR, nil, release, data)
 	if err != nil {
+		t.endCmd(sp, err)
 		return nil, err
 	}
 	t.busCommand(64+len(data), len(blob))
 	t.charge(t.sealCost(len(data)), t.profile.Jitter)
+	t.endCmd(sp, nil)
 	return blob, nil
 }
 
@@ -165,18 +207,23 @@ func (t *TPM) UnsealSePCR(handle, owner int, blob []byte) ([]byte, error) {
 	if mode != sealModeSePCR {
 		return nil, fmt.Errorf("%w: blob sealed to static PCRs; use Unseal", ErrBadBlob)
 	}
+	sp := t.cmdSpan("TPM_Unseal").Attr("mode", "sepcr")
 	t.busCommand(len(blob), 64)
 	t.charge(t.profile.UnsealLatency, t.profile.Jitter)
 	if !equalDigest(t.sePCRs[handle].value, release) {
-		return nil, fmt.Errorf("%w: sePCR %x, sealed to %x",
+		err := fmt.Errorf("%w: sePCR %x, sealed to %x",
 			ErrPCRMismatch, t.sePCRs[handle].value, release)
+		t.endCmd(sp, err)
+		return nil, err
 	}
 	aad := append(append([]byte{mode}, selBytes...), release[:]...)
 	pt, err := t.openBlob(ekey, nonce, ct, aad)
 	if err != nil {
+		t.endCmd(sp, err)
 		return nil, err
 	}
 	t.unsealOK++
+	t.endCmd(sp, nil)
 	return pt, nil
 }
 
@@ -188,6 +235,8 @@ func (t *TPM) ReleaseSePCR(handle, owner int) error {
 	}
 	t.sePCRs[handle].state = SePCRQuote
 	t.sePCRs[handle].owner = -1
+	t.lifeClose(handle)
+	t.lifeOpen(handle, "Quote")
 	return nil
 }
 
@@ -203,10 +252,14 @@ func (t *TPM) KillSePCR(handle int) error {
 	if p.state != SePCRExclusive {
 		return fmt.Errorf("%w: sePCR %d is %v, SKILL needs Exclusive", ErrSePCRState, handle, p.state)
 	}
+	sp := t.cmdSpan("TPM_SEPCR_Kill").AttrInt("handle", handle)
 	p.value = chain(p.value, SKillMarker)
 	p.state = SePCRFree
 	p.owner = -1
 	t.charge(t.profile.ExtendLatency, 0)
+	t.endCmd(sp, nil)
+	t.lifeClose(handle, obs.Attr{Key: "killed", Val: "true"})
+	t.lifeFree(handle)
 	return nil
 }
 
@@ -222,9 +275,12 @@ func (t *TPM) QuoteSePCR(handle int, nonce []byte) (*Quote, error) {
 		return nil, fmt.Errorf("%w: sePCR %d is %v, quote needs Quote state",
 			ErrSePCRState, handle, p.state)
 	}
+	sp := t.cmdSpan("TPM_Quote").Attr("mode", "sepcr").AttrInt("handle", handle)
 	sig, err := rsa.SignPKCS1v15(nil, t.aik, crypto.SHA1, quoteDigest(p.value, nonce))
 	if err != nil {
-		return nil, fmt.Errorf("tpm: sePCR quote signature: %w", err)
+		err = fmt.Errorf("tpm: sePCR quote signature: %w", err)
+		t.endCmd(sp, err)
+		return nil, err
 	}
 	q := &Quote{
 		SePCRHandle: handle,
@@ -236,6 +292,9 @@ func (t *TPM) QuoteSePCR(handle int, nonce []byte) (*Quote, error) {
 	p.value = Digest{}
 	t.busCommand(40+len(nonce), len(sig)+40)
 	t.charge(t.profile.QuoteLatency, t.profile.Jitter)
+	t.endCmd(sp, nil)
+	t.lifeClose(handle, obs.Attr{Key: "quoted", Val: "true"})
+	t.lifeFree(handle)
 	return q, nil
 }
 
@@ -252,5 +311,7 @@ func (t *TPM) FreeSePCR(handle int) error {
 	}
 	p.state = SePCRFree
 	p.value = Digest{}
+	t.lifeClose(handle)
+	t.lifeFree(handle)
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/obs"
 	"minimaltcb/internal/sim"
 )
 
@@ -75,6 +76,36 @@ type TPM struct {
 	unsealOK int // statistics: successful unseals
 
 	sePCRs []sePCR
+
+	// trace, when set, records a dual-timestamp span per TPM command and
+	// a life-cycle span per sePCR state (internal/obs). sepcrLife holds
+	// the open life-cycle span of each register.
+	trace     *obs.Scope
+	sepcrLife []*obs.Span
+}
+
+// SetTrace wires an observability scope into the chip: every command span
+// and sePCR life-cycle transition is recorded against it. A nil scope
+// disables tracing (the default).
+func (t *TPM) SetTrace(s *obs.Scope) {
+	t.trace = s
+	if s != nil && t.sepcrLife == nil {
+		t.sepcrLife = make([]*obs.Span, len(t.sePCRs))
+	}
+}
+
+// cmdSpan opens a span for one TPM command; endCmd closes it, noting the
+// error if the command failed. Both are no-ops without a scope.
+func (t *TPM) cmdSpan(name string) *obs.Span { return t.trace.Start(name, "tpm") }
+
+func (t *TPM) endCmd(sp *obs.Span, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	t.trace.End(sp)
 }
 
 // Config configures a TPM instance.
@@ -138,6 +169,10 @@ func (t *TPM) Boot() {
 	for i := range t.sePCRs {
 		t.sePCRs[i] = sePCR{state: SePCRFree}
 	}
+	// Power-on abandons any open sePCR life-cycle spans unrecorded.
+	for i := range t.sepcrLife {
+		t.sepcrLife[i] = nil
+	}
 }
 
 // Profile returns the timing profile.
@@ -199,10 +234,12 @@ func (t *TPM) Extend(idx int, measurement Digest) (Digest, error) {
 	if idx < 0 || idx >= NumPCRs {
 		return Digest{}, fmt.Errorf("%w: %d", ErrBadPCR, idx)
 	}
+	sp := t.cmdSpan("TPM_Extend").AttrInt("pcr", idx)
 	t.pcrs[idx] = chain(t.pcrs[idx], measurement)
 	t.extends++
 	t.busCommand(34, 30)
 	t.charge(t.profile.ExtendLatency, t.profile.Jitter)
+	t.endCmd(sp, nil)
 	return t.pcrs[idx], nil
 }
 
@@ -279,11 +316,13 @@ func (t *TPM) GetRandom(n int) ([]byte, error) {
 	if n < 0 {
 		return nil, errors.New("tpm: negative GetRandom length")
 	}
+	sp := t.cmdSpan("TPM_GetRandom").AttrInt("bytes", n)
 	out := make([]byte, n)
 	t.rng.Fill(out)
 	t.busCommand(14, 10+n)
 	t.charge(t.profile.RandomBase+time.Duration(n)*t.profile.RandomPerByte,
 		t.profile.Jitter)
+	t.endCmd(sp, nil)
 	return out, nil
 }
 
