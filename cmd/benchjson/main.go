@@ -5,6 +5,7 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -compare OLD.json NEW.json   # exit 1 on regression
 //
 // The parser accepts the standard benchmark result line,
 //
@@ -44,7 +45,26 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
+	compare := flag.Bool("compare", false, "compare two bench JSON files: -compare old.json new.json")
+	maxNs := flag.Float64("max-ns-regress", 50, "compare: fail when ns/op regresses past this percent")
+	maxAlloc := flag.Float64("max-alloc-regress", 25, "compare: fail when B/op or allocs/op regresses past this percent")
+	nsFloor := flag.Float64("ns-floor", 1000, "compare: skip the ns/op gate for benchmarks whose baseline is below this many ns/op (too noisy); B/op and allocs/op are still gated")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("-compare needs exactly two files, got %d", flag.NArg()))
+		}
+		bad, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *maxNs, *maxAlloc, *nsFloor)
+		if err != nil {
+			fail(err)
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s)\n", bad)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := Parse(os.Stdin)
 	if err != nil {

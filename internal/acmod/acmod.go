@@ -68,11 +68,27 @@ func NewVendor(seed uint64, bits int) (*Vendor, error) {
 // Public returns the verification key the chipset fuses in.
 func (v *Vendor) Public() *rsa.PublicKey { return &v.key.PublicKey }
 
+// The default module is cached per signing key: every Intel platform
+// instance ships the same deterministic Size-byte image, and re-generating
+// and re-signing 10 KB per platform.New dominated machine construction
+// cost. The cached Module is shared across machines; SENTER only reads it.
+var (
+	defaultModMu    sync.Mutex
+	defaultModCache = map[*rsa.PrivateKey]*Module{}
+)
+
 // Sign produces a signed module over the given image. Passing nil code
 // generates a deterministic Size-byte image, which is what platform
-// profiles ship.
+// profiles ship; that module is built and signed once per key.
 func (v *Vendor) Sign(code []byte) (*Module, error) {
-	if code == nil {
+	cached := code == nil
+	if cached {
+		defaultModMu.Lock()
+		m := defaultModCache[v.key]
+		defaultModMu.Unlock()
+		if m != nil {
+			return copyModule(m), nil
+		}
 		code = make([]byte, Size)
 		sim.NewRNG(0x414d4f44).Fill(code)
 	}
@@ -81,8 +97,43 @@ func (v *Vendor) Sign(code []byte) (*Module, error) {
 	if err != nil {
 		return nil, fmt.Errorf("acmod: sign: %w", err)
 	}
-	return &Module{Code: code, Signature: sig}, nil
+	m := &Module{Code: code, Signature: sig}
+	if cached {
+		defaultModMu.Lock()
+		defaultModCache[v.key] = m
+		defaultModMu.Unlock()
+		return copyModule(m), nil
+	}
+	return m, nil
 }
+
+// copyModule hands a caller its own slices so nobody can corrupt the
+// cached original (callers are free to tamper with a module to test the
+// chipset's rejection path).
+func copyModule(m *Module) *Module {
+	return &Module{
+		Code:      append([]byte(nil), m.Code...),
+		Signature: append([]byte(nil), m.Signature...),
+	}
+}
+
+// Successful verifications are memoized by content: the key is the module
+// digest plus a digest of the signature bytes, so a hit proves this exact
+// (code, signature) pair passed RSA verification against this fused key
+// before. Tampering with either — even in place, preserving slice identity
+// — changes the key and forces a live verification, which fails. Failures
+// are never cached. The code digest is computed on every call regardless;
+// a hit only skips the (allocating) RSA operation.
+type verifyKey struct {
+	pub    *rsa.PublicKey
+	digest [sha1.Size]byte
+	sig    [sha1.Size]byte
+}
+
+var (
+	verifyMu    sync.Mutex
+	verifyCache = map[verifyKey]struct{}{}
+)
 
 // Verify checks the module against the fused public key, as the chipset
 // does during SENTER. A module that fails verification aborts the late
@@ -92,8 +143,21 @@ func Verify(pub *rsa.PublicKey, m *Module) error {
 		return fmt.Errorf("acmod: nil module")
 	}
 	digest := sha1.Sum(m.Code)
+	k := verifyKey{pub: pub, digest: digest, sig: sha1.Sum(m.Signature)}
+	verifyMu.Lock()
+	_, ok := verifyCache[k]
+	verifyMu.Unlock()
+	if ok {
+		return nil
+	}
 	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA1, digest[:], m.Signature); err != nil {
 		return fmt.Errorf("acmod: signature verification failed: %w", err)
 	}
+	verifyMu.Lock()
+	if len(verifyCache) >= 1024 {
+		verifyCache = map[verifyKey]struct{}{}
+	}
+	verifyCache[k] = struct{}{}
+	verifyMu.Unlock()
 	return nil
 }

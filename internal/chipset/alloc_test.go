@@ -1,0 +1,88 @@
+package chipset
+
+import (
+	"testing"
+)
+
+// TestCPUReadIntoSteadyStateAllocs pins the copy-free read path: once the
+// destination buffer exists and the touched chunks are materialized,
+// CPUReadInto must not allocate per call. This is what lets instruction
+// fetch and SLB streaming run without per-step garbage.
+func TestCPUReadIntoSteadyStateAllocs(t *testing.T) {
+	cs := testChipset(t, 16)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := cs.Memory().WriteRaw(0x2000, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := cs.CPUReadInto(0, 0x2000, dst); err != nil { // warm
+		t.Fatal(err)
+	}
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		err = cs.CPUReadInto(0, 0x2000, dst)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("CPUReadInto allocates %v allocs/op, want 0", allocs)
+	}
+	for i, b := range dst {
+		if b != byte(i) {
+			t.Fatalf("dst[%d] = %d, want %d", i, b, byte(i))
+		}
+	}
+}
+
+// TestCPUViewSteadyStateAllocs pins the zero-copy subslice variant.
+func TestCPUViewSteadyStateAllocs(t *testing.T) {
+	cs := testChipset(t, 16)
+	if err := cs.Memory().WriteRaw(0x2000, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.CPUView(0, 0x2000, 4); err != nil { // warm
+		t.Fatal(err)
+	}
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		_, _, err = cs.CPUView(0, 0x2000, 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("CPUView allocates %v allocs/op, want 0", allocs)
+	}
+	b, ok, err := cs.CPUView(0, 0x2000, 4)
+	if err != nil || !ok {
+		t.Fatalf("view: ok=%v err=%v", ok, err)
+	}
+	if b[0] != 1 || b[3] != 4 {
+		t.Fatalf("view contents %v", b)
+	}
+}
+
+// ZeroRange after writes must leave the range all-zero, exactly as a
+// write of zeros would, while releasing chunk storage where it can.
+func TestZeroRangeMatchesZeroWrite(t *testing.T) {
+	cs := testChipset(t, 16)
+	if err := cs.Memory().WriteRaw(0x1000, []byte{0xaa, 0xbb, 0xcc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Memory().ZeroRange(0x1000, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.Memory().ReadRaw(0x1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x after ZeroRange, want 0", i, b)
+		}
+	}
+}

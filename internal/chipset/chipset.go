@@ -51,12 +51,15 @@ func (c *Chipset) TPM() *tpm.TPM { return c.tpm }
 func (c *Chipset) HasTPM() bool { return c.tpm != nil }
 
 // checkCPURange verifies every page in [addr, addr+n) is accessible to cpu.
+// It iterates the page range directly rather than materializing a page list:
+// this runs on every memory access the interpreter makes.
 func (c *Chipset) checkCPURange(cpu int, addr uint32, n int) error {
 	if n <= 0 {
 		return nil
 	}
-	r := mem.Region{Base: addr, Size: n}
-	for _, p := range r.Pages() {
+	first := mem.PageOf(addr)
+	last := mem.PageOf(addr + uint32(n) - 1)
+	for p := first; p <= last; p++ {
 		if err := c.mem.CheckCPU(p, cpu); err != nil {
 			c.DeniedCPU++
 			return err
@@ -67,11 +70,69 @@ func (c *Chipset) checkCPURange(cpu int, addr uint32, n int) error {
 
 // CPURead performs a CPU-originated memory read. Every request carries the
 // initiating CPU's identity, as on real front-side buses (agent IDs, §5.2).
+// The result is a fresh copy the caller may retain; zero-allocation paths
+// use CPUReadInto or CPUView.
 func (c *Chipset) CPURead(cpu int, addr uint32, n int) ([]byte, error) {
 	if err := c.checkCPURange(cpu, addr, n); err != nil {
 		return nil, err
 	}
 	return c.mem.ReadRaw(addr, n)
+}
+
+// CPUReadInto performs a checked CPU read into a caller-supplied buffer,
+// allocating nothing. The same access-control table consultation as CPURead
+// applies.
+func (c *Chipset) CPUReadInto(cpu int, addr uint32, dst []byte) error {
+	if err := c.checkCPURange(cpu, addr, len(dst)); err != nil {
+		return err
+	}
+	return c.mem.ReadInto(dst, addr)
+}
+
+// CPUView performs a checked CPU read and returns a bounded read-only
+// subslice aliasing physical memory when the range lies in one backing
+// chunk; ok is false when it does not (fall back to CPUReadInto). The view
+// must not be written through or retained across writes.
+func (c *Chipset) CPUView(cpu int, addr uint32, n int) (b []byte, ok bool, err error) {
+	if err := c.checkCPURange(cpu, addr, n); err != nil {
+		return nil, false, err
+	}
+	b, ok = c.mem.View(addr, n)
+	return b, ok, nil
+}
+
+// CPUReadWord performs a checked 32-bit little-endian read without
+// allocating — the instruction-fetch and load path.
+func (c *Chipset) CPUReadWord(cpu int, addr uint32) (uint32, error) {
+	if err := c.checkCPURange(cpu, addr, 4); err != nil {
+		return 0, err
+	}
+	return c.mem.ReadWordRaw(addr)
+}
+
+// CPUWriteWord performs a checked 32-bit little-endian write without
+// allocating — the store path.
+func (c *Chipset) CPUWriteWord(cpu int, addr uint32, v uint32) error {
+	if err := c.checkCPURange(cpu, addr, 4); err != nil {
+		return err
+	}
+	return c.mem.WriteWordRaw(addr, v)
+}
+
+// CPUReadByte performs a checked single-byte read without allocating.
+func (c *Chipset) CPUReadByte(cpu int, addr uint32) (byte, error) {
+	if err := c.checkCPURange(cpu, addr, 1); err != nil {
+		return 0, err
+	}
+	return c.mem.ReadByteRaw(addr)
+}
+
+// CPUWriteByte performs a checked single-byte write without allocating.
+func (c *Chipset) CPUWriteByte(cpu int, addr uint32, v byte) error {
+	if err := c.checkCPURange(cpu, addr, 1); err != nil {
+		return err
+	}
+	return c.mem.WriteByteRaw(addr, v)
 }
 
 // CPUWrite performs a CPU-originated memory write.
@@ -82,27 +143,35 @@ func (c *Chipset) CPUWrite(cpu int, addr uint32, b []byte) error {
 	return c.mem.WriteRaw(addr, b)
 }
 
+// checkDMARange verifies every page in [addr, addr+n) admits DMA.
+func (c *Chipset) checkDMARange(addr uint32, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	first := mem.PageOf(addr)
+	last := mem.PageOf(addr + uint32(n) - 1)
+	for p := first; p <= last; p++ {
+		if err := c.mem.CheckDMA(p); err != nil {
+			c.DeniedDMA++
+			return err
+		}
+	}
+	return nil
+}
+
 // DMARead performs a device-originated read; refused for pages that are
 // DEV-protected or not in the ALL state.
 func (c *Chipset) DMARead(addr uint32, n int) ([]byte, error) {
-	r := mem.Region{Base: addr, Size: n}
-	for _, p := range r.Pages() {
-		if err := c.mem.CheckDMA(p); err != nil {
-			c.DeniedDMA++
-			return nil, err
-		}
+	if err := c.checkDMARange(addr, n); err != nil {
+		return nil, err
 	}
 	return c.mem.ReadRaw(addr, n)
 }
 
 // DMAWrite performs a device-originated write under the same checks.
 func (c *Chipset) DMAWrite(addr uint32, b []byte) error {
-	r := mem.Region{Base: addr, Size: len(b)}
-	for _, p := range r.Pages() {
-		if err := c.mem.CheckDMA(p); err != nil {
-			c.DeniedDMA++
-			return err
-		}
+	if err := c.checkDMARange(addr, len(b)); err != nil {
+		return err
 	}
 	return c.mem.WriteRaw(addr, b)
 }
@@ -114,17 +183,23 @@ func (c *Chipset) DMAWrite(addr uint32, b []byte) error {
 // SECB whose region straddles a suspended PAL and a busy page cannot use
 // the failure path to expose the suspended PAL's memory.
 func (c *Chipset) ProtectRegion(r mem.Region, cpu int) error {
-	pages := r.Pages()
-	prior := make([]mem.PageState, 0, len(pages))
-	for i, p := range pages {
+	if r.Size <= 0 {
+		return nil
+	}
+	first, last := r.FirstPage(), r.LastPage()
+	// Prior states live on the stack for ordinary (≤ 64 KB + change)
+	// regions; append only spills for pathologically large ones.
+	var priorBuf [32]mem.PageState
+	prior := priorBuf[:0]
+	for p := first; p <= last; p++ {
 		st, err := c.mem.State(p)
 		if err == nil {
 			prior = append(prior, st)
 			err = c.mem.Claim(p, cpu)
 		}
 		if err != nil {
-			for j, q := range pages[:i] {
-				if prior[j] == mem.AccessNone {
+			for q := first; q < p; q++ {
+				if prior[q-first] == mem.AccessNone {
 					_ = c.mem.Seclude(q, cpu)
 				} else {
 					_ = c.mem.Release(q, cpu)
@@ -139,7 +214,10 @@ func (c *Chipset) ProtectRegion(r mem.Region, cpu int) error {
 // SecludeRegion moves every page of r from cpu ownership to NONE (PAL
 // suspend).
 func (c *Chipset) SecludeRegion(r mem.Region, cpu int) error {
-	for _, p := range r.Pages() {
+	if r.Size <= 0 {
+		return nil
+	}
+	for p, last := r.FirstPage(), r.LastPage(); p <= last; p++ {
 		if err := c.mem.Seclude(p, cpu); err != nil {
 			return fmt.Errorf("chipset: seclude region: %w", err)
 		}
@@ -149,7 +227,10 @@ func (c *Chipset) SecludeRegion(r mem.Region, cpu int) error {
 
 // ReleaseRegion returns every page of r to ALL (SFREE/SKILL).
 func (c *Chipset) ReleaseRegion(r mem.Region, cpu int) error {
-	for _, p := range r.Pages() {
+	if r.Size <= 0 {
+		return nil
+	}
+	for p, last := r.FirstPage(), r.LastPage(); p <= last; p++ {
 		if err := c.mem.Release(p, cpu); err != nil {
 			return fmt.Errorf("chipset: release region: %w", err)
 		}
@@ -160,10 +241,13 @@ func (c *Chipset) ReleaseRegion(r mem.Region, cpu int) error {
 // ShareRegion grants joiner access to every page of r alongside owner —
 // the §6 multicore-PAL join. Partial failures roll back.
 func (c *Chipset) ShareRegion(r mem.Region, owner, joiner int) error {
-	pages := r.Pages()
-	for i, p := range pages {
+	if r.Size <= 0 {
+		return nil
+	}
+	first, last := r.FirstPage(), r.LastPage()
+	for p := first; p <= last; p++ {
 		if err := c.mem.Share(p, owner, joiner); err != nil {
-			for _, q := range pages[:i] {
+			for q := first; q < p; q++ {
 				_ = c.mem.Unshare(q, joiner)
 			}
 			return fmt.Errorf("chipset: share region: %w", err)
@@ -174,7 +258,10 @@ func (c *Chipset) ShareRegion(r mem.Region, owner, joiner int) error {
 
 // UnshareRegion revokes joiner's access to every page of r.
 func (c *Chipset) UnshareRegion(r mem.Region, joiner int) error {
-	for _, p := range r.Pages() {
+	if r.Size <= 0 {
+		return nil
+	}
+	for p, last := r.FirstPage(), r.LastPage(); p <= last; p++ {
 		if err := c.mem.Unshare(p, joiner); err != nil {
 			return err
 		}
@@ -185,7 +272,10 @@ func (c *Chipset) UnshareRegion(r mem.Region, joiner int) error {
 // SetDEVRegion sets or clears the DEV bits covering r (SKINIT's DMA
 // protection for the SLB).
 func (c *Chipset) SetDEVRegion(r mem.Region, protected bool) error {
-	for _, p := range r.Pages() {
+	if r.Size <= 0 {
+		return nil
+	}
+	for p, last := r.FirstPage(), r.LastPage(); p <= last; p++ {
 		if err := c.mem.SetDEV(p, protected); err != nil {
 			return err
 		}
@@ -196,22 +286,22 @@ func (c *Chipset) SetDEVRegion(r mem.Region, protected bool) error {
 // RegionState reports the common access state of a region, or an error if
 // its pages disagree (useful for assertions and debugging).
 func (c *Chipset) RegionState(r mem.Region) (mem.PageState, error) {
-	pages := r.Pages()
-	if len(pages) == 0 {
+	if r.Size <= 0 {
 		return mem.AccessAll, nil
 	}
-	first, err := c.mem.State(pages[0])
+	firstPage, lastPage := r.FirstPage(), r.LastPage()
+	first, err := c.mem.State(firstPage)
 	if err != nil {
 		return 0, err
 	}
-	for _, p := range pages[1:] {
+	for p := firstPage + 1; p <= lastPage; p++ {
 		st, err := c.mem.State(p)
 		if err != nil {
 			return 0, err
 		}
 		if st != first {
 			return 0, fmt.Errorf("chipset: region pages disagree: page %d is %v, page %d is %v",
-				pages[0], first, p, st)
+				firstPage, first, p, st)
 		}
 	}
 	return first, nil

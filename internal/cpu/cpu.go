@@ -146,6 +146,11 @@ type CPU struct {
 	idt     [NumIntrVectors]uint16 // PAL interrupt handlers (§6 extension)
 	tracer  Tracer
 	Retired int64 // instructions executed (statistics)
+
+	// Decoded-instruction cache (decodecache.go). Lazily allocated;
+	// private to the goroutine driving this core.
+	dcache    []decodeEntry
+	decodeOff bool
 }
 
 // Tracer observes each instruction before it executes, for debugging
@@ -183,6 +188,12 @@ func (c *CPU) Reset() {
 	c.IntrEnabled = false
 	c.region = mem.Region{}
 	c.clearIDT()
+	// The decode cache survives Reset: entries are validated against the
+	// page's version counter on every hit, so stale decodes are already
+	// impossible, and the cache holds no architectural state (the decoded
+	// form is a pure function of the bytes it was decoded from). Dropping
+	// it here would cost a fresh 64 KB allocation per launch on cores the
+	// OS resets between PAL runs.
 }
 
 // EnterRegion begins executing at entry within region, with the stack
@@ -257,6 +268,16 @@ func (c *CPU) ReadBytes(addr uint32, n int) ([]byte, error) {
 	return c.chip.CPURead(c.ID, phys, n)
 }
 
+// ReadBytesInto reads len(dst) bytes at a PAL-relative address with full
+// checks into a caller-supplied buffer, allocating nothing.
+func (c *CPU) ReadBytesInto(addr uint32, dst []byte) error {
+	phys, err := c.translate(addr, len(dst))
+	if err != nil {
+		return err
+	}
+	return c.chip.CPUReadInto(c.ID, phys, dst)
+}
+
 // WriteBytes writes bytes at a PAL-relative address with full checks.
 func (c *CPU) WriteBytes(addr uint32, b []byte) error {
 	phys, err := c.translate(addr, len(b))
@@ -268,16 +289,38 @@ func (c *CPU) WriteBytes(addr uint32, b []byte) error {
 
 // ReadWord reads a 32-bit little-endian word at a PAL-relative address.
 func (c *CPU) ReadWord(addr uint32) (uint32, error) {
-	b, err := c.ReadBytes(addr, 4)
+	phys, err := c.translate(addr, 4)
 	if err != nil {
 		return 0, err
 	}
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	return c.chip.CPUReadWord(c.ID, phys)
 }
 
 // WriteWord writes a 32-bit little-endian word at a PAL-relative address.
 func (c *CPU) WriteWord(addr, v uint32) error {
-	return c.WriteBytes(addr, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	phys, err := c.translate(addr, 4)
+	if err != nil {
+		return err
+	}
+	return c.chip.CPUWriteWord(c.ID, phys, v)
+}
+
+// LoadByte reads one byte at a PAL-relative address.
+func (c *CPU) LoadByte(addr uint32) (byte, error) {
+	phys, err := c.translate(addr, 1)
+	if err != nil {
+		return 0, err
+	}
+	return c.chip.CPUReadByte(c.ID, phys)
+}
+
+// StoreByte writes one byte at a PAL-relative address.
+func (c *CPU) StoreByte(addr uint32, v byte) error {
+	phys, err := c.translate(addr, 1)
+	if err != nil {
+		return err
+	}
+	return c.chip.CPUWriteByte(c.ID, phys, v)
 }
 
 // HashOnCPU computes SHA-1 over data on this core, charging the core's

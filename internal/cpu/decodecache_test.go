@@ -1,0 +1,175 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"minimaltcb/internal/chipset"
+	"minimaltcb/internal/isa"
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/sim"
+)
+
+// Differential tests for the decoded-instruction cache: the cached fast
+// path must be architecturally invisible. Every program must leave the
+// machine — registers, flags, and memory — in exactly the state the
+// always-checked slow path leaves it in, including programs that overwrite
+// their own code (the page-version check must invalidate stale decodes).
+
+// runImage executes image on a fresh single-CPU machine with the decode
+// cache on or off, returning the halted CPU and its chipset.
+func runImage(t *testing.T, image pal.Image, cacheOn bool) (*CPU, *chipset.Chipset) {
+	t.Helper()
+	clock := sim.NewClock()
+	cs := chipset.New(clock, mem.New(16*mem.PageSize), lpc.NewBus(clock, lpc.FullSpeed()), nil)
+	c := New(0, ParamsAMDdc5750(), cs)
+	if err := cs.Memory().WriteRaw(0x4000, image.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	c.SetDecodeCache(cacheOn)
+	c.EnterRegion(mem.Region{Base: 0x4000, Size: image.Len()}, image.Entry)
+	reason, err := c.Run(0)
+	if err != nil || reason != StopHalt {
+		t.Fatalf("run (cache=%v): %v %v", cacheOn, reason, err)
+	}
+	return c, cs
+}
+
+// sameArchState compares the full architectural state of two halted runs.
+func sameArchState(t *testing.T, on, off *CPU, csOn, csOff *chipset.Chipset) {
+	t.Helper()
+	if on.Regs != off.Regs {
+		t.Fatalf("registers diverge:\n  cached %v\n  slow   %v", on.Regs, off.Regs)
+	}
+	if on.FlagZ != off.FlagZ || on.FlagC != off.FlagC || on.FlagN != off.FlagN {
+		t.Fatalf("flags diverge: cached Z=%v C=%v N=%v, slow Z=%v C=%v N=%v",
+			on.FlagZ, on.FlagC, on.FlagN, off.FlagZ, off.FlagC, off.FlagN)
+	}
+	mOn, err := csOn.Memory().ReadRaw(0, 16*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOff, err := csOff.Memory().ReadRaw(0, 16*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mOn, mOff) {
+		t.Fatal("memory contents diverge between cached and slow runs")
+	}
+}
+
+// TestDecodeCacheDifferentialLoopedPrograms runs random ALU programs inside
+// a three-pass loop — passes two and three replay from the cache — and
+// requires bit-identical final state with the cache disabled.
+func TestDecodeCacheDifferentialLoopedPrograms(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := sim.NewRNG(seed)
+		count := int(n)%60 + 1
+
+		// Body clobbers only r0–r4; r5 holds zero and r6 the loop counter.
+		prog := []isa.Instruction{
+			{Op: isa.OpLdi, RA: 5, Imm: 0},
+			{Op: isa.OpLdi, RA: 6, Imm: 3},
+		}
+		for i := 0; i < count; i++ {
+			prog = append(prog, isa.Instruction{
+				Op:  aluOps[rng.Intn(len(aluOps))],
+				RA:  uint8(rng.Intn(5)),
+				RB:  uint8(rng.Intn(5)),
+				Imm: uint16(rng.Uint64()),
+			})
+		}
+		loopTop := uint16(pal.HeaderSize + 2*isa.WordSize)
+		prog = append(prog,
+			isa.Instruction{Op: isa.OpAddi, RA: 6, Imm: 0xffff}, // r6 -= 1
+			isa.Instruction{Op: isa.OpCmp, RA: 6, RB: 5},
+			isa.Instruction{Op: isa.OpJnz, Imm: loopTop},
+			isa.Instruction{Op: isa.OpHalt},
+		)
+		image, err := pal.FromCode(isa.EncodeProgram(prog), pal.HeaderSize)
+		if err != nil {
+			return false
+		}
+		on, csOn := runImage(t, image, true)
+		off, csOff := runImage(t, image, false)
+		sameArchState(t, on, off, csOn, csOff)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeCacheSelfModifyingCode executes an instruction, overwrites it
+// in place, and executes the same address again. The write bumps the page
+// version, so the cached decode must be discarded; the patched instruction
+// — not the stale one — must run, and the final state must match the
+// cache-off run exactly.
+func TestDecodeCacheSelfModifyingCode(t *testing.T) {
+	const (
+		e          = pal.HeaderSize
+		targetAddr = e + 1*isa.WordSize // address of the patched instruction
+		doneAddr   = e + 10*isa.WordSize
+	)
+	patched := isa.Instruction{Op: isa.OpLdi, RA: 0, Imm: 42}.Encode()
+	prog := []isa.Instruction{
+		{Op: isa.OpLdi, RA: 5, Imm: 1},
+		{Op: isa.OpLdi, RA: 0, Imm: 7}, // TARGET: replaced by `ldi r0, 42`
+		{Op: isa.OpCmp, RA: 6, RB: 5},
+		{Op: isa.OpJz, Imm: doneAddr}, // second pass: exit with patched r0
+		{Op: isa.OpMov, RA: 6, RB: 5}, // mark pass two
+		{Op: isa.OpLdi, RA: 1, Imm: targetAddr},
+		{Op: isa.OpLdi, RA: 2, Imm: uint16(patched)},
+		{Op: isa.OpLui, RA: 2, Imm: uint16(patched >> 16)},
+		{Op: isa.OpStore, RA: 2, RB: 1}, // overwrite TARGET in place
+		{Op: isa.OpJmp, Imm: targetAddr},
+		{Op: isa.OpHalt},
+	}
+	image, err := pal.FromCode(isa.EncodeProgram(prog), pal.HeaderSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, csOn := runImage(t, image, true)
+	off, csOff := runImage(t, image, false)
+	if off.Regs[0] != 42 {
+		t.Fatalf("slow path r0 = %d, want 42 (test program broken)", off.Regs[0])
+	}
+	if on.Regs[0] != 42 {
+		t.Fatalf("cached path executed a stale decode: r0 = %d, want 42", on.Regs[0])
+	}
+	sameArchState(t, on, off, csOn, csOff)
+}
+
+// TestFetchSteadyStateAllocs pins the zero-allocation claim for the
+// instruction-fetch fast path: once an entry is cached, re-fetching the
+// same address must not allocate.
+func TestFetchSteadyStateAllocs(t *testing.T) {
+	image := pal.MustBuild("ldi r0, 0\nsvc 0")
+	clock := sim.NewClock()
+	cs := chipset.New(clock, mem.New(16*mem.PageSize), lpc.NewBus(clock, lpc.FullSpeed()), nil)
+	c := New(0, ParamsAMDdc5750(), cs)
+	if err := cs.Memory().WriteRaw(0x4000, image.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	c.EnterRegion(mem.Region{Base: 0x4000, Size: image.Len()}, image.Entry)
+
+	phys := uint32(0x4000 + int(image.Entry))
+	if _, err := c.fetchCached(phys); err != nil { // warm: fills the entry
+		t.Fatal(err)
+	}
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		_, err = c.fetchCached(phys)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("cached fetch allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -50,13 +50,15 @@ func (c *CPU) Run(quantum time.Duration) (StopReason, error) {
 	}
 }
 
-// fetch decodes the instruction at PC.
+// fetch decodes the instruction at PC, through the decode cache when it is
+// enabled (decodecache.go). The region bounds check runs on every fetch
+// regardless; only the access-table consultation and decode are cached.
 func (c *CPU) fetch() (isa.Instruction, error) {
-	word, err := c.ReadWord(c.PC)
+	phys, err := c.translate(c.PC, isa.WordSize)
 	if err != nil {
 		return isa.Instruction{}, fmt.Errorf("%w: fetch at pc=%d: %v", ErrFault, c.PC, err)
 	}
-	in, err := isa.Decode(word)
+	in, err := c.fetchCached(phys)
 	if err != nil {
 		return isa.Instruction{}, fmt.Errorf("%w: pc=%d: %v", ErrFault, c.PC, err)
 	}
@@ -114,17 +116,17 @@ func (c *CPU) execute(in isa.Instruction) (SvcAction, error) {
 		}
 		c.Regs[ra] = v
 	case isa.OpLoadb:
-		b, err := c.ReadBytes(c.Regs[rb]+uint32(int32(int16(in.Imm))), 1)
+		b, err := c.LoadByte(c.Regs[rb] + uint32(int32(int16(in.Imm))))
 		if err != nil {
 			return 0, err
 		}
-		c.Regs[ra] = uint32(b[0])
+		c.Regs[ra] = uint32(b)
 	case isa.OpStore:
 		if err := c.WriteWord(c.Regs[rb]+uint32(int32(int16(in.Imm))), c.Regs[ra]); err != nil {
 			return 0, err
 		}
 	case isa.OpStoreb:
-		if err := c.WriteBytes(c.Regs[rb]+uint32(int32(int16(in.Imm))), []byte{byte(c.Regs[ra])}); err != nil {
+		if err := c.StoreByte(c.Regs[rb]+uint32(int32(int16(in.Imm))), byte(c.Regs[ra])); err != nil {
 			return 0, err
 		}
 	case isa.OpCmp:

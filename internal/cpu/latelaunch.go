@@ -3,12 +3,37 @@ package cpu
 import (
 	"crypto/rsa"
 	"fmt"
+	"sync"
 
 	"minimaltcb/internal/acmod"
 	"minimaltcb/internal/mem"
 	"minimaltcb/internal/pal"
 	"minimaltcb/internal/tpm"
 )
+
+// slbBufPool recycles the scratch buffer the launch microcode streams the
+// SLB image through; an SLB is at most 64 KB, so one buffer per concurrent
+// launch suffices instead of a fresh image-sized copy per launch. The
+// buffer never outlives the launch: everything downstream (Measure,
+// TransferHash, HashData, HashOnCPU) consumes it synchronously.
+var slbBufPool = sync.Pool{New: func() any { b := make([]byte, 64<<10); return &b }}
+
+// readImage fills a pooled buffer with the region's bytes. The caller must
+// slbBufPool.Put(bufp) when done; the image must not be used afterwards.
+// (Returning the pool pointer rather than a release closure keeps the hot
+// launch path from allocating the closure.)
+func readImage(m *mem.Memory, r mem.Region) (image []byte, bufp *[]byte, err error) {
+	bufp = slbBufPool.Get().(*[]byte)
+	if cap(*bufp) < r.Size {
+		*bufp = make([]byte, r.Size)
+	}
+	image = (*bufp)[:r.Size]
+	if err := m.ReadInto(image, r.Base); err != nil {
+		slbBufPool.Put(bufp)
+		return nil, nil, err
+	}
+	return image, bufp, nil
+}
 
 // This file implements the late-launch microcode of 2007 hardware.
 //
@@ -53,11 +78,11 @@ func (c *CPU) SKINIT(slbBase uint32) (*LaunchResult, error) {
 	chip := c.chip
 
 	// Read the SLB header with microcode (raw) access.
-	hdr, err := chip.Memory().ReadRaw(slbBase, pal.HeaderSize)
-	if err != nil {
+	var hdr [pal.HeaderSize]byte
+	if err := chip.Memory().ReadInto(hdr[:], slbBase); err != nil {
 		return nil, fmt.Errorf("cpu: SKINIT header: %w", err)
 	}
-	length, entry, err := pal.ParseHeader(hdr)
+	length, entry, err := pal.ParseHeader(hdr[:])
 	if err != nil {
 		return nil, fmt.Errorf("cpu: SKINIT: %w", err)
 	}
@@ -73,10 +98,11 @@ func (c *CPU) SKINIT(slbBase uint32) (*LaunchResult, error) {
 	c.Reset()
 	c.Clock().Advance(c.Params.InitCost)
 
-	image, err := chip.Memory().ReadRaw(region.Base, region.Size)
+	image, bufp, err := readImage(chip.Memory(), region)
 	if err != nil {
 		return nil, fmt.Errorf("cpu: SKINIT image: %w", err)
 	}
+	defer slbBufPool.Put(bufp)
 
 	res := &LaunchResult{Region: region, Entry: entry, PALMeasurement: tpm.Measure(image)}
 
@@ -122,11 +148,11 @@ func (c *CPU) SENTER(slbBase uint32, module *acmod.Module, fused *rsa.PublicKey)
 		return nil, fmt.Errorf("cpu: SENTER requires a TPM")
 	}
 
-	hdr, err := chip.Memory().ReadRaw(slbBase, pal.HeaderSize)
-	if err != nil {
+	var hdr [pal.HeaderSize]byte
+	if err := chip.Memory().ReadInto(hdr[:], slbBase); err != nil {
 		return nil, fmt.Errorf("cpu: SENTER header: %w", err)
 	}
-	length, entry, err := pal.ParseHeader(hdr)
+	length, entry, err := pal.ParseHeader(hdr[:])
 	if err != nil {
 		return nil, fmt.Errorf("cpu: SENTER: %w", err)
 	}
@@ -171,11 +197,12 @@ func (c *CPU) SENTER(slbBase uint32, module *acmod.Module, fused *rsa.PublicKey)
 
 	// Phase 2: the ACMod hashes the PAL on the main CPU and extends the
 	// 20-byte digest into PCR 18 — only a constant amount crosses the bus.
-	image, err := chip.Memory().ReadRaw(region.Base, region.Size)
+	image, bufp, err := readImage(chip.Memory(), region)
 	if err != nil {
 		return nil, fmt.Errorf("cpu: SENTER image: %w", err)
 	}
 	meas := c.HashOnCPU(image)
+	slbBufPool.Put(bufp)
 	pcr18, err := t.ExtendMicrocode(18, meas)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"minimaltcb/internal/cpu"
@@ -34,11 +35,15 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	for _, p := range profiles {
 		p.KeyBits = cfg.KeyBits
 		p.Seed = cfg.Seed
+		lab, err := labFor(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
 		row := Table1Row{Config: p.Name, HasTPM: p.HasTPM, Avg: map[int]time.Duration{}}
 		for _, size := range Table1Sizes {
 			var sample sim.Sample
 			for trial := 0; trial < cfg.Trials; trial++ {
-				d, err := lateLaunchLatency(p, size)
+				d, err := lateLaunchLatency(lab.k, lab.core, p, size)
 				if err != nil {
 					return nil, fmt.Errorf("%s @%d: %w", p.Name, size, err)
 				}
@@ -51,22 +56,65 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	return rows, nil
 }
 
-// lateLaunchLatency measures one late launch of a PAL padded to size bytes
-// on a fresh machine. Size 0 reproduces the paper's "empty PAL" row: the
-// hash-transfer sequence is skipped entirely, leaving only CPU
-// reinitialization (the <10 µs the paper reports as 0.00/0.01 ms) — plus,
-// on Intel, the ACMod transfer and signature check, which happen
-// regardless of PAL size.
-func lateLaunchLatency(p platform.Profile, size int) (time.Duration, error) {
+// launchLab is one cached machine for the latency-sweep experiments.
+type launchLab struct {
+	k    *osker.Kernel
+	core *cpu.CPU
+}
+
+// Latency sweeps (Table 1, the hash-location and two-stage ablations)
+// reuse one machine per profile across calls: every measured launch
+// restores the machine to its pre-launch state, latencies come from a
+// stopwatch on the virtual clock (absolute time is irrelevant), and the
+// launch path draws nothing from the TPM's RNG — so a cached machine
+// measures exactly what a fresh one would, without paying machine
+// construction per sweep. Profiles are plain value structs, so the profile
+// itself is the cache key; two profiles differing only in bus timing (the
+// TPM-wait ablation) therefore get distinct machines.
+var (
+	labMu    sync.Mutex
+	labCache = map[platform.Profile]*launchLab{}
+)
+
+func labFor(p platform.Profile) (*launchLab, error) {
+	labMu.Lock()
+	defer labMu.Unlock()
+	if lab, ok := labCache[p]; ok {
+		return lab, nil
+	}
 	m, err := platform.New(p)
+	if err != nil {
+		return nil, err
+	}
+	lab := &launchLab{k: osker.NewKernel(m), core: m.BootCPU()}
+	if len(labCache) >= 64 {
+		labCache = map[platform.Profile]*launchLab{}
+	}
+	labCache[p] = lab
+	return lab, nil
+}
+
+// lateLaunchLatencyFresh measures one late launch on the profile's cached
+// lab machine — the convenience path for one-off ablation points.
+func lateLaunchLatencyFresh(p platform.Profile, size int) (time.Duration, error) {
+	lab, err := labFor(p)
 	if err != nil {
 		return 0, err
 	}
-	k := osker.NewKernel(m)
-	core := m.BootCPU()
+	return lateLaunchLatency(lab.k, lab.core, p, size)
+}
 
+// lateLaunchLatency measures one late launch of a PAL padded to size bytes.
+// Size 0 reproduces the paper's "empty PAL" row: the hash-transfer sequence
+// is skipped entirely, leaving only CPU reinitialization (the <10 µs the
+// paper reports as 0.00/0.01 ms) — plus, on Intel, the ACMod transfer and
+// signature check, which happen regardless of PAL size. The launch's
+// machine state is undone afterwards so the kernel and core can be reused
+// for the next trial.
+func lateLaunchLatency(k *osker.Kernel, core *cpu.CPU, p platform.Profile, size int) (time.Duration, error) {
 	image := pal.MustBuild("ldi r0, 0\nsvc 0")
 	if size > 0 {
+		var err error
 		image, err = image.Pad(size)
 		if err != nil {
 			return 0, err
@@ -78,10 +126,18 @@ func lateLaunchLatency(p platform.Profile, size int) (time.Duration, error) {
 		return p.CPUParams.InitCost, nil
 	}
 
+	m := k.Machine
 	region, err := k.PlaceImage(image.Bytes, 0)
 	if err != nil {
 		return 0, err
 	}
+	defer func() {
+		// Undo the launch: DMA protection off, core back to its boot
+		// state, pages returned to the OS pool.
+		m.Chipset.SetDEVRegion(region, false)
+		core.Reset()
+		k.ReleaseRegion(region)
+	}()
 	sw := sim.StartStopwatch(m.Clock)
 	if _, err := m.LateLaunch(core, region.Base); err != nil {
 		return 0, err

@@ -12,6 +12,19 @@
 // (e.g. a second CPU claiming a page that is not in ALL or NONE) return
 // errors that the chipset surfaces as SLAUNCH failure codes, exactly as
 // §5.6 prescribes.
+//
+// Physical memory is backed sparsely: the byte array is split into 64 KB
+// chunks that materialize on first write, and reads of untouched chunks are
+// served from a shared all-zero chunk. A simulated machine therefore costs
+// a few hundred KB of page metadata rather than its full physical memory
+// size, which is what makes fresh-machine-per-trial experiment sweeps cheap
+// (see docs/PERFORMANCE.md).
+//
+// Every page additionally carries a version counter, bumped on any write,
+// zeroing, or access-control transition touching the page. The CPU's
+// decoded-instruction cache keys on it: a matching version proves both that
+// the bytes under a cached instruction are unchanged and that the access
+// check performed when the entry was filled is still valid.
 package mem
 
 import (
@@ -21,6 +34,18 @@ import (
 
 // PageSize is the size of one physical page in bytes.
 const PageSize = 4096
+
+// chunkShift selects the sparse-backing granularity: 64 KB chunks, the
+// architectural SLB limit, so a whole PAL image usually lands in one or two
+// chunks.
+const chunkShift = 16
+
+// ChunkSize is the sparse-backing chunk size in bytes.
+const ChunkSize = 1 << chunkShift
+
+// zeroChunk backs reads of never-written chunks. Read-only by contract:
+// View may hand out subslices of it.
+var zeroChunk [ChunkSize]byte
 
 // PageState encodes the access-control entry for one page: AccessAll,
 // AccessNone, or the ID (>= 0) of the single CPU allowed to touch the page.
@@ -60,55 +85,88 @@ var ErrOutOfRange = errors.New("mem: address out of range")
 // ErrDenied is returned when the access-control table forbids a request.
 var ErrDenied = errors.New("mem: access denied by access-control table")
 
+// pageMeta is the per-page control state, packed into one table so a
+// machine costs a single allocation for all page bookkeeping.
+type pageMeta struct {
+	// state is the access-control entry (Figure 5(b)).
+	state PageState
+	// ver counts content and access-control changes to the page; the
+	// CPU decode cache validates entries against it.
+	ver uint32
+	// shares is a bitmask of additional CPUs granted access while the
+	// page is CPU-owned — the §6 "multicore PALs" extension. Meaningful
+	// only while state >= 0.
+	shares uint64
+	// dev is the legacy DEV (Device Exclusion Vector) bit: true = page
+	// protected from DMA.
+	dev bool
+}
+
 // Memory is flat physical memory plus its access-control table and the
-// legacy DEV (Device Exclusion Vector) bit vector used by SKINIT to protect
-// the SLB from DMA.
+// legacy DEV bit vector used by SKINIT to protect the SLB from DMA.
 type Memory struct {
-	data  []byte
-	table []PageState
-	dev   []bool // true = page protected from DMA (DEV bit set)
-	// shares holds, per page, a bitmask of additional CPUs granted
-	// access while the page is CPU-owned — the §6 "multicore PALs"
-	// extension, where a join operation "serves to add the new CPU to
-	// the memory controller's access control table for the PAL's pages".
-	// Meaningful only while table[page] >= 0.
-	shares []uint64
+	size   int
+	chunks [][]byte // nil entry = chunk never written (all zeros)
+	pages  []pageMeta
 }
 
 // New allocates physical memory of the given size, rounded up to a whole
-// number of pages, with every page in the ALL state.
+// number of pages, with every page in the ALL state. Backing chunks
+// materialize on first write.
 func New(size int) *Memory {
 	pages := (size + PageSize - 1) / PageSize
 	if pages < 1 {
 		pages = 1
 	}
+	size = pages * PageSize
 	m := &Memory{
-		data:   make([]byte, pages*PageSize),
-		table:  make([]PageState, pages),
-		dev:    make([]bool, pages),
-		shares: make([]uint64, pages),
+		size:   size,
+		chunks: make([][]byte, (size+ChunkSize-1)/ChunkSize),
+		pages:  make([]pageMeta, pages),
 	}
-	for i := range m.table {
-		m.table[i] = AccessAll
+	for i := range m.pages {
+		m.pages[i].state = AccessAll
 	}
 	return m
 }
 
 // Size returns the physical memory size in bytes.
-func (m *Memory) Size() int { return len(m.data) }
+func (m *Memory) Size() int { return m.size }
 
 // NumPages returns the number of physical pages.
-func (m *Memory) NumPages() int { return len(m.table) }
+func (m *Memory) NumPages() int { return len(m.pages) }
 
 // PageOf returns the page number containing byte address addr.
 func PageOf(addr uint32) int { return int(addr) / PageSize }
 
 // State returns the access-control entry for a page.
 func (m *Memory) State(page int) (PageState, error) {
-	if page < 0 || page >= len(m.table) {
+	if page < 0 || page >= len(m.pages) {
 		return 0, fmt.Errorf("%w: page %d", ErrOutOfRange, page)
 	}
-	return m.table[page], nil
+	return m.pages[page].state, nil
+}
+
+// PageVersion returns the page's version counter: it changes whenever the
+// page's content or access-control state may have changed. Out-of-range
+// pages report 0.
+func (m *Memory) PageVersion(page int) uint32 {
+	if page < 0 || page >= len(m.pages) {
+		return 0
+	}
+	return m.pages[page].ver
+}
+
+// bumpRange advances the version of every page overlapping [addr, addr+n).
+func (m *Memory) bumpRange(addr uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	first := int(addr) / PageSize
+	last := (int(addr) + n - 1) / PageSize
+	for p := first; p <= last; p++ {
+		m.pages[p].ver++
+	}
 }
 
 // Claim transitions a page to exclusive ownership by cpu. Permitted from
@@ -125,7 +183,8 @@ func (m *Memory) Claim(page, cpu int) error {
 	}
 	switch {
 	case st == AccessAll, st == AccessNone, st == PageState(cpu):
-		m.table[page] = PageState(cpu)
+		m.pages[page].state = PageState(cpu)
+		m.pages[page].ver++
 		return nil
 	default:
 		return fmt.Errorf("%w: page %d is %v, CPU%d cannot claim", ErrPageBusy, page, st, cpu)
@@ -143,8 +202,9 @@ func (m *Memory) Seclude(page, cpu int) error {
 	if st != PageState(cpu) {
 		return fmt.Errorf("%w: page %d is %v, CPU%d cannot seclude", ErrPageBusy, page, st, cpu)
 	}
-	m.table[page] = AccessNone
-	m.shares[page] = 0
+	m.pages[page].state = AccessNone
+	m.pages[page].shares = 0
+	m.pages[page].ver++
 	return nil
 }
 
@@ -157,8 +217,9 @@ func (m *Memory) Release(page, cpu int) error {
 	}
 	switch {
 	case st == PageState(cpu), st == AccessNone, st == AccessAll:
-		m.table[page] = AccessAll
-		m.shares[page] = 0
+		m.pages[page].state = AccessAll
+		m.pages[page].shares = 0
+		m.pages[page].ver++
 		return nil
 	default:
 		return fmt.Errorf("%w: page %d is %v, CPU%d cannot release", ErrPageBusy, page, st, cpu)
@@ -179,35 +240,37 @@ func (m *Memory) Share(page, owner, joiner int) error {
 	if joiner < 0 || joiner >= 64 {
 		return fmt.Errorf("mem: invalid joiner CPU id %d", joiner)
 	}
-	m.shares[page] |= 1 << uint(joiner)
+	m.pages[page].shares |= 1 << uint(joiner)
+	m.pages[page].ver++
 	return nil
 }
 
 // Unshare revokes a joiner's access to a CPU-owned page.
 func (m *Memory) Unshare(page, joiner int) error {
-	if page < 0 || page >= len(m.shares) {
+	if page < 0 || page >= len(m.pages) {
 		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
 	}
 	if joiner >= 0 && joiner < 64 {
-		m.shares[page] &^= 1 << uint(joiner)
+		m.pages[page].shares &^= 1 << uint(joiner)
+		m.pages[page].ver++
 	}
 	return nil
 }
 
 // SharedWith reports whether cpu has joined access to the page.
 func (m *Memory) SharedWith(page, cpu int) bool {
-	if page < 0 || page >= len(m.shares) || cpu < 0 || cpu >= 64 {
+	if page < 0 || page >= len(m.pages) || cpu < 0 || cpu >= 64 {
 		return false
 	}
-	return m.shares[page]&(1<<uint(cpu)) != 0
+	return m.pages[page].shares&(1<<uint(cpu)) != 0
 }
 
 // CheckCPU reports whether cpu may access the page under the current table.
 func (m *Memory) CheckCPU(page, cpu int) error {
-	st, err := m.State(page)
-	if err != nil {
-		return err
+	if page < 0 || page >= len(m.pages) {
+		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
 	}
+	st := m.pages[page].state
 	if st == AccessAll || st == PageState(cpu) {
 		return nil
 	}
@@ -227,7 +290,7 @@ func (m *Memory) CheckDMA(page int) error {
 	if st != AccessAll {
 		return fmt.Errorf("%w: DMA -> page %d (%v)", ErrDenied, page, st)
 	}
-	if m.dev[page] {
+	if m.pages[page].dev {
 		return fmt.Errorf("%w: DMA -> page %d (DEV bit set)", ErrDenied, page)
 	}
 	return nil
@@ -236,38 +299,95 @@ func (m *Memory) CheckDMA(page int) error {
 // SetDEV sets or clears the DEV bit for a page. SKINIT sets the bits for
 // the SLB's pages before measurement begins.
 func (m *Memory) SetDEV(page int, protected bool) error {
-	if page < 0 || page >= len(m.dev) {
+	if page < 0 || page >= len(m.pages) {
 		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
 	}
-	m.dev[page] = protected
+	m.pages[page].dev = protected
 	return nil
 }
 
 // DEV reports the DEV bit for a page.
 func (m *Memory) DEV(page int) (bool, error) {
-	if page < 0 || page >= len(m.dev) {
+	if page < 0 || page >= len(m.pages) {
 		return false, fmt.Errorf("%w: page %d", ErrOutOfRange, page)
 	}
-	return m.dev[page], nil
+	return m.pages[page].dev, nil
 }
 
 // checkRange validates [addr, addr+n).
 func (m *Memory) checkRange(addr uint32, n int) error {
-	if n < 0 || int(addr) > len(m.data) || int(addr)+n > len(m.data) {
+	if n < 0 || int(addr) > m.size || int(addr)+n > m.size {
 		return fmt.Errorf("%w: [%d, %d)", ErrOutOfRange, addr, int(addr)+n)
 	}
 	return nil
 }
 
-// ReadRaw copies n bytes at addr without access checks. Hardware microcode
-// (SKINIT streaming the SLB to the TPM) and test fixtures use it; software
-// paths must go through the chipset, which checks the table.
+// chunkFor materializes and returns the chunk containing addr.
+func (m *Memory) chunkFor(addr uint32) []byte {
+	ci := int(addr >> chunkShift)
+	c := m.chunks[ci]
+	if c == nil {
+		c = make([]byte, ChunkSize)
+		m.chunks[ci] = c
+	}
+	return c
+}
+
+// ReadInto fills dst with the bytes at addr without access checks and
+// without allocating. Hardware microcode (SKINIT streaming the SLB to the
+// TPM) uses it with a pooled buffer; software paths must go through the
+// chipset, which checks the table.
+func (m *Memory) ReadInto(dst []byte, addr uint32) error {
+	if err := m.checkRange(addr, len(dst)); err != nil {
+		return err
+	}
+	for len(dst) > 0 {
+		off := int(addr) & (ChunkSize - 1)
+		n := ChunkSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if c := m.chunks[addr>>chunkShift]; c != nil {
+			copy(dst[:n], c[off:])
+		} else {
+			clear(dst[:n])
+		}
+		dst = dst[n:]
+		addr += uint32(n)
+	}
+	return nil
+}
+
+// View returns a bounded read-only subslice of physical memory covering
+// [addr, addr+n), without copying and without access checks, when the range
+// lies within a single backing chunk; ok is false when it does not (the
+// caller falls back to ReadInto/ReadRaw). Reads of never-written memory
+// view a shared zero chunk. Callers must not write through or retain the
+// view across writes: it aliases live memory.
+func (m *Memory) View(addr uint32, n int) (b []byte, ok bool) {
+	if n < 0 || int(addr)+n > m.size {
+		return nil, false
+	}
+	off := int(addr) & (ChunkSize - 1)
+	if off+n > ChunkSize {
+		return nil, false
+	}
+	c := m.chunks[addr>>chunkShift]
+	if c == nil {
+		return zeroChunk[off : off+n : off+n], true
+	}
+	return c[off : off+n : off+n], true
+}
+
+// ReadRaw copies n bytes at addr without access checks. Test fixtures and
+// untrusted callers that retain the result use it; zero-allocation paths
+// use ReadInto or View.
 func (m *Memory) ReadRaw(addr uint32, n int) ([]byte, error) {
 	if err := m.checkRange(addr, n); err != nil {
 		return nil, err
 	}
 	out := make([]byte, n)
-	copy(out, m.data[addr:])
+	_ = m.ReadInto(out, addr)
 	return out, nil
 }
 
@@ -276,18 +396,97 @@ func (m *Memory) WriteRaw(addr uint32, b []byte) error {
 	if err := m.checkRange(addr, len(b)); err != nil {
 		return err
 	}
-	copy(m.data[addr:], b)
+	m.bumpRange(addr, len(b))
+	for len(b) > 0 {
+		off := int(addr) & (ChunkSize - 1)
+		n := ChunkSize - off
+		if n > len(b) {
+			n = len(b)
+		}
+		copy(m.chunkFor(addr)[off:], b[:n])
+		b = b[n:]
+		addr += uint32(n)
+	}
+	return nil
+}
+
+// ReadWordRaw reads a 32-bit little-endian word without access checks or
+// allocation.
+func (m *Memory) ReadWordRaw(addr uint32) (uint32, error) {
+	if b, ok := m.View(addr, 4); ok {
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	}
+	var buf [4]byte
+	if err := m.ReadInto(buf[:], addr); err != nil {
+		return 0, err
+	}
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, nil
+}
+
+// WriteWordRaw writes a 32-bit little-endian word without access checks or
+// allocation.
+func (m *Memory) WriteWordRaw(addr uint32, v uint32) error {
+	if err := m.checkRange(addr, 4); err != nil {
+		return err
+	}
+	m.bumpRange(addr, 4)
+	off := int(addr) & (ChunkSize - 1)
+	if off+4 <= ChunkSize {
+		c := m.chunkFor(addr)
+		c[off] = byte(v)
+		c[off+1] = byte(v >> 8)
+		c[off+2] = byte(v >> 16)
+		c[off+3] = byte(v >> 24)
+		return nil
+	}
+	for i := 0; i < 4; i++ {
+		a := addr + uint32(i)
+		m.chunkFor(a)[int(a)&(ChunkSize-1)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// ReadByteRaw reads one byte without access checks or allocation.
+func (m *Memory) ReadByteRaw(addr uint32) (byte, error) {
+	if err := m.checkRange(addr, 1); err != nil {
+		return 0, err
+	}
+	c := m.chunks[addr>>chunkShift]
+	if c == nil {
+		return 0, nil
+	}
+	return c[int(addr)&(ChunkSize-1)], nil
+}
+
+// WriteByteRaw writes one byte without access checks or allocation.
+func (m *Memory) WriteByteRaw(addr uint32, v byte) error {
+	if err := m.checkRange(addr, 1); err != nil {
+		return err
+	}
+	m.pages[int(addr)/PageSize].ver++
+	m.chunkFor(addr)[int(addr)&(ChunkSize-1)] = v
 	return nil
 }
 
 // ZeroRange zeroes [addr, addr+n) without access checks; SKILL microcode
-// uses it to erase a killed PAL's pages.
+// uses it to erase a killed PAL's pages. Never-written chunks are already
+// zero and are skipped; materialized ones are cleared in place.
 func (m *Memory) ZeroRange(addr uint32, n int) error {
 	if err := m.checkRange(addr, n); err != nil {
 		return err
 	}
-	for i := 0; i < n; i++ {
-		m.data[int(addr)+i] = 0
+	m.bumpRange(addr, n)
+	for n > 0 {
+		off := int(addr) & (ChunkSize - 1)
+		step := ChunkSize - off
+		if step > n {
+			step = n
+		}
+		if c := m.chunks[addr>>chunkShift]; c != nil {
+			clear(c[off : off+step])
+		}
+		n -= step
+		addr += uint32(step)
 	}
 	return nil
 }
@@ -304,7 +503,8 @@ func RegionForPages(first, count int) Region {
 	return Region{Base: uint32(first * PageSize), Size: count * PageSize}
 }
 
-// Pages returns the list of page numbers the region touches.
+// Pages returns the list of page numbers the region touches. It allocates;
+// hot paths iterate [FirstPage, LastPage] directly.
 func (r Region) Pages() []int {
 	if r.Size <= 0 {
 		return nil
@@ -317,6 +517,13 @@ func (r Region) Pages() []int {
 	}
 	return out
 }
+
+// FirstPage returns the first page the region touches (meaningless for
+// empty regions; pair with LastPage and check Size > 0).
+func (r Region) FirstPage() int { return PageOf(r.Base) }
+
+// LastPage returns the last page the region touches.
+func (r Region) LastPage() int { return PageOf(r.Base + uint32(r.Size) - 1) }
 
 // Contains reports whether addr lies inside the region.
 func (r Region) Contains(addr uint32) bool {

@@ -61,7 +61,10 @@ func (a *PageAllocator) Alloc(n int) (mem.Region, error) {
 
 // Free returns a region's pages to the allocator.
 func (a *PageAllocator) Free(r mem.Region) {
-	for _, p := range r.Pages() {
+	if r.Size <= 0 {
+		return
+	}
+	for p, last := r.FirstPage(), r.LastPage(); p <= last; p++ {
 		if p >= 0 && p < len(a.used) {
 			a.used[p] = false
 		}

@@ -11,6 +11,8 @@ package pal
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"unsafe"
 
 	"minimaltcb/internal/isa"
 )
@@ -33,17 +35,46 @@ type Image struct {
 // Len returns the image length in bytes.
 func (im Image) Len() int { return len(im.Bytes) }
 
+// Built images are memoized by source text: assembly is a pure function of
+// the source, experiment sweeps and service jobs rebuild the same handful
+// of programs constantly, and returning the identical Image gives
+// downstream consumers (tpm.MeasureMemoized, the palsvc image cache) a
+// stable slice identity. Image bytes are immutable by contract — nothing
+// in the tree writes to Image.Bytes after Build. The cache is bounded.
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]Image{}
+)
+
+const buildCacheLimit = 1024
+
 // Build assembles PAL source into an SLB image. The source is laid out
 // after the 4-byte header, so label arithmetic inside the source is
 // automatically correct; execution starts at the first byte after the
-// header.
+// header. Identical source returns the identical (shared, immutable) image.
 func Build(src string) (Image, error) {
+	buildMu.Lock()
+	im, ok := buildCache[src]
+	buildMu.Unlock()
+	if ok {
+		return im, nil
+	}
 	full := "slb_header: .space 4\n" + src
 	code, err := isa.Assemble(full)
 	if err != nil {
 		return Image{}, err
 	}
-	return FromCode(code[HeaderSize:], HeaderSize)
+	im, err = FromCode(code[HeaderSize:], HeaderSize)
+	if err != nil {
+		return Image{}, err
+	}
+	buildMu.Lock()
+	if len(buildCache) >= buildCacheLimit {
+		buildCache = map[string]Image{}
+	}
+	buildCache[src] = im
+	buildMu.Unlock()
+	return im, nil
 }
 
 // MustBuild is Build for statically known-good sources; it panics on error.
@@ -73,9 +104,23 @@ func FromCode(code []byte, entry uint16) (Image, error) {
 	return Image{Bytes: img, Entry: entry}, nil
 }
 
-// Pad returns a copy of the image zero-padded to exactly size bytes (the
-// header's length field is updated to match). Table 1's sweep launches the
-// same trivial PAL at 4/8/16/32/64 KB this way.
+// Padded images are memoized by (source image identity, size); Table 1's
+// sweep pads the same base PAL to the same ladder of sizes every trial.
+type padKey struct {
+	ptr  *byte
+	n    int
+	size int
+}
+
+var (
+	padMu    sync.Mutex
+	padCache = map[padKey]Image{}
+)
+
+// Pad returns the image zero-padded to exactly size bytes (the header's
+// length field is updated to match). Table 1's sweep launches the same
+// trivial PAL at 4/8/16/32/64 KB this way. Results are shared and
+// immutable, like Build's.
 func (im Image) Pad(size int) (Image, error) {
 	if size < len(im.Bytes) {
 		return Image{}, fmt.Errorf("pal: cannot pad %d-byte image down to %d", len(im.Bytes), size)
@@ -83,10 +128,24 @@ func (im Image) Pad(size int) (Image, error) {
 	if size > MaxImageSize {
 		return Image{}, fmt.Errorf("pal: padded size %d exceeds the %d-byte SLB limit", size, MaxImageSize)
 	}
-	out := make([]byte, size)
-	copy(out, im.Bytes)
-	binary.LittleEndian.PutUint16(out[0:2], uint16(size%MaxImageSize))
-	return Image{Bytes: out, Entry: im.Entry}, nil
+	k := padKey{ptr: unsafe.SliceData(im.Bytes), n: len(im.Bytes), size: size}
+	padMu.Lock()
+	out, ok := padCache[k]
+	padMu.Unlock()
+	if ok {
+		return out, nil
+	}
+	b := make([]byte, size)
+	copy(b, im.Bytes)
+	binary.LittleEndian.PutUint16(b[0:2], uint16(size%MaxImageSize))
+	out = Image{Bytes: b, Entry: im.Entry}
+	padMu.Lock()
+	if len(padCache) >= buildCacheLimit {
+		padCache = map[padKey]Image{}
+	}
+	padCache[k] = out
+	padMu.Unlock()
+	return out, nil
 }
 
 // ParseHeader reads and validates an SLB header from the start of raw.

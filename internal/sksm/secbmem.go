@@ -33,7 +33,8 @@ const secbBlockSize = 64
 // SECB page. It uses raw (hardware) memory access: at this point the page
 // may already be secluded from all software.
 func writeArchState(m *mem.Memory, base uint32, st cpu.ArchState, sePCR int) error {
-	buf := make([]byte, secbBlockSize)
+	var block [secbBlockSize]byte
+	buf := block[:]
 	copy(buf[0:4], secbMagic)
 	for i := 0; i < isa.NumRegs; i++ {
 		binary.LittleEndian.PutUint32(buf[4+4*i:], st.Regs[i])
@@ -63,8 +64,9 @@ func writeArchState(m *mem.Memory, base uint32, st cpu.ArchState, sePCR int) err
 // readArchState is the resume microcode's load of CPU state from the SECB
 // page.
 func readArchState(m *mem.Memory, base uint32) (cpu.ArchState, int, error) {
-	buf, err := m.ReadRaw(base, secbBlockSize)
-	if err != nil {
+	var block [secbBlockSize]byte
+	buf := block[:]
+	if err := m.ReadInto(buf, base); err != nil {
 		return cpu.ArchState{}, 0, err
 	}
 	if string(buf[0:4]) != secbMagic {

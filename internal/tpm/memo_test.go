@@ -1,0 +1,65 @@
+package tpm
+
+import (
+	"testing"
+)
+
+func TestMeasureMemoizedMatchesMeasure(t *testing.T) {
+	img := []byte("some PAL image bytes")
+	want := Measure(img)
+
+	d, hit := MeasureMemoized(img)
+	if d != want {
+		t.Fatalf("first measurement %x, want %x", d, want)
+	}
+	if hit {
+		t.Fatal("first measurement of a fresh slice reported a cache hit")
+	}
+	d, hit = MeasureMemoized(img)
+	if d != want {
+		t.Fatalf("memoized measurement %x, want %x", d, want)
+	}
+	if !hit {
+		t.Fatal("second measurement of the same slice missed the cache")
+	}
+
+	// A distinct slice with identical content is a different identity: the
+	// cache keys on the backing array, so it must miss (and still hash
+	// correctly).
+	clone := append([]byte(nil), img...)
+	d, hit = MeasureMemoized(clone)
+	if d != want {
+		t.Fatalf("clone measurement %x, want %x", d, want)
+	}
+	if hit {
+		t.Fatal("distinct backing array reported a cache hit")
+	}
+}
+
+func TestMeasureMemoizedEmptySlice(t *testing.T) {
+	d, hit := MeasureMemoized(nil)
+	if hit {
+		t.Fatal("empty slice reported a hit")
+	}
+	if d != Measure(nil) {
+		t.Fatal("empty-slice digest wrong")
+	}
+}
+
+// TestMeasureMemoizedSteadyStateAllocs pins the launch path's claim: once
+// an image has been measured, re-measuring it costs zero allocations.
+func TestMeasureMemoizedSteadyStateAllocs(t *testing.T) {
+	img := make([]byte, 4096)
+	for i := range img {
+		img[i] = byte(i * 7)
+	}
+	MeasureMemoized(img) // warm the cache entry
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, hit := MeasureMemoized(img); !hit {
+			t.Fatal("steady-state measurement missed the cache")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("memoized Measure allocates %v allocs/op, want 0", allocs)
+	}
+}

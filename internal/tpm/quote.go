@@ -1,9 +1,7 @@
 package tpm
 
 import (
-	"crypto"
 	"crypto/rsa"
-	"crypto/sha1"
 	"fmt"
 )
 
@@ -25,13 +23,15 @@ type Quote struct {
 	Signature []byte
 }
 
-// quoteDigest computes the signed message: SHA1("QUOT" || composite || nonce).
-func quoteDigest(composite Digest, nonce []byte) []byte {
-	h := sha1.New()
-	h.Write([]byte("QUOT"))
-	h.Write(composite[:])
-	h.Write(nonce)
-	return h.Sum(nil)
+// quoteDigest computes the signed message: SHA1("QUOT" || composite || nonce),
+// assembled in a pooled scratch buffer.
+func quoteDigest(composite Digest, nonce []byte) Digest {
+	bp := getScratch()
+	defer putScratch(bp)
+	b := append(*bp, "QUOT"...)
+	b = append(b, composite[:]...)
+	b = append(b, nonce...)
+	return Measure(b)
 }
 
 // QuoteCommand executes TPM_Quote over a PCR selection. The private-key RSA
@@ -42,7 +42,7 @@ func (t *TPM) QuoteCommand(sel Selection, nonce []byte) (*Quote, error) {
 		return nil, err
 	}
 	sp := t.cmdSpan("TPM_Quote").Attr("mode", "pcr")
-	sig, err := rsa.SignPKCS1v15(nil, t.aik, crypto.SHA1, quoteDigest(composite, nonce))
+	sig, err := memoSignPKCS1v15(t.aik, quoteDigest(composite, nonce))
 	if err != nil {
 		err = fmt.Errorf("tpm: quote signature: %w", err)
 		t.endCmd(sp, err)
@@ -62,10 +62,11 @@ func (t *TPM) QuoteCommand(sel Selection, nonce []byte) (*Quote, error) {
 
 // VerifyQuote checks a quote's signature against an AIK public key. It does
 // not charge virtual time: verification happens on the verifier's machine,
-// outside the measured platform.
+// outside the measured platform. Successful verifications are memoized
+// (verification is a pure function of key, message and signature).
 func VerifyQuote(aik *rsa.PublicKey, q *Quote) error {
 	if q == nil {
 		return fmt.Errorf("tpm: nil quote")
 	}
-	return rsa.VerifyPKCS1v15(aik, crypto.SHA1, quoteDigest(q.Composite, q.Nonce), q.Signature)
+	return memoVerifyPKCS1v15(aik, quoteDigest(q.Composite, q.Nonce), q.Signature)
 }

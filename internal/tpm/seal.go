@@ -1,10 +1,6 @@
 package tpm
 
 import (
-	"crypto/aes"
-	"crypto/cipher"
-	"crypto/rsa"
-	"crypto/sha1"
 	"encoding/binary"
 	"fmt"
 	"time"
@@ -92,8 +88,7 @@ func (t *TPM) Unseal(blob []byte) ([]byte, error) {
 		t.endCmd(sp, err)
 		return nil, err
 	}
-	aad := append(append([]byte{mode}, selBytes...), release[:]...)
-	pt, err := t.openBlob(ekey, nonce, ct, aad)
+	pt, err := t.openBlob(mode, selBytes, release, ekey, nonce, ct)
 	if err != nil {
 		t.endCmd(sp, err)
 		return nil, err
@@ -106,25 +101,37 @@ func (t *TPM) Unseal(blob []byte) ([]byte, error) {
 // Unseals returns the number of successful unseal operations served.
 func (t *TPM) Unseals() int { return t.unsealOK }
 
-// sealBlob builds the hybrid envelope.
+// buildAAD assembles the GCM additional data binding a blob to its release
+// policy, appending into dst (a pooled scratch buffer).
+func buildAAD(dst []byte, mode byte, selBytes []byte, release Digest) []byte {
+	dst = append(dst[:0], mode)
+	dst = append(dst, selBytes...)
+	return append(dst, release[:]...)
+}
+
+// sealLabel is the OAEP label binding the key envelope to the seal command.
+var sealLabel = []byte("TPM_SEAL")
+
+// sealBlob builds the hybrid envelope. The AES-GCM state is cached per
+// session key and the SRK encryption memoized (memo.go); the RNG draws —
+// session key, nonce, OAEP seed — happen unconditionally so the stream
+// stays aligned with an un-memoized execution.
 func (t *TPM) sealBlob(mode byte, selBytes []byte, release Digest, data []byte) ([]byte, error) {
-	aesKey := make([]byte, 32)
-	t.rng.Fill(aesKey)
-	block, err := aes.NewCipher(aesKey)
-	if err != nil {
-		return nil, err
-	}
-	gcm, err := cipher.NewGCM(block)
+	var aesKey [32]byte
+	t.rng.Fill(aesKey[:])
+	gcm, err := aeadFor(aesKey)
 	if err != nil {
 		return nil, err
 	}
 	nonce := make([]byte, gcm.NonceSize())
 	t.rng.Fill(nonce)
 	// Bind the ciphertext to the release policy via GCM additional data.
-	aad := append(append([]byte{mode}, selBytes...), release[:]...)
+	aadBuf := getScratch()
+	aad := buildAAD(*aadBuf, mode, selBytes, release)
 	ct := gcm.Seal(nil, nonce, data, aad)
+	putScratch(aadBuf)
 
-	ekey, err := rsa.EncryptOAEP(sha1.New(), t.rng, &t.srk.PublicKey, aesKey, []byte("TPM_SEAL"))
+	ekey, err := memoEncryptOAEP(t.rng, &t.srk.PublicKey, aesKey[:], sealLabel)
 	if err != nil {
 		return nil, err
 	}
@@ -144,22 +151,23 @@ func (t *TPM) sealBlob(mode byte, selBytes []byte, release Digest, data []byte) 
 }
 
 // openBlob reverses sealBlob's crypto given parsed fields. The caller has
-// already validated the release policy; GCM authentication over aad (the
-// blob header) still protects integrity of the stored blob itself.
-func (t *TPM) openBlob(ekey, nonce, ct, aad []byte) ([]byte, error) {
-	aesKey, err := rsa.DecryptOAEP(sha1.New(), nil, t.srk, ekey, []byte("TPM_SEAL"))
+// already validated the release policy; GCM authentication over the AAD
+// (the blob header) still protects integrity of the stored blob itself.
+func (t *TPM) openBlob(mode byte, selBytes []byte, release Digest, ekey, nonce, ct []byte) ([]byte, error) {
+	aesKey, err := memoDecryptOAEP(t.srk, ekey, sealLabel)
 	if err != nil {
 		return nil, fmt.Errorf("%w: SRK decrypt failed: %v", ErrBadBlob, err)
 	}
-	block, err := aes.NewCipher(aesKey)
+	if len(aesKey) != 32 {
+		return nil, fmt.Errorf("%w: bad session key length %d", ErrBadBlob, len(aesKey))
+	}
+	gcm, err := aeadFor([32]byte(aesKey))
 	if err != nil {
 		return nil, err
 	}
-	gcm, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, err
-	}
-	pt, err := gcm.Open(nil, nonce, ct, aad)
+	aadBuf := getScratch()
+	defer putScratch(aadBuf)
+	pt, err := gcm.Open(nil, nonce, ct, buildAAD(*aadBuf, mode, selBytes, release))
 	if err != nil {
 		return nil, fmt.Errorf("%w: payload authentication failed: %v", ErrBadBlob, err)
 	}

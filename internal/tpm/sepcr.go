@@ -1,8 +1,6 @@
 package tpm
 
 import (
-	"crypto"
-	"crypto/rsa"
 	"fmt"
 
 	"minimaltcb/internal/obs"
@@ -216,8 +214,7 @@ func (t *TPM) UnsealSePCR(handle, owner int, blob []byte) ([]byte, error) {
 		t.endCmd(sp, err)
 		return nil, err
 	}
-	aad := append(append([]byte{mode}, selBytes...), release[:]...)
-	pt, err := t.openBlob(ekey, nonce, ct, aad)
+	pt, err := t.openBlob(mode, selBytes, release, ekey, nonce, ct)
 	if err != nil {
 		t.endCmd(sp, err)
 		return nil, err
@@ -276,7 +273,7 @@ func (t *TPM) QuoteSePCR(handle int, nonce []byte) (*Quote, error) {
 			ErrSePCRState, handle, p.state)
 	}
 	sp := t.cmdSpan("TPM_Quote").Attr("mode", "sepcr").AttrInt("handle", handle)
-	sig, err := rsa.SignPKCS1v15(nil, t.aik, crypto.SHA1, quoteDigest(p.value, nonce))
+	sig, err := memoSignPKCS1v15(t.aik, quoteDigest(p.value, nonce))
 	if err != nil {
 		err = fmt.Errorf("tpm: sePCR quote signature: %w", err)
 		t.endCmd(sp, err)

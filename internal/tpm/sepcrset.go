@@ -1,8 +1,6 @@
 package tpm
 
 import (
-	"crypto"
-	"crypto/rsa"
 	"fmt"
 )
 
@@ -81,7 +79,7 @@ func (t *TPM) QuoteSePCRSet(handles []int, nonce []byte) (*Quote, error) {
 	sel := make(Selection, len(handles))
 	copy(sel, handles)
 	composite := CompositeDigest(sel, vals)
-	sig, err := rsa.SignPKCS1v15(nil, t.aik, crypto.SHA1, quoteDigest(composite, nonce))
+	sig, err := memoSignPKCS1v15(t.aik, quoteDigest(composite, nonce))
 	if err != nil {
 		return nil, fmt.Errorf("tpm: sePCR set quote signature: %w", err)
 	}

@@ -62,6 +62,7 @@ type TPM struct {
 	clock   *sim.Clock
 	bus     *lpc.Bus
 	profile Profile
+	seed    uint64
 	rng     *sim.RNG
 
 	pcrs [NumPCRs]Digest
@@ -71,6 +72,7 @@ type TPM struct {
 
 	hashing  bool
 	hashBuf  []byte
+	hashBufP *[]byte // pooled backing for hashBuf while a hash is open
 	booted   bool
 	extends  int // statistics: number of Extend operations served
 	unsealOK int // statistics: successful unseals
@@ -141,7 +143,7 @@ func New(clock *sim.Clock, bus *lpc.Bus, cfg Config) (*TPM, error) {
 		clock:   clock,
 		bus:     bus,
 		profile: cfg.Profile,
-		rng:     sim.NewRNG(cfg.Seed ^ 0x7049_4d53_494d_5450), // domain-separate from keys
+		seed:    cfg.Seed,
 		srk:     srk,
 		aik:     aik,
 		sePCRs:  make([]sePCR, cfg.NumSePCRs),
@@ -154,6 +156,12 @@ func New(clock *sim.Clock, bus *lpc.Bus, cfg Config) (*TPM, error) {
 // dynamic PCRs to all-ones (-1), so a verifier can distinguish "rebooted"
 // from "dynamically reset" (§2.1.3).
 func (t *TPM) Boot() {
+	// Power-on also restarts the chip's deterministic RNG from its seed:
+	// a rebooted simulated TPM replays the exact randomness stream of its
+	// first boot. This is what makes replay deterministic — and lets the
+	// experiments reboot and reuse a machine bit-identically to building
+	// a fresh one. (The seed is domain-separated from key generation.)
+	t.rng = sim.NewRNG(t.seed ^ 0x7049_4d53_494d_5450)
 	for i := range t.pcrs {
 		if i >= FirstDynamicPCR {
 			for j := range t.pcrs[i] {
@@ -164,7 +172,7 @@ func (t *TPM) Boot() {
 		}
 	}
 	t.hashing = false
-	t.hashBuf = nil
+	t.releaseHashBuf()
 	t.booted = true
 	for i := range t.sePCRs {
 		t.sePCRs[i] = sePCR{state: SePCRFree}
@@ -243,14 +251,13 @@ func (t *TPM) Extend(idx int, measurement Digest) (Digest, error) {
 	return t.pcrs[idx], nil
 }
 
-// chain computes the PCR extend function H(old || new).
+// chain computes the PCR extend function H(old || new). The concatenation
+// fits a stack buffer, so extends stay allocation-free.
 func chain(old, measurement Digest) Digest {
-	h := sha1.New()
-	h.Write(old[:])
-	h.Write(measurement[:])
-	var out Digest
-	copy(out[:], h.Sum(nil))
-	return out
+	var buf [2 * DigestSize]byte
+	copy(buf[:DigestSize], old[:])
+	copy(buf[DigestSize:], measurement[:])
+	return sha1.Sum(buf[:])
 }
 
 // Extends returns how many TPM_Extend commands the chip has served.
@@ -283,8 +290,21 @@ func (t *TPM) HashStart() error {
 		t.pcrs[i] = Digest{}
 	}
 	t.hashing = true
-	t.hashBuf = t.hashBuf[:0]
+	if t.hashBufP == nil {
+		t.hashBufP = hashBufPool.Get().(*[]byte)
+	}
+	t.hashBuf = (*t.hashBufP)[:0]
 	return nil
+}
+
+// releaseHashBuf returns the pooled TPM_HASH_DATA buffer, if held.
+func (t *TPM) releaseHashBuf() {
+	if t.hashBufP != nil {
+		*t.hashBufP = t.hashBuf[:0]
+		hashBufPool.Put(t.hashBufP)
+		t.hashBufP = nil
+	}
+	t.hashBuf = nil
 }
 
 // HashData executes TPM_HASH_DATA, appending bytes to the open hash. The
@@ -306,7 +326,7 @@ func (t *TPM) HashEnd() (Digest, error) {
 	}
 	t.hashing = false
 	meas := Measure(t.hashBuf)
-	t.hashBuf = t.hashBuf[:0]
+	t.releaseHashBuf()
 	t.pcrs[FirstDynamicPCR] = chain(Digest{}, meas)
 	return t.pcrs[FirstDynamicPCR], nil
 }
@@ -347,14 +367,13 @@ func (t *TPM) Composite(sel Selection) (Digest, error) {
 // composite they expect from a replayed event log, without access to the
 // TPM itself.
 func CompositeDigest(sel Selection, vals []Digest) Digest {
-	h := sha1.New()
+	var buf [512]byte
+	b := buf[:0]
 	for i, idx := range sel {
-		h.Write([]byte{byte(idx)})
-		h.Write(vals[i][:])
+		b = append(b, byte(idx))
+		b = append(b, vals[i][:]...)
 	}
-	var out Digest
-	copy(out[:], h.Sum(nil))
-	return out
+	return sha1.Sum(b)
 }
 
 // ExtendDigest computes the PCR extend function H(old || measurement)
