@@ -1,7 +1,8 @@
 # Tier-1 verification lives here: `make check` is what CI and the roadmap
 # run. The race pass covers the packages with real concurrency — the PAL
 # service and the remote-attestation protocol — plus the memory and CPU
-# cores, whose decode/measurement caches are shared across goroutines.
+# cores, whose decode/measurement caches are shared across goroutines, and
+# the profiler, whose aggregation root is shared across machines.
 
 GO ?= go
 
@@ -20,17 +21,18 @@ test:
 
 race:
 	$(GO) test -race ./internal/palsvc ./internal/attest ./internal/obs \
-		./internal/cpu ./internal/mem \
+		./internal/obs/prof ./internal/cpu ./internal/mem \
 		./cmd/palservd ./cmd/attestd
 
 # bench commits a machine-readable artifact so later sessions can diff
 # against this PR's numbers. -benchtime keeps the run short but real.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem . ./internal/obs ./internal/palsvc \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
 
-# benchcmp gates the committed artifacts: the fast-path PR must not give
-# its wins back. Thresholds live in cmd/benchjson (-max-ns-regress 50%,
-# -max-alloc-regress 25% by default); nothing reruns benchmarks here.
+# benchcmp gates the committed artifacts: the profiler-off path must not
+# give the fast-path PR's wins back. Thresholds live in cmd/benchjson
+# (-max-ns-regress 50%, -max-alloc-regress 25% by default); nothing reruns
+# benchmarks here.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR2.json BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json BENCH_PR4.json

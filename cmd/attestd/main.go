@@ -157,6 +157,7 @@ func serveDebug(addr, palFile, anchorsPath string, timeout time.Duration, debugA
 		chErrors = reg.Counter("attestd_challenge_errors_total", "Attestation challenges that failed on the platform side.")
 		quoteH = reg.Histogram("attestd_quote_duration_seconds",
 			"Wall-clock time to produce quote evidence per challenge.", nil)
+		obs.RegisterTracerMetrics(reg, tracer)
 		srv, err := obs.ListenAndServeDebug(debugAddr, obs.NewDebugMux(reg, tracer, health))
 		if err != nil {
 			return err

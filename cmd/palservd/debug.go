@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"minimaltcb/internal/obs"
+	"minimaltcb/internal/obs/prof"
 	"minimaltcb/internal/palsvc"
 )
 
@@ -22,24 +23,43 @@ type debugOpts struct {
 	traceOut string
 	// traceFormat selects the dump encoding: "jsonl" or "chrome".
 	traceFormat string
+	// profile enables the exact virtual-cycle profiler (implied by
+	// -profile-out).
+	profile bool
+	// profileOut, when set, receives the profile JSON on exit.
+	profileOut string
+	// crashDir, when set, persists fault flight-recorder bundles to
+	// <dir>/crashes.jsonl (the recorder itself runs whenever any
+	// observability is on, serving /debug/crashes from memory).
+	crashDir string
 }
 
 // enabled reports whether any observability feature was requested.
-func (o debugOpts) enabled() bool { return o.addr != "" || o.trace || o.traceOut != "" }
-
-// debugStack is the assembled observability plumbing: the tracer and
-// registry handed to palsvc, the health state behind /healthz, and the
-// debug HTTP server once started. The zero stack (all nil) is valid and
-// makes every method a no-op — palsvc then compiles its instrumentation
-// down to nil checks.
-type debugStack struct {
-	tracer *obs.Tracer
-	reg    *obs.Registry
-	health *obs.Health
-	srv    *obs.DebugServer
+func (o debugOpts) enabled() bool {
+	return o.addr != "" || o.trace || o.traceOut != "" ||
+		o.profiling() || o.crashDir != ""
 }
 
-// newDebugStack builds the tracer/registry/health trio per opts.
+// profiling reports whether the virtual-cycle profiler was requested.
+func (o debugOpts) profiling() bool { return o.profile || o.profileOut != "" }
+
+// debugStack is the assembled observability plumbing: the tracer and
+// registry handed to palsvc, the health state behind /healthz, the
+// virtual-cycle profiler and fault flight recorder, and the debug HTTP
+// server once started. The zero stack (all nil) is valid and makes every
+// method a no-op — palsvc then compiles its instrumentation down to nil
+// checks.
+type debugStack struct {
+	tracer   *obs.Tracer
+	reg      *obs.Registry
+	health   *obs.Health
+	profiler *prof.Profiler
+	flight   *prof.FlightRecorder
+	srv      *obs.DebugServer
+}
+
+// newDebugStack builds the tracer/registry/health trio per opts, plus the
+// profiler and flight recorder when asked for.
 func newDebugStack(o debugOpts) *debugStack {
 	d := &debugStack{}
 	if !o.enabled() {
@@ -48,26 +68,54 @@ func newDebugStack(o debugOpts) *debugStack {
 	d.tracer = obs.NewTracer(o.traceBuf)
 	d.reg = obs.NewRegistry()
 	d.health = &obs.Health{}
+	obs.RegisterTracerMetrics(d.reg, d.tracer)
+	if o.profiling() {
+		d.profiler = prof.New()
+	}
+	// The flight recorder is cheap (it only acts on faults), so it rides
+	// along with any observability; -crash-dir additionally persists it.
+	d.flight = prof.NewFlightRecorder(o.crashDir, d.tracer)
 	return d
 }
 
-// apply hands the tracer and registry to a service config.
+// apply hands the tracer, registry, profiler, and flight recorder to a
+// service config.
 func (d *debugStack) apply(cfg *palsvc.Config) {
 	cfg.Tracer = d.tracer
 	cfg.Registry = d.reg
+	cfg.Profiler = d.profiler
+	cfg.Flight = d.flight
 }
 
-// serve starts the debug HTTP server when addr is set.
-func (d *debugStack) serve(addr string) error {
+// serve starts the debug HTTP server when addr is set. svc, when non-nil,
+// backs the /debug/profile endpoint.
+func (d *debugStack) serve(addr string, svc *palsvc.Service) error {
 	if addr == "" {
 		return nil
 	}
-	srv, err := obs.ListenAndServeDebug(addr, obs.NewDebugMux(d.reg, d.tracer, d.health))
+	var extras []obs.Endpoint
+	if d.profiler != nil && svc != nil {
+		extras = append(extras, obs.Endpoint{
+			Path: "/debug/profile", Desc: "virtual-cycle profile (JSON; ?format=folded|annotated)",
+			Handler: prof.Handler(func() *prof.Profile { return svc.Profile() }),
+		})
+	}
+	if d.flight != nil {
+		extras = append(extras, obs.Endpoint{
+			Path: "/debug/crashes", Desc: "fault flight-recorder bundles (JSON; ?id=N&format=text)",
+			Handler: d.flight.Handler(),
+		})
+	}
+	srv, err := obs.ListenAndServeDebug(addr, obs.NewDebugMux(d.reg, d.tracer, d.health, extras...))
 	if err != nil {
 		return err
 	}
 	d.srv = srv
-	fmt.Printf("palservd: debug server on http://%s (/metrics /healthz /debug/trace /debug/pprof)\n", srv.Addr())
+	fmt.Printf("palservd: debug server on http://%s (/metrics /healthz /debug/trace /debug/pprof", srv.Addr())
+	for _, e := range extras {
+		fmt.Printf(" %s", e.Path)
+	}
+	fmt.Println(")")
 	return nil
 }
 
@@ -105,5 +153,28 @@ func (d *debugStack) writeTrace(path, format string) error {
 	}
 	fmt.Printf("palservd: wrote %d trace record(s) to %s (%s format, %d overwritten by the ring)\n",
 		len(recs), path, format, dropped)
+	return nil
+}
+
+// writeProfile dumps the service's profile JSON to path (the tcbprof
+// input) when -profile-out asked for one.
+func (d *debugStack) writeProfile(path string, svc *palsvc.Service) error {
+	if path == "" || d.profiler == nil || svc == nil {
+		return nil
+	}
+	p := svc.Profile()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = p.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("palservd: wrote profile (%d image(s), %d tenant(s)) to %s\n",
+		len(p.Images), len(p.Tenants), path)
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"minimaltcb/internal/obs"
+	"minimaltcb/internal/obs/prof"
 	"minimaltcb/internal/palsvc"
 )
 
@@ -31,7 +32,7 @@ func httpGet(t *testing.T, url string) (int, string) {
 // TestDebugStackEndToEnd drives real jobs through a traced, metered
 // service and scrapes the debug endpoints the way an operator would.
 func TestDebugStackEndToEnd(t *testing.T) {
-	d := newDebugStack(debugOpts{trace: true})
+	d := newDebugStack(debugOpts{trace: true, profile: true})
 	cfg := testCfg(4)
 	d.apply(&cfg)
 	s, err := palsvc.New(cfg)
@@ -39,7 +40,7 @@ func TestDebugStackEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if err := d.serve("127.0.0.1:0"); err != nil {
+	if err := d.serve("127.0.0.1:0", s); err != nil {
 		t.Fatal(err)
 	}
 	base := "http://" + d.srv.Addr()
@@ -61,10 +62,29 @@ func TestDebugStackEndToEnd(t *testing.T) {
 		"palsvc_jobs_submitted_total 1",
 		"palsvc_jobs_completed_total 1",
 		`palsvc_stage_duration_seconds_bucket{clock="virtual",stage="execute",le="+Inf"} 1`,
+		"obs_trace_dropped_total 0",
+		"obs_trace_ring_size",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)
 		}
+	}
+
+	// /debug/profile serves the live virtual-cycle profile.
+	code, body = httpGet(t, base+"/debug/profile")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/profile status %d", code)
+	}
+	p, err := prof.ReadProfile(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Images) != 1 || len(p.Tenants) != 1 || p.Tenants[0].Name != "dbg" {
+		t.Fatalf("profile images=%d tenants=%+v", len(p.Images), p.Tenants)
+	}
+	code, body = httpGet(t, base+"/debug/profile?format=folded")
+	if code != http.StatusOK || !strings.Contains(body, ";blk_0x") {
+		t.Fatalf("folded profile: %d %q", code, body)
 	}
 
 	// /debug/trace round-trips through the JSONL decoder and contains the
@@ -85,6 +105,26 @@ func TestDebugStackEndToEnd(t *testing.T) {
 	}
 	if len(lifecycle) != 2 || lifecycle[0] != "sePCR.Exclusive" || lifecycle[1] != "sePCR.Quote" {
 		t.Fatalf("lifecycle %v", lifecycle)
+	}
+
+	// A faulting job lands in the flight recorder and on /debug/crashes.
+	res, err = s.Run(palsvc.Job{Name: "dbg-crash", Source: "\tldi r0, 1\n\tldi r1, 0\n\tdivu r0, r1\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Fatal("faulting job reported success")
+	}
+	code, body = httpGet(t, base+"/debug/crashes")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/crashes status %d", code)
+	}
+	var bundles []*prof.CrashBundle
+	if err := json.Unmarshal([]byte(body), &bundles); err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 || bundles[0].Tenant != "dbg-crash" || bundles[0].Reason != "fault" {
+		t.Fatalf("/debug/crashes bundles %+v", bundles)
 	}
 
 	// /healthz flips to 503 with the shutdown reason.
@@ -110,7 +150,7 @@ func TestDebugStackDisabledIsInert(t *testing.T) {
 	if cfg.Tracer != nil || cfg.Registry != nil {
 		t.Fatal("disabled stack leaked into config")
 	}
-	if err := d.serve(""); err != nil {
+	if err := d.serve("", nil); err != nil {
 		t.Fatal(err)
 	}
 	d.shutdown("noop")
@@ -212,5 +252,45 @@ func TestLoadgenWritesJSONLTrace(t *testing.T) {
 	}
 	if len(recs) == 0 {
 		t.Fatal("empty trace dump")
+	}
+}
+
+// TestLoadgenWritesProfile: -profile-out against the self-hosted loadgen
+// captures per-tenant virtual-cycle attribution.
+func TestLoadgenWritesProfile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "profile.json")
+	err := runLoadgen(loadgenOpts{
+		clients:     2,
+		duration:    200 * time.Millisecond,
+		noAttest:    true,
+		svc:         testCfg(2),
+		connTimeout: 10 * time.Second,
+		debug:       debugOpts{profileOut: out},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := prof.ReadProfile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Images) == 0 || len(p.Tenants) == 0 {
+		t.Fatalf("empty loadgen profile: images=%d tenants=%d", len(p.Images), len(p.Tenants))
+	}
+	for _, ts := range p.Tenants {
+		if ts.Jobs == 0 || ts.CyclesNs == 0 {
+			t.Fatalf("tenant %q has no attribution: %+v", ts.Name, ts)
+		}
+	}
+	for _, ip := range p.Images {
+		if ip.Instructions == 0 || len(ip.Blocks) == 0 {
+			t.Fatalf("image %s has no attribution", ip.ShortHash())
+		}
 	}
 }

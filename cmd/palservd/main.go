@@ -67,12 +67,16 @@ func main() {
 		traceBuf    = flag.Int("trace-buf", 0, "trace recorder ring capacity (0 = default 8192)")
 		traceOut    = flag.String("trace-out", "", "write the trace dump to this file on exit (self-hosted loadgen only)")
 		traceFormat = flag.String("trace-format", "chrome", "trace dump format: chrome (Perfetto-loadable) or jsonl")
+		profile     = flag.Bool("profile", false, "record the exact virtual-cycle profile (served at /debug/profile; implied by -profile-out)")
+		profileOut  = flag.String("profile-out", "", "write the profile JSON (tcbprof input) to this file on exit (self-hosted loadgen only)")
+		crashDir    = flag.String("crash-dir", "", "persist fault flight-recorder bundles to <dir>/crashes.jsonl")
 	)
 	flag.Parse()
 
 	dbg := debugOpts{
 		addr: *debugAddr, trace: *trace, traceBuf: *traceBuf,
 		traceOut: *traceOut, traceFormat: *traceFormat,
+		profile: *profile, profileOut: *profileOut, crashDir: *crashDir,
 	}
 	var err error
 	if *loadgen {
@@ -130,10 +134,11 @@ func runServer(addr string, connTimeout time.Duration, cfg palsvc.Config, dbg de
 		return err
 	}
 	defer s.Close()
-	if err := d.serve(dbg.addr); err != nil {
+	if err := d.serve(dbg.addr, s); err != nil {
 		return err
 	}
 	defer d.shutdown("palservd shutting down")
+	defer func() { _ = d.writeProfile(dbg.profileOut, s) }()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -185,7 +190,7 @@ func runLoadgen(o loadgenOpts) error {
 		}
 		hosted = s
 		defer s.Close()
-		if err := d.serve(o.debug.addr); err != nil {
+		if err := d.serve(o.debug.addr, s); err != nil {
 			return err
 		}
 		defer d.shutdown("loadgen finished")
@@ -232,6 +237,18 @@ func runLoadgen(o loadgenOpts) error {
 			return err
 		}
 		fmt.Printf("server metrics:\n%s\n", out)
+	}
+
+	// Capacity runs double as profiling runs: append the per-tenant
+	// virtual-cycle totals and hottest basic blocks to the report.
+	if hosted != nil && d.profiler != nil {
+		if p := hosted.Profile(); p != nil {
+			fmt.Println("virtual-cycle profile:")
+			p.WriteSummary(os.Stdout, 3)
+		}
+		if err := d.writeProfile(o.debug.profileOut, hosted); err != nil {
+			return err
+		}
 	}
 	return d.writeTrace(o.debug.traceOut, o.debug.traceFormat)
 }

@@ -10,10 +10,12 @@
 //
 // Usage:
 //
-//	tcbtrace [-f dump.jsonl] [-trace N] [-events]
+//	tcbtrace [-f dump.jsonl] [-trace N] [-name span] [-events]
 //	    Read a JSONL trace dump (stdin by default) and print one tree per
 //	    trace, spans nested under their parents, with a wall/virtual
-//	    duration breakdown and a per-trace summary line.
+//	    duration breakdown and a per-trace summary line. -trace keeps one
+//	    trace by ID; -name keeps traces containing a span (or "name"
+//	    attribute) matching the given substring.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	var (
 		file    = flag.String("f", "", "trace dump file in JSONL format (default: stdin)")
 		only    = flag.Uint64("trace", 0, "render only this trace ID (0 = all)")
+		name    = flag.String("name", "", "render only traces containing a span or \"name\" attribute matching this substring")
 		events  = flag.Bool("events", true, "include instant events in the tree")
 		summary = flag.Bool("summary", false, "print only the per-trace summary lines")
 	)
@@ -50,7 +53,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := render(os.Stdout, recs, renderOpts{only: *only, events: *events, summaryOnly: *summary}); err != nil {
+	if err := render(os.Stdout, recs, renderOpts{only: *only, name: *name, events: *events, summaryOnly: *summary}); err != nil {
 		fail(err)
 	}
 }
@@ -62,6 +65,7 @@ func fail(err error) {
 
 type renderOpts struct {
 	only        uint64
+	name        string
 	events      bool
 	summaryOnly bool
 }
@@ -91,6 +95,15 @@ func render(w io.Writer, recs []obs.Record, o renderOpts) error {
 		}
 		t.recs = append(t.recs, recs[i])
 	}
+	if o.name != "" {
+		kept := order[:0]
+		for _, id := range order {
+			if byTrace[id].matches(o.name) {
+				kept = append(kept, id)
+			}
+		}
+		order = kept
+	}
 	if len(order) == 0 {
 		_, err := fmt.Fprintln(w, "tcbtrace: no records")
 		return err
@@ -102,6 +115,23 @@ func render(w io.Writer, recs []obs.Record, o renderOpts) error {
 		}
 	}
 	return nil
+}
+
+// matches reports whether any record in the trace carries name as a
+// substring of its span/event name or of a "name" attribute (the root
+// span's job name), so -name loadgen-echo finds a tenant's traces.
+func (t *trace) matches(name string) bool {
+	for _, r := range t.recs {
+		if strings.Contains(r.Name, name) {
+			return true
+		}
+		for _, a := range r.Attrs {
+			if a.Key == "name" && strings.Contains(a.Val, name) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (t *trace) index() {

@@ -131,3 +131,29 @@ func TestSummaryVirtualNoDoubleCount(t *testing.T) {
 		t.Fatalf("virtual total wrong:\n%s", out)
 	}
 }
+
+// TestRenderNameFilter: -name keeps traces whose spans (or their "name"
+// attributes — the job root carries the tenant there) match the substring.
+func TestRenderNameFilter(t *testing.T) {
+	recs := append(jobTrace(1), span(2, 1, 0, "job", 900, 100, -1, -1,
+		obs.Attr{Key: "name", Val: "loadgen-echo"}))
+	recs = append(recs, span(3, 1, 0, "TPM_Quote", 100, 50, 0, 10))
+
+	// Attribute match: only the loadgen tenant's trace survives.
+	out := renderString(t, recs, renderOpts{name: "loadgen", summaryOnly: true})
+	if !strings.Contains(out, "trace 2") || strings.Contains(out, "trace 1") || strings.Contains(out, "trace 3") {
+		t.Fatalf("attribute filter wrong:\n%s", out)
+	}
+
+	// Span-name match: TPM_Quote appears only in trace 3 as a span name.
+	out = renderString(t, recs, renderOpts{name: "TPM_Quote", summaryOnly: true})
+	if !strings.Contains(out, "trace 3") || strings.Contains(out, "trace 2") {
+		t.Fatalf("span-name filter wrong:\n%s", out)
+	}
+
+	// No match renders the empty-trace message, not a crash.
+	out = renderString(t, recs, renderOpts{name: "nonesuch"})
+	if !strings.Contains(out, "no records") {
+		t.Fatalf("no-match output %q", out)
+	}
+}

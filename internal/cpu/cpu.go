@@ -145,6 +145,7 @@ type CPU struct {
 	svc     ServiceFunc
 	idt     [NumIntrVectors]uint16 // PAL interrupt handlers (§6 extension)
 	tracer  Tracer
+	prof    Profiler
 	Retired int64 // instructions executed (statistics)
 
 	// Decoded-instruction cache (decodecache.go). Lazily allocated;
@@ -159,6 +160,21 @@ type Tracer func(c *CPU, pc uint32, in isa.Instruction)
 
 // SetTracer installs (or, with nil, removes) an instruction tracer.
 func (c *CPU) SetTracer(t Tracer) { c.tracer = t }
+
+// Profiler receives exact per-instruction cycle attribution from the
+// interpreter: one call per retired instruction with the pre-execution PC
+// and the virtual time charged. internal/obs/prof implements it; the
+// interface lives here so this package stays dependency-free. With no
+// profiler installed the run loop pays a single nil check per instruction
+// (the same contract as Tracer).
+type Profiler interface {
+	RetireInstr(pc uint32, op isa.Opcode, cost time.Duration)
+}
+
+// SetProfiler installs (or, with nil, removes) the cycle profiler. Like
+// the SVC handler it is execution-context state: ClearMicroarchState
+// removes it, and the launching microcode reinstalls it per PAL.
+func (c *CPU) SetProfiler(p Profiler) { c.prof = p }
 
 // New creates a core attached to a chipset.
 func New(id int, params Params, chip *chipset.Chipset) *CPU {
@@ -244,6 +260,7 @@ func (c *CPU) ClearMicroarchState() {
 	c.PC = 0
 	c.region = mem.Region{}
 	c.svc = nil
+	c.prof = nil
 	c.IntrEnabled = false
 	c.clearIDT()
 }

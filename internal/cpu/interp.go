@@ -36,6 +36,9 @@ func (c *CPU) Run(quantum time.Duration) (StopReason, error) {
 		c.Clock().Advance(c.Params.InstrCost)
 		elapsed += c.Params.InstrCost
 		c.Retired++
+		if c.prof != nil {
+			c.prof.RetireInstr(c.PC, in.Op, c.Params.InstrCost)
+		}
 
 		action, err := c.execute(in)
 		if err != nil {

@@ -47,6 +47,15 @@ func (h *Health) Reason() string {
 	return "unhealthy"
 }
 
+// Endpoint is one extra route a daemon mounts on its debug mux alongside
+// the standard set — palservd adds /debug/profile and /debug/crashes this
+// way. Desc is the one-line description the index page lists.
+type Endpoint struct {
+	Path    string
+	Desc    string
+	Handler http.Handler
+}
+
 // NewDebugMux assembles the operational endpoints every daemon in this
 // repository exposes:
 //
@@ -56,9 +65,10 @@ func (h *Health) Reason() string {
 //	              Chrome/Perfetto trace-event document)
 //	/debug/pprof  the standard Go profiler endpoints
 //
-// Any of reg, tracer, health may be nil; the endpoints degrade gracefully
-// (empty exposition, always-healthy, empty trace).
-func NewDebugMux(reg *Registry, tracer *Tracer, health *Health) *http.ServeMux {
+// plus any daemon-specific extras, which the index page lists after the
+// standard ones. Any of reg, tracer, health may be nil; the endpoints
+// degrade gracefully (empty exposition, always-healthy, empty trace).
+func NewDebugMux(reg *Registry, tracer *Tracer, health *Health, extras ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -88,6 +98,9 @@ func NewDebugMux(reg *Registry, tracer *Tracer, health *Health) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extras {
+		mux.Handle(e.Path, e.Handler)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -99,6 +112,9 @@ func NewDebugMux(reg *Registry, tracer *Tracer, health *Health) *http.ServeMux {
 			"  /healthz       readiness\n"+
 			"  /debug/trace   span recorder dump (JSONL; ?format=chrome)\n"+
 			"  /debug/pprof/  Go profiler\n")
+		for _, e := range extras {
+			fmt.Fprintf(w, "  %-14s %s\n", e.Path, e.Desc)
+		}
 	})
 	return mux
 }

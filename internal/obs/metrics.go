@@ -335,6 +335,20 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 	return err
 }
 
+// RegisterTracerMetrics exposes the trace recorder's health on reg so
+// scrapers can tell when the ring is eating history: obs_trace_dropped_total
+// counts overwritten records (a rising value means the ring is too small
+// for the span rate) and obs_trace_ring_size reports its capacity. Safe
+// with a nil tracer (both series read zero) and a no-op on a nil registry.
+func RegisterTracerMetrics(reg *Registry, t *Tracer) {
+	reg.CounterFunc("obs_trace_dropped_total",
+		"Trace records overwritten by the bounded ring recorder.",
+		func() float64 { return float64(t.Dropped()) })
+	reg.GaugeFunc("obs_trace_ring_size",
+		"Capacity of the trace ring recorder, in records.",
+		func() float64 { return float64(t.Capacity()) })
+}
+
 // histLine writes one cumulative bucket line, splicing le into any
 // existing label set.
 func histLine(w io.Writer, name, labels, le string, count uint64) error {

@@ -216,3 +216,48 @@ func TestExpositionParses(t *testing.T) {
 		}
 	}
 }
+
+func TestRegisterTracerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(4)
+	RegisterTracerMetrics(reg, tr)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"obs_trace_ring_size 4", "obs_trace_dropped_total 0"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+
+	// Overflow the ring: the dropped counter must rise with it.
+	ctx := tr.NewTrace()
+	for i := 0; i < 10; i++ {
+		tr.Event(ctx, "e", "test", 0)
+	}
+	b.Reset()
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obs_trace_dropped_total 6") {
+		t.Fatalf("dropped counter did not track the ring:\n%s", b.String())
+	}
+}
+
+// A nil tracer still registers both series, reading zero — the debug stack
+// wires metrics and tracing independently.
+func TestRegisterTracerMetricsNilTracer(t *testing.T) {
+	reg := NewRegistry()
+	RegisterTracerMetrics(reg, nil)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"obs_trace_ring_size 0", "obs_trace_dropped_total 0"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("nil-tracer exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}

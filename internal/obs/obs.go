@@ -175,6 +175,15 @@ func (t *Tracer) Len() int {
 	return t.n
 }
 
+// Capacity reports the ring size — how many records the recorder retains
+// before overwriting. Nil-safe.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
 // Dropped reports how many records the ring has overwritten. Nil-safe.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {

@@ -1,0 +1,66 @@
+package prof
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"minimaltcb/internal/isa"
+)
+
+// Basic-block recovery. The runtime collector records plain per-PC
+// counters so the interpreter hot path stays trivial; block structure is
+// a static property of the image bytes and is recomputed here at snapshot
+// time. A leader is the entry point, any branch/call target, or the
+// instruction following a control transfer; a block spans from its leader
+// to the next one.
+
+// leaders returns the sorted, deduplicated block-leader offsets of the
+// code image. regionSize bounds the PC space: PALs can execute out of
+// their data/stack area too (self-modifying or generated code), so one
+// synthetic leader at the image end catches every beyond-image PC.
+func leaders(code []byte, entry uint16, regionSize int) []uint32 {
+	set := map[uint32]struct{}{uint32(entry): {}}
+	limit := uint32(len(code))
+	for off := 0; off+isa.WordSize <= len(code); off += isa.WordSize {
+		in, err := isa.Decode(binary.LittleEndian.Uint32(code[off:]))
+		if err != nil {
+			continue // data word
+		}
+		next := uint32(off + isa.WordSize)
+		switch in.Op {
+		case isa.OpJmp, isa.OpJz, isa.OpJnz, isa.OpJc, isa.OpJnc, isa.OpJn, isa.OpCall:
+			if t := uint32(in.Imm); t < limit {
+				set[t] = struct{}{}
+			}
+			set[next] = struct{}{}
+		case isa.OpJmpr, isa.OpRet, isa.OpHalt:
+			set[next] = struct{}{}
+		}
+	}
+	if regionSize > len(code) {
+		// Everything past the measured image is one "beyond-image" block.
+		set[limit] = struct{}{}
+	}
+	out := make([]uint32, 0, len(set))
+	for l := range set {
+		if int(l) < regionSize {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// blockStart maps a PC to its containing block's leader: the greatest
+// leader ≤ pc. ls must be sorted ascending and non-empty for meaningful
+// answers; a pc before the first leader maps to the first leader.
+func blockStart(ls []uint32, pc uint32) uint32 {
+	i := sort.Search(len(ls), func(i int) bool { return ls[i] > pc })
+	if i == 0 {
+		if len(ls) == 0 {
+			return 0
+		}
+		return ls[0]
+	}
+	return ls[i-1]
+}

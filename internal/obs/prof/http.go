@@ -1,0 +1,119 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// HTTP faces of the profiler and flight recorder, mounted as extra
+// endpoints on the obs debug mux (obs.Endpoint).
+
+// Handler serves the profile at /debug/profile. snapshot is called per
+// request (palsvc.Service.Profile); a nil result means profiling is off.
+//
+//	/debug/profile                    JSON (the tcbprof input format)
+//	/debug/profile?format=folded      folded stacks (flamegraph.pl input)
+//	/debug/profile?format=annotated   annotated disassembly
+//	    [&image=<hash prefix>]        restrict annotation to one image
+func Handler(snapshot func() *Profile) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p := snapshot()
+		if p == nil {
+			http.Error(w, "profiling disabled", http.StatusNotFound)
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = p.WriteJSON(w)
+		case "folded":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = p.WriteFolded(w)
+		case "annotated":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			prefix := r.URL.Query().Get("image")
+			n := 0
+			for _, ip := range p.Images {
+				if prefix != "" && !strings.HasPrefix(ip.Hash, prefix) {
+					continue
+				}
+				if n > 0 {
+					fmt.Fprintln(w)
+				}
+				_ = ip.WriteAnnotated(w)
+				n++
+			}
+			if n == 0 {
+				fmt.Fprintf(w, "no image matches %q\n", prefix)
+			}
+		default:
+			http.Error(w, "unknown format (want json, folded, or annotated)", http.StatusBadRequest)
+		}
+	}
+}
+
+// Handler serves the retained crash bundles at /debug/crashes: a JSON
+// array, or one bundle with ?id=N; ?format=text renders the human view.
+func (r *FlightRecorder) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		bundles := r.Bundles()
+		if idStr := req.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id", http.StatusBadRequest)
+				return
+			}
+			var match []*CrashBundle
+			for _, b := range bundles {
+				if b.ID == id {
+					match = append(match, b)
+				}
+			}
+			if len(match) == 0 {
+				http.Error(w, "no such crash", http.StatusNotFound)
+				return
+			}
+			bundles = match
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, b := range bundles {
+				WriteCrash(w, b)
+			}
+			if err := r.Err(); err != nil {
+				fmt.Fprintf(w, "persistence error: %v\n", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.Err(); err != nil {
+			w.Header().Set("X-Crash-Persist-Error", err.Error())
+		}
+		writeJSONArray(w, bundles)
+	}
+}
+
+// writeJSONArray streams bundles as a JSON array, one bundle per line for
+// greppability.
+func writeJSONArray(w http.ResponseWriter, bundles []*CrashBundle) {
+	fmt.Fprint(w, "[")
+	for i, b := range bundles {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprint(w, "\n")
+		line, err := json.Marshal(b)
+		if err != nil {
+			continue
+		}
+		_, _ = w.Write(line)
+	}
+	fmt.Fprint(w, "\n]\n")
+}

@@ -40,8 +40,10 @@ import (
 	"minimaltcb/internal/attest"
 	"minimaltcb/internal/core"
 	"minimaltcb/internal/obs"
+	"minimaltcb/internal/obs/prof"
 	"minimaltcb/internal/platform"
 	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
 )
 
 // AdmissionPolicy selects what happens when every sePCR is occupied.
@@ -84,6 +86,14 @@ type Config struct {
 	// (job counters, sePCR occupancy gauges, stage-latency histograms)
 	// mirrored from the service's internal metrics.
 	Registry *obs.Registry
+	// Profiler, when non-nil, enables the exact virtual-cycle profiler:
+	// each machine gets its own collector wired into its SKSM manager,
+	// per-tenant totals accrue here, and Service.Profile snapshots the
+	// merged result. Nil keeps the interpreter's profiler-off fast path.
+	Profiler *prof.Profiler
+	// Flight, when non-nil, records a crash bundle for every PAL fault or
+	// violation SKILL across all machines.
+	Flight *prof.FlightRecorder
 }
 
 // machine is one platform replica plus the lock that stands in for the
@@ -101,6 +111,10 @@ type machine struct {
 	// registers are still Free in the TPM, so the live-bank reading must
 	// subtract them. Guarded by mu.
 	pending int
+	// prof is this machine's cycle collector (nil when profiling is off).
+	// Like the simulator it observes, it is touched only under mu —
+	// including snapshots (Service.Profile).
+	prof *prof.CPUProfiler
 }
 
 // tryReserve implements one admission probe: if the machine is idle enough
@@ -186,6 +200,11 @@ func New(cfg Config) (*Service, error) {
 			sys.SKSM.Trace = m.scope
 			sys.Machine.TPM().SetTrace(m.scope)
 		}
+		if cfg.Profiler != nil {
+			m.prof = cfg.Profiler.NewCPU()
+			sys.SKSM.Prof = m.prof
+		}
+		sys.SKSM.Flight = cfg.Flight
 		s.machines = append(s.machines, m)
 		s.bank += sys.Machine.TPM().NumSePCRs()
 	}
@@ -413,16 +432,26 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 		return
 	}
 	secb.Input = t.job.Input
+	if s.cfg.Flight != nil {
+		// Stamp the job identity for crash bundles; cleared below before
+		// the lock drops so a later unrelated SKILL is not misattributed.
+		sys.SKSM.Job = prof.JobInfo{Tenant: t.job.Name, Trace: rctx.Trace, Machine: m.id}
+	}
 	sw := sim.StartStopwatch(sys.Machine.Clock)
 	runErr := sys.SKSM.RunToCompletion(sys.PALCore(), secb)
 	res.Execute = sw.Elapsed()
 	s.metrics.observeExec(res.Execute)
+	if s.cfg.Profiler != nil {
+		h, _ := tpm.MeasureMemoized(p.Image.Bytes)
+		s.cfg.Profiler.JobDone(t.job.Name, h, res.Execute, runErr != nil)
+	}
 	if runErr != nil {
 		// The faulted PAL was suspended holding its register; SKILL
 		// reclaims both the register and (after Release) the pages.
 		if kerr := sys.SKSM.SKILL(secb); kerr == nil {
 			_ = sys.SKSM.Release(secb)
 		}
+		sys.SKSM.Job = prof.JobInfo{}
 		m.scope.Swap(prevCtx)
 		execSp.Attr("error", runErr.Error()).EndVirt(sys.Machine.Clock.Now())
 		m.mu.Unlock()
@@ -435,6 +464,7 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	res.ExitStatus = secb.ExitStatus
 	res.Slices = secb.Slices
 	res.Resumes = secb.Resumes
+	sys.SKSM.Job = prof.JobInfo{}
 	m.scope.Swap(prevCtx)
 	if execSp != nil {
 		execSp.Attr("slices", fmt.Sprint(secb.Slices)).EndVirt(sys.Machine.Clock.Now())

@@ -1,0 +1,154 @@
+package palsvc
+
+import (
+	"strings"
+	"testing"
+
+	"minimaltcb/internal/obs"
+	"minimaltcb/internal/obs/prof"
+)
+
+// crashSource divides by zero — the canonical forced PAL fault.
+const crashSource = `
+	ldi r0, 1
+	ldi r1, 0
+	divu r0, r1
+`
+
+// extendSource extends the PAL's sePCR — a TPM-backed service, so its call
+// site carries real virtual time (unlike output/exit, which are free).
+const extendSource = `
+	ldi r0, msg
+	ldi r1, 4
+	svc 2
+	ldi r0, 0
+	svc 0
+msg:	.ascii "data"
+`
+
+func TestServiceProfileAttributesTenants(t *testing.T) {
+	profiler := prof.New()
+	s := newTestService(t, Config{Profiler: profiler})
+
+	for i := 0; i < 2; i++ {
+		if res, err := s.Run(Job{Name: "alice", Source: helloSource}); err != nil || res.Err != nil {
+			t.Fatalf("alice job %d: %v %v", i, err, res.Err)
+		}
+	}
+	if res, err := s.Run(Job{Name: "bob", Source: echoSource, Input: []byte("ping")}); err != nil || res.Err != nil {
+		t.Fatalf("bob job: %v %v", err, res.Err)
+	}
+	if res, err := s.Run(Job{Name: "carol", Source: extendSource, NoAttest: true}); err != nil || res.Err != nil {
+		t.Fatalf("carol job: %v %v", err, res.Err)
+	}
+
+	p := s.Profile()
+	if p == nil {
+		t.Fatal("Profile() nil with a profiler configured")
+	}
+	tenants := map[string]TenantLookup{}
+	for _, ts := range p.Tenants {
+		tenants[ts.Name] = TenantLookup{jobs: ts.Jobs, cycles: ts.CyclesNs, images: ts.Images}
+	}
+	a, b := tenants["alice"], tenants["bob"]
+	if a.jobs != 2 || b.jobs != 1 || tenants["carol"].jobs != 1 {
+		t.Fatalf("tenant jobs alice=%d bob=%d carol=%d", a.jobs, b.jobs, tenants["carol"].jobs)
+	}
+	if a.cycles <= 0 || b.cycles <= 0 {
+		t.Fatalf("tenant cycles alice=%d bob=%d", a.cycles, b.cycles)
+	}
+	if len(a.images) != 1 || len(b.images) != 1 || a.images[0] == b.images[0] {
+		t.Fatalf("tenant images alice=%v bob=%v", a.images, b.images)
+	}
+	// Every PAL image shows up with instruction attribution, and the
+	// tenants' image hashes resolve into the image table.
+	if len(p.Images) != 3 {
+		t.Fatalf("%d images profiled, want 3", len(p.Images))
+	}
+	for _, ip := range p.Images {
+		if ip.Instructions == 0 || ip.CyclesNs == 0 || len(ip.Blocks) == 0 {
+			t.Fatalf("image %s has no attribution: %+v", ip.ShortHash(), ip)
+		}
+		if ip.Launches != ip.Slices {
+			t.Fatalf("image %s launches=%d slices=%d (quantum 0 runs one slice)", ip.ShortHash(), ip.Launches, ip.Slices)
+		}
+	}
+
+	// The report artifacts render from a service snapshot.
+	var folded, summary strings.Builder
+	if err := p.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(folded.String(), ";svc_extend ") {
+		t.Fatalf("folded output missing service frame:\n%s", folded.String())
+	}
+	p.WriteSummary(&summary, 3)
+	for _, want := range []string{"tenant alice", "jobs=2", "top 3 hot blocks:"} {
+		if !strings.Contains(summary.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, summary.String())
+		}
+	}
+}
+
+// TenantLookup is a test-local view of one tenant's profile row.
+type TenantLookup struct {
+	jobs   int64
+	cycles int64
+	images []string
+}
+
+func TestServiceProfileNilWithoutProfiler(t *testing.T) {
+	s := newTestService(t, Config{})
+	if res, err := s.Run(Job{Name: "hello", Source: helloSource}); err != nil || res.Err != nil {
+		t.Fatalf("job: %v %v", err, res.Err)
+	}
+	if p := s.Profile(); p != nil {
+		t.Fatalf("Profile() = %+v without a profiler", p)
+	}
+}
+
+// TestServiceFaultRecordsCrashBundle runs a faulting PAL through the full
+// service and checks the flight recorder captured the job's identity.
+func TestServiceFaultRecordsCrashBundle(t *testing.T) {
+	tracer := obs.NewTracer(0)
+	flight := prof.NewFlightRecorder("", tracer)
+	profiler := prof.New()
+	s := newTestService(t, Config{Tracer: tracer, Profiler: profiler, Flight: flight})
+
+	res, err := s.Run(Job{Name: "crashy", Source: crashSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Fatal("faulting job reported success")
+	}
+
+	bundles := flight.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("%d crash bundles, want 1", len(bundles))
+	}
+	b := bundles[0]
+	if b.Reason != "fault" || b.Tenant != "crashy" {
+		t.Fatalf("bundle reason=%q tenant=%q", b.Reason, b.Tenant)
+	}
+	if b.Trace == 0 {
+		t.Fatal("bundle not linked to the job's trace")
+	}
+	if b.Machine != res.Machine {
+		t.Fatalf("bundle machine %d, job ran on %d", b.Machine, res.Machine)
+	}
+	if len(b.HotPCs) == 0 || len(b.TraceTail) == 0 {
+		t.Fatalf("bundle missing partial profile or trace tail: %+v", b)
+	}
+	// The tenant ledger still accrues the faulted job.
+	p := s.Profile()
+	for _, ts := range p.Tenants {
+		if ts.Name == "crashy" {
+			if ts.Jobs != 1 || ts.Faults != 1 {
+				t.Fatalf("crashy ledger jobs=%d faults=%d", ts.Jobs, ts.Faults)
+			}
+			return
+		}
+	}
+	t.Fatal("no ledger row for the faulted tenant")
+}

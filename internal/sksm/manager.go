@@ -8,6 +8,7 @@ import (
 	"minimaltcb/internal/cpu"
 	"minimaltcb/internal/mem"
 	"minimaltcb/internal/obs"
+	"minimaltcb/internal/obs/prof"
 	"minimaltcb/internal/osker"
 	"minimaltcb/internal/pal"
 	"minimaltcb/internal/tpm"
@@ -22,6 +23,20 @@ type Manager struct {
 	// (SLAUNCH, suspend, SFREE, SKILL, per-slice) with the machine's TPM
 	// command spans nested underneath. Nil disables tracing.
 	Trace *obs.Scope
+	// Prof, when set, collects exact virtual-cycle attribution for every
+	// PAL this manager launches: the profiler is installed on the core at
+	// SLAUNCH and removed with the rest of the execution context at
+	// suspend/SFREE. Nil disables profiling at zero cost beyond the CPU's
+	// per-instruction nil check.
+	Prof *prof.CPUProfiler
+	// Flight, when set, records a crash bundle when a PAL faults and when
+	// a suspended PAL is SKILLed without one (violation kills). Nil
+	// disables the flight recorder.
+	Flight *prof.FlightRecorder
+	// Job is the identity of the job currently executing on this machine,
+	// stamped into crash bundles. The multi-tenant service maintains it
+	// under the same lock that serializes the machine.
+	Job prof.JobInfo
 }
 
 // traced wraps one instruction in a span: the ambient context moves to the
@@ -188,6 +203,10 @@ func (mg *Manager) slaunch(c *cpu.CPU, s *SECB, sp *obs.Span) error {
 		m.Clock.Advance(c.Params.InitCost)
 		c.EnterRegion(s.Region, s.Entry)
 		c.SetService(mg.serviceFor(s))
+		if mg.Prof != nil {
+			mg.Prof.Enter(s.Measurement, s.Image, s.Region.Size, false)
+			c.SetProfiler(mg.Prof)
+		}
 		s.OwnerCPU = c.ID
 		s.State = StateExecute
 		return nil
@@ -230,6 +249,10 @@ func (mg *Manager) slaunch(c *cpu.CPU, s *SECB, sp *obs.Span) error {
 		c.EnterRegion(s.Region, s.Entry)
 		c.LoadState(saved)
 		c.SetService(mg.serviceFor(s))
+		if mg.Prof != nil {
+			mg.Prof.Enter(s.Measurement, s.Image, s.Region.Size, true)
+			c.SetProfiler(mg.Prof)
+		}
 		c.VMEnter() // the hardware context-switch cost (§5.3.2, Table 2)
 		s.OwnerCPU = c.ID
 		s.State = StateExecute
@@ -266,7 +289,8 @@ func (mg *Manager) suspend(c *cpu.CPU, s *SECB) error {
 			return err
 		}
 	}
-	c.ClearMicroarchState()
+	c.ClearMicroarchState() // also uninstalls the profiler hook
+	mg.Prof.Leave()
 	if err := mg.Kernel.Machine.Chipset.SecludeRegion(s.fullRegion(), c.ID); err != nil {
 		return err
 	}
@@ -294,7 +318,8 @@ func (mg *Manager) sfree(c *cpu.CPU, s *SECB) error {
 	if err := m.TPM().ReleaseSePCR(s.SePCRHandle, c.ID); err != nil {
 		return err
 	}
-	c.ClearMicroarchState()
+	c.ClearMicroarchState() // also uninstalls the profiler hook
+	mg.Prof.Leave()
 	if err := m.Chipset.ReleaseRegion(s.fullRegion(), c.ID); err != nil {
 		return err
 	}
@@ -317,6 +342,12 @@ func (mg *Manager) SKILL(s *SECB) error {
 func (mg *Manager) skill(s *SECB) error {
 	if s.State != StateSuspend {
 		return fmt.Errorf("%w: SKILL from %v (only suspended PALs can be killed)", ErrBadState, s.State)
+	}
+	// A SKILL of a PAL that never crashed is the OS declaring it
+	// misbehaving (violation path). Capture the bundle now: the next
+	// lines zero the pages and kill the sePCR, destroying the evidence.
+	if mg.Flight != nil && s.CrashID == 0 {
+		s.CrashID = mg.Flight.Record(mg.crashBundle(s, "skill", nil))
 	}
 	m := mg.Kernel.Machine
 	full := s.fullRegion()
@@ -361,12 +392,20 @@ func (mg *Manager) runSlice(c *cpu.CPU, s *SECB) (cpu.StopReason, error) {
 	}
 	s.Slices++
 	reason, err := c.Run(s.PreemptTimer)
+	if mg.Prof != nil {
+		mg.Prof.NoteSlice(s.Measurement, reason, err != nil)
+	}
 	switch {
 	case err != nil:
 		// Faulting PALs are suspended (their state secluded) and left
 		// for the OS to SKILL — their secrets never become readable.
 		if serr := mg.Suspend(c, s); serr != nil {
 			return cpu.StopFault, fmt.Errorf("%w: %v (suspend also failed: %v)", ErrPALFault, err, serr)
+		}
+		// The suspend above saved the faulting architectural state into
+		// the SECB, so the bundle sees the true registers and PC.
+		if mg.Flight != nil {
+			s.CrashID = mg.Flight.Record(mg.crashBundle(s, "fault", err))
 		}
 		return cpu.StopFault, fmt.Errorf("%w: %v", ErrPALFault, err)
 	case reason == cpu.StopHalt:
@@ -407,11 +446,15 @@ func (mg *Manager) QuoteAfterExit(s *SECB, nonce []byte) (*tpm.Quote, error) {
 		return nil, fmt.Errorf("%w: quote of %v SECB", ErrBadState, s.State)
 	}
 	var q *tpm.Quote
+	v0 := mg.Kernel.Machine.Clock.Now()
 	err := mg.traced("QuoteAfterExit", func() error {
 		var err error
 		q, err = mg.Kernel.Machine.TPM().QuoteSePCR(s.SePCRHandle, nonce)
 		return err
 	}, obs.Int("sepcr", s.SePCRHandle))
+	if mg.Prof != nil && err == nil {
+		mg.Prof.NoteQuote(s.Measurement, mg.Kernel.Machine.Clock.Now()-v0)
+	}
 	return q, err
 }
 

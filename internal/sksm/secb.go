@@ -112,6 +112,11 @@ type SECB struct {
 	// Slices counts executed time slices; Resumes counts hardware
 	// context-switch resumes (statistics for the benchmarks).
 	Slices, Resumes int
+
+	// CrashID is the flight-recorder bundle recorded for this SECB (0 =
+	// none). Set on the fault path so the later SKILL does not record the
+	// same incident twice.
+	CrashID uint64
 }
 
 // fullRegion is the contiguous span the access-control table protects:

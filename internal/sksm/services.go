@@ -4,14 +4,37 @@ import (
 	"fmt"
 
 	"minimaltcb/internal/cpu"
+	"minimaltcb/internal/isa"
 	"minimaltcb/internal/tpm"
 )
 
-// serviceFor builds the PAL ABI handler for a SECB. Where the SEA runtime
+// serviceFor builds the PAL ABI handler for a SECB, wrapped — only when
+// the manager profiles — so every service call is attributed to its
+// caller site with the virtual time the platform charged inside it. The
+// wrapper is chosen once at SLAUNCH, so the unprofiled handler is the
+// bare one: profiling off adds no work per call.
+func (mg *Manager) serviceFor(s *SECB) cpu.ServiceFunc {
+	base := mg.serviceBase(s)
+	if mg.Prof == nil {
+		return base
+	}
+	clock := mg.Kernel.Machine.Clock
+	p := mg.Prof
+	return func(c *cpu.CPU, num uint16) (cpu.SvcAction, error) {
+		// The SVC trap already advanced PC past the instruction.
+		caller := c.PC - isa.WordSize
+		v0 := clock.Now()
+		act, err := base(c, num)
+		p.SvcCall(num, caller, clock.Now()-v0)
+		return act, err
+	}
+}
+
+// serviceBase builds the bare PAL ABI handler. Where the SEA runtime
 // binds sealed storage to the dynamic PCRs, recommended hardware binds it
 // to the PAL's sePCR — identity-based, so a PAL unseals its state under
 // whatever register a later launch assigns (§5.4.4).
-func (mg *Manager) serviceFor(s *SECB) cpu.ServiceFunc {
+func (mg *Manager) serviceBase(s *SECB) cpu.ServiceFunc {
 	m := mg.Kernel.Machine
 	return func(c *cpu.CPU, num uint16) (cpu.SvcAction, error) {
 		switch num {
