@@ -1,14 +1,15 @@
 # Tier-1 verification lives here: `make check` is what CI and the roadmap
 # run. The race pass covers the packages with real concurrency — the PAL
 # service and the remote-attestation protocol — plus the memory and CPU
-# cores, whose decode/measurement caches are shared across goroutines, and
-# the profiler, whose aggregation root is shared across machines.
+# cores, whose decode/measurement caches are shared across goroutines, the
+# profiler, whose aggregation root is shared across machines, and the chaos
+# injector, whose decision streams are drawn from every worker at once.
 
 GO ?= go
 
-.PHONY: check build vet test race bench benchcmp
+.PHONY: check build vet test race bench benchcmp soak soak-short
 
-check: build vet test race benchcmp
+check: build vet test race benchcmp soak-short
 
 build:
 	$(GO) build ./...
@@ -22,17 +23,37 @@ test:
 race:
 	$(GO) test -race ./internal/palsvc ./internal/attest ./internal/obs \
 		./internal/obs/prof ./internal/cpu ./internal/mem \
+		./internal/chaos ./internal/sksm \
 		./cmd/palservd ./cmd/attestd
+
+# soak drives the fault-injected zero-loss/zero-leak acceptance run (see
+# docs/RESILIENCE.md): a multi-replica service under the "soak" profile over
+# real TCP, asserting the terminal counters partition every submitted job,
+# LeakCheck comes back clean, and every injected PAL fault produced exactly
+# one crash bundle. Override the knobs per run, e.g.:
+#   make soak CHAOS_SOAK_PROFILE=heavy CHAOS_SOAK_SEED=42
+CHAOS_SOAK_PROFILE ?= soak
+CHAOS_SOAK_SEED ?= 1
+soak:
+	CHAOS_SOAK_PROFILE=$(CHAOS_SOAK_PROFILE) CHAOS_SOAK_DURATION=6s \
+		CHAOS_SOAK_SEED=$(CHAOS_SOAK_SEED) \
+		$(GO) test -v -count 1 -run TestSoakZeroLossUnderChaos ./internal/palsvc
+
+# soak-short is the check-gate version: same assertions, shorter load.
+soak-short:
+	CHAOS_SOAK_PROFILE=$(CHAOS_SOAK_PROFILE) CHAOS_SOAK_DURATION=1200ms \
+		CHAOS_SOAK_SEED=$(CHAOS_SOAK_SEED) \
+		$(GO) test -count 1 -run TestSoakZeroLossUnderChaos ./internal/palsvc
 
 # bench commits a machine-readable artifact so later sessions can diff
 # against this PR's numbers. -benchtime keeps the run short but real.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem . ./internal/obs ./internal/palsvc \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
 
-# benchcmp gates the committed artifacts: the profiler-off path must not
-# give the fast-path PR's wins back. Thresholds live in cmd/benchjson
-# (-max-ns-regress 50%, -max-alloc-regress 25% by default); nothing reruns
-# benchmarks here.
+# benchcmp gates the committed artifacts: the chaos seams must stay
+# nil-check-only when disabled, so the zero-allocation fast path of PR4 must
+# survive unchanged. Thresholds live in cmd/benchjson (-max-ns-regress 50%,
+# -max-alloc-regress 25% by default); nothing reruns benchmarks here.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR5.json

@@ -13,6 +13,11 @@
 //	    is left at its default — self-host a server in-process first.
 //	    Prints throughput and p50/p95/p99 end-to-end latency, then the
 //	    server-side metrics snapshot.
+//
+//	palservd ... -chaos-profile soak[,k=v...] [-chaos-seed N]
+//	    Either mode under deterministic fault injection (see
+//	    docs/RESILIENCE.md). The seed is printed at startup so any run
+//	    replays exactly.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"minimaltcb/internal/chaos"
 	"minimaltcb/internal/palsvc"
 	"minimaltcb/internal/platform"
 )
@@ -55,6 +61,9 @@ func main() {
 		connTimeout = flag.Duration("conn-timeout", 30*time.Second, "per-request connection deadline (0 = none)")
 		reject      = flag.Bool("reject", false, "reject (not queue) jobs when the sePCR bank is exhausted")
 
+		chaosProfile = flag.String("chaos-profile", "", "fault-injection profile: off|light|heavy|tpm|storm|soak, optionally with k=v overrides (e.g. \"soak,tpm_fail=0.1\"); \"\" disables chaos")
+		chaosSeed    = flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = derive from time; the chosen seed is printed so any run can be replayed)")
+
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		clients  = flag.Int("clients", 4, "loadgen: concurrent client connections")
 		rate     = flag.Float64("rate", 0, "loadgen: aggregate requests/second (0 = unpaced)")
@@ -78,13 +87,18 @@ func main() {
 		traceOut: *traceOut, traceFormat: *traceFormat,
 		profile: *profile, profileOut: *profileOut, crashDir: *crashDir,
 	}
+	svcCfg := serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
+		*quantum, *keyBits, *seed, *deadline, *reject)
+	if err := applyChaos(&svcCfg, *chaosProfile, *chaosSeed); err != nil {
+		fmt.Fprintf(os.Stderr, "palservd: %v\n", err)
+		os.Exit(2)
+	}
 	var err error
 	if *loadgen {
 		err = runLoadgen(loadgenOpts{
 			addr: *addr, clients: *clients, rate: *rate, duration: *duration,
 			palFile: *palFile, noAttest: *noAttest,
-			svc: serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
-				*quantum, *keyBits, *seed, *deadline, *reject),
+			svc:         svcCfg,
 			connTimeout: *connTimeout,
 			debug:       dbg,
 		})
@@ -93,9 +107,7 @@ func main() {
 		if listen == "" {
 			listen = "127.0.0.1:7080"
 		}
-		err = runServer(listen, *connTimeout,
-			serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
-				*quantum, *keyBits, *seed, *deadline, *reject), dbg, nil)
+		err = runServer(listen, *connTimeout, svcCfg, dbg, nil)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "palservd: %v\n", err)
@@ -121,6 +133,34 @@ func serviceConfig(machines, sePCRs, workers, queueDepth int,
 		cfg.Admission = palsvc.AdmitReject
 	}
 	return cfg
+}
+
+// applyChaos parses -chaos-profile/-chaos-seed into the service config. A
+// non-trivial profile also enables the supervisor defaults (retry with
+// backoff, replica quarantine) — injecting faults without supervision would
+// just measure how fast jobs can fail. The effective seed is always
+// printed: replaying any run, including one that derived its seed from the
+// clock, only takes passing that number back via -chaos-seed.
+func applyChaos(cfg *palsvc.Config, profile string, seed uint64) error {
+	if profile == "" {
+		return nil
+	}
+	p, err := chaos.ParseProfile(profile)
+	if err != nil {
+		return err
+	}
+	if !p.Enabled() {
+		return nil
+	}
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	cfg.Chaos = chaos.New(seed, p)
+	cfg.Retry = palsvc.DefaultRetryPolicy()
+	cfg.Supervisor = palsvc.DefaultSupervisorPolicy()
+	fmt.Printf("palservd: chaos profile [%v] seed %d (replay with -chaos-profile %q -chaos-seed %d)\n",
+		p, seed, profile, seed)
+	return nil
 }
 
 // runServer builds the service and serves until the listener dies. If ready

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -111,9 +112,11 @@ func wrapTimeout(op string, limit time.Duration, err error) error {
 func ServeOne(conn net.Conn, respond Responder, opts ...Option) error {
 	cfg := newExchangeConfig(opts)
 	defer conn.Close()
+	var deadline time.Time
 	if cfg.timeout > 0 {
 		// Wall-clock (not virtual) deadline: the peer is a real socket.
-		_ = conn.SetDeadline(time.Now().Add(cfg.timeout))
+		deadline = time.Now().Add(cfg.timeout)
+		_ = conn.SetDeadline(deadline)
 	}
 	var ch Challenge
 	dec := gob.NewDecoder(conn)
@@ -123,6 +126,14 @@ func ServeOne(conn net.Conn, respond Responder, opts ...Option) error {
 	}
 	if len(ch.Nonce) == 0 || len(ch.Nonce) > 256 {
 		return errors.New("attest: refusing challenge with absent or oversized nonce")
+	}
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		// The deadline expired before the platform was consulted (a
+		// slow-read client can burn the whole budget on the challenge).
+		// Fail WITHOUT calling respond: a quote is one-shot — generating
+		// it zeroes the sePCR — so producing evidence that can no longer
+		// be delivered would leave the register unattestable forever.
+		return &TimeoutError{Op: "awaiting platform", Limit: cfg.timeout, Err: os.ErrDeadlineExceeded}
 	}
 	ev, err := respond(ch)
 	if err != nil {
@@ -140,23 +151,34 @@ func ServeOne(conn net.Conn, respond Responder, opts ...Option) error {
 // it typically fronts a single-threaded simulated platform (see
 // internal/sim), so only the network I/O runs concurrently.
 func Serve(l net.Listener, respond Responder, opts ...Option) error {
+	cfg := newExchangeConfig(opts)
 	var mu sync.Mutex
-	serial := func(ch Challenge) (*Evidence, error) {
-		mu.Lock()
-		defer mu.Unlock()
-		return respond(ch)
-	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
+		accepted := time.Now()
 		go func(c net.Conn) {
 			defer func() {
 				if r := recover(); r != nil {
 					_ = c.Close()
 				}
 			}()
+			// The serial responder is built per connection so it can
+			// re-check this connection's budget after the mutex wait:
+			// a stalled exchange ahead of us can eat the whole timeout,
+			// and quotes are one-shot — consuming one for a connection
+			// whose peer has already been cut off by its deadline would
+			// leave that sePCR unattestable forever.
+			serial := func(ch Challenge) (*Evidence, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				if cfg.timeout > 0 && time.Since(accepted) > cfg.timeout {
+					return nil, &TimeoutError{Op: "awaiting platform", Limit: cfg.timeout, Err: os.ErrDeadlineExceeded}
+				}
+				return respond(ch)
+			}
 			_ = ServeOne(c, serial, opts...)
 		}(conn)
 	}

@@ -1,0 +1,305 @@
+// Package chaos is a deterministic, seed-driven fault injector for the PAL
+// execution stack. It threads through seams the real stack already exposes —
+// TPM command failures and stalls (tpm.FaultHook), spurious PAL faults and
+// slice-expiry storms (sksm.ChaosHook), wedged platform replicas and clock
+// skew (consulted by palsvc) — so that the interrupt/kill/resume paths the
+// paper's §5 life cycle (SLAUNCH/SYIELD/SKILL) depends on are exercised
+// systematically instead of only on hardware accidents.
+//
+// Determinism is the whole point: every fault decision is drawn from a
+// per-site SplitMix64 stream seeded with seed ⊕ hash(site), and each site
+// keeps its own decision counter. The k-th decision at a given site is
+// therefore a pure function of (seed, profile, site, k), independent of
+// goroutine interleaving — two runs with the same seed and the same
+// single-threaded schedule produce bit-identical fault schedules, which is
+// what turns a flaky-looking soak failure into a replayable regression test
+// (see docs/RESILIENCE.md).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"minimaltcb/internal/sim"
+)
+
+// ErrInjected is the errors.Is target every injected fault matches.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// InjectedError is the concrete error an injection site returns. It is
+// retryable by construction: an injected fault models a transient condition
+// (a glitching TPM, a spurious PAL fault), so supervisors are expected to
+// retry and the error chain must carry that bit.
+type InjectedError struct {
+	// Site is the decision stream that fired ("tpmfail/0", "palfault/1"...).
+	Site string
+	// Cmd is the TPM command name for TPM-site faults, "" elsewhere.
+	Cmd string
+	// N is the site-local decision index that fired, for replay: the same
+	// seed fires the same N at the same site.
+	N uint64
+}
+
+func (e *InjectedError) Error() string {
+	if e.Cmd != "" {
+		return fmt.Sprintf("chaos: injected fault at %s #%d (%s)", e.Site, e.N, e.Cmd)
+	}
+	return fmt.Sprintf("chaos: injected fault at %s #%d", e.Site, e.N)
+}
+
+// Retryable marks every injected fault as transient (see palsvc.Retryable).
+func (e *InjectedError) Retryable() bool { return true }
+
+// Is makes errors.Is(err, chaos.ErrInjected) match.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// Event is one recorded fault decision that fired.
+type Event struct {
+	// Seq is the global record order. It depends on goroutine interleaving
+	// and is informational; Site+N is the replay-stable identity.
+	Seq int `json:"seq"`
+	// Site is the decision stream ("tpmfail/0", "storm/2", ...).
+	Site string `json:"site"`
+	// Kind is the fault class ("tpm_fail", "tpm_stall", "pal_fault",
+	// "storm", "wedge", "skew").
+	Kind string `json:"kind"`
+	// Cmd is the TPM command the fault hit, when applicable.
+	Cmd string `json:"cmd,omitempty"`
+	// N is the site-local decision index.
+	N uint64 `json:"n"`
+	// Dur is the stall/wedge/skew magnitude for duration-valued faults.
+	Dur time.Duration `json:"dur_ns,omitempty"`
+}
+
+// site is one decision stream: its own RNG and its own counter.
+type site struct {
+	rng *sim.RNG
+	n   uint64
+}
+
+// Injector hands out fault decisions. Safe for concurrent use; determinism
+// is per site, not per wall-clock order (see the package comment).
+type Injector struct {
+	seed    uint64
+	profile Profile
+
+	mu     sync.Mutex
+	sites  map[string]*site
+	events []Event
+	counts map[string]uint64
+}
+
+// New builds an injector for a seed and profile.
+func New(seed uint64, p Profile) *Injector {
+	return &Injector{
+		seed:    seed,
+		profile: p,
+		sites:   make(map[string]*site),
+		counts:  make(map[string]uint64),
+	}
+}
+
+// Seed returns the injector's seed — print it so any run can be replayed.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// Profile returns the active fault profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// fnv64a hashes a site name for seed domain separation.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// decide draws the next decision at a site: deterministic-first faults
+// (first > 0) fire unconditionally for the first `first` decisions, then
+// the rate applies. It returns whether the fault fires and the site-local
+// decision index.
+func (in *Injector) decide(siteName string, rate float64, first int) (bool, uint64) {
+	in.mu.Lock()
+	st := in.sites[siteName]
+	if st == nil {
+		st = &site{rng: sim.NewRNG(in.seed ^ fnv64a(siteName))}
+		in.sites[siteName] = st
+	}
+	n := st.n
+	st.n++
+	hit := false
+	if first > 0 && n < uint64(first) {
+		hit = true
+	} else if rate > 0 && st.rng.Float64() < rate {
+		hit = true
+	}
+	in.mu.Unlock()
+	return hit, n
+}
+
+// record appends a fired fault to the event log and bumps its kind counter.
+func (in *Injector) record(ev Event) {
+	in.mu.Lock()
+	ev.Seq = len(in.events)
+	in.events = append(in.events, ev)
+	in.counts[ev.Kind]++
+	in.mu.Unlock()
+}
+
+// Schedule returns the fired fault events ordered by (Site, N) — the
+// replay-stable view two same-seed runs can be compared on. The Seq field
+// preserves the observed global order for debugging.
+func (in *Injector) Schedule() []Event {
+	in.mu.Lock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].N < out[j].N
+	})
+	return out
+}
+
+// Counts returns how many faults fired per kind.
+func (in *Injector) Counts() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// TPMHook returns the per-machine TPM fault hook (satisfies tpm.FaultHook).
+func (in *Injector) TPMHook(machine int) *TPMHook {
+	return &TPMHook{in: in, machine: machine}
+}
+
+// SKSMHook returns the per-machine scheduler hook (satisfies sksm.ChaosHook).
+func (in *Injector) SKSMHook(machine int) *SKSMHook {
+	return &SKSMHook{in: in, machine: machine}
+}
+
+// MachineHook returns the per-machine replica hook palsvc consults for
+// wedges and clock skew.
+func (in *Injector) MachineHook(machine int) *MachineHook {
+	return &MachineHook{in: in, machine: machine}
+}
+
+// TPMHook injects command failures and stalls into one machine's TPM. Two
+// independent decision streams per machine: tpmfail/N and tpmstall/N.
+type TPMHook struct {
+	in      *Injector
+	machine int
+}
+
+// TPMCommand is consulted once per fallible TPM command. It returns an
+// extra stall to charge against the machine's virtual clock and/or an error
+// that fails the command before it takes effect. Cleanup commands
+// (TPM_SEPCR_Free, TPM_SEPCR_Kill, ReleaseSePCR) are never consulted — the
+// zero-leak invariant must stay provable under injection.
+func (h *TPMHook) TPMCommand(cmd string) (time.Duration, error) {
+	p := &h.in.profile
+	var stall time.Duration
+	if p.TPMStallRate > 0 && p.TPMStall > 0 {
+		siteName := fmt.Sprintf("tpmstall/%d", h.machine)
+		if hit, n := h.in.decide(siteName, p.TPMStallRate, 0); hit {
+			stall = p.TPMStall
+			h.in.record(Event{Site: siteName, Kind: "tpm_stall", Cmd: cmd, N: n, Dur: stall})
+		}
+	}
+	if p.TPMFailRate > 0 || p.TPMFailFirst > 0 {
+		siteName := fmt.Sprintf("tpmfail/%d", h.machine)
+		if hit, n := h.in.decide(siteName, p.TPMFailRate, p.TPMFailFirst); hit {
+			h.in.record(Event{Site: siteName, Kind: "tpm_fail", Cmd: cmd, N: n})
+			return stall, &InjectedError{Site: siteName, Cmd: cmd, N: n}
+		}
+	}
+	return stall, nil
+}
+
+// SKSMHook injects scheduler-level faults into one machine's SLAUNCH
+// microcode: slice-expiry storms (a slice's preemption quantum collapses to
+// StormQuantum, multiplying suspend/resume world switches) and spurious PAL
+// faults after a slice.
+type SKSMHook struct {
+	in      *Injector
+	machine int
+}
+
+// SliceQuantum may shrink the configured preemption quantum for one slice.
+func (h *SKSMHook) SliceQuantum(q time.Duration) time.Duration {
+	p := &h.in.profile
+	if p.StormRate <= 0 || p.StormQuantum <= 0 {
+		return q
+	}
+	siteName := fmt.Sprintf("storm/%d", h.machine)
+	if hit, n := h.in.decide(siteName, p.StormRate, 0); hit {
+		if q <= 0 || p.StormQuantum < q {
+			h.in.record(Event{Site: siteName, Kind: "storm", N: n, Dur: p.StormQuantum})
+			return p.StormQuantum
+		}
+	}
+	return q
+}
+
+// SliceFault may declare a spurious PAL fault after a non-terminal slice.
+// The manager then follows its real fault path: suspend, flight-record,
+// wrap in ErrPALFault — exactly what a hardware-detected violation does.
+func (h *SKSMHook) SliceFault() error {
+	p := &h.in.profile
+	if p.PALFaultRate <= 0 && p.PALFaultFirst <= 0 {
+		return nil
+	}
+	siteName := fmt.Sprintf("palfault/%d", h.machine)
+	if hit, n := h.in.decide(siteName, p.PALFaultRate, p.PALFaultFirst); hit {
+		h.in.record(Event{Site: siteName, Kind: "pal_fault", N: n})
+		return &InjectedError{Site: siteName, N: n}
+	}
+	return nil
+}
+
+// MachineHook injects replica-level faults palsvc consults per job while
+// holding the machine lock: wedges (the replica sits on the TPM arbitration
+// for WedgeFor of wall-clock time) and virtual clock skew.
+type MachineHook struct {
+	in      *Injector
+	machine int
+}
+
+// Wedge returns a wall-clock stall to apply while holding the machine lock,
+// or 0.
+func (h *MachineHook) Wedge() time.Duration {
+	p := &h.in.profile
+	if p.WedgeRate <= 0 || p.WedgeFor <= 0 {
+		return 0
+	}
+	siteName := fmt.Sprintf("wedge/%d", h.machine)
+	if hit, n := h.in.decide(siteName, p.WedgeRate, 0); hit {
+		h.in.record(Event{Site: siteName, Kind: "wedge", N: n, Dur: p.WedgeFor})
+		return p.WedgeFor
+	}
+	return 0
+}
+
+// Skew returns a virtual-clock skew to apply to the replica, or 0.
+func (h *MachineHook) Skew() time.Duration {
+	p := &h.in.profile
+	if p.SkewRate <= 0 || p.SkewBy <= 0 {
+		return 0
+	}
+	siteName := fmt.Sprintf("skew/%d", h.machine)
+	if hit, n := h.in.decide(siteName, p.SkewRate, 0); hit {
+		h.in.record(Event{Site: siteName, Kind: "skew", N: n, Dur: p.SkewBy})
+		return p.SkewBy
+	}
+	return 0
+}

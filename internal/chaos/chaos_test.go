@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// drive pulls n decisions from every hook of one machine in a fixed order
+// and returns the injector's replay-stable schedule.
+func drive(seed uint64, p Profile, n int) []Event {
+	in := New(seed, p)
+	th := in.TPMHook(0)
+	sh := in.SKSMHook(0)
+	mh := in.MachineHook(0)
+	for i := 0; i < n; i++ {
+		_, _ = th.TPMCommand("TPM_SEPCR_Extend")
+		_ = sh.SliceQuantum(100 * time.Microsecond)
+		_ = sh.SliceFault()
+		_ = mh.Wedge()
+		_ = mh.Skew()
+	}
+	return in.Schedule()
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	p := named["soak"]
+	a := drive(12345, p, 500)
+	b := drive(12345, p, 500)
+	if len(a) == 0 {
+		t.Fatal("soak profile injected nothing over 500 rounds")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules: %d vs %d events", len(a), len(b))
+	}
+	c := drive(54321, p, 500)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestSiteStreamsAreIndependent verifies the determinism contract the
+// package doc promises: the k-th decision at a site does not depend on how
+// other sites are interleaved between its draws.
+func TestSiteStreamsAreIndependent(t *testing.T) {
+	p := Profile{TPMFailRate: 0.3, PALFaultRate: 0.3}
+	// Run A: strict alternation between the two sites.
+	a := New(99, p)
+	ath, ash := a.TPMHook(0), a.SKSMHook(0)
+	for i := 0; i < 200; i++ {
+		_, _ = ath.TPMCommand("TPM_Quote")
+		_ = ash.SliceFault()
+	}
+	// Run B: all TPM draws first, then all slice-fault draws.
+	b := New(99, p)
+	bth, bsh := b.TPMHook(0), b.SKSMHook(0)
+	for i := 0; i < 200; i++ {
+		_, _ = bth.TPMCommand("TPM_Quote")
+	}
+	for i := 0; i < 200; i++ {
+		_ = bsh.SliceFault()
+	}
+	as, bs := a.Schedule(), b.Schedule()
+	// Seq differs by construction; the (Site, Kind, N) schedule must not.
+	norm := func(evs []Event) []Event {
+		out := make([]Event, len(evs))
+		for i, e := range evs {
+			e.Seq = 0
+			out[i] = e
+		}
+		return out
+	}
+	if !reflect.DeepEqual(norm(as), norm(bs)) {
+		t.Fatalf("interleaving changed the fault schedule: %d vs %d events", len(as), len(bs))
+	}
+}
+
+func TestMachinesGetDistinctStreams(t *testing.T) {
+	p := Profile{TPMFailRate: 0.5}
+	in := New(7, p)
+	h0, h1 := in.TPMHook(0), in.TPMHook(1)
+	var fired0, fired1 []uint64
+	for i := 0; i < 100; i++ {
+		if _, err := h0.TPMCommand("x"); err != nil {
+			fired0 = append(fired0, uint64(i))
+		}
+		if _, err := h1.TPMCommand("x"); err != nil {
+			fired1 = append(fired1, uint64(i))
+		}
+	}
+	if len(fired0) == 0 || len(fired1) == 0 {
+		t.Fatal("expected faults on both machines at rate 0.5")
+	}
+	if reflect.DeepEqual(fired0, fired1) {
+		t.Fatal("machines 0 and 1 drew identical fault patterns; streams are not domain-separated")
+	}
+}
+
+func TestCountBasedFirstFaults(t *testing.T) {
+	in := New(1, Profile{TPMFailFirst: 3})
+	h := in.TPMHook(0)
+	for i := 0; i < 3; i++ {
+		if _, err := h.TPMCommand("cmd"); err == nil {
+			t.Fatalf("decision %d: want injected fault, got nil", i)
+		}
+	}
+	if _, err := h.TPMCommand("cmd"); err != nil {
+		t.Fatalf("decision 3: want nil after first-N exhausted, got %v", err)
+	}
+	if got := in.Counts()["tpm_fail"]; got != 3 {
+		t.Fatalf("Counts[tpm_fail] = %d, want 3", got)
+	}
+}
+
+func TestInjectedErrorContract(t *testing.T) {
+	in := New(1, Profile{PALFaultFirst: 1})
+	err := in.SKSMHook(2).SliceFault()
+	if err == nil {
+		t.Fatal("want an injected fault")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("errors.Is(%v, ErrInjected) = false", err)
+	}
+	var r interface{ Retryable() bool }
+	if !errors.As(err, &r) || !r.Retryable() {
+		t.Fatalf("injected fault %v is not marked retryable", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "palfault/2" || ie.N != 0 {
+		t.Fatalf("unexpected injected error identity: %+v", ie)
+	}
+}
+
+func TestStormNeverLengthensQuantum(t *testing.T) {
+	in := New(1, Profile{StormRate: 1, StormQuantum: 50 * time.Microsecond})
+	h := in.SKSMHook(0)
+	if got := h.SliceQuantum(10 * time.Microsecond); got != 10*time.Microsecond {
+		t.Fatalf("storm lengthened a 10µs quantum to %v", got)
+	}
+	if got := h.SliceQuantum(0); got != 50*time.Microsecond {
+		t.Fatalf("storm on run-to-completion quantum: got %v, want 50µs", got)
+	}
+	if got := h.SliceQuantum(time.Millisecond); got != 50*time.Microsecond {
+		t.Fatalf("storm on 1ms quantum: got %v, want 50µs", got)
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+		check   func(Profile) bool
+	}{
+		{in: "soak", check: func(p Profile) bool { return p == named["soak"] }},
+		{in: "off", check: func(p Profile) bool { return !p.Enabled() }},
+		{in: "soak,tpm_fail=0.2", check: func(p Profile) bool {
+			want := named["soak"]
+			want.TPMFailRate = 0.2
+			return p == want
+		}},
+		{in: "tpm_fail_first=5,wedge=0.1,wedge_for=3ms", check: func(p Profile) bool {
+			return p.TPMFailFirst == 5 && p.WedgeRate == 0.1 && p.WedgeFor == 3*time.Millisecond
+		}},
+		{in: "nonsense", wantErr: true},
+		{in: "soak,tpm_fail=2", wantErr: true}, // rate out of [0,1]
+		{in: "soak,wedge_for=-1s", wantErr: true},
+		{in: "soak,bogus_key=1", wantErr: true},
+		{in: "soak,tpm_fail", wantErr: true}, // missing value
+	}
+	for _, tc := range cases {
+		p, err := ParseProfile(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseProfile(%q): want error, got %+v", tc.in, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseProfile(%q): %v", tc.in, err)
+			continue
+		}
+		if !tc.check(p) {
+			t.Errorf("ParseProfile(%q) = %+v: check failed", tc.in, p)
+		}
+	}
+}
+
+func TestProfileStringOffAndOn(t *testing.T) {
+	if got := (Profile{}).String(); got != "off" {
+		t.Fatalf("zero profile String() = %q, want off", got)
+	}
+	if got := named["soak"].String(); got == "off" || got == "" {
+		t.Fatalf("soak profile String() = %q", got)
+	}
+}

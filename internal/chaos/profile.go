@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Profile describes which fault classes an Injector draws from and how
+// often. The zero Profile injects nothing.
+type Profile struct {
+	// TPMFailRate is the probability a fallible TPM command fails with an
+	// InjectedError; TPMFailFirst makes the first N commands per machine
+	// fail deterministically (count-based, for regression tests).
+	TPMFailRate  float64
+	TPMFailFirst int
+	// TPMStallRate/TPMStall stall a TPM command by TPMStall of virtual
+	// time before it executes — the glitching-chip behaviour that Figure 3
+	// timing profiles only model the average of.
+	TPMStallRate float64
+	TPMStall     time.Duration
+	// PALFaultRate declares a spurious PAL fault after a non-terminal
+	// slice; PALFaultFirst is its deterministic count-based sibling.
+	PALFaultRate  float64
+	PALFaultFirst int
+	// StormRate/StormQuantum collapse a slice's preemption quantum to
+	// StormQuantum — a slice-expiry storm that multiplies suspend/resume
+	// world switches without starving progress (the core always retires at
+	// least one instruction per slice).
+	StormRate    float64
+	StormQuantum time.Duration
+	// WedgeRate/WedgeFor wedge a replica: it holds the TPM arbitration
+	// (the machine lock) for WedgeFor of wall-clock time before running a
+	// job.
+	WedgeRate float64
+	WedgeFor  time.Duration
+	// SkewRate/SkewBy advance the replica's virtual clock by SkewBy before
+	// a job, modeling per-machine clock drift.
+	SkewRate float64
+	SkewBy   time.Duration
+}
+
+// Enabled reports whether the profile can inject anything at all.
+func (p Profile) Enabled() bool {
+	return p.TPMFailRate > 0 || p.TPMFailFirst > 0 ||
+		(p.TPMStallRate > 0 && p.TPMStall > 0) ||
+		p.PALFaultRate > 0 || p.PALFaultFirst > 0 ||
+		(p.StormRate > 0 && p.StormQuantum > 0) ||
+		(p.WedgeRate > 0 && p.WedgeFor > 0) ||
+		(p.SkewRate > 0 && p.SkewBy > 0)
+}
+
+// Named profiles. "soak" is the non-trivial profile `make soak` asserts
+// zero-loss under: TPM faults + replica wedges + slice storms together.
+var named = map[string]Profile{
+	"off": {},
+	"light": {
+		TPMFailRate: 0.02, TPMStallRate: 0.05, TPMStall: 200 * time.Microsecond,
+		PALFaultRate: 0.02, StormRate: 0.05, StormQuantum: 2 * time.Microsecond,
+	},
+	"heavy": {
+		TPMFailRate: 0.10, TPMStallRate: 0.15, TPMStall: 500 * time.Microsecond,
+		PALFaultRate: 0.10, StormRate: 0.20, StormQuantum: 1 * time.Microsecond,
+		WedgeRate: 0.05, WedgeFor: 2 * time.Millisecond,
+		SkewRate: 0.05, SkewBy: 1 * time.Millisecond,
+	},
+	"tpm": {
+		TPMFailRate: 0.15, TPMStallRate: 0.25, TPMStall: 1 * time.Millisecond,
+	},
+	"storm": {
+		StormRate: 0.5, StormQuantum: 1 * time.Microsecond,
+	},
+	"soak": {
+		TPMFailRate: 0.05, TPMStallRate: 0.10, TPMStall: 200 * time.Microsecond,
+		PALFaultRate: 0.05, StormRate: 0.15, StormQuantum: 2 * time.Microsecond,
+		WedgeRate: 0.03, WedgeFor: 1 * time.Millisecond,
+		SkewRate: 0.05, SkewBy: 500 * time.Microsecond,
+	},
+}
+
+// Names lists the named profiles (for flag help).
+func Names() []string {
+	return []string{"off", "light", "heavy", "tpm", "storm", "soak"}
+}
+
+// ParseProfile parses a -chaos-profile value: a profile name ("soak"),
+// optionally followed by comma-separated key=value overrides
+// ("soak,tpm_fail=0.2,wedge_for=5ms"), or overrides alone on top of "off".
+// Rate keys take floats in [0,1]; duration keys take Go durations; *_first
+// keys take integers.
+func ParseProfile(s string) (Profile, error) {
+	p := Profile{}
+	parts := strings.Split(s, ",")
+	start := 0
+	if len(parts) > 0 && !strings.Contains(parts[0], "=") {
+		name := strings.TrimSpace(parts[0])
+		if name != "" {
+			base, ok := named[name]
+			if !ok {
+				return Profile{}, fmt.Errorf("chaos: unknown profile %q (have %s)",
+					name, strings.Join(Names(), ", "))
+			}
+			p = base
+		}
+		start = 1
+	}
+	for _, kv := range parts[start:] {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("chaos: bad override %q (want key=value)", kv)
+		}
+		if err := p.set(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return Profile{}, err
+		}
+	}
+	return p, nil
+}
+
+// set applies one key=value override.
+func (p *Profile) set(key, val string) error {
+	rate := func(dst *float64) error {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("chaos: %s wants a rate in [0,1], got %q", key, val)
+		}
+		*dst = f
+		return nil
+	}
+	dur := func(dst *time.Duration) error {
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("chaos: %s wants a non-negative duration, got %q", key, val)
+		}
+		*dst = d
+		return nil
+	}
+	count := func(dst *int) error {
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("chaos: %s wants a non-negative integer, got %q", key, val)
+		}
+		*dst = n
+		return nil
+	}
+	switch key {
+	case "tpm_fail":
+		return rate(&p.TPMFailRate)
+	case "tpm_fail_first":
+		return count(&p.TPMFailFirst)
+	case "tpm_stall":
+		return rate(&p.TPMStallRate)
+	case "tpm_stall_for":
+		return dur(&p.TPMStall)
+	case "pal_fault":
+		return rate(&p.PALFaultRate)
+	case "pal_fault_first":
+		return count(&p.PALFaultFirst)
+	case "storm":
+		return rate(&p.StormRate)
+	case "storm_quantum":
+		return dur(&p.StormQuantum)
+	case "wedge":
+		return rate(&p.WedgeRate)
+	case "wedge_for":
+		return dur(&p.WedgeFor)
+	case "skew":
+		return rate(&p.SkewRate)
+	case "skew_by":
+		return dur(&p.SkewBy)
+	default:
+		return fmt.Errorf("chaos: unknown profile key %q", key)
+	}
+}
+
+// String renders the non-zero fields, for startup banners.
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	var b strings.Builder
+	add := func(format string, args ...any) {
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, format, args...)
+	}
+	if p.TPMFailRate > 0 {
+		add("tpm_fail=%g", p.TPMFailRate)
+	}
+	if p.TPMFailFirst > 0 {
+		add("tpm_fail_first=%d", p.TPMFailFirst)
+	}
+	if p.TPMStallRate > 0 && p.TPMStall > 0 {
+		add("tpm_stall=%g/%v", p.TPMStallRate, p.TPMStall)
+	}
+	if p.PALFaultRate > 0 {
+		add("pal_fault=%g", p.PALFaultRate)
+	}
+	if p.PALFaultFirst > 0 {
+		add("pal_fault_first=%d", p.PALFaultFirst)
+	}
+	if p.StormRate > 0 && p.StormQuantum > 0 {
+		add("storm=%g/%v", p.StormRate, p.StormQuantum)
+	}
+	if p.WedgeRate > 0 && p.WedgeFor > 0 {
+		add("wedge=%g/%v", p.WedgeRate, p.WedgeFor)
+	}
+	if p.SkewRate > 0 && p.SkewBy > 0 {
+		add("skew=%g/%v", p.SkewRate, p.SkewBy)
+	}
+	return b.String()
+}

@@ -1,0 +1,386 @@
+package palsvc
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"minimaltcb/internal/chaos"
+	"minimaltcb/internal/obs/prof"
+)
+
+// These tests drive the service through internal/chaos: supervised retry,
+// replica quarantine and shedding, deadline kills mid-execute, and the
+// zero-loss/zero-leak soak. Count-based fault profiles (TPMFailFirst,
+// PALFaultFirst) fire unconditionally for the first N decisions, which
+// makes the assertions exact rather than probabilistic.
+
+// spinSource busy-loops for 64<<16 ≈ 4.2M iterations — far longer than any
+// deadline these tests set, so a mid-execute kill is the only way out.
+const spinSource = `
+	ldi r0, 0
+	ldi r1, 0
+	lui r1, 64
+loop:	addi r0, 1
+	cmp r0, r1
+	jnz loop
+	ldi r0, 0
+	svc 0
+`
+
+func TestRetryRecoversFromInjectedTPMFault(t *testing.T) {
+	s := newTestService(t, Config{
+		Machines: 1, Workers: 1,
+		Chaos: chaos.New(7, chaos.Profile{TPMFailFirst: 1}),
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Microsecond, MaxBackoff: 500 * time.Microsecond},
+	})
+	res, err := s.Run(Job{Name: "retry", Source: helloSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("supervised job failed despite retries: %v", res.Err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one injected failure, one success)", res.Attempts)
+	}
+	if string(res.Output) != "hello" {
+		t.Fatalf("output %q", res.Output)
+	}
+	m := s.Metrics()
+	if m.Completed != 1 || m.Failed != 0 || m.Retried != 1 {
+		t.Fatalf("metrics completed=%d failed=%d retried=%d, want 1/0/1",
+			m.Completed, m.Failed, m.Retried)
+	}
+	if err := s.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedFaultTerminalWithoutRetryPolicy(t *testing.T) {
+	s := newTestService(t, Config{
+		Machines: 1, Workers: 1,
+		Chaos: chaos.New(7, chaos.Profile{TPMFailFirst: 1}),
+	})
+	res, err := s.Run(Job{Name: "no-retry", Source: helloSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Fatal("injected TPM fault did not fail the job")
+	}
+	// The injected cause must survive the wrap chain: errors.Is finds the
+	// sentinel and Retryable finds the Retryable() bit, so a tenant (or the
+	// supervisor) can classify without string matching.
+	if !errors.Is(res.Err, chaos.ErrInjected) {
+		t.Fatalf("errors.Is(err, chaos.ErrInjected) = false for %v", res.Err)
+	}
+	if !Retryable(res.Err) {
+		t.Fatalf("injected fault not retryable through the chain: %v", res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 with no retry policy", res.Attempts)
+	}
+	m := s.Metrics()
+	if m.Failed != 1 || m.Retried != 0 {
+		t.Fatalf("metrics failed=%d retried=%d, want 1/0", m.Failed, m.Retried)
+	}
+	if err := s.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlineKillsMidExecute pins the satellite fix: the deadline is
+// checked at every slice boundary, so a spinning PAL is SKILLed mid-run and
+// its sePCR and pages come back — not just at the pipeline seams.
+func TestDeadlineKillsMidExecute(t *testing.T) {
+	s := newTestService(t, Config{Machines: 1, Workers: 1})
+	res, err := s.Run(Job{
+		Name:     "spin",
+		Source:   spinSource,
+		Deadline: time.Now().Add(15 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, ErrDeadlineExceeded) {
+		t.Fatalf("spinning job with 15ms deadline: err = %v, want ErrDeadlineExceeded", res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "mid-execute") {
+		t.Fatalf("deadline fired at a pipeline seam, not mid-execute: %v", res.Err)
+	}
+	m := s.Metrics()
+	if m.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded = %d, want 1", m.DeadlineExceeded)
+	}
+	// The killed PAL's register and pages must be back: LeakCheck proves
+	// it, and a follow-up job proves the service still works.
+	if err := s.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(Job{Name: "after", Source: helloSource})
+	if err != nil || res.Err != nil {
+		t.Fatalf("service wedged after a mid-execute kill: %v / %v", err, res.Err)
+	}
+}
+
+func TestResolveDeadline(t *testing.T) {
+	now := time.Now()
+	explicit := now.Add(3 * time.Second)
+	cases := []struct {
+		name string
+		job  Job
+		def  time.Duration
+		want time.Time
+	}{
+		{"explicit wins over default", Job{Deadline: explicit}, time.Minute, explicit},
+		{"explicit without default", Job{Deadline: explicit}, 0, explicit},
+		{"default fills zero deadline", Job{}, time.Minute, now.Add(time.Minute)},
+		{"both zero means none", Job{}, 0, time.Time{}},
+	}
+	for _, tc := range cases {
+		if got := resolveDeadline(tc.job, now, tc.def); !got.Equal(tc.want) {
+			t.Errorf("%s: resolveDeadline = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestQuarantineShedsThenRecovers(t *testing.T) {
+	s := newTestService(t, Config{
+		Machines: 1, Workers: 1,
+		Chaos:      chaos.New(3, chaos.Profile{TPMFailFirst: 2}),
+		Supervisor: SupervisorPolicy{QuarantineAfter: 2, QuarantineFor: 300 * time.Millisecond},
+	})
+	// Two consecutive injected faults trip the only replica into
+	// quarantine.
+	for i := 0; i < 2; i++ {
+		res, err := s.Run(Job{Name: "victim", Source: helloSource})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err == nil {
+			t.Fatalf("job %d: want injected failure", i)
+		}
+	}
+	// With the whole fleet quarantined the service sheds rather than
+	// queueing against a sick replica; the rejection is retryable.
+	res, err := s.Run(Job{Name: "shed-me", Source: helloSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, ErrShedding) {
+		t.Fatalf("all-quarantined: err = %v, want ErrShedding", res.Err)
+	}
+	if !Retryable(res.Err) {
+		t.Fatal("shed-load rejection must be retryable")
+	}
+	if ErrorCode(res.Err) != CodeShed {
+		t.Fatalf("shed wire code %q, want %q", ErrorCode(res.Err), CodeShed)
+	}
+	// The quarantine expires and the replica rejoins admission.
+	time.Sleep(400 * time.Millisecond)
+	res, err = s.Run(Job{Name: "recovered", Source: helloSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("replica never recovered from quarantine: %v", res.Err)
+	}
+	m := s.Metrics()
+	if m.Quarantines != 1 || m.RejectedShed != 1 || m.Completed != 1 || m.Failed != 2 {
+		t.Fatalf("metrics quarantines=%d shed=%d completed=%d failed=%d, want 1/1/1/2",
+			m.Quarantines, m.RejectedShed, m.Completed, m.Failed)
+	}
+	if err := s.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replayOutcome is the per-job tuple two same-seed runs are compared on.
+type replayOutcome struct {
+	Err      string
+	Attempts int
+	Slices   int
+	Exit     uint32
+}
+
+// runReplay executes a fixed single-worker, single-machine job sequence
+// under a seeded injector and returns everything determinism covers.
+func runReplay(t *testing.T, seed uint64) ([]replayOutcome, []chaos.Event, map[string]uint64, Metrics) {
+	t.Helper()
+	inj := chaos.New(seed, chaos.Profile{
+		TPMFailRate:  0.2,
+		PALFaultRate: 0.2,
+		StormRate:    0.5,
+		StormQuantum: 20 * time.Microsecond,
+	})
+	s := newTestService(t, Config{
+		Machines: 1, Workers: 1,
+		Quantum: 50 * time.Microsecond,
+		Chaos:   inj,
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseBackoff: 20 * time.Microsecond, MaxBackoff: 100 * time.Microsecond},
+	})
+	var outs []replayOutcome
+	for i := 0; i < 16; i++ {
+		res, err := s.Run(Job{Name: "replay", Source: slowSource})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := replayOutcome{Attempts: res.Attempts, Slices: res.Slices, Exit: res.ExitStatus}
+		if res.Err != nil {
+			o.Err = res.Err.Error()
+		}
+		outs = append(outs, o)
+	}
+	return outs, inj.Schedule(), inj.Counts(), s.Metrics()
+}
+
+// TestSeedReplayIsDeterministic is the replay contract end to end: two runs
+// with the same chaos seed over the same job sequence produce bit-identical
+// fault schedules, per-job outcomes, and terminal counters.
+func TestSeedReplayIsDeterministic(t *testing.T) {
+	out1, sched1, counts1, m1 := runReplay(t, 99)
+	out2, sched2, counts2, m2 := runReplay(t, 99)
+	if !reflect.DeepEqual(sched1, sched2) {
+		t.Fatalf("fault schedules diverged: %d vs %d events", len(sched1), len(sched2))
+	}
+	if len(sched1) == 0 {
+		t.Fatal("profile injected nothing; the replay comparison is vacuous")
+	}
+	if !reflect.DeepEqual(counts1, counts2) {
+		t.Fatalf("fault counts diverged: %v vs %v", counts1, counts2)
+	}
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatalf("per-job outcomes diverged:\nrun1: %+v\nrun2: %+v", out1, out2)
+	}
+	type counters struct{ Completed, Failed, Retried, DeadlineExceeded uint64 }
+	c1 := counters{m1.Completed, m1.Failed, m1.Retried, m1.DeadlineExceeded}
+	c2 := counters{m2.Completed, m2.Failed, m2.Retried, m2.DeadlineExceeded}
+	if c1 != c2 {
+		t.Fatalf("terminal counters diverged: %+v vs %+v", c1, c2)
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// TestSoakZeroLossUnderChaos is the acceptance soak (`make soak` runs it
+// with a longer duration): a non-trivial fault profile against a
+// multi-replica service over real TCP, asserting that every accepted job
+// reaches exactly one terminal counter, nothing leaks, and every injected
+// PAL fault left exactly one clean crash bundle. Tunables:
+//
+//	CHAOS_SOAK_PROFILE   chaos profile string   (default "soak")
+//	CHAOS_SOAK_DURATION  load duration          (default "1200ms")
+//	CHAOS_SOAK_SEED      injector seed          (default 1)
+func TestSoakZeroLossUnderChaos(t *testing.T) {
+	p, err := chaos.ParseProfile(envOr("CHAOS_SOAK_PROFILE", "soak"))
+	if err != nil {
+		t.Fatalf("CHAOS_SOAK_PROFILE: %v", err)
+	}
+	dur, err := time.ParseDuration(envOr("CHAOS_SOAK_DURATION", "1200ms"))
+	if err != nil {
+		t.Fatalf("CHAOS_SOAK_DURATION: %v", err)
+	}
+	seed, err := strconv.ParseUint(envOr("CHAOS_SOAK_SEED", "1"), 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SOAK_SEED: %v", err)
+	}
+
+	inj := chaos.New(seed, p)
+	crashDir := t.TempDir()
+	rec := prof.NewFlightRecorder(crashDir, nil)
+	s := newTestService(t, Config{
+		Machines: 2, Workers: 8,
+		Quantum:    50 * time.Microsecond, // multi-slice jobs: storms and spurious faults get traction
+		Chaos:      inj,
+		Retry:      DefaultRetryPolicy(),
+		Supervisor: SupervisorPolicy{QuarantineAfter: 4, QuarantineFor: 5 * time.Millisecond},
+		Flight:     rec,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback: %v", err)
+	}
+	defer l.Close()
+	go func() { _ = s.Serve(l, 30*time.Second) }()
+
+	rep, err := RunLoad(LoadConfig{
+		Addr: l.Addr().String(), Clients: 6, Duration: dur,
+		Name: "soak", Source: slowSource, Input: []byte("soak"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak seed %d profile [%v]: %v", seed, p, rep)
+	t.Logf("injected: %v", inj.Counts())
+
+	// Client view: every request got exactly one classified answer.
+	if got := rep.OK + rep.Rejected + rep.DeadlineExceeded + rep.Failed; got != rep.Sent {
+		t.Fatalf("lost responses: sent=%d but outcomes sum to %d", rep.Sent, got)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no job ever completed under the soak profile")
+	}
+
+	// Server view: terminal counters partition everything submitted —
+	// zero lost jobs even with retries, quarantines and shedding in play.
+	m := s.Metrics()
+	if got := m.Completed + m.Failed + m.DeadlineExceeded + m.RejectedBank + m.RejectedShed; got != m.Submitted {
+		t.Fatalf("terminal counters (%d) do not partition Submitted (%d): %+v", got, m.Submitted, m)
+	}
+	if err := s.LeakCheck(); err != nil {
+		t.Fatalf("resource leak after soak: %v", err)
+	}
+
+	counts := inj.Counts()
+	if p.Enabled() {
+		var total uint64
+		for _, n := range counts {
+			total += n
+		}
+		if total == 0 {
+			t.Fatal("soak ran with zero injected faults; the profile or sites are dead")
+		}
+	}
+
+	// Flight-recorder hygiene: every injected PAL fault produced exactly
+	// one persisted bundle (no drops, no duplicates from the SKILL path),
+	// and every bundle round-trips as JSON.
+	if err := rec.Err(); err != nil {
+		t.Fatalf("flight recorder persistence failure: %v", err)
+	}
+	var faultBundles uint64
+	f, err := os.Open(filepath.Join(crashDir, "crashes.jsonl"))
+	switch {
+	case err == nil:
+		defer f.Close()
+		bundles, err := prof.ReadCrashes(f)
+		if err != nil {
+			t.Fatalf("corrupt crash bundle: %v", err)
+		}
+		for _, b := range bundles {
+			if b.Reason == "fault" {
+				faultBundles++
+			}
+		}
+	case os.IsNotExist(err):
+		// No faults fired (e.g. an override profile without pal_fault).
+	default:
+		t.Fatal(err)
+	}
+	if faultBundles != counts["pal_fault"] {
+		t.Fatalf("flight recorder captured %d fault bundles for %d injected PAL faults",
+			faultBundles, counts["pal_fault"])
+	}
+}

@@ -42,6 +42,10 @@ type JobResult struct {
 	VerifiedAs string
 	// Slices and Resumes count scheduling slices and hardware resumes.
 	Slices, Resumes int
+	// Attempts counts pipeline attempts: 1 means the job succeeded (or
+	// failed terminally) first try; higher values mean the supervisor
+	// retried retryable failures (Config.Retry).
+	Attempts int
 
 	// Per-stage latencies. QueueWait, ArbWait and Verify are wall-clock
 	// (they happen in real time); Execute and QuoteGen are virtual time
@@ -93,13 +97,39 @@ var (
 	// occupied (§5.6) under the AdmitReject policy. Retryable.
 	ErrBankExhausted error = &retryableError{"palsvc: sePCR bank exhausted"}
 	// ErrDeadlineExceeded reports that the job's deadline expired before
-	// it finished dispatch.
+	// it finished — in the queue, waiting for a register, or (since the
+	// chaos PR) at any per-stage wait across execute/quote/verify.
 	ErrDeadlineExceeded = errors.New("palsvc: job deadline exceeded")
+	// ErrShedding reports graceful degradation: every platform replica is
+	// quarantined after repeated faults, so the service sheds load rather
+	// than queueing jobs against a sick fleet. Retryable.
+	ErrShedding error = &retryableError{"palsvc: shedding load: all replicas quarantined"}
 )
 
-// IsRetryable reports whether err (anywhere in its chain) marks a
-// transient condition that a later resubmission can clear.
-func IsRetryable(err error) bool {
+// Retryable reports whether err (anywhere in its chain) marks a transient
+// condition that a later resubmission can clear. It is the one place the
+// Retryable() contract is decided — call sites must never string-match
+// error text. The bit crosses the wire as WireResponse.Retryable.
+func Retryable(err error) bool {
 	var r interface{ Retryable() bool }
 	return errors.As(err, &r) && r.Retryable()
+}
+
+// IsRetryable is the original name for Retryable, kept for callers.
+func IsRetryable(err error) bool { return Retryable(err) }
+
+// resolveDeadline is the one place the Job.Deadline zero-value and
+// Config.DefaultDeadline interact: an explicit deadline always wins; a
+// zero deadline means DefaultDeadline measured from now, which may itself
+// be zero (no deadline). Both intake paths — local Submit and the wire
+// protocol's dispatch — resolve through it, so no code path can treat a
+// caller-set zero deadline as "unbounded" while a default is configured.
+func resolveDeadline(j Job, now time.Time, def time.Duration) time.Time {
+	if !j.Deadline.IsZero() {
+		return j.Deadline
+	}
+	if def > 0 {
+		return now.Add(def)
+	}
+	return time.Time{}
 }

@@ -32,14 +32,21 @@ type LoadConfig struct {
 
 // LoadReport summarizes one load-generator run.
 type LoadReport struct {
-	Clients  int
-	Sent     int
-	OK       int
-	Rejected int // retryable failures (queue full / bank exhausted)
+	Clients int
+	Sent    int
+	OK      int
+	// Rejected counts responses whose retryable bit was set: admission
+	// rejections (queue full / bank exhausted / shed) plus jobs whose
+	// retry budget the server exhausted on a transient fault — either
+	// way, the client is invited to resubmit.
+	Rejected int
 	// Rejection breakdown by wire code, so a capacity experiment can tell
-	// submission backpressure from sePCR-bank exhaustion at a glance.
+	// submission backpressure from sePCR-bank exhaustion from fleet-wide
+	// quarantine shedding at a glance. (Retry-budget exhaustion carries
+	// no admission code and lands in none of the three.)
 	RejectedQueueFull int
 	RejectedBank      int
+	RejectedShed      int
 	DeadlineExceeded  int // non-retryable deadline expiries
 	Failed            int // everything else
 	Elapsed           time.Duration
@@ -49,8 +56,8 @@ type LoadReport struct {
 
 func (r LoadReport) String() string {
 	return fmt.Sprintf(
-		"clients=%d sent=%d ok=%d rejected=%d (queue_full=%d bank_exhausted=%d) deadline_exceeded=%d failed=%d elapsed=%v throughput=%.1f jobs/s\nlatency: %v",
-		r.Clients, r.Sent, r.OK, r.Rejected, r.RejectedQueueFull, r.RejectedBank,
+		"clients=%d sent=%d ok=%d rejected=%d (queue_full=%d bank_exhausted=%d shed=%d) deadline_exceeded=%d failed=%d elapsed=%v throughput=%.1f jobs/s\nlatency: %v",
+		r.Clients, r.Sent, r.OK, r.Rejected, r.RejectedQueueFull, r.RejectedBank, r.RejectedShed,
 		r.DeadlineExceeded, r.Failed, r.Elapsed, r.Throughput, r.Latency)
 }
 
@@ -118,6 +125,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 						rep.RejectedQueueFull++
 					case CodeBankExhausted:
 						rep.RejectedBank++
+					case CodeShed:
+						rep.RejectedShed++
 					}
 				case resp.Code == CodeDeadline:
 					rep.DeadlineExceeded++

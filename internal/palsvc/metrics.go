@@ -32,15 +32,26 @@ func (s StageStats) String() string {
 type Metrics struct {
 	// Counters over the service lifetime. Rejected splits by cause:
 	// RejectedQueueFull counts ErrQueueFull backpressure at Submit,
-	// RejectedBank counts ErrBankExhausted under AdmitReject.
+	// RejectedBank counts ErrBankExhausted under AdmitReject, and
+	// RejectedShed counts ErrShedding while the whole fleet was
+	// quarantined. The terminal counters partition the accepted work:
+	// Submitted == Completed + Failed + DeadlineExceeded + RejectedBank +
+	// RejectedShed once the queue drains (queue-full rejections happen
+	// before Submitted is counted). Retried counts extra attempts, which
+	// deliberately move no terminal counter.
 	Submitted         uint64 `json:"submitted"`
 	Admitted          uint64 `json:"admitted"`
 	Rejected          uint64 `json:"rejected"`
 	RejectedQueueFull uint64 `json:"rejected_queue_full"`
 	RejectedBank      uint64 `json:"rejected_bank_exhausted"`
+	RejectedShed      uint64 `json:"rejected_shed"`
 	Completed         uint64 `json:"completed"`
 	Failed            uint64 `json:"failed"`
 	DeadlineExceeded  uint64 `json:"deadline_exceeded"`
+	// Retried counts supervisor retries; Quarantines counts replica
+	// quarantine trips.
+	Retried     uint64 `json:"retried"`
+	Quarantines uint64 `json:"quarantines"`
 
 	// QueueDepth is the number of jobs waiting in the submission queue
 	// at snapshot time.
@@ -75,8 +86,9 @@ type metrics struct {
 	mu sync.Mutex
 
 	submitted, admitted, rejected           uint64
-	rejQueueFull, rejBank                   uint64
+	rejQueueFull, rejBank, rejShed          uint64
 	completed, failed, deadlineEx           uint64
+	retried, quarantines                    uint64
 	occupancy, maxOccupancy                 int
 	queueWait, arbWait, exec, quote, verify sim.Sample
 
@@ -106,6 +118,9 @@ func (m *metrics) incRejected(err error) {
 	case errors.Is(err, ErrBankExhausted):
 		m.rejBank++
 		c = m.hooks.rejBank
+	case errors.Is(err, ErrShedding):
+		m.rejShed++
+		c = m.hooks.rejShed
 	}
 	m.mu.Unlock()
 	c.Inc()
@@ -114,6 +129,14 @@ func (m *metrics) incRejected(err error) {
 func (m *metrics) incCompleted() { m.mu.Lock(); m.completed++; m.mu.Unlock(); m.hooks.completed.Inc() }
 func (m *metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock(); m.hooks.failed.Inc() }
 func (m *metrics) incDeadline()  { m.mu.Lock(); m.deadlineEx++; m.mu.Unlock(); m.hooks.deadline.Inc() }
+func (m *metrics) incRetried()   { m.mu.Lock(); m.retried++; m.mu.Unlock(); m.hooks.retried.Inc() }
+
+func (m *metrics) incQuarantine() {
+	m.mu.Lock()
+	m.quarantines++
+	m.mu.Unlock()
+	m.hooks.quarantines.Inc()
+}
 
 // admitOne records a successful admission and bumps the occupancy gauge.
 func (m *metrics) admitOne() {
@@ -195,9 +218,12 @@ func (s *Service) Metrics() Metrics {
 		Rejected:          m.rejected,
 		RejectedQueueFull: m.rejQueueFull,
 		RejectedBank:      m.rejBank,
+		RejectedShed:      m.rejShed,
 		Completed:         m.completed,
 		Failed:            m.failed,
 		DeadlineExceeded:  m.deadlineEx,
+		Retried:           m.retried,
+		Quarantines:       m.quarantines,
 		SePCRCapacity:     s.bank,
 		SePCROccupancy:    m.occupancy,
 		MaxSePCROccupancy: m.maxOccupancy,

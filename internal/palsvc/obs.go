@@ -16,9 +16,12 @@ type obsHooks struct {
 	admitted     *obs.Counter
 	rejQueueFull *obs.Counter
 	rejBank      *obs.Counter
+	rejShed      *obs.Counter
 	completed    *obs.Counter
 	failed       *obs.Counter
 	deadline     *obs.Counter
+	retried      *obs.Counter
+	quarantines  *obs.Counter
 
 	queueH  *obs.Histogram
 	arbH    *obs.Histogram
@@ -52,9 +55,13 @@ func (s *Service) bindRegistry(r *obs.Registry) {
 			obs.Label{Name: "cause", Value: "queue_full"}),
 		rejBank: r.Counter("palsvc_jobs_rejected_total", "Jobs rejected, by cause.",
 			obs.Label{Name: "cause", Value: "bank_exhausted"}),
-		completed: r.Counter("palsvc_jobs_completed_total", "Jobs that finished successfully."),
-		failed:    r.Counter("palsvc_jobs_failed_total", "Jobs that finished with an error."),
-		deadline:  r.Counter("palsvc_jobs_deadline_exceeded_total", "Jobs whose deadline expired in the queue or while waiting for a register."),
+		rejShed: r.Counter("palsvc_jobs_rejected_total", "Jobs rejected, by cause.",
+			obs.Label{Name: "cause", Value: "shed_load"}),
+		completed:   r.Counter("palsvc_jobs_completed_total", "Jobs that finished successfully."),
+		failed:      r.Counter("palsvc_jobs_failed_total", "Jobs that finished with an error."),
+		deadline:    r.Counter("palsvc_jobs_deadline_exceeded_total", "Jobs whose deadline expired at any pipeline stage."),
+		retried:     r.Counter("palsvc_jobs_retried_total", "Supervisor retries of retryable job failures."),
+		quarantines: r.Counter("palsvc_machine_quarantines_total", "Replica quarantine trips after repeated consecutive faults."),
 
 		queueH:  stage("queue_wait", "wall"),
 		arbH:    stage("arb_wait", "wall"),
@@ -116,6 +123,8 @@ func ErrorCode(err error) string {
 		return CodeQueueFull
 	case errors.Is(err, ErrBankExhausted):
 		return CodeBankExhausted
+	case errors.Is(err, ErrShedding):
+		return CodeShed
 	case errors.Is(err, ErrDeadlineExceeded):
 		return CodeDeadline
 	case errors.Is(err, ErrClosed):
@@ -129,6 +138,7 @@ func ErrorCode(err error) string {
 const (
 	CodeQueueFull     = "queue_full"
 	CodeBankExhausted = "bank_exhausted"
+	CodeShed          = "shed_load"
 	CodeDeadline      = "deadline_exceeded"
 	CodeClosed        = "closed"
 	CodeError         = "error"

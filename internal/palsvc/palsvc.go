@@ -38,11 +38,13 @@ import (
 	"time"
 
 	"minimaltcb/internal/attest"
+	"minimaltcb/internal/chaos"
 	"minimaltcb/internal/core"
 	"minimaltcb/internal/obs"
 	"minimaltcb/internal/obs/prof"
 	"minimaltcb/internal/platform"
 	"minimaltcb/internal/sim"
+	"minimaltcb/internal/sksm"
 	"minimaltcb/internal/tpm"
 )
 
@@ -94,6 +96,50 @@ type Config struct {
 	// Flight, when non-nil, records a crash bundle for every PAL fault or
 	// violation SKILL across all machines.
 	Flight *prof.FlightRecorder
+	// Retry, when MaxAttempts > 1, makes workers retry jobs that fail
+	// with a Retryable error, with capped jittered backoff bounded by the
+	// job's deadline. The zero value disables retries.
+	Retry RetryPolicy
+	// Supervisor, when QuarantineAfter > 0, quarantines replicas after
+	// repeated consecutive faults so admission routes around them; when
+	// every replica is quarantined the service sheds load (ErrShedding).
+	// The zero value disables quarantine.
+	Supervisor SupervisorPolicy
+	// Chaos, when non-nil, threads the fault injector through every
+	// replica: TPM command faults/stalls, spurious PAL faults and slice
+	// storms, wedges and clock skew. Nil (production) costs nil checks.
+	Chaos *chaos.Injector
+}
+
+// RetryPolicy caps the worker supervisor's retries of retryable failures.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per job; <= 1 means no retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxBackoff, plus up to 50% deterministic jitter.
+	// Zero values default to 250µs and 5ms. The backoff is bounded by
+	// the job's deadline: when the remaining budget cannot cover the
+	// delay, the job fails with its last error instead of sleeping.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetryPolicy is what palservd enables alongside chaos injection.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 250 * time.Microsecond, MaxBackoff: 5 * time.Millisecond}
+}
+
+// SupervisorPolicy trips a replica into quarantine after
+// QuarantineAfter consecutive machine-attributable faults; the replica
+// rejoins admission after QuarantineFor of wall-clock time.
+type SupervisorPolicy struct {
+	QuarantineAfter int
+	QuarantineFor   time.Duration
+}
+
+// DefaultSupervisorPolicy pairs with DefaultRetryPolicy under chaos.
+func DefaultSupervisorPolicy() SupervisorPolicy {
+	return SupervisorPolicy{QuarantineAfter: 5, QuarantineFor: 25 * time.Millisecond}
 }
 
 // machine is one platform replica plus the lock that stands in for the
@@ -115,6 +161,24 @@ type machine struct {
 	// Like the simulator it observes, it is touched only under mu —
 	// including snapshots (Service.Profile).
 	prof *prof.CPUProfiler
+	// chaos is this replica's wedge/skew hook (nil when chaos is off).
+	chaos *chaos.MachineHook
+	// basePages is the kernel allocator's free-page count right after
+	// assembly — the level LeakCheck expects once all jobs drain.
+	basePages int
+
+	// Supervision state, guarded by supMu rather than mu so admission
+	// probes never contend with the simulator lock.
+	supMu            sync.Mutex
+	consecFaults     int
+	quarantinedUntil time.Time
+}
+
+// quarantined reports whether the replica is sitting out admission.
+func (m *machine) quarantined(now time.Time) bool {
+	m.supMu.Lock()
+	defer m.supMu.Unlock()
+	return now.Before(m.quarantinedUntil)
 }
 
 // tryReserve implements one admission probe: if the machine is idle enough
@@ -156,6 +220,11 @@ type Service struct {
 	tracer   *obs.Tracer // nil when tracing is off
 	nonceSeq atomic.Uint64
 
+	// jitter feeds retry-backoff jitter; deterministic (seeded from the
+	// chaos seed when present) so same-seed runs back off identically.
+	jitterMu sync.Mutex
+	jitter   *sim.RNG
+
 	closeMu sync.RWMutex
 	closed  bool
 	wg      sync.WaitGroup
@@ -175,6 +244,10 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2 * cfg.Machines * cfg.Profile.NumSePCRs
 	}
+	jitterSeed := uint64(0x6a17)
+	if cfg.Chaos != nil {
+		jitterSeed ^= cfg.Chaos.Seed()
+	}
 	s := &Service{
 		cfg:     cfg,
 		queue:   make(chan *task, cfg.QueueDepth),
@@ -182,6 +255,7 @@ func New(cfg Config) (*Service, error) {
 		cache:   newPALCache(),
 		metrics: &metrics{},
 		tracer:  cfg.Tracer,
+		jitter:  sim.NewRNG(jitterSeed),
 	}
 	for i := 0; i < cfg.Machines; i++ {
 		sys, err := core.NewSystem(cfg.Profile)
@@ -205,6 +279,15 @@ func New(cfg Config) (*Service, error) {
 			sys.SKSM.Prof = m.prof
 		}
 		sys.SKSM.Flight = cfg.Flight
+		if cfg.Chaos != nil {
+			// One hook set per replica: each gets its own deterministic
+			// decision streams, so the fault schedule on machine i does
+			// not depend on how many jobs machine j ran.
+			sys.Machine.InstallFaults(cfg.Chaos.TPMHook(i))
+			sys.SKSM.Chaos = cfg.Chaos.SKSMHook(i)
+			m.chaos = cfg.Chaos.MachineHook(i)
+		}
+		m.basePages = sys.SKSM.Kernel.Alloc.FreePages()
 		s.machines = append(s.machines, m)
 		s.bank += sys.Machine.TPM().NumSePCRs()
 	}
@@ -230,10 +313,8 @@ func (s *Service) Submit(j Job) (*Ticket, error) {
 		j.Name = "pal"
 	}
 	now := time.Now()
-	t := &task{job: j, ticket: newTicket(), enqueued: now, deadline: j.Deadline}
-	if t.deadline.IsZero() && s.cfg.DefaultDeadline > 0 {
-		t.deadline = now.Add(s.cfg.DefaultDeadline)
-	}
+	t := &task{job: j, ticket: newTicket(), enqueued: now,
+		deadline: resolveDeadline(j, now, s.cfg.DefaultDeadline)}
 	if s.tracer.Enabled() {
 		// One trace per job; the root span covers the job's whole stay in
 		// the service and every stage span nests under it.
@@ -318,34 +399,76 @@ func (s *Service) handle(t *task) {
 	s.tracer.RecordSpan(rctx, "queue", "pipeline", t.enqueued, res.QueueWait)
 
 	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
-		s.metrics.incDeadline()
-		s.fail(t, res, fmt.Errorf("%w: expired in queue after %v", ErrDeadlineExceeded, res.QueueWait))
+		s.deliver(t, res, fmt.Errorf("%w: expired in queue after %v", ErrDeadlineExceeded, res.QueueWait))
 		return
 	}
 
 	p, err := s.cache.get(t.job.Name, t.job.Source)
 	if err != nil {
-		s.metrics.incFailed()
-		s.fail(t, res, err)
+		s.deliver(t, res, err)
 		return
 	}
 
+	// Supervised retry loop: retryable failures (injected TPM faults,
+	// spurious PAL faults, bank exhaustion, shedding) are retried up to
+	// Retry.MaxAttempts with capped jittered backoff, always bounded by
+	// the job's deadline. Each attempt re-runs admission, so a retry is
+	// free to land on a different (healthy) replica.
+	max := s.cfg.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		err = s.attempt(t, p, res)
+		if err == nil || attempt >= max || !Retryable(err) {
+			break
+		}
+		if !s.backoff(attempt, t.deadline) {
+			break // the remaining deadline budget cannot cover the delay
+		}
+		s.metrics.incRetried()
+	}
+	s.deliver(t, res, err)
+}
+
+// deliver classifies the job's terminal outcome into exactly one metrics
+// counter and finalizes the ticket. Centralizing the classification here —
+// rather than at each failure site inside an attempt — is what keeps the
+// counters an exact partition of Submitted under retries: an attempt that
+// fails and is retried moves no terminal counter.
+func (s *Service) deliver(t *task, res *JobResult, err error) {
+	switch {
+	case err == nil:
+		s.metrics.incCompleted()
+	case errors.Is(err, ErrDeadlineExceeded):
+		s.metrics.incDeadline()
+	case errors.Is(err, ErrBankExhausted), errors.Is(err, ErrShedding):
+		s.metrics.incRejected(err)
+	default:
+		s.metrics.incFailed()
+	}
+	if err != nil {
+		s.fail(t, res, err)
+		return
+	}
+	s.finish(t, res)
+}
+
+// attempt drives one pass of admit → execute → quote → verify. It returns
+// the attempt's error without touching terminal counters (deliver owns
+// those); per-stage latency histograms are still observed per attempt.
+func (s *Service) attempt(t *task, p *core.PAL, res *JobResult) error {
+	rctx := t.root.Context()
 	admitSp := s.tracer.StartSpan(rctx, "admit", "pipeline")
 	m, err := s.admit(t)
 	if err != nil {
 		admitSp.Attr("error", err.Error()).End()
-		if errors.Is(err, ErrDeadlineExceeded) {
-			s.metrics.incDeadline()
-		} else {
-			s.metrics.incRejected(err)
-		}
-		s.fail(t, res, err)
-		return
+		return err
 	}
 	admitSp.Attr("machine", fmt.Sprint(m.id)).End()
 	s.metrics.admitOne()
-	s.execute(m, t, p, res)
-	s.finish(t, res)
+	return s.execute(m, t, p, res)
 }
 
 // admit finds a machine with live sePCR capacity, per the configured
@@ -354,10 +477,23 @@ func (s *Service) handle(t *task) {
 // allocation.
 func (s *Service) admit(t *task) (*machine, error) {
 	for {
+		healthy := 0
+		now := time.Now()
 		for _, m := range s.machines {
+			if m.quarantined(now) {
+				continue
+			}
+			healthy++
 			if m.tryReserve() {
 				return m, nil
 			}
+		}
+		if healthy == 0 {
+			// Graceful degradation: with the whole fleet quarantined,
+			// queueing would only build a backlog against sick replicas.
+			// Shed instead — the error is retryable, and quarantines
+			// expire, so resubmission is the right tenant response.
+			return nil, fmt.Errorf("%w (%d replicas)", ErrShedding, len(s.machines))
 		}
 		if s.cfg.Admission == AdmitReject {
 			return nil, fmt.Errorf("%w: all %d sePCRs occupied", ErrBankExhausted, s.bank)
@@ -396,11 +532,18 @@ func (s *Service) nextNonce() []byte {
 	return []byte(fmt.Sprintf("palsvc-nonce-%d", s.nonceSeq.Add(1)))
 }
 
+// defaultDeadlineQuantum is the virtual preemption quantum execute imposes
+// on deadline-bearing jobs when Config.Quantum is zero. SKILL only accepts
+// suspended PALs and suspension only happens at slice boundaries, so a
+// run-to-completion job with a deadline would otherwise be unkillable
+// mid-execute: a spinning PAL could blow through its deadline unchecked.
+const defaultDeadlineQuantum = 100 * time.Microsecond
+
 // execute drives the admitted job through execute → quote → verify. The
 // machine lock is held only for the phases that touch the simulated
 // platform; verification runs lock-free so it overlaps other jobs'
-// execution.
-func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
+// execution. Terminal metrics counters are deliver's job, not execute's.
+func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) error {
 	res.Machine = m.id
 	sys := m.sys
 	rctx := t.root.Context()
@@ -411,6 +554,19 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	res.ArbWait = time.Since(arbStart)
 	s.metrics.observeArb(res.ArbWait)
 	s.tracer.RecordSpan(rctx, "arb_wait", "pipeline", arbStart, res.ArbWait)
+	if m.chaos != nil {
+		// A wedged replica sits on its lock making no progress: admission
+		// probes (TryLock) fail over to other replicas and arb waits grow —
+		// the same symptoms a stuck machine shows in production. Skew
+		// pushes the replica's virtual clock ahead before the stopwatch
+		// starts, so drift shows up in absolute timelines, not latencies.
+		if d := m.chaos.Wedge(); d > 0 {
+			time.Sleep(d)
+		}
+		if d := m.chaos.Skew(); d > 0 {
+			sys.Machine.Clock.Skew(d)
+		}
+	}
 	// The execute span is swapped in as the machine's ambient context so
 	// the sksm slice/instruction spans (and the TPM commands under them)
 	// nest inside it. Swaps happen under m.mu, which serializes all
@@ -421,15 +577,18 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	}
 	prevCtx := m.scope.Swap(execSp.Context())
 	m.pending-- // the reservation becomes a real SLAUNCH allocation now
-	secb, err := sys.SKSM.NewSECB(p.Image, 1, s.cfg.Quantum)
+	quantum := s.cfg.Quantum
+	if quantum <= 0 && !t.deadline.IsZero() {
+		quantum = defaultDeadlineQuantum
+	}
+	secb, err := sys.SKSM.NewSECB(p.Image, 1, quantum)
 	if err != nil {
 		m.scope.Swap(prevCtx)
 		execSp.Attr("error", err.Error()).EndVirt(sys.Machine.Clock.Now())
 		m.mu.Unlock()
 		s.releaseSlot()
-		s.metrics.incFailed()
-		res.Err = fmt.Errorf("palsvc: allocating SECB: %w", err)
-		return
+		s.noteMachineFault(m)
+		return fmt.Errorf("palsvc: allocating SECB: %w", err)
 	}
 	secb.Input = t.job.Input
 	if s.cfg.Flight != nil {
@@ -438,7 +597,7 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 		sys.SKSM.Job = prof.JobInfo{Tenant: t.job.Name, Trace: rctx.Trace, Machine: m.id}
 	}
 	sw := sim.StartStopwatch(sys.Machine.Clock)
-	runErr := sys.SKSM.RunToCompletion(sys.PALCore(), secb)
+	runErr := s.runBounded(m, t, secb)
 	res.Execute = sw.Elapsed()
 	s.metrics.observeExec(res.Execute)
 	if s.cfg.Profiler != nil {
@@ -446,9 +605,17 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 		s.cfg.Profiler.JobDone(t.job.Name, h, res.Execute, runErr != nil)
 	}
 	if runErr != nil {
-		// The faulted PAL was suspended holding its register; SKILL
-		// reclaims both the register and (after Release) the pages.
-		if kerr := sys.SKSM.SKILL(secb); kerr == nil {
+		// Reclaim whatever the failed run left behind. A faulted or
+		// deadline-expired PAL sits suspended holding its register: SKILL
+		// reclaims the register (kill marker extended, §5.5) and Release
+		// the pages. A PAL whose SLAUNCH never succeeded is still in
+		// Start: it holds no register, only pages.
+		switch secb.State {
+		case sksm.StateSuspend:
+			if kerr := sys.SKSM.SKILL(secb); kerr == nil {
+				_ = sys.SKSM.Release(secb)
+			}
+		case sksm.StateStart:
 			_ = sys.SKSM.Release(secb)
 		}
 		sys.SKSM.Job = prof.JobInfo{}
@@ -456,9 +623,12 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 		execSp.Attr("error", runErr.Error()).EndVirt(sys.Machine.Clock.Now())
 		m.mu.Unlock()
 		s.releaseSlot()
-		s.metrics.incFailed()
-		res.Err = fmt.Errorf("palsvc: PAL execution: %w", runErr)
-		return
+		if errors.Is(runErr, ErrDeadlineExceeded) {
+			// The job ran out of budget; the machine did nothing wrong.
+			return runErr
+		}
+		s.noteMachineFault(m)
+		return fmt.Errorf("palsvc: PAL execution: %w", runErr)
 	}
 	res.Output = secb.Output
 	res.ExitStatus = secb.ExitStatus
@@ -475,22 +645,27 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	// (§5.4.3) — that occupancy is exactly what admission counts.
 
 	if t.job.NoAttest {
-		m.mu.Lock()
-		prev := m.scope.Swap(rctx)
-		err := sys.Machine.TPM().FreeSePCR(secb.SePCRHandle)
-		if rerr := sys.SKSM.Release(secb); err == nil {
-			err = rerr
-		}
-		m.scope.Swap(prev)
-		m.mu.Unlock()
+		err := s.freeUnquoted(m, t, secb)
 		s.releaseSlot()
 		if err != nil {
-			s.metrics.incFailed()
-			res.Err = fmt.Errorf("palsvc: freeing sePCR: %w", err)
-			return
+			s.noteMachineFault(m)
+			return fmt.Errorf("palsvc: freeing sePCR: %w", err)
 		}
-		s.metrics.incCompleted()
-		return
+		s.noteMachineOK(m)
+		return nil
+	}
+
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		// Expired between execute and quote. The register must not stay
+		// parked in Quote forever: free it unquoted, exactly like the
+		// NoAttest path, so the bank recovers even though the job lost.
+		ferr := s.freeUnquoted(m, t, secb)
+		s.releaseSlot()
+		if ferr != nil {
+			s.noteMachineFault(m)
+			return fmt.Errorf("palsvc: freeing sePCR after deadline: %w", ferr)
+		}
+		return fmt.Errorf("%w: before quote", ErrDeadlineExceeded)
 	}
 
 	// QUOTE — back under the machine lock for the TPM command.
@@ -504,6 +679,12 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	swq := sim.StartStopwatch(sys.Machine.Clock)
 	q, qerr := sys.SKSM.QuoteAfterExit(secb, nonce)
 	res.QuoteGen = swq.Elapsed()
+	if qerr != nil {
+		// A failed quote leaves the register parked in Quote (injected
+		// TPM faults fire before the signature): free it unquoted so the
+		// bank recovers before the supervisor retries the job.
+		_ = sys.Machine.TPM().FreeSePCR(secb.SePCRHandle)
+	}
 	relErr := sys.SKSM.Release(secb)
 	m.scope.Swap(prevCtx)
 	if qerr != nil {
@@ -516,14 +697,19 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	s.releaseSlot() // the register is Free again
 	s.metrics.observeQuote(res.QuoteGen)
 	if qerr != nil {
-		s.metrics.incFailed()
-		res.Err = fmt.Errorf("palsvc: quoting: %w", qerr)
-		return
+		s.noteMachineFault(m)
+		return fmt.Errorf("palsvc: quoting: %w", qerr)
 	}
 	if relErr != nil {
-		s.metrics.incFailed()
-		res.Err = fmt.Errorf("palsvc: releasing SECB: %w", relErr)
-		return
+		s.noteMachineFault(m)
+		return fmt.Errorf("palsvc: releasing SECB: %w", relErr)
+	}
+	s.noteMachineOK(m)
+
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		// Expired between quote and verify: the register is already Free,
+		// so only the job's outcome is lost, not capacity.
+		return fmt.Errorf("%w: before verify", ErrDeadlineExceeded)
 	}
 
 	// VERIFY — pure public-key cryptography, no platform access: runs
@@ -538,11 +724,130 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) {
 	s.metrics.observeVerify(res.Verify)
 	if verr != nil {
 		verifySp.Attr("error", verr.Error()).End()
-		s.metrics.incFailed()
-		res.Err = fmt.Errorf("palsvc: quote verification: %w", verr)
-		return
+		return fmt.Errorf("palsvc: quote verification: %w", verr)
 	}
 	verifySp.Attr("verified_as", name).End()
 	res.VerifiedAs = name
-	s.metrics.incCompleted()
+	return nil
+}
+
+// runBounded drives the PAL to completion like sksm.RunToCompletion, but
+// for deadline-bearing jobs it rechecks the wall clock at every slice
+// boundary, so ErrDeadlineExceeded fires mid-execute instead of only at
+// the pipeline seams. The caller holds m.mu.
+func (s *Service) runBounded(m *machine, t *task, secb *sksm.SECB) error {
+	c := m.sys.PALCore()
+	if t.deadline.IsZero() {
+		return m.sys.SKSM.RunToCompletion(c, secb)
+	}
+	for secb.State != sksm.StateDone {
+		if time.Now().After(t.deadline) {
+			return fmt.Errorf("%w: mid-execute after %d slices", ErrDeadlineExceeded, secb.Slices)
+		}
+		if _, err := m.sys.SKSM.RunSlice(c, secb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freeUnquoted returns a finished-but-unattested PAL's resources: the
+// sePCR via TPM_SEPCR_Free (§5.4.3) and the SECB pages via Release. Used
+// by NoAttest jobs and by deadline expiries between execute and quote.
+func (s *Service) freeUnquoted(m *machine, t *task, secb *sksm.SECB) error {
+	m.mu.Lock()
+	prev := m.scope.Swap(t.root.Context())
+	err := m.sys.Machine.TPM().FreeSePCR(secb.SePCRHandle)
+	if rerr := m.sys.SKSM.Release(secb); err == nil {
+		err = rerr
+	}
+	m.scope.Swap(prev)
+	m.mu.Unlock()
+	return err
+}
+
+// noteMachineFault records one machine-attributable fault against m and
+// trips it into quarantine after SupervisorPolicy.QuarantineAfter
+// consecutive ones. Injected chaos faults are deliberately
+// indistinguishable from organic ones here: the supervisor reacts to
+// symptoms, not causes.
+func (s *Service) noteMachineFault(m *machine) {
+	p := s.cfg.Supervisor
+	if p.QuarantineAfter <= 0 {
+		return
+	}
+	m.supMu.Lock()
+	defer m.supMu.Unlock()
+	m.consecFaults++
+	if m.consecFaults >= p.QuarantineAfter {
+		m.consecFaults = 0
+		m.quarantinedUntil = time.Now().Add(p.QuarantineFor)
+		s.metrics.incQuarantine()
+	}
+}
+
+// noteMachineOK resets m's consecutive-fault streak after a clean pass
+// through the machine-touching phases.
+func (s *Service) noteMachineOK(m *machine) {
+	if s.cfg.Supervisor.QuarantineAfter <= 0 {
+		return
+	}
+	m.supMu.Lock()
+	m.consecFaults = 0
+	m.supMu.Unlock()
+}
+
+// backoff sleeps the capped, jittered delay that precedes attempt+1. It
+// returns false — without sleeping — when the job's deadline cannot cover
+// the delay: failing fast with the last real error beats burning the rest
+// of the budget asleep and failing with ErrDeadlineExceeded anyway.
+func (s *Service) backoff(attempt int, deadline time.Time) bool {
+	p := s.cfg.Retry
+	base, ceil := p.BaseBackoff, p.MaxBackoff
+	if base <= 0 {
+		base = 250 * time.Microsecond
+	}
+	if ceil <= 0 {
+		ceil = 5 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d <= 0 || d > ceil {
+		d = ceil
+	}
+	// Up to 50% jitter decorrelates retry storms; it comes from the
+	// service's seeded RNG so same-seed chaos runs back off identically.
+	s.jitterMu.Lock()
+	d += time.Duration(s.jitter.Intn(int(d/2) + 1))
+	s.jitterMu.Unlock()
+	if !deadline.IsZero() && time.Until(deadline) <= d {
+		return false
+	}
+	time.Sleep(d)
+	return true
+}
+
+// LeakCheck verifies, once all submitted jobs have drained, that every
+// resource the service hands out came back: all sePCRs Free in every
+// replica's bank and every kernel page returned to the allocator. The soak
+// test runs it after thousands of fault-injected jobs; a non-nil error
+// means some failure path leaked.
+func (s *Service) LeakCheck() error {
+	for _, m := range s.machines {
+		m.mu.Lock()
+		free := m.sys.SKSM.FreeSePCRs()
+		total := m.sys.Machine.TPM().NumSePCRs()
+		pages := m.sys.SKSM.Kernel.Alloc.FreePages()
+		pending := m.pending
+		m.mu.Unlock()
+		if free != total {
+			return fmt.Errorf("palsvc: machine %d leaked sePCRs: %d free of %d", m.id, free, total)
+		}
+		if pages != m.basePages {
+			return fmt.Errorf("palsvc: machine %d leaked pages: %d free, expected %d", m.id, pages, m.basePages)
+		}
+		if pending != 0 {
+			return fmt.Errorf("palsvc: machine %d has %d stuck reservations", m.id, pending)
+		}
+	}
+	return nil
 }

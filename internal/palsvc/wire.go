@@ -80,13 +80,16 @@ type WireResponse struct {
 	Err       string `json:"err,omitempty"`
 	Retryable bool   `json:"retryable,omitempty"`
 	// Code is a stable machine-readable cause for Err (see ErrorCode):
-	// "queue_full", "bank_exhausted", "deadline_exceeded", "closed" or
-	// "error". Empty on success.
+	// "queue_full", "bank_exhausted", "shed_load", "deadline_exceeded",
+	// "closed" or "error". Empty on success.
 	Code string `json:"code,omitempty"`
 
 	Output     []byte `json:"output,omitempty"`
 	ExitStatus uint32 `json:"exit_status,omitempty"`
 	VerifiedAs string `json:"verified_as,omitempty"`
+	// Attempts mirrors JobResult.Attempts: how many pipeline passes the
+	// supervisor spent on the job (1 = no retries).
+	Attempts int `json:"attempts,omitempty"`
 
 	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
 	ArbWaitNS   int64 `json:"arb_wait_ns,omitempty"`
@@ -159,7 +162,12 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 		return &WireResponse{OK: true, Stats: &m}
 	case OpRun:
 		j := Job{Name: req.Name, Source: req.Source, Input: req.Input, NoAttest: req.NoAttest}
-		if req.DeadlineMS > 0 {
+		if req.DeadlineMS != 0 {
+			// A negative deadline resolves to a time in the past and fails
+			// with deadline_exceeded, matching the local-API contract.
+			// Treating it as "no deadline" (the old > 0 check) silently
+			// granted DefaultDeadline — or unbounded time — to a request
+			// that asked for none at all.
 			j.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 		}
 		res, err := s.Run(j)
@@ -170,6 +178,7 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 			Output:      res.Output,
 			ExitStatus:  res.ExitStatus,
 			VerifiedAs:  res.VerifiedAs,
+			Attempts:    res.Attempts,
 			QueueWaitNS: res.QueueWait.Nanoseconds(),
 			ArbWaitNS:   res.ArbWait.Nanoseconds(),
 			ExecuteNS:   res.Execute.Nanoseconds(),

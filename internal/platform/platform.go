@@ -103,6 +103,14 @@ func New(p Profile) (*Machine, error) {
 // TPM returns the machine's TPM (nil if none).
 func (m *Machine) TPM() *tpm.TPM { return m.Chipset.TPM() }
 
+// InstallFaults wires a fault-injection hook (internal/chaos) into the
+// machine's TPM. A nil hook uninstalls; machines without a TPM ignore it.
+func (m *Machine) InstallFaults(h tpm.FaultHook) {
+	if t := m.TPM(); t != nil {
+		t.SetFault(h)
+	}
+}
+
 // BootCPU returns core 0.
 func (m *Machine) BootCPU() *cpu.CPU { return m.CPUs[0] }
 

@@ -19,6 +19,9 @@ import (
 // a deterministic single-threaded discrete-event loop.
 type Clock struct {
 	now time.Duration
+	// skewed accumulates drift injected via Skew, so experiments can
+	// report how far a replica's clock was pushed.
+	skewed time.Duration
 }
 
 // NewClock returns a clock starting at time zero.
@@ -48,7 +51,22 @@ func (c *Clock) AdvanceTo(t time.Duration) {
 
 // Reset rewinds the clock to zero. Only test harnesses and the benchmark
 // driver call this, between independent trials.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.now, c.skewed = 0, 0 }
+
+// Skew advances the clock by d and separately accounts it as injected
+// drift (internal/chaos models per-machine clock skew with it). Like
+// Advance it panics on negative d: skew only ever moves a replica ahead —
+// rewinding virtual time would break every open Stopwatch interval.
+func (c *Clock) Skew(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock skew %v", d))
+	}
+	c.now += d
+	c.skewed += d
+}
+
+// Skewed reports the total injected drift accumulated via Skew.
+func (c *Clock) Skewed() time.Duration { return c.skewed }
 
 // Stopwatch measures an interval of virtual time on a Clock.
 type Stopwatch struct {

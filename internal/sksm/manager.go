@@ -37,6 +37,20 @@ type Manager struct {
 	// stamped into crash bundles. The multi-tenant service maintains it
 	// under the same lock that serializes the machine.
 	Job prof.JobInfo
+	// Chaos, when set, injects scheduler-level faults (internal/chaos):
+	// per-slice quantum collapse (slice-expiry storms) and spurious PAL
+	// faults after a slice. Nil costs one pointer check per slice.
+	Chaos ChaosHook
+}
+
+// ChaosHook injects scheduler-level faults into RunSlice. SliceQuantum may
+// shrink the preemption quantum for one slice; SliceFault, consulted after
+// a slice that neither halted nor faulted, may declare a spurious fault —
+// the manager then follows its real fault path (suspend, flight-record,
+// ErrPALFault).
+type ChaosHook interface {
+	SliceQuantum(q time.Duration) time.Duration
+	SliceFault() error
 }
 
 // traced wraps one instruction in a span: the ambient context moves to the
@@ -160,7 +174,7 @@ func (mg *Manager) slaunch(c *cpu.CPU, s *SECB, sp *obs.Span) error {
 		s.State = StateProtect
 		if err := m.Chipset.ProtectRegion(s.fullRegion(), c.ID); err != nil {
 			s.State = StateStart
-			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+			return fmt.Errorf("%w: %w", ErrLaunchFailed, err)
 		}
 		// Measure: take the hardware TPM lock (§5.4.5 — with PALs on
 		// multiple CPUs, TPM access is arbitrated in hardware, not by
@@ -184,14 +198,14 @@ func (mg *Manager) slaunch(c *cpu.CPU, s *SECB, sp *obs.Span) error {
 		if err := bus.Acquire(c.ID); err != nil {
 			m.Chipset.ReleaseRegion(s.fullRegion(), c.ID)
 			s.State = StateStart
-			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+			return fmt.Errorf("%w: %w", ErrLaunchFailed, err)
 		}
 		handle, err := m.TPM().AllocateSePCR(c.ID, s.Measurement)
 		if err != nil {
 			bus.Release(c.ID)
 			m.Chipset.ReleaseRegion(s.fullRegion(), c.ID)
 			s.State = StateStart
-			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+			return fmt.Errorf("%w: %w", ErrLaunchFailed, err)
 		}
 		s.SePCRHandle = handle
 		bus.TransferHash(s.Image.Bytes)
@@ -220,7 +234,7 @@ func (mg *Manager) slaunch(c *cpu.CPU, s *SECB, sp *obs.Span) error {
 		s.State = StateProtect
 		if err := m.Chipset.ProtectRegion(s.fullRegion(), c.ID); err != nil {
 			s.State = StateSuspend
-			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+			return fmt.Errorf("%w: %w", ErrLaunchFailed, err)
 		}
 		// The saved state is read back from the protected SECB page —
 		// the hardware's copy, which the OS could not have touched
@@ -237,12 +251,12 @@ func (mg *Manager) slaunch(c *cpu.CPU, s *SECB, sp *obs.Span) error {
 		if err != nil {
 			m.Chipset.SecludeRegion(s.fullRegion(), c.ID)
 			s.State = StateSuspend
-			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+			return fmt.Errorf("%w: %w", ErrLaunchFailed, err)
 		}
 		if err := m.TPM().RebindSePCR(savedHandle, s.OwnerCPU, c.ID); err != nil {
 			m.Chipset.SecludeRegion(s.fullRegion(), c.ID)
 			s.State = StateSuspend
-			return fmt.Errorf("%w: %v", ErrLaunchFailed, err)
+			return fmt.Errorf("%w: %w", ErrLaunchFailed, err)
 		}
 		s.SePCRHandle = savedHandle
 		c.Reset()
@@ -391,7 +405,17 @@ func (mg *Manager) runSlice(c *cpu.CPU, s *SECB) (cpu.StopReason, error) {
 		return cpu.StopFault, err
 	}
 	s.Slices++
-	reason, err := c.Run(s.PreemptTimer)
+	quantum := s.PreemptTimer
+	if mg.Chaos != nil {
+		quantum = mg.Chaos.SliceQuantum(quantum)
+	}
+	reason, err := c.Run(quantum)
+	if err == nil && reason != cpu.StopHalt && mg.Chaos != nil {
+		// Spurious injected fault: the hardware declares a violation on a
+		// PAL that was about to suspend cleanly. It takes the identical
+		// path a real fault does below.
+		err = mg.Chaos.SliceFault()
+	}
 	if mg.Prof != nil {
 		mg.Prof.NoteSlice(s.Measurement, reason, err != nil)
 	}
@@ -399,15 +423,17 @@ func (mg *Manager) runSlice(c *cpu.CPU, s *SECB) (cpu.StopReason, error) {
 	case err != nil:
 		// Faulting PALs are suspended (their state secluded) and left
 		// for the OS to SKILL — their secrets never become readable.
+		// Both wraps keep the causal error in the chain (%w, not %v):
+		// supervisors decide retryability via errors.As on the cause.
 		if serr := mg.Suspend(c, s); serr != nil {
-			return cpu.StopFault, fmt.Errorf("%w: %v (suspend also failed: %v)", ErrPALFault, err, serr)
+			return cpu.StopFault, fmt.Errorf("%w: %w (suspend also failed: %v)", ErrPALFault, err, serr)
 		}
 		// The suspend above saved the faulting architectural state into
 		// the SECB, so the bundle sees the true registers and PC.
 		if mg.Flight != nil {
 			s.CrashID = mg.Flight.Record(mg.crashBundle(s, "fault", err))
 		}
-		return cpu.StopFault, fmt.Errorf("%w: %v", ErrPALFault, err)
+		return cpu.StopFault, fmt.Errorf("%w: %w", ErrPALFault, err)
 	case reason == cpu.StopHalt:
 		if err := mg.SFREE(c, s); err != nil {
 			return reason, err
@@ -458,9 +484,19 @@ func (mg *Manager) QuoteAfterExit(s *SECB, nonce []byte) (*tpm.Quote, error) {
 	return q, err
 }
 
-// Release returns a Done SECB's pages to the OS allocator.
+// Release returns a SECB's pages to the OS allocator. It accepts Done
+// SECBs (the normal post-quote path) and Start SECBs whose SLAUNCH never
+// succeeded: those pages were allocated by NewSECB but never protected, so
+// neither SKILL nor SFREE will ever reclaim them — without this path a
+// failed launch leaks its pages permanently. A released SECB transitions
+// to Done so it cannot be relaunched over freed memory.
 func (mg *Manager) Release(s *SECB) error {
-	if s.State != StateDone {
+	switch s.State {
+	case StateDone:
+	case StateStart:
+		s.State = StateDone
+		s.OwnerCPU = -1
+	default:
 		return fmt.Errorf("%w: release of %v SECB", ErrBadState, s.State)
 	}
 	mg.Kernel.ReleaseRegion(s.fullRegion())

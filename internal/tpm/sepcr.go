@@ -110,6 +110,9 @@ func (t *TPM) SePCRValue(handle int) (Digest, error) {
 // its handle. It fails with ErrNoSePCR when all registers are busy — the
 // condition that makes SLAUNCH return a failure code (§5.4.1).
 func (t *TPM) AllocateSePCR(owner int, palMeasurement Digest) (int, error) {
+	if err := t.inject("TPM_SEPCR_Alloc"); err != nil {
+		return -1, err
+	}
 	for i := range t.sePCRs {
 		if t.sePCRs[i].state != SePCRFree {
 			continue
@@ -162,6 +165,9 @@ func (t *TPM) SePCRExtend(handle, owner int, measurement Digest) (Digest, error)
 	if err := t.checkExclusive(handle, owner); err != nil {
 		return Digest{}, err
 	}
+	if err := t.inject("TPM_SEPCR_Extend"); err != nil {
+		return Digest{}, err
+	}
 	sp := t.cmdSpan("TPM_SEPCR_Extend").AttrInt("handle", handle)
 	p := &t.sePCRs[handle]
 	p.value = chain(p.value, measurement)
@@ -177,6 +183,9 @@ func (t *TPM) SePCRExtend(handle, owner int, measurement Digest) (Digest, error)
 // different register (§5.4.4, Challenge 4).
 func (t *TPM) SealSePCR(handle, owner int, data []byte) ([]byte, error) {
 	if err := t.checkExclusive(handle, owner); err != nil {
+		return nil, err
+	}
+	if err := t.inject("TPM_Seal"); err != nil {
 		return nil, err
 	}
 	sp := t.cmdSpan("TPM_Seal").Attr("mode", "sepcr").AttrInt("bytes", len(data))
@@ -204,6 +213,9 @@ func (t *TPM) UnsealSePCR(handle, owner int, blob []byte) ([]byte, error) {
 	}
 	if mode != sealModeSePCR {
 		return nil, fmt.Errorf("%w: blob sealed to static PCRs; use Unseal", ErrBadBlob)
+	}
+	if err := t.inject("TPM_Unseal"); err != nil {
+		return nil, err
 	}
 	sp := t.cmdSpan("TPM_Unseal").Attr("mode", "sepcr")
 	t.busCommand(len(blob), 64)
@@ -271,6 +283,11 @@ func (t *TPM) QuoteSePCR(handle int, nonce []byte) (*Quote, error) {
 	if p.state != SePCRQuote {
 		return nil, fmt.Errorf("%w: sePCR %d is %v, quote needs Quote state",
 			ErrSePCRState, handle, p.state)
+	}
+	// The injection point sits before the signature: an injected quote
+	// failure leaves the register in Quote, still attestable on retry.
+	if err := t.inject("TPM_Quote"); err != nil {
+		return nil, err
 	}
 	sp := t.cmdSpan("TPM_Quote").Attr("mode", "sepcr").AttrInt("handle", handle)
 	sig, err := memoSignPKCS1v15(t.aik, quoteDigest(p.value, nonce))

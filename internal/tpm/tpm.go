@@ -84,6 +84,40 @@ type TPM struct {
 	// the open life-cycle span of each register.
 	trace     *obs.Scope
 	sepcrLife []*obs.Span
+
+	// fault, when set, is consulted before every fallible command; nil
+	// (the default) costs one pointer check per command.
+	fault FaultHook
+}
+
+// FaultHook intercepts TPM commands for fault injection (internal/chaos).
+// It is consulted once per fallible command with the command name, and may
+// charge an extra stall against the chip's clock and/or fail the command
+// before it takes effect. Cleanup commands — TPM_SEPCR_Free, TPM_SEPCR_Kill,
+// ReleaseSePCR — are never intercepted, so recovery paths cannot be made to
+// leak registers.
+type FaultHook interface {
+	TPMCommand(name string) (stall time.Duration, err error)
+}
+
+// SetFault installs (or with nil removes) the chip's fault hook.
+func (t *TPM) SetFault(h FaultHook) { t.fault = h }
+
+// inject consults the fault hook for one command. A returned stall is
+// charged to the virtual clock whether or not the command also fails —
+// a glitching chip is slow first, broken second.
+func (t *TPM) inject(name string) error {
+	if t.fault == nil {
+		return nil
+	}
+	stall, err := t.fault.TPMCommand(name)
+	if stall > 0 {
+		t.clock.Advance(stall)
+	}
+	if err != nil {
+		return fmt.Errorf("tpm: %s: %w", name, err)
+	}
+	return nil
 }
 
 // SetTrace wires an observability scope into the chip: every command span
@@ -242,6 +276,9 @@ func (t *TPM) Extend(idx int, measurement Digest) (Digest, error) {
 	if idx < 0 || idx >= NumPCRs {
 		return Digest{}, fmt.Errorf("%w: %d", ErrBadPCR, idx)
 	}
+	if err := t.inject("TPM_Extend"); err != nil {
+		return Digest{}, err
+	}
 	sp := t.cmdSpan("TPM_Extend").AttrInt("pcr", idx)
 	t.pcrs[idx] = chain(t.pcrs[idx], measurement)
 	t.extends++
@@ -335,6 +372,9 @@ func (t *TPM) HashEnd() (Digest, error) {
 func (t *TPM) GetRandom(n int) ([]byte, error) {
 	if n < 0 {
 		return nil, errors.New("tpm: negative GetRandom length")
+	}
+	if err := t.inject("TPM_GetRandom"); err != nil {
+		return nil, err
 	}
 	sp := t.cmdSpan("TPM_GetRandom").AttrInt("bytes", n)
 	out := make([]byte, n)
