@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench benchcmp soak soak-short
+.PHONY: check build vet test race bench benchcmp soak soak-short cluster-soak
 
 check: build vet test race benchcmp soak-short
 
@@ -21,8 +21,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/palsvc ./internal/attest ./internal/obs \
-		./internal/obs/prof ./internal/cpu ./internal/mem \
+	$(GO) test -race ./internal/palsvc ./internal/cluster ./internal/attest \
+		./internal/obs ./internal/obs/prof ./internal/cpu ./internal/mem \
 		./internal/chaos ./internal/sksm \
 		./cmd/palservd ./cmd/attestd
 
@@ -45,15 +45,29 @@ soak-short:
 		CHAOS_SOAK_SEED=$(CHAOS_SOAK_SEED) \
 		$(GO) test -count 1 -run TestSoakZeroLossUnderChaos ./internal/palsvc
 
+# cluster-soak is the fleet-level acceptance run (see docs/CLUSTER.md): a
+# palrouter-shaped Router over three chaos-injected backends under
+# multi-tenant load, with one backend's network killed mid-run. It asserts
+# tenants saw zero transport errors, every node's terminal counters still
+# partition its submissions, the victim was drained from the ring, and no
+# backend leaked. Same knob style as soak:
+#   make cluster-soak CLUSTER_SOAK_PROFILE=heavy CLUSTER_SOAK_SEED=42
+CLUSTER_SOAK_PROFILE ?= soak
+CLUSTER_SOAK_SEED ?= 1
+cluster-soak:
+	CLUSTER_SOAK_PROFILE=$(CLUSTER_SOAK_PROFILE) CLUSTER_SOAK_DURATION=6s \
+		CLUSTER_SOAK_SEED=$(CLUSTER_SOAK_SEED) \
+		$(GO) test -v -count 1 -run TestClusterFailoverSoak ./internal/cluster
+
 # bench commits a machine-readable artifact so later sessions can diff
 # against this PR's numbers. -benchtime keeps the run short but real.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem . ./internal/obs ./internal/palsvc \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
 # benchcmp gates the committed artifacts: the chaos seams must stay
 # nil-check-only when disabled, so the zero-allocation fast path of PR4 must
 # survive unchanged. Thresholds live in cmd/benchjson (-max-ns-regress 50%,
 # -max-alloc-regress 25% by default); nothing reruns benchmarks here.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR6.json

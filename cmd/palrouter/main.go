@@ -1,0 +1,232 @@
+// Command palrouter fronts a fleet of palservd backends with the same
+// length-prefixed wire protocol they speak themselves: tenants dial the
+// router exactly as they would a single palservd, and the router shards
+// jobs across the fleet with consistent-hash placement keyed by image
+// measurement, bounded work stealing when a shard saturates, and
+// cluster-wide shed_load only when every live backend has rejected (see
+// internal/cluster and docs/CLUSTER.md).
+//
+// Usage:
+//
+//	palrouter -backends host1:7080,host2:7080,host3:7080 [-addr 127.0.0.1:7090]
+//	    Route jobs across an existing fleet until killed.
+//
+//	palrouter -spawn 3 [-machines N] [-sepcrs K] [-chaos-profile soak] ...
+//	    Self-host N in-process palservd backends on ephemeral ports and
+//	    route across them — the one-command cluster demo and the shape
+//	    `make cluster-soak` exercises. The palservd-mirroring flags
+//	    (-machines, -sepcrs, -workers, -queue, -quantum, -keybits, -seed,
+//	    -deadline, -reject, -chaos-profile, -chaos-seed) configure each
+//	    spawned backend.
+//
+//	palrouter ... -debug 127.0.0.1:7091
+//	    Serve /metrics (cluster counters + p50/p95/p99 latency quantiles,
+//	    per-backend routing counters), /healthz, and /debug/cluster (full
+//	    JSON snapshot: ring membership, per-backend state/health/stats).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"minimaltcb/internal/chaos"
+	"minimaltcb/internal/cluster"
+	"minimaltcb/internal/obs"
+	"minimaltcb/internal/palsvc"
+	"minimaltcb/internal/platform"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7090", "listen address for the tenant-facing wire protocol")
+		backends    = flag.String("backends", "", "comma-separated palservd backend addresses")
+		spawn       = flag.Int("spawn", 0, "self-host this many in-process palservd backends on ephemeral ports (instead of -backends)")
+		vnodes      = flag.Int("vnodes", 0, "consistent-hash virtual nodes per backend (0 = default 64)")
+		steal       = flag.Int("steal", 0, "work-stealing depth: extra ring successors to try after the primary (0 = whole ring, -1 = disable)")
+		pool        = flag.Int("pool", 8, "idle-connection pool size per backend")
+		dialTimeout = flag.Duration("dial-timeout", 2*time.Second, "backend dial + handshake timeout")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per forwarded request deadline (wedged-backend failover lever)")
+		probeEvery  = flag.Duration("probe-interval", 100*time.Millisecond, "health-prober period per backend")
+		probeFails  = flag.Int("probe-fails", 3, "consecutive transport failures before a backend is drained from the ring")
+		connTimeout = flag.Duration("conn-timeout", 30*time.Second, "per-request deadline on tenant connections (0 = none)")
+		debugAddr   = flag.String("debug", "", "debug HTTP listen address for /metrics, /healthz, /debug/cluster (\"\" disables)")
+
+		// Spawned-backend flags, mirroring palservd.
+		machines   = flag.Int("machines", 1, "spawn: platform replicas per backend")
+		sePCRs     = flag.Int("sepcrs", 8, "spawn: sePCR bank size per replica")
+		workers    = flag.Int("workers", 0, "spawn: worker-pool size per backend (0 = 2x total bank)")
+		queueDepth = flag.Int("queue", 64, "spawn: submission-queue depth per backend")
+		quantum    = flag.Duration("quantum", 0, "spawn: SLAUNCH preemption quantum (0 = run to completion)")
+		keyBits    = flag.Int("keybits", 1024, "spawn: RSA modulus size for each simulated TPM/CA")
+		seed       = flag.Uint64("seed", 42, "spawn: platform randomness seed (backend i uses seed+i)")
+		deadline   = flag.Duration("deadline", 0, "spawn: default per-job deadline (0 = none)")
+		reject     = flag.Bool("reject", false, "spawn: reject (not queue) jobs when a backend's sePCR bank is exhausted")
+
+		chaosProfile = flag.String("chaos-profile", "", "spawn: fault-injection profile per backend (see palservd)")
+		chaosSeed    = flag.Uint64("chaos-seed", 0, "spawn: fault-injection seed (backend i derives seed+i; 0 = from time)")
+	)
+	flag.Parse()
+
+	if err := run(routerOpts{
+		addr: *addr, backends: *backends, spawn: *spawn,
+		vnodes: *vnodes, steal: *steal, pool: *pool,
+		dialTimeout: *dialTimeout, reqTimeout: *reqTimeout,
+		probeEvery: *probeEvery, probeFails: *probeFails,
+		connTimeout: *connTimeout, debugAddr: *debugAddr,
+		machines: *machines, sePCRs: *sePCRs, workers: *workers,
+		queueDepth: *queueDepth, quantum: *quantum, keyBits: *keyBits,
+		seed: *seed, deadline: *deadline, reject: *reject,
+		chaosProfile: *chaosProfile, chaosSeed: *chaosSeed,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "palrouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type routerOpts struct {
+	addr, backends          string
+	spawn                   int
+	vnodes, steal, pool     int
+	dialTimeout, reqTimeout time.Duration
+	probeEvery              time.Duration
+	probeFails              int
+	connTimeout             time.Duration
+	debugAddr               string
+	machines, sePCRs        int
+	workers, queueDepth     int
+	quantum                 time.Duration
+	keyBits                 int
+	seed                    uint64
+	deadline                time.Duration
+	reject                  bool
+	chaosProfile            string
+	chaosSeed               uint64
+}
+
+func run(o routerOpts) error {
+	addrs, cleanup, err := resolveBackends(o)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	reg := obs.NewRegistry()
+	health := &obs.Health{}
+	r, err := cluster.New(cluster.Config{
+		Backends:       addrs,
+		VNodes:         o.vnodes,
+		StealDepth:     o.steal,
+		PoolSize:       o.pool,
+		DialTimeout:    o.dialTimeout,
+		RequestTimeout: o.reqTimeout,
+		ProbeInterval:  o.probeEvery,
+		ProbeFails:     o.probeFails,
+		Registry:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	if o.debugAddr != "" {
+		srv, err := obs.ListenAndServeDebug(o.debugAddr, obs.NewDebugMux(reg, nil, health,
+			obs.Endpoint{Path: "/debug/cluster", Desc: "cluster snapshot: ring, per-backend state/health/stats (JSON)",
+				Handler: r.DebugHandler()}))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		defer health.Fail("palrouter shutting down")
+		fmt.Printf("palrouter: debug server on http://%s (/metrics /healthz /debug/cluster)\n", srv.Addr())
+	}
+
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("palrouter: routing across %d backend(s): %s\n", len(addrs), strings.Join(addrs, ", "))
+	fmt.Printf("palrouter: serving PAL jobs on %s\n", l.Addr())
+	return r.Serve(l, o.connTimeout)
+}
+
+// resolveBackends either parses -backends or spawns -spawn in-process
+// palservd services on ephemeral loopback ports; the returned cleanup
+// closes whatever was spawned.
+func resolveBackends(o routerOpts) (addrs []string, cleanup func(), err error) {
+	cleanup = func() {}
+	if o.spawn <= 0 {
+		if o.backends == "" {
+			return nil, cleanup, fmt.Errorf("need -backends or -spawn")
+		}
+		for _, a := range strings.Split(o.backends, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return nil, cleanup, fmt.Errorf("-backends parsed to an empty list")
+		}
+		return addrs, cleanup, nil
+	}
+
+	var closers []func()
+	cleanup = func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	for i := 0; i < o.spawn; i++ {
+		prof := platform.Recommended(platform.HPdc5750(), o.sePCRs)
+		prof.KeyBits = o.keyBits
+		prof.Seed = o.seed + uint64(i)
+		cfg := palsvc.Config{
+			Profile:         prof,
+			Machines:        o.machines,
+			Workers:         o.workers,
+			QueueDepth:      o.queueDepth,
+			Quantum:         o.quantum,
+			DefaultDeadline: o.deadline,
+		}
+		if o.reject {
+			cfg.Admission = palsvc.AdmitReject
+		}
+		if o.chaosProfile != "" {
+			p, perr := chaos.ParseProfile(o.chaosProfile)
+			if perr != nil {
+				cleanup()
+				return nil, func() {}, perr
+			}
+			if p.Enabled() {
+				cseed := o.chaosSeed
+				if cseed == 0 {
+					cseed = uint64(time.Now().UnixNano())
+				}
+				cseed += uint64(i)
+				cfg.Chaos = chaos.New(cseed, p)
+				cfg.Retry = palsvc.DefaultRetryPolicy()
+				cfg.Supervisor = palsvc.DefaultSupervisorPolicy()
+				fmt.Printf("palrouter: backend %d chaos profile [%v] seed %d\n", i, p, cseed)
+			}
+		}
+		s, serr := palsvc.New(cfg)
+		if serr != nil {
+			cleanup()
+			return nil, func() {}, fmt.Errorf("spawning backend %d: %w", i, serr)
+		}
+		l, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			s.Close()
+			cleanup()
+			return nil, func() {}, lerr
+		}
+		closers = append(closers, func() { _ = l.Close(); s.Close() })
+		go func() { _ = s.Serve(l, o.connTimeout) }()
+		addrs = append(addrs, l.Addr().String())
+		fmt.Printf("palrouter: spawned backend %d on %s (bank %d)\n", i, l.Addr(), s.Bank())
+	}
+	return addrs, cleanup, nil
+}

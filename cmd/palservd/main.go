@@ -64,12 +64,15 @@ func main() {
 		chaosProfile = flag.String("chaos-profile", "", "fault-injection profile: off|light|heavy|tpm|storm|soak, optionally with k=v overrides (e.g. \"soak,tpm_fail=0.1\"); \"\" disables chaos")
 		chaosSeed    = flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = derive from time; the chosen seed is printed so any run can be replayed)")
 
-		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
-		clients  = flag.Int("clients", 4, "loadgen: concurrent client connections")
-		rate     = flag.Float64("rate", 0, "loadgen: aggregate requests/second (0 = unpaced)")
-		duration = flag.Duration("duration", 2*time.Second, "loadgen: run length")
-		palFile  = flag.String("pal", "", "loadgen: PAL assembler source file (default: built-in echo PAL)")
-		noAttest = flag.Bool("no-attest", false, "loadgen: skip quote generation and verification")
+		loadgen    = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		clients    = flag.Int("clients", 4, "loadgen: concurrent client connections (open-loop: connection-pool size)")
+		rate       = flag.Float64("rate", 0, "loadgen: aggregate requests/second (0 = unpaced)")
+		openLoop   = flag.Bool("open-loop", false, "loadgen: fixed-arrival-rate mode (requires -rate); latency counts from the scheduled arrival")
+		tenants    = flag.Int("tenants", 1, "loadgen: distinct tenants to split the load across (each gets its own image, so cluster routing spreads them)")
+		tenantRate = flag.Float64("tenant-rate", 0, "loadgen: per-tenant arrival-rate cap in open-loop mode (0 = rate/tenants)")
+		duration   = flag.Duration("duration", 2*time.Second, "loadgen: run length")
+		palFile    = flag.String("pal", "", "loadgen: PAL assembler source file (default: built-in echo PAL)")
+		noAttest   = flag.Bool("no-attest", false, "loadgen: skip quote generation and verification")
 
 		debugAddr   = flag.String("debug", "", "debug HTTP listen address for /metrics, /healthz, /debug/trace, /debug/pprof (\"\" disables)")
 		trace       = flag.Bool("trace", false, "record execution traces (implied by -debug or -trace-out)")
@@ -97,6 +100,7 @@ func main() {
 	if *loadgen {
 		err = runLoadgen(loadgenOpts{
 			addr: *addr, clients: *clients, rate: *rate, duration: *duration,
+			openLoop: *openLoop, tenants: *tenants, tenantRate: *tenantRate,
 			palFile: *palFile, noAttest: *noAttest,
 			svc:         svcCfg,
 			connTimeout: *connTimeout,
@@ -196,6 +200,9 @@ type loadgenOpts struct {
 	addr        string
 	clients     int
 	rate        float64
+	openLoop    bool
+	tenants     int
+	tenantRate  float64
 	duration    time.Duration
 	palFile     string
 	noAttest    bool
@@ -247,14 +254,18 @@ func runLoadgen(o loadgenOpts) error {
 	fmt.Printf("palservd: loadgen %d client(s) against %s for %v\n",
 		o.clients, target, o.duration)
 	rep, err := palsvc.RunLoad(palsvc.LoadConfig{
-		Addr:     target,
-		Clients:  o.clients,
-		Rate:     o.rate,
-		Duration: o.duration,
-		Name:     name,
-		Source:   src,
-		Input:    []byte("loadgen"),
-		NoAttest: o.noAttest,
+		Addr:        target,
+		Clients:     o.clients,
+		Rate:        o.rate,
+		OpenLoop:    o.openLoop,
+		Tenants:     o.tenants,
+		TenantRate:  o.tenantRate,
+		DialTimeout: o.connTimeout,
+		Duration:    o.duration,
+		Name:        name,
+		Source:      src,
+		Input:       []byte("loadgen"),
+		NoAttest:    o.noAttest,
 	})
 	if err != nil {
 		return err
@@ -267,7 +278,7 @@ func runLoadgen(o loadgenOpts) error {
 	if hosted != nil {
 		m := hosted.Metrics()
 		stats = &m
-	} else if cl, err := palsvc.Dial(target); err == nil {
+	} else if cl, err := palsvc.Dial(target, o.connTimeout); err == nil {
 		defer cl.Close()
 		stats, _ = cl.Stats()
 	}

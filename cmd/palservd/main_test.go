@@ -22,7 +22,7 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cl, err := palsvc.Dial(addr)
+	cl, err := palsvc.Dial(addr, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.0.0.%d:7080", i+1)
+	}
+	return addrs
+}
+
+func ringKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = RouteKey(fmt.Sprintf("job source variant %d", i))
+	}
+	return keys
+}
+
+func TestRingDistribution(t *testing.T) {
+	const backends, keys = 8, 10000
+	r := NewRing(0)
+	for _, a := range ringAddrs(backends) {
+		r.Add(a)
+	}
+	counts := make(map[string]int)
+	for _, k := range ringKeys(keys) {
+		counts[r.Primary(k)]++
+	}
+	if len(counts) != backends {
+		t.Fatalf("keys landed on %d backends, want all %d", len(counts), backends)
+	}
+	// With 64 vnodes per backend the shares won't be exactly keys/backends,
+	// but every backend must carry a meaningful fraction of its fair share.
+	fair := keys / backends
+	for a, n := range counts {
+		if n < fair/3 || n > fair*3 {
+			t.Errorf("backend %s owns %d keys, outside [%d, %d] around fair share %d",
+				a, n, fair/3, fair*3, fair)
+		}
+	}
+}
+
+// TestRingStabilityOnLeave is the consistent-hashing contract the router's
+// cache affinity rests on: removing one of N backends remaps exactly the
+// keys that backend owned — everything else keeps its primary, so the other
+// N-1 image caches stay hot — and that ownership share is small (the issue's
+// acceptance bound: at most 2/N of all keys).
+func TestRingStabilityOnLeave(t *testing.T) {
+	const backends, nkeys = 8, 10000
+	addrs := ringAddrs(backends)
+	r := NewRing(0)
+	for _, a := range addrs {
+		r.Add(a)
+	}
+	keys := ringKeys(nkeys)
+	before := make([]string, nkeys)
+	for i, k := range keys {
+		before[i] = r.Primary(k)
+	}
+
+	victim := addrs[3]
+	r.Remove(victim)
+	var owned, remapped int
+	for i, k := range keys {
+		after := r.Primary(k)
+		if before[i] == victim {
+			owned++
+			if after == victim {
+				t.Fatalf("key %d still maps to removed backend %s", i, victim)
+			}
+			continue
+		}
+		if after != before[i] {
+			remapped++
+		}
+	}
+	if remapped != 0 {
+		t.Errorf("%d keys not owned by the removed backend changed primaries", remapped)
+	}
+	if limit := 2 * nkeys / backends; owned > limit {
+		t.Errorf("removed backend owned %d/%d keys, above the 2/N bound %d", owned, nkeys, limit)
+	}
+	if owned == 0 {
+		t.Error("removed backend owned zero keys; the ring never placed anything on it")
+	}
+
+	// Re-adding it restores the original placement exactly.
+	r.Add(victim)
+	for i, k := range keys {
+		if got := r.Primary(k); got != before[i] {
+			t.Fatalf("after rejoin key %d maps to %s, want original %s", i, got, before[i])
+		}
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(0)
+	addrs := ringAddrs(4)
+	for _, a := range addrs {
+		r.Add(a)
+	}
+	for _, k := range ringKeys(64) {
+		got := r.Successors(k, 10) // more than the membership: must cap at 4
+		if len(got) != len(addrs) {
+			t.Fatalf("Successors returned %d members, want %d", len(got), len(addrs))
+		}
+		seen := make(map[string]bool)
+		for _, a := range got {
+			if seen[a] {
+				t.Fatalf("Successors repeated %s: %v", a, got)
+			}
+			seen[a] = true
+		}
+		if got[0] != r.Primary(k) {
+			t.Fatalf("Successors[0] = %s, want Primary %s", got[0], r.Primary(k))
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Primary(42); got != "" {
+		t.Fatalf("empty ring Primary = %q, want empty", got)
+	}
+	if got := r.Successors(42, 3); len(got) != 0 {
+		t.Fatalf("empty ring Successors = %v, want none", got)
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"minimaltcb/internal/chaos"
+	"minimaltcb/internal/palsvc"
+)
+
+// TestClusterFailoverSoak is the cluster's accountability gate, the
+// fleet-level twin of palsvc's TestSoakZeroLossUnderChaos: three backends
+// under the PR5 fault mix behind one router, multi-tenant open load, and one
+// backend's network presence killed mid-run. It pins the failover contract:
+//
+//   - tenants see zero transport errors — the router absorbs the death
+//   - every request gets exactly one classified answer
+//   - every backend's terminal counters still partition its Submitted
+//     (no job lost inside any node, killed one included)
+//   - the dead backend is marked Down and drained from the ring
+//   - no backend leaks sePCRs or arbitration slots
+//
+// Tunables:
+//
+//	CLUSTER_SOAK_PROFILE   chaos profile per backend  (default "soak")
+//	CLUSTER_SOAK_DURATION  load duration              (default "1200ms")
+//	CLUSTER_SOAK_SEED      injector seed              (default 1)
+func TestClusterFailoverSoak(t *testing.T) {
+	p, err := chaos.ParseProfile(envOr("CLUSTER_SOAK_PROFILE", "soak"))
+	if err != nil {
+		t.Fatalf("CLUSTER_SOAK_PROFILE: %v", err)
+	}
+	dur, err := time.ParseDuration(envOr("CLUSTER_SOAK_DURATION", "1200ms"))
+	if err != nil {
+		t.Fatalf("CLUSTER_SOAK_DURATION: %v", err)
+	}
+	seed, err := strconv.ParseUint(envOr("CLUSTER_SOAK_SEED", "1"), 10, 64)
+	if err != nil {
+		t.Fatalf("CLUSTER_SOAK_SEED: %v", err)
+	}
+
+	const nBackends = 3
+	var (
+		services  []*palsvc.Service
+		listeners []*killableListener
+		addrs     []string
+	)
+	for i := 0; i < nBackends; i++ {
+		s, l := startBackend(t, palsvc.Config{
+			Machines: 2, Workers: 8,
+			Quantum:    50 * time.Microsecond,
+			Chaos:      chaos.New(seed+uint64(i), p),
+			Retry:      palsvc.DefaultRetryPolicy(),
+			Supervisor: palsvc.SupervisorPolicy{QuarantineAfter: 4, QuarantineFor: 5 * time.Millisecond},
+		})
+		services = append(services, s)
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	r := newTestRouter(t, addrs, func(c *Config) {
+		c.RequestTimeout = 10 * time.Second
+	})
+	addr := serveRouter(t, r)
+
+	// Kill one backend's network a third of the way in — long before the
+	// run ends, so the cluster demonstrably keeps serving after the loss.
+	victim := addrs[nBackends-1]
+	killed := time.AfterFunc(dur/3, func() { listeners[nBackends-1].Kill() })
+	defer killed.Stop()
+
+	rep, err := palsvc.RunLoad(palsvc.LoadConfig{
+		Addr: addr, Clients: 6, Tenants: 4, Duration: dur,
+		DialTimeout: 5 * time.Second,
+		Name:        "csoak", Source: slowSource, Input: []byte("soak"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cluster soak seed %d profile [%v]: %v", seed, p, rep)
+
+	// Tenant view: the router never surfaced the backend death as a
+	// transport failure, and every request got exactly one classified
+	// answer.
+	if rep.ConnErrors != 0 {
+		t.Fatalf("tenants saw %d transport errors; the router leaked a backend failure", rep.ConnErrors)
+	}
+	if got := rep.OK + rep.Rejected + rep.DeadlineExceeded + rep.Failed; got != rep.Sent {
+		t.Fatalf("lost responses: sent=%d but outcomes sum to %d", rep.Sent, got)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no job ever completed under the cluster soak")
+	}
+	if len(rep.PerBackend) == 0 {
+		t.Fatal("router stamped no Backend fields; per-backend breakdown empty")
+	}
+
+	// The victim must be detected, marked Down, and drained.
+	waitFor(t, 5*time.Second, "victim to leave the ring", func() bool {
+		return !r.Ring().Has(victim)
+	})
+	snap := r.Snapshot()
+	if snap.Downed == 0 {
+		t.Error("no down transition counted after killing a backend")
+	}
+	for _, b := range snap.Backends {
+		if b.Addr == victim && b.State != StateDown.String() {
+			t.Errorf("victim state %s, want %s", b.State, StateDown)
+		}
+	}
+
+	// The cluster still serves after the loss: a fresh tenant runs a job
+	// end to end.
+	cl, err := palsvc.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Run(&palsvc.WireRequest{Name: "after", Source: helloSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("post-kill run failed: %s (code %s)", resp.Err, resp.Code)
+	}
+	if resp.Backend == victim {
+		t.Fatalf("post-kill run served by the dead backend %s", victim)
+	}
+
+	// Server view, every node including the killed one (its service is
+	// still running — only its network died): wait for queues to drain,
+	// then check the terminal counters partition Submitted and nothing
+	// leaked.
+	for i, s := range services {
+		s := s
+		waitFor(t, 10*time.Second, "backend queue to drain", func() bool {
+			m := s.Metrics()
+			done := m.Completed + m.Failed + m.DeadlineExceeded + m.RejectedBank + m.RejectedShed
+			return done == m.Submitted && m.SePCROccupancy == 0
+		})
+		m := s.Metrics()
+		if got := m.Completed + m.Failed + m.DeadlineExceeded + m.RejectedBank + m.RejectedShed; got != m.Submitted {
+			t.Errorf("backend %d terminal counters (%d) do not partition Submitted (%d)", i, got, m.Submitted)
+		}
+		if err := s.LeakCheck(); err != nil {
+			t.Errorf("backend %d leaked after soak: %v", i, err)
+		}
+	}
+
+	t.Logf("cluster snapshot: routed=%d ok=%d stolen=%d shed=%d downed=%d drained=%d rejoined=%d",
+		snap.Routed, snap.RoutedOK, snap.Stolen, snap.Shed, snap.Downed, snap.Drained, snap.Rejoined)
+}

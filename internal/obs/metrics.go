@@ -349,6 +349,32 @@ func RegisterTracerMetrics(reg *Registry, t *Tracer) {
 		func() float64 { return float64(t.Capacity()) })
 }
 
+// RegisterLatencyQuantiles exposes a latency distribution that lives
+// outside the registry (e.g. an exact sim.Sample) as one gauge family with
+// a quantile label, sampled from fn at scrape time. Histograms are the
+// right tool when the registry owns the observations; this is for
+// components — like the cluster router — that already keep an exact sample
+// and want its p50/p95/p99/max on /metrics without double bookkeeping. fn
+// is called once per series per scrape, so it must be cheap and
+// lock-consistent per call (cross-quantile skew between two calls in one
+// scrape is acceptable by contract). No-op on a nil registry.
+func RegisterLatencyQuantiles(reg *Registry, name, help string, fn func() (p50, p95, p99, max float64)) {
+	if reg == nil {
+		return
+	}
+	pick := func(sel func(p50, p95, p99, max float64) float64) func() float64 {
+		return func() float64 { return sel(fn()) }
+	}
+	reg.GaugeFunc(name, help, pick(func(p50, _, _, _ float64) float64 { return p50 }),
+		Label{Name: "quantile", Value: "0.5"})
+	reg.GaugeFunc(name, help, pick(func(_, p95, _, _ float64) float64 { return p95 }),
+		Label{Name: "quantile", Value: "0.95"})
+	reg.GaugeFunc(name, help, pick(func(_, _, p99, _ float64) float64 { return p99 }),
+		Label{Name: "quantile", Value: "0.99"})
+	reg.GaugeFunc(name, help, pick(func(_, _, _, max float64) float64 { return max }),
+		Label{Name: "quantile", Value: "1.0"})
+}
+
 // histLine writes one cumulative bucket line, splicing le into any
 // existing label set.
 func histLine(w io.Writer, name, labels, le string, count uint64) error {

@@ -2,23 +2,55 @@ package palsvc
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"minimaltcb/internal/sim"
 )
 
-// LoadConfig drives the built-in load generator: N client connections
-// submitting the same job in a loop, optionally paced to an aggregate
-// request rate.
+// LoadConfig drives the built-in load generator. Two arrival models are
+// supported:
+//
+//   - closed loop (default): Clients connections each submit back-to-back,
+//     optionally paced so the aggregate rate approximates Rate. Offered load
+//     sinks when the server slows down — fine for capacity probing, wrong
+//     for latency measurement under overload.
+//   - open loop (OpenLoop=true, requires Rate > 0): arrivals fire on a fixed
+//     schedule regardless of how the server is doing, the model a
+//     million-client fleet actually presents. Requests draw connections from
+//     a pool of Clients reused connections; latency is measured from the
+//     scheduled arrival, so time spent waiting for a free connection counts
+//     against the server, exactly as a tenant would experience it.
+//
+// Tenants > 1 splits the workload into that many distinct tenants, each with
+// its own name, its own source variant (so cluster routing by image
+// measurement spreads them across shards instead of pinning every request to
+// one), and — in open-loop mode — its own arrival pacer: per-tenant rate
+// shaping is TenantRate when set, Rate/Tenants otherwise.
 type LoadConfig struct {
-	// Addr is the palsvc server to hammer.
+	// Addr is the palsvc (or palrouter) server to hammer.
 	Addr string
 	// Clients is the number of concurrent client connections; default 4.
+	// In open-loop mode this is the connection-pool size bounding in-flight
+	// requests.
 	Clients int
 	// Rate is the aggregate request rate across all clients in requests
-	// per second; <= 0 means submit as fast as responses come back.
+	// per second; <= 0 means submit as fast as responses come back
+	// (closed loop only).
 	Rate float64
+	// OpenLoop switches to fixed-arrival-rate mode; it requires Rate > 0.
+	OpenLoop bool
+	// Tenants is the number of distinct tenants the load is split across;
+	// <= 1 means a single tenant submitting Name/Source verbatim.
+	Tenants int
+	// TenantRate, when > 0, caps each tenant's arrival rate in open-loop
+	// mode (default Rate/Tenants).
+	TenantRate float64
+	// DialTimeout bounds each connection's dial+handshake and every round
+	// trip (see Dial); 0 keeps the legacy block-forever behaviour.
+	DialTimeout time.Duration
 	// Duration bounds the run; default 2s.
 	Duration time.Duration
 
@@ -30,9 +62,20 @@ type LoadConfig struct {
 	NoAttest   bool
 }
 
+// BackendLoad is the per-backend slice of a LoadReport, keyed on the
+// WireResponse.Backend a routing front-end stamps into each answer.
+type BackendLoad struct {
+	Sent             int `json:"sent"`
+	OK               int `json:"ok"`
+	Rejected         int `json:"rejected"`
+	DeadlineExceeded int `json:"deadline_exceeded"`
+	Failed           int `json:"failed"`
+}
+
 // LoadReport summarizes one load-generator run.
 type LoadReport struct {
 	Clients int
+	Tenants int
 	Sent    int
 	OK      int
 	// Rejected counts responses whose retryable bit was set: admission
@@ -48,17 +91,121 @@ type LoadReport struct {
 	RejectedBank      int
 	RejectedShed      int
 	DeadlineExceeded  int // non-retryable deadline expiries
-	Failed            int // everything else
-	Elapsed           time.Duration
-	Throughput        float64 // successful jobs per wall-clock second
-	Latency           StageStats
+	Failed            int // non-retryable job errors
+	// ConnErrors counts transport-level failures (dial, timeout, torn
+	// connection) — the outcomes that mean a request got *no* classified
+	// answer. The cluster failover soak asserts this stays zero: a router
+	// absorbing a backend death must never surface it to tenants.
+	ConnErrors int
+	Elapsed    time.Duration
+	Throughput float64 // successful jobs per wall-clock second
+	Latency    StageStats
+	// PerBackend breaks outcomes down by the serving backend for runs
+	// pointed at a cluster front-end; empty for a direct palservd run.
+	PerBackend map[string]*BackendLoad
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf(
-		"clients=%d sent=%d ok=%d rejected=%d (queue_full=%d bank_exhausted=%d shed=%d) deadline_exceeded=%d failed=%d elapsed=%v throughput=%.1f jobs/s\nlatency: %v",
-		r.Clients, r.Sent, r.OK, r.Rejected, r.RejectedQueueFull, r.RejectedBank, r.RejectedShed,
-		r.DeadlineExceeded, r.Failed, r.Elapsed, r.Throughput, r.Latency)
+	s := fmt.Sprintf(
+		"clients=%d tenants=%d sent=%d ok=%d rejected=%d (queue_full=%d bank_exhausted=%d shed=%d) deadline_exceeded=%d failed=%d conn_errors=%d elapsed=%v throughput=%.1f jobs/s\nlatency: %v",
+		r.Clients, r.Tenants, r.Sent, r.OK, r.Rejected, r.RejectedQueueFull, r.RejectedBank, r.RejectedShed,
+		r.DeadlineExceeded, r.Failed, r.ConnErrors, r.Elapsed, r.Throughput, r.Latency)
+	if len(r.PerBackend) > 0 {
+		addrs := make([]string, 0, len(r.PerBackend))
+		for a := range r.PerBackend {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		var b strings.Builder
+		b.WriteString(s)
+		for _, a := range addrs {
+			bl := r.PerBackend[a]
+			fmt.Fprintf(&b, "\nbackend %s: sent=%d ok=%d rejected=%d deadline_exceeded=%d failed=%d",
+				a, bl.Sent, bl.OK, bl.Rejected, bl.DeadlineExceeded, bl.Failed)
+		}
+		return b.String()
+	}
+	return s
+}
+
+// loadState is the shared accumulator all request goroutines report into.
+type loadState struct {
+	mu  sync.Mutex
+	lat sim.Sample
+	rep LoadReport
+}
+
+// record classifies one finished request. A nil resp with non-nil err is a
+// transport failure; everything else got a classified answer.
+func (st *loadState) record(resp *WireResponse, err error, d time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.rep.Sent++
+	var bl *BackendLoad
+	if resp != nil && resp.Backend != "" {
+		if st.rep.PerBackend == nil {
+			st.rep.PerBackend = make(map[string]*BackendLoad)
+		}
+		bl = st.rep.PerBackend[resp.Backend]
+		if bl == nil {
+			bl = &BackendLoad{}
+			st.rep.PerBackend[resp.Backend] = bl
+		}
+		bl.Sent++
+	}
+	switch {
+	case err != nil:
+		st.rep.ConnErrors++
+	case resp.OK:
+		st.rep.OK++
+		st.lat.Add(d)
+		if bl != nil {
+			bl.OK++
+		}
+	case resp.Retryable:
+		st.rep.Rejected++
+		switch resp.Code {
+		case CodeQueueFull:
+			st.rep.RejectedQueueFull++
+		case CodeBankExhausted:
+			st.rep.RejectedBank++
+		case CodeShed:
+			st.rep.RejectedShed++
+		}
+		if bl != nil {
+			bl.Rejected++
+		}
+	case resp.Code == CodeDeadline:
+		st.rep.DeadlineExceeded++
+		if bl != nil {
+			bl.DeadlineExceeded++
+		}
+	default:
+		st.rep.Failed++
+		if bl != nil {
+			bl.Failed++
+		}
+	}
+}
+
+// tenantJob derives tenant i's request. Each tenant beyond the first gets a
+// distinct name and a source variant extended with unreachable, named data:
+// the image (and therefore the measurement the attestation chain binds and a
+// cluster router hashes) differs per tenant, so multi-tenant load actually
+// exercises placement instead of collapsing onto one shard's cache.
+func tenantJob(cfg *LoadConfig, i int) WireRequest {
+	req := WireRequest{
+		Name:       cfg.Name,
+		Source:     cfg.Source,
+		Input:      cfg.Input,
+		DeadlineMS: cfg.DeadlineMS,
+		NoAttest:   cfg.NoAttest,
+	}
+	if cfg.Tenants > 1 {
+		req.Name = fmt.Sprintf("%s-t%d", cfg.Name, i)
+		req.Source = fmt.Sprintf("%s\ntenant%d:\t.ascii %q\n", cfg.Source, i, fmt.Sprintf("t%d", i))
+	}
+	return req
 }
 
 // RunLoad runs the load generator against cfg.Addr and reports aggregate
@@ -68,88 +215,173 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 4
 	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 1
+	}
 	if cfg.Duration <= 0 {
 		cfg.Duration = 2 * time.Second
 	}
+	if cfg.OpenLoop && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("palsvc: open-loop load requires a positive Rate")
+	}
+	st := &loadState{}
+	st.rep.Clients = cfg.Clients
+	st.rep.Tenants = cfg.Tenants
+	start := time.Now()
+	var err error
+	if cfg.OpenLoop {
+		err = runOpenLoop(&cfg, st, start)
+	} else {
+		err = runClosedLoop(&cfg, st, start)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.rep.Elapsed = time.Since(start)
+	if secs := st.rep.Elapsed.Seconds(); secs > 0 {
+		st.rep.Throughput = float64(st.rep.OK) / secs
+	}
+	st.rep.Latency = stageOf(&st.lat)
+	return &st.rep, nil
+}
+
+// runClosedLoop is the original model: one goroutine per connection,
+// back-to-back requests, optional pacing. Tenants are assigned to
+// connections round-robin.
+func runClosedLoop(cfg *LoadConfig, st *loadState, start time.Time) error {
 	var pace time.Duration
 	if cfg.Rate > 0 {
 		pace = time.Duration(float64(cfg.Clients) / cfg.Rate * float64(time.Second))
 	}
-	req := WireRequest{
-		Name:       cfg.Name,
-		Source:     cfg.Source,
-		Input:      cfg.Input,
-		DeadlineMS: cfg.DeadlineMS,
-		NoAttest:   cfg.NoAttest,
-	}
-
+	stop := start.Add(cfg.Duration)
 	var (
-		mu      sync.Mutex
-		lat     sim.Sample
-		rep     = LoadReport{Clients: cfg.Clients}
 		wg      sync.WaitGroup
-		start   = time.Now()
-		stop    = start.Add(cfg.Duration)
+		mu      sync.Mutex
 		dialErr error
 	)
 	for i := 0; i < cfg.Clients; i++ {
-		cl, err := Dial(cfg.Addr)
+		cl, err := Dial(cfg.Addr, cfg.DialTimeout)
 		if err != nil {
 			mu.Lock()
 			dialErr = err
 			mu.Unlock()
 			break
 		}
+		req := tenantJob(cfg, i%cfg.Tenants)
 		wg.Add(1)
-		go func(cl *Client) {
+		go func(cl *Client, req WireRequest) {
 			defer wg.Done()
 			defer cl.Close()
 			for time.Now().Before(stop) {
 				t0 := time.Now()
 				resp, err := cl.Run(&req)
 				d := time.Since(t0)
-				mu.Lock()
-				rep.Sent++
-				switch {
-				case err != nil:
-					rep.Failed++
-					mu.Unlock()
+				st.record(resp, err, d)
+				if err != nil {
 					return // connection-level error: this client is done
-				case resp.OK:
-					rep.OK++
-					lat.Add(d)
-				case resp.Retryable:
-					rep.Rejected++
-					switch resp.Code {
-					case CodeQueueFull:
-						rep.RejectedQueueFull++
-					case CodeBankExhausted:
-						rep.RejectedBank++
-					case CodeShed:
-						rep.RejectedShed++
-					}
-				case resp.Code == CodeDeadline:
-					rep.DeadlineExceeded++
-				default:
-					rep.Failed++
 				}
-				mu.Unlock()
 				if pace > 0 {
 					if sleep := pace - d; sleep > 0 {
 						time.Sleep(sleep)
 					}
 				}
 			}
-		}(cl)
+		}(cl, req)
 	}
 	wg.Wait()
-	if dialErr != nil && rep.Sent == 0 {
-		return nil, fmt.Errorf("palsvc: load generator dial: %w", dialErr)
+	st.mu.Lock()
+	sent := st.rep.Sent
+	st.mu.Unlock()
+	if dialErr != nil && sent == 0 {
+		return fmt.Errorf("palsvc: load generator dial: %w", dialErr)
 	}
-	rep.Elapsed = time.Since(start)
-	if secs := rep.Elapsed.Seconds(); secs > 0 {
-		rep.Throughput = float64(rep.OK) / secs
+	return nil
+}
+
+// runOpenLoop fires arrivals on a fixed per-tenant schedule and serves them
+// from a shared connection pool of cfg.Clients reused connections. An
+// arrival that cannot get a connection waits for one — and that wait counts
+// in its latency, because its clock starts at the *scheduled* arrival.
+func runOpenLoop(cfg *LoadConfig, st *loadState, start time.Time) error {
+	perTenant := cfg.TenantRate
+	if perTenant <= 0 {
+		perTenant = cfg.Rate / float64(cfg.Tenants)
 	}
-	rep.Latency = stageOf(&lat)
-	return &rep, nil
+	if perTenant <= 0 {
+		return fmt.Errorf("palsvc: open-loop per-tenant rate must be positive")
+	}
+	interval := time.Duration(float64(time.Second) / perTenant)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+
+	// The pool: pre-dialed connections recycled across requests. A
+	// connection that suffers a transport error is replaced by a fresh
+	// dial on its next checkout, so one torn conn does not shrink the
+	// pool for the rest of the run.
+	pool := make(chan *Client, cfg.Clients)
+	dialed := 0
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := Dial(cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			if dialed == 0 {
+				return fmt.Errorf("palsvc: load generator dial: %w", err)
+			}
+			break
+		}
+		dialed++
+		pool <- cl
+	}
+	for i := dialed; i < cfg.Clients; i++ {
+		pool <- nil // placeholder: checkout re-dials lazily
+	}
+
+	stop := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		req := tenantJob(cfg, t)
+		wg.Add(1)
+		go func(req WireRequest) {
+			defer wg.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			var inflight sync.WaitGroup
+			for now := range tick.C {
+				if now.After(stop) {
+					break
+				}
+				sched := now
+				inflight.Add(1)
+				go func() {
+					defer inflight.Done()
+					cl := <-pool
+					if cl == nil {
+						var err error
+						cl, err = Dial(cfg.Addr, cfg.DialTimeout)
+						if err != nil {
+							st.record(nil, err, 0)
+							pool <- nil
+							return
+						}
+					}
+					resp, err := cl.Run(&req)
+					st.record(resp, err, time.Since(sched))
+					if err != nil {
+						_ = cl.Close()
+						pool <- nil // replaced on next checkout
+						return
+					}
+					pool <- cl
+				}()
+			}
+			inflight.Wait()
+		}(req)
+	}
+	wg.Wait()
+	for i := 0; i < cfg.Clients; i++ {
+		if cl := <-pool; cl != nil {
+			_ = cl.Close()
+		}
+	}
+	return nil
 }

@@ -207,6 +207,11 @@ func stageOf(s *sim.Sample) StageStats {
 	}
 }
 
+// StageStatsOf summarizes a latency sample into the wire-encodable
+// StageStats form — exported so internal/cluster can report its
+// router-measured distributions in the same shape the service uses.
+func StageStatsOf(s *sim.Sample) StageStats { return stageOf(s) }
+
 // Metrics returns a consistent snapshot of the service's counters, gauges
 // and latency distributions.
 func (s *Service) Metrics() Metrics {

@@ -826,6 +826,36 @@ func (s *Service) backoff(attempt int, deadline time.Time) bool {
 	return true
 }
 
+// Health is the non-blocking admission-relevant snapshot behind the wire
+// protocol's health op. It deliberately uses TryLock the same way admission
+// probes do: a machine whose lock is held (a PAL executing or quoting, or a
+// wedged replica sitting on it) contributes zero free registers rather than
+// stalling the probe — which is exactly the capacity signal a router needs
+// from a sick node.
+func (s *Service) Health() HealthInfo {
+	h := HealthInfo{
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		Bank:       s.bank,
+		Replicas:   len(s.machines),
+	}
+	now := time.Now()
+	for _, m := range s.machines {
+		if m.quarantined(now) {
+			h.QuarantinedReplicas++
+			continue
+		}
+		if m.mu.TryLock() {
+			if free := m.sys.SKSM.FreeSePCRs() - m.pending; free > 0 {
+				h.FreeSePCRs += free
+			}
+			m.mu.Unlock()
+		}
+	}
+	h.Shedding = len(s.machines) > 0 && h.QuarantinedReplicas == len(s.machines)
+	return h
+}
+
 // LeakCheck verifies, once all submitted jobs have drained, that every
 // resource the service hands out came back: all sePCRs Free in every
 // replica's bank and every kernel page returned to the allocator. The soak

@@ -59,10 +59,36 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 
 // Wire ops.
 const (
-	OpRun   = "run"
-	OpStats = "stats"
-	OpPing  = "ping"
+	OpRun    = "run"
+	OpStats  = "stats"
+	OpPing   = "ping"
+	OpHealth = "health"
 )
+
+// HealthInfo is the health op's payload: the admission-relevant view of a
+// server, cheap enough for a router to poll every few hundred milliseconds.
+// Unlike the stats op it never takes the metrics mutex and never touches a
+// busy machine's lock — a wedged replica shows up as zero free capacity, not
+// as a hung probe.
+type HealthInfo struct {
+	// QueueDepth and QueueCap describe the submission queue.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// FreeSePCRs is the number of unreserved Free registers across replicas
+	// whose locks could be probed without blocking; Bank is total capacity.
+	FreeSePCRs int `json:"free_sepcrs"`
+	Bank       int `json:"bank"`
+	// Replicas and QuarantinedReplicas count platform replicas and how many
+	// the supervisor currently holds in quarantine.
+	Replicas            int `json:"replicas"`
+	QuarantinedReplicas int `json:"quarantined_replicas"`
+	// Shedding reports that every replica is quarantined: the server is
+	// rejecting all work with shed_load, so a router should drain it.
+	Shedding bool `json:"shedding"`
+	// Degraded is set client-side when the peer predates the health op and
+	// the probe fell back to synthesizing this from the stats op.
+	Degraded bool `json:"degraded,omitempty"`
+}
 
 // WireRequest is one client request.
 type WireRequest struct {
@@ -90,6 +116,10 @@ type WireResponse struct {
 	// Attempts mirrors JobResult.Attempts: how many pipeline passes the
 	// supervisor spent on the job (1 = no retries).
 	Attempts int `json:"attempts,omitempty"`
+	// Backend is the backend address that served the request when it was
+	// routed through a cluster front-end (cmd/palrouter); empty when the
+	// answer came straight from a palservd.
+	Backend string `json:"backend,omitempty"`
 
 	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
 	ArbWaitNS   int64 `json:"arb_wait_ns,omitempty"`
@@ -97,7 +127,8 @@ type WireResponse struct {
 	QuoteGenNS  int64 `json:"quote_gen_ns,omitempty"`
 	VerifyNS    int64 `json:"verify_ns,omitempty"`
 
-	Stats *Metrics `json:"stats,omitempty"`
+	Stats  *Metrics    `json:"stats,omitempty"`
+	Health *HealthInfo `json:"health,omitempty"`
 }
 
 // Serve accepts connections on l until the listener closes, handling each
@@ -160,6 +191,9 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 	case OpStats:
 		m := s.Metrics()
 		return &WireResponse{OK: true, Stats: &m}
+	case OpHealth:
+		h := s.Health()
+		return &WireResponse{OK: true, Health: &h}
 	case OpRun:
 		j := Job{Name: req.Name, Source: req.Source, Input: req.Input, NoAttest: req.NoAttest}
 		if req.DeadlineMS != 0 {
@@ -200,23 +234,49 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 
 // Client is a tenant-side connection to a palsvc server.
 type Client struct {
-	conn net.Conn
+	conn    net.Conn
+	timeout time.Duration // per-roundTrip deadline; 0 = none
 }
 
-// Dial connects to a palsvc server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a palsvc server. A positive timeout bounds the TCP
+// connect (net.DialTimeout), a ping handshake proving the peer actually
+// speaks the protocol, and — unless overridden with SetTimeout — every
+// subsequent round trip. A zero timeout preserves the original
+// block-forever behaviour and skips the handshake; routers and probers must
+// always pass one, because a black-holed backend would otherwise hang the
+// caller indefinitely.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{conn: conn, timeout: timeout}
+	if timeout > 0 {
+		// Handshake under the same budget: a listener that accepts but
+		// never answers (black hole, half-dead process) fails here, not at
+		// the first real request.
+		if err := c.Ping(); err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("palsvc: dial handshake with %s: %w", addr, err)
+		}
+	}
+	return c, nil
 }
+
+// SetTimeout replaces the per-roundTrip deadline established at Dial
+// (0 disables it).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends one request and reads its response.
 func (c *Client) roundTrip(req *WireRequest) (*WireResponse, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -233,6 +293,13 @@ func (c *Client) roundTrip(req *WireRequest) (*WireResponse, error) {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Do sends one raw request and returns the raw response — the forwarding
+// primitive cmd/palrouter proxies through. Unlike Run it never rewrites
+// req.Op, so a router can relay stats/health/ping verbatim.
+func (c *Client) Do(req *WireRequest) (*WireResponse, error) {
+	return c.roundTrip(req)
 }
 
 // Run submits a job over the wire and waits for its result.
@@ -252,6 +319,34 @@ func (c *Client) Stats() (*Metrics, error) {
 		return nil, fmt.Errorf("palsvc: stats failed: %s", resp.Err)
 	}
 	return resp.Stats, nil
+}
+
+// Health fetches the server's admission-relevant health snapshot. Servers
+// that predate the health op answer it with an unknown-op error; Health then
+// degrades gracefully by synthesizing the snapshot from the stats op
+// (Degraded is set), so a mixed-version fleet stays probeable.
+func (c *Client) Health() (*HealthInfo, error) {
+	resp, err := c.roundTrip(&WireRequest{Op: OpHealth})
+	if err != nil {
+		return nil, err
+	}
+	if resp.OK && resp.Health != nil {
+		return resp.Health, nil
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("palsvc: health probe fallback: %w", err)
+	}
+	free := stats.SePCRCapacity - stats.SePCROccupancy
+	if free < 0 {
+		free = 0
+	}
+	return &HealthInfo{
+		QueueDepth: stats.QueueDepth,
+		FreeSePCRs: free,
+		Bank:       stats.SePCRCapacity,
+		Degraded:   true,
+	}, nil
 }
 
 // Ping checks liveness.

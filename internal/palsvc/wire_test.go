@@ -76,7 +76,7 @@ func startServer(t *testing.T, cfg Config) (*Service, string) {
 
 func TestWireRunStatsPing(t *testing.T) {
 	_, addr := startServer(t, Config{})
-	cl, err := Dial(addr)
+	cl, err := Dial(addr, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestWireRunStatsPing(t *testing.T) {
 
 func TestWireUnknownOp(t *testing.T) {
 	_, addr := startServer(t, Config{})
-	cl, err := Dial(addr)
+	cl, err := Dial(addr, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestWireMalformedJSONKeepsConnectionUsable(t *testing.T) {
 
 func TestWireRetryableFlagOnQueueFull(t *testing.T) {
 	_, addr := startServer(t, Config{Workers: 1, QueueDepth: 1})
-	cl, err := Dial(addr)
+	cl, err := Dial(addr, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestWireRetryableFlagOnQueueFull(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c2, err := Dial(addr)
+			c2, err := Dial(addr, 0)
 			if err != nil {
 				return
 			}
@@ -199,7 +199,7 @@ func TestWireConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cl, err := Dial(addr)
+			cl, err := Dial(addr, 0)
 			if err != nil {
 				errC <- err
 				return
