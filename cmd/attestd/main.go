@@ -191,7 +191,14 @@ func serveDebug(addr, palFile, anchorsPath string, timeout time.Duration, debugA
 
 	log := attest.Log{{PCR: 17, Description: p.Name, Measurement: p.Measurement()}}
 	respond := func(ch attest.Challenge) (*attest.Evidence, error) {
-		sp := tracer.StartSpan(tracer.NewTrace(), "challenge", "attest")
+		// Adopt the verifier's propagated trace context when the challenge
+		// carries one, so this platform's challenge/TPM spans nest in the
+		// caller's distributed trace; otherwise root a local trace.
+		ctx := tracer.NewTrace()
+		if id, err := obs.ParseTraceID(ch.TraceID); err == nil && !id.IsZero() {
+			ctx = obs.Context{Trace: id, Span: ch.ParentSpan}
+		}
+		sp := tracer.StartSpan(ctx, "challenge", "attest")
 		prev := scope.Swap(sp.Context())
 		t0 := time.Now()
 		q, _, err := sys.SEA.Quote(ch.Nonce)

@@ -53,7 +53,11 @@ func main() {
 		probeEvery  = flag.Duration("probe-interval", 100*time.Millisecond, "health-prober period per backend")
 		probeFails  = flag.Int("probe-fails", 3, "consecutive transport failures before a backend is drained from the ring")
 		connTimeout = flag.Duration("conn-timeout", 30*time.Second, "per-request deadline on tenant connections (0 = none)")
-		debugAddr   = flag.String("debug", "", "debug HTTP listen address for /metrics, /healthz, /debug/cluster (\"\" disables)")
+		debugAddr   = flag.String("debug", "", "debug HTTP listen address for /metrics, /healthz, /debug/cluster, /debug/trace, /debug/slo (\"\" disables)")
+		trace       = flag.Bool("trace", false, "record routing spans and propagate trace context to backends (implied by -debug); spawned backends get tracers too, so the trace wire op answers a stitched cluster dump")
+
+		sloObjective = flag.Float64("slo-objective", 0.99, "SLO good-request objective for per-tenant burn-rate accounting")
+		sloTarget    = flag.Duration("slo-target", 250*time.Millisecond, "SLO latency target: slower answers count against the error budget (<0 disables)")
 
 		// Spawned-backend flags, mirroring palservd.
 		machines   = flag.Int("machines", 1, "spawn: platform replicas per backend")
@@ -77,6 +81,8 @@ func main() {
 		dialTimeout: *dialTimeout, reqTimeout: *reqTimeout,
 		probeEvery: *probeEvery, probeFails: *probeFails,
 		connTimeout: *connTimeout, debugAddr: *debugAddr,
+		trace:        *trace || *debugAddr != "",
+		sloObjective: *sloObjective, sloTarget: *sloTarget,
 		machines: *machines, sePCRs: *sePCRs, workers: *workers,
 		queueDepth: *queueDepth, quantum: *quantum, keyBits: *keyBits,
 		seed: *seed, deadline: *deadline, reject: *reject,
@@ -96,6 +102,9 @@ type routerOpts struct {
 	probeFails              int
 	connTimeout             time.Duration
 	debugAddr               string
+	trace                   bool
+	sloObjective            float64
+	sloTarget               time.Duration
 	machines, sePCRs        int
 	workers, queueDepth     int
 	quantum                 time.Duration
@@ -116,6 +125,15 @@ func run(o routerOpts) error {
 
 	reg := obs.NewRegistry()
 	health := &obs.Health{}
+	var tracer *obs.Tracer
+	if o.trace {
+		// The router's node epoch keeps its span IDs distinct from every
+		// backend's inside one stitched cluster trace.
+		tracer = obs.NewTracer(0)
+		tracer.SetNode(obs.NewNodeID())
+		obs.RegisterTracerMetrics(reg, tracer)
+	}
+	slo := obs.NewSLOTracker(obs.SLOConfig{Objective: o.sloObjective, LatencyTarget: o.sloTarget})
 	r, err := cluster.New(cluster.Config{
 		Backends:       addrs,
 		VNodes:         o.vnodes,
@@ -126,6 +144,8 @@ func run(o routerOpts) error {
 		ProbeInterval:  o.probeEvery,
 		ProbeFails:     o.probeFails,
 		Registry:       reg,
+		Tracer:         tracer,
+		SLO:            slo,
 	})
 	if err != nil {
 		return err
@@ -133,15 +153,17 @@ func run(o routerOpts) error {
 	defer r.Close()
 
 	if o.debugAddr != "" {
-		srv, err := obs.ListenAndServeDebug(o.debugAddr, obs.NewDebugMux(reg, nil, health,
+		srv, err := obs.ListenAndServeDebug(o.debugAddr, obs.NewDebugMux(reg, tracer, health,
 			obs.Endpoint{Path: "/debug/cluster", Desc: "cluster snapshot: ring, per-backend state/health/stats (JSON)",
-				Handler: r.DebugHandler()}))
+				Handler: r.DebugHandler()},
+			obs.Endpoint{Path: "/debug/slo", Desc: "per-tenant SLO burn rates and latency quantiles (JSON)",
+				Handler: slo.Handler()}))
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		defer health.Fail("palrouter shutting down")
-		fmt.Printf("palrouter: debug server on http://%s (/metrics /healthz /debug/cluster)\n", srv.Addr())
+		fmt.Printf("palrouter: debug server on http://%s (/metrics /healthz /debug/cluster /debug/trace /debug/slo)\n", srv.Addr())
 	}
 
 	l, err := net.Listen("tcp", o.addr)
@@ -193,6 +215,14 @@ func resolveBackends(o routerOpts) (addrs []string, cleanup func(), err error) {
 		}
 		if o.reject {
 			cfg.Admission = palsvc.AdmitReject
+		}
+		if o.trace {
+			// Each spawned backend records into its own ring under its own
+			// node epoch — exactly what separate palservd processes would
+			// do — so the router's trace op stitches them the same way.
+			bt := obs.NewTracer(0)
+			bt.SetNode(obs.NewNodeID())
+			cfg.Tracer = bt
 		}
 		if o.chaosProfile != "" {
 			p, perr := chaos.ParseProfile(o.chaosProfile)

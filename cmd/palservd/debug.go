@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"minimaltcb/internal/obs"
 	"minimaltcb/internal/obs/prof"
@@ -32,6 +33,11 @@ type debugOpts struct {
 	// <dir>/crashes.jsonl (the recorder itself runs whenever any
 	// observability is on, serving /debug/crashes from memory).
 	crashDir string
+	// sloObjective/sloTarget parameterize the per-tenant SLO tracker,
+	// which rides along with any observability (zero values take the
+	// tracker defaults: 0.99 and 250ms).
+	sloObjective float64
+	sloTarget    time.Duration
 }
 
 // enabled reports whether any observability feature was requested.
@@ -53,6 +59,7 @@ type debugStack struct {
 	tracer   *obs.Tracer
 	reg      *obs.Registry
 	health   *obs.Health
+	slo      *obs.SLOTracker
 	profiler *prof.Profiler
 	flight   *prof.FlightRecorder
 	srv      *obs.DebugServer
@@ -66,8 +73,13 @@ func newDebugStack(o debugOpts) *debugStack {
 		return d
 	}
 	d.tracer = obs.NewTracer(o.traceBuf)
+	// A node epoch makes this process's trace and span IDs globally
+	// unique, so a router-driven stitch (obs.Stitch) can merge this ring
+	// with other daemons' without ID collisions.
+	d.tracer.SetNode(obs.NewNodeID())
 	d.reg = obs.NewRegistry()
 	d.health = &obs.Health{}
+	d.slo = obs.NewSLOTracker(obs.SLOConfig{Objective: o.sloObjective, LatencyTarget: o.sloTarget})
 	obs.RegisterTracerMetrics(d.reg, d.tracer)
 	if o.profiling() {
 		d.profiler = prof.New()
@@ -83,6 +95,7 @@ func newDebugStack(o debugOpts) *debugStack {
 func (d *debugStack) apply(cfg *palsvc.Config) {
 	cfg.Tracer = d.tracer
 	cfg.Registry = d.reg
+	cfg.SLO = d.slo
 	cfg.Profiler = d.profiler
 	cfg.Flight = d.flight
 }
@@ -104,6 +117,12 @@ func (d *debugStack) serve(addr string, svc *palsvc.Service) error {
 		extras = append(extras, obs.Endpoint{
 			Path: "/debug/crashes", Desc: "fault flight-recorder bundles (JSON; ?id=N&format=text)",
 			Handler: d.flight.Handler(),
+		})
+	}
+	if d.slo != nil {
+		extras = append(extras, obs.Endpoint{
+			Path: "/debug/slo", Desc: "per-tenant SLO burn rates and latency quantiles (JSON)",
+			Handler: d.slo.Handler(),
 		})
 	}
 	srv, err := obs.ListenAndServeDebug(addr, obs.NewDebugMux(d.reg, d.tracer, d.health, extras...))

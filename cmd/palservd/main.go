@@ -82,6 +82,9 @@ func main() {
 		profile     = flag.Bool("profile", false, "record the exact virtual-cycle profile (served at /debug/profile; implied by -profile-out)")
 		profileOut  = flag.String("profile-out", "", "write the profile JSON (tcbprof input) to this file on exit (self-hosted loadgen only)")
 		crashDir    = flag.String("crash-dir", "", "persist fault flight-recorder bundles to <dir>/crashes.jsonl")
+
+		sloObjective = flag.Float64("slo-objective", 0.99, "SLO good-request objective for per-tenant burn-rate accounting")
+		sloTarget    = flag.Duration("slo-target", 250*time.Millisecond, "SLO latency target: slower successes count against the error budget (<0 disables)")
 	)
 	flag.Parse()
 
@@ -89,6 +92,7 @@ func main() {
 		addr: *debugAddr, trace: *trace, traceBuf: *traceBuf,
 		traceOut: *traceOut, traceFormat: *traceFormat,
 		profile: *profile, profileOut: *profileOut, crashDir: *crashDir,
+		sloObjective: *sloObjective, sloTarget: *sloTarget,
 	}
 	svcCfg := serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
 		*quantum, *keyBits, *seed, *deadline, *reject)

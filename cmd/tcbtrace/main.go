@@ -10,12 +10,23 @@
 //
 // Usage:
 //
-//	tcbtrace [-f dump.jsonl] [-trace N] [-name span] [-events]
+//	tcbtrace [-f dump.jsonl] [-trace ID] [-name span] [-events]
 //	    Read a JSONL trace dump (stdin by default) and print one tree per
 //	    trace, spans nested under their parents, with a wall/virtual
 //	    duration breakdown and a per-trace summary line. -trace keeps one
-//	    trace by ID; -name keeps traces containing a span (or "name"
-//	    attribute) matching the given substring.
+//	    trace by ID (decimal or 32-hex-digit cluster form); -name keeps
+//	    traces containing a span (or "name" attribute) matching the given
+//	    substring.
+//
+//	tcbtrace -stitch host1:7080,host2:7080 [-trace ID] [-chrome out.json]
+//	    Fetch the live span rings of the listed palservd/palrouter
+//	    processes over the wire protocol's trace op and merge them into
+//	    one timeline: each node's wall clock is aligned to this process
+//	    using the RTT midpoint of the fetch, records are tagged with the
+//	    node they came from, and the result renders as one tree (or, with
+//	    -chrome, as a Chrome trace with one lane pair per node). Pointing
+//	    -stitch at a palrouter stitches the whole fleet in one hop — the
+//	    router fans the fetch out to its backends itself.
 package main
 
 import (
@@ -28,34 +39,107 @@ import (
 	"time"
 
 	"minimaltcb/internal/obs"
+	"minimaltcb/internal/palsvc"
 )
 
 func main() {
 	var (
 		file    = flag.String("f", "", "trace dump file in JSONL format (default: stdin)")
-		only    = flag.Uint64("trace", 0, "render only this trace ID (0 = all)")
+		only    = flag.String("trace", "", "render only this trace ID, decimal or 32-hex cluster form (\"\" = all)")
 		name    = flag.String("name", "", "render only traces containing a span or \"name\" attribute matching this substring")
 		events  = flag.Bool("events", true, "include instant events in the tree")
 		summary = flag.Bool("summary", false, "print only the per-trace summary lines")
+		stitch  = flag.String("stitch", "", "comma-separated wire addresses whose span rings to fetch and merge (skew-corrected)")
+		chrome  = flag.String("chrome", "", "write the (stitched) records as a Chrome trace to this file instead of rendering a tree")
 	)
 	flag.Parse()
 
-	in := io.Reader(os.Stdin)
-	if *file != "" {
-		f, err := os.Open(*file)
+	var filter obs.TraceID
+	if *only != "" {
+		id, err := obs.ParseTraceID(*only)
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
-		in = f
+		filter = id
 	}
-	recs, err := obs.ReadJSONL(in)
-	if err != nil {
+
+	var recs []obs.Record
+	if *stitch != "" {
+		var err error
+		recs, err = fetchStitched(*stitch, *only)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		in := io.Reader(os.Stdin)
+		if *file != "" {
+			f, err := os.Open(*file)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		recs, err = obs.ReadJSONL(in)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if *chrome != "" {
+		if !filter.IsZero() {
+			recs = obs.FilterTrace(recs, filter)
+		}
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteChromeTrace(f, recs); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("tcbtrace: wrote %d record(s) to %s\n", len(recs), *chrome)
+		return
+	}
+
+	if err := render(os.Stdout, recs, renderOpts{only: filter, name: *name, events: *events, summaryOnly: *summary}); err != nil {
 		fail(err)
 	}
-	if err := render(os.Stdout, recs, renderOpts{only: *only, name: *name, events: *events, summaryOnly: *summary}); err != nil {
-		fail(err)
+}
+
+// fetchStitched pulls each node's ring over the trace wire op and merges
+// them with per-node skew correction. A node that does not speak the trace
+// op (an old build) is reported and skipped rather than failing the whole
+// stitch.
+func fetchStitched(addrs, filter string) ([]obs.Record, error) {
+	var dumps []obs.NodeDump
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		c, err := palsvc.Dial(addr, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", addr, err)
+		}
+		dump, offset, err := c.Trace(filter)
+		_ = c.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbtrace: %s: %v (skipped)\n", addr, err)
+			continue
+		}
+		if dump.Truncated > 0 {
+			fmt.Fprintf(os.Stderr, "tcbtrace: %s: dump truncated, %d record(s) omitted\n", addr, dump.Truncated)
+		}
+		dumps = append(dumps, obs.NodeDump{Node: addr, Records: dump.Records, Dropped: dump.Dropped, Offset: offset})
 	}
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("no node answered the trace op")
+	}
+	return obs.Stitch(dumps), nil
 }
 
 func fail(err error) {
@@ -64,7 +148,7 @@ func fail(err error) {
 }
 
 type renderOpts struct {
-	only        uint64
+	only        obs.TraceID
 	name        string
 	events      bool
 	summaryOnly bool
@@ -72,7 +156,7 @@ type renderOpts struct {
 
 // trace is one reassembled session: its records indexed for tree walking.
 type trace struct {
-	id       uint64
+	id       obs.TraceID
 	recs     []obs.Record
 	children map[uint64][]int // parent span ID -> indices into recs
 	byID     map[uint64]int
@@ -81,10 +165,10 @@ type trace struct {
 // render groups records by trace ID and prints one tree per trace,
 // oldest-first.
 func render(w io.Writer, recs []obs.Record, o renderOpts) error {
-	byTrace := map[uint64]*trace{}
-	var order []uint64
+	byTrace := map[obs.TraceID]*trace{}
+	var order []obs.TraceID
 	for i, r := range recs {
-		if o.only != 0 && r.Trace != o.only {
+		if !o.only.IsZero() && r.Trace != o.only {
 			continue
 		}
 		t := byTrace[r.Trace]
@@ -108,7 +192,12 @@ func render(w io.Writer, recs []obs.Record, o renderOpts) error {
 		_, err := fmt.Fprintln(w, "tcbtrace: no records")
 		return err
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Hi != order[j].Hi {
+			return order[i].Hi < order[j].Hi
+		}
+		return order[i].Lo < order[j].Lo
+	})
 	for _, id := range order {
 		if err := byTrace[id].render(w, o); err != nil {
 			return err
@@ -196,7 +285,7 @@ func (t *trace) virtUnder(parent uint64) time.Duration {
 func (t *trace) render(w io.Writer, o renderOpts) error {
 	t.index()
 	name, wall, virt := t.summarize()
-	if _, err := fmt.Fprintf(w, "trace %d: %s  wall=%v virtual=%v\n",
+	if _, err := fmt.Fprintf(w, "trace %s: %s  wall=%v virtual=%v\n",
 		t.id, name, wall, virt); err != nil {
 		return err
 	}
@@ -240,6 +329,9 @@ func (t *trace) renderLine(w io.Writer, r obs.Record, depth int) error {
 		if r.VirtDur >= 0 {
 			fmt.Fprintf(&b, " virt=%v", time.Duration(r.VirtDur))
 		}
+	}
+	if r.Node != "" {
+		fmt.Fprintf(&b, " [%s]", r.Node)
 	}
 	for _, a := range r.Attrs {
 		fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)

@@ -8,7 +8,7 @@ import (
 )
 
 // span builds a synthetic span record the way the recorder would emit it.
-func span(traceID, id, parent uint64, name string, wallStart, wallDur, virtStart, virtDur int64, attrs ...obs.Attr) obs.Record {
+func span(traceID obs.TraceID, id, parent uint64, name string, wallStart, wallDur, virtStart, virtDur int64, attrs ...obs.Attr) obs.Record {
 	return obs.Record{
 		Kind: obs.KindSpan, Trace: traceID, ID: id, Parent: parent,
 		Name: name, Cat: "test",
@@ -18,7 +18,7 @@ func span(traceID, id, parent uint64, name string, wallStart, wallDur, virtStart
 	}
 }
 
-func event(traceID uint64, name string, wallStart, virtStart int64) obs.Record {
+func event(traceID obs.TraceID, name string, wallStart, virtStart int64) obs.Record {
 	return obs.Record{
 		Kind: obs.KindEvent, Trace: traceID, ID: 0, Parent: 0,
 		Name: name, Cat: "test",
@@ -29,7 +29,8 @@ func event(traceID uint64, name string, wallStart, virtStart int64) obs.Record {
 
 // jobTrace is a miniature PAL session: a job root holding queue and execute
 // stages, a TPM command nested under execute, and a free event.
-func jobTrace(id uint64) []obs.Record {
+func jobTrace(lo uint64) []obs.Record {
+	id := obs.TraceID{Lo: lo}
 	return []obs.Record{
 		// Recorder order is end order: children complete before parents.
 		span(id, 2, 1, "queue", 1000, 500, -1, -1),
@@ -86,7 +87,7 @@ func TestRenderEventsSuppressed(t *testing.T) {
 
 func TestRenderTraceFilter(t *testing.T) {
 	recs := append(jobTrace(1), jobTrace(2)...)
-	out := renderString(t, recs, renderOpts{only: 2, events: true})
+	out := renderString(t, recs, renderOpts{only: obs.TraceID{Lo: 2}, events: true})
 	if strings.Contains(out, "trace 1:") || !strings.Contains(out, "trace 2:") {
 		t.Fatalf("filter output:\n%s", out)
 	}
@@ -105,7 +106,7 @@ func TestRenderMultipleTracesSorted(t *testing.T) {
 // rather than silently dropped.
 func TestRenderOrphanPromoted(t *testing.T) {
 	recs := []obs.Record{
-		span(5, 11, 99, "verify", 100, 30, -1, -1), // parent 99 missing
+		span(obs.TraceID{Lo: 5}, 11, 99, "verify", 100, 30, -1, -1), // parent 99 missing
 	}
 	out := renderString(t, recs, renderOpts{})
 	if !strings.Contains(out, "  verify  wall=30ns") {
@@ -135,9 +136,9 @@ func TestSummaryVirtualNoDoubleCount(t *testing.T) {
 // TestRenderNameFilter: -name keeps traces whose spans (or their "name"
 // attributes — the job root carries the tenant there) match the substring.
 func TestRenderNameFilter(t *testing.T) {
-	recs := append(jobTrace(1), span(2, 1, 0, "job", 900, 100, -1, -1,
+	recs := append(jobTrace(1), span(obs.TraceID{Lo: 2}, 1, 0, "job", 900, 100, -1, -1,
 		obs.Attr{Key: "name", Val: "loadgen-echo"}))
-	recs = append(recs, span(3, 1, 0, "TPM_Quote", 100, 50, 0, 10))
+	recs = append(recs, span(obs.TraceID{Lo: 3}, 1, 0, "TPM_Quote", 100, 50, 0, 10))
 
 	// Attribute match: only the loadgen tenant's trace survives.
 	out := renderString(t, recs, renderOpts{name: "loadgen", summaryOnly: true})

@@ -29,6 +29,13 @@ type Challenge struct {
 	SePCR bool
 	// Handle is the sePCR to quote when SePCR is set.
 	Handle int
+	// TraceID and ParentSpan carry the verifier's propagated trace
+	// context (the compact obs.TraceID string form), so the platform's
+	// challenge span nests in the caller's distributed trace instead of
+	// rooting an orphan. Empty means untraced. Gob matches struct fields
+	// by name, so old peers on either side simply ignore them.
+	TraceID    string
+	ParentSpan uint64
 }
 
 // Evidence is the platform's response.
@@ -73,7 +80,9 @@ func (e *TimeoutError) Timeout() bool { return true }
 type Option func(*exchangeConfig)
 
 type exchangeConfig struct {
-	timeout time.Duration
+	timeout    time.Duration
+	traceID    string
+	parentSpan uint64
 }
 
 // WithTimeout bounds the whole exchange on one connection. d <= 0 disables
@@ -81,6 +90,15 @@ type exchangeConfig struct {
 // progress). Without this option, DefaultTimeout applies.
 func WithTimeout(d time.Duration) Option {
 	return func(c *exchangeConfig) { c.timeout = d }
+}
+
+// WithTraceContext propagates the caller's trace context on the outgoing
+// challenge (verifier side: Request, ChallengeAndVerify), so the
+// responding platform's spans join the caller's trace. traceID is the
+// compact obs.TraceID form; parentSpan the caller-side span ID the
+// platform's spans nest under.
+func WithTraceContext(traceID string, parentSpan uint64) Option {
+	return func(c *exchangeConfig) { c.traceID, c.parentSpan = traceID, parentSpan }
 }
 
 func newExchangeConfig(opts []Option) exchangeConfig {
@@ -187,6 +205,9 @@ func Serve(l net.Listener, respond Responder, opts ...Option) error {
 // Request performs the verifier side of one exchange on conn.
 func Request(conn net.Conn, ch Challenge, opts ...Option) (*Evidence, error) {
 	cfg := newExchangeConfig(opts)
+	if cfg.traceID != "" {
+		ch.TraceID, ch.ParentSpan = cfg.traceID, cfg.parentSpan
+	}
 	defer conn.Close()
 	if cfg.timeout > 0 {
 		// Wall-clock (not virtual) deadline: the peer is a real socket.

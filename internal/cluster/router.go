@@ -43,6 +43,21 @@ type Config struct {
 	// Registry, when non-nil, receives the router's cluster-level
 	// instruments (see bindRegistry in metrics.go).
 	Registry *obs.Registry
+	// Tracer, when non-nil, records routing spans: one "route" span per
+	// run request with a "forward" child per placement attempt, plus
+	// "steal"/"failover" events as the walk continues past a backend. The
+	// router adopts the tenant's propagated trace context (or mints a
+	// root) and forwards it to backends, so a stitched cluster trace shows
+	// the whole path. The trace wire op answers with a stitched
+	// multi-node dump (see StitchTrace). Nil keeps routing unchanged and
+	// passes tenant trace fields through verbatim.
+	Tracer *obs.Tracer
+	// SLO, when non-nil, accrues per-tenant burn-rate accounting at the
+	// routing layer: every terminal answer (and every shed) is one
+	// observation against the tenant's error budget, timed end-to-end as
+	// the tenant experiences it. Bound to Registry under the "cluster"
+	// prefix.
+	SLO *obs.SLOTracker
 }
 
 // ErrNoBackends is returned by New for an empty backend list.
@@ -112,6 +127,7 @@ func New(cfg Config) (*Router, error) {
 		r.ring.Add(addr)
 	}
 	r.bindRegistry(cfg.Registry)
+	cfg.SLO.Bind(cfg.Registry, "cluster")
 	for _, b := range r.backends {
 		r.wg.Add(1)
 		go r.probe(b)
@@ -208,6 +224,8 @@ func (r *Router) dispatch(req *palsvc.WireRequest) *palsvc.WireResponse {
 		return &palsvc.WireResponse{OK: true, Stats: &m}
 	case palsvc.OpRun:
 		return r.route(req)
+	case palsvc.OpTrace:
+		return r.traceOp(req)
 	default:
 		return &palsvc.WireResponse{Err: fmt.Sprintf("cluster: unknown op %q", req.Op)}
 	}
@@ -238,6 +256,26 @@ func stealableReject(resp *palsvc.WireResponse) bool {
 // connection trades no correctness for zero tenant-visible loss.
 func (r *Router) route(req *palsvc.WireRequest) *palsvc.WireResponse {
 	t0 := time.Now()
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = req.Name
+	}
+	// Adopt the tenant's propagated trace context or mint a root. The
+	// route span parents every forward span, and each forward span in turn
+	// parents the chosen backend's pipeline spans — one tree across
+	// processes. With no tracer the request (including any tenant-set
+	// trace fields) forwards untouched.
+	var route *obs.Span
+	if r.cfg.Tracer.Enabled() {
+		ctx := routeTraceContext(req)
+		if ctx.Trace.IsZero() {
+			ctx = r.cfg.Tracer.NewTrace()
+		}
+		route = r.cfg.Tracer.StartSpan(ctx, "route", "cluster").Attr("name", req.Name)
+		if tenant != "" && tenant != req.Name {
+			route.Attr("tenant", tenant)
+		}
+	}
 	key := RouteKey(req.Source)
 	cands := r.ring.Successors(key, 1+r.cfg.StealDepth)
 	var lastReject *palsvc.WireResponse
@@ -246,13 +284,33 @@ func (r *Router) route(req *palsvc.WireRequest) *palsvc.WireResponse {
 		if b == nil {
 			continue
 		}
-		resp, err := r.forward(b, req)
+		fwd := req
+		var fs *obs.Span
+		if route != nil {
+			fs = r.cfg.Tracer.StartSpan(route.Context(), "forward", "cluster").
+				Attr("backend", addr).AttrInt("attempt", i+1)
+			cp := *req
+			cp.TraceID = route.Context().Trace.String()
+			cp.ParentSpan = fs.Context().Span
+			fwd = &cp
+		}
+		resp, err := r.forward(b, fwd)
 		if err != nil {
+			if fs != nil {
+				fs.Attr("outcome", "transport_error").Attr("err", err.Error()).End()
+				r.cfg.Tracer.Event(route.Context(), "failover", "cluster", -1,
+					obs.String("backend", addr), obs.String("err", err.Error()))
+			}
 			r.noteTransportFail(b)
 			continue
 		}
 		r.noteTransportOK(b)
 		if stealableReject(resp) {
+			if fs != nil {
+				fs.Attr("outcome", "reject").Attr("code", resp.Code).End()
+				r.cfg.Tracer.Event(route.Context(), "steal", "cluster", -1,
+					obs.String("backend", addr), obs.String("code", resp.Code))
+			}
 			b.rejects.Add(1)
 			r.setSaturated(b, true)
 			lastReject = resp
@@ -270,12 +328,30 @@ func (r *Router) route(req *palsvc.WireRequest) *palsvc.WireResponse {
 		b.observe(d)
 		r.metrics.observe(d, resp.OK)
 		resp.Backend = b.addr
+		if fs != nil {
+			outcome := "ok"
+			if !resp.OK {
+				outcome = "error"
+			}
+			fs.Attr("outcome", outcome).End()
+			route.Attr("backend", b.addr).Attr("outcome", outcome).End()
+			if resp.TraceID == "" {
+				// Old backend without trace support: the router still
+				// echoes the trace so tenants can look up their spans.
+				resp.TraceID = route.Context().Trace.String()
+			}
+		}
+		r.cfg.SLO.Observe(tenant, d, !resp.OK, route.Context().Trace)
 		return resp
 	}
 	// Whole ring saturated, drained, or unreachable: the cluster-level
 	// shed_load contract. Retryable — quarantines expire, probes re-add
 	// recovered backends — so resubmission is the right tenant response.
 	r.metrics.incShed()
+	r.cfg.SLO.Observe(tenant, time.Since(t0), true, route.Context().Trace)
+	if route != nil {
+		route.Attr("outcome", "shed").End()
+	}
 	if lastReject != nil {
 		// Preserve the most informative rejection but stamp it as a
 		// cluster-wide decision, not one backend's.
@@ -283,13 +359,89 @@ func (r *Router) route(req *palsvc.WireRequest) *palsvc.WireResponse {
 		lastReject.Code = palsvc.CodeShed
 		lastReject.Err = fmt.Sprintf("cluster: shedding load: all %d placement candidates rejected (last: %s)",
 			len(cands), lastReject.Err)
+		if route != nil {
+			lastReject.TraceID = route.Context().Trace.String()
+		}
 		return lastReject
 	}
-	return &palsvc.WireResponse{
+	resp := &palsvc.WireResponse{
 		Err:       fmt.Sprintf("cluster: shedding load: no live backend (%d configured, %d in ring)", len(r.backends), r.ring.Size()),
 		Retryable: true,
 		Code:      palsvc.CodeShed,
 	}
+	if route != nil {
+		resp.TraceID = route.Context().Trace.String()
+	}
+	return resp
+}
+
+// routeTraceContext parses a request's propagated trace context; absent or
+// malformed fields yield the zero Context and the router mints a root.
+func routeTraceContext(req *palsvc.WireRequest) obs.Context {
+	if req.TraceID == "" {
+		return obs.Context{}
+	}
+	id, err := obs.ParseTraceID(req.TraceID)
+	if err != nil || id.IsZero() {
+		return obs.Context{}
+	}
+	return obs.Context{Trace: id, Span: req.ParentSpan}
+}
+
+// traceOp answers the trace wire op with a stitched cluster-wide dump.
+func (r *Router) traceOp(req *palsvc.WireRequest) *palsvc.WireResponse {
+	dump, err := r.StitchTrace(req.TraceID)
+	if err != nil {
+		return &palsvc.WireResponse{Err: err.Error()}
+	}
+	return &palsvc.WireResponse{OK: true, Trace: dump}
+}
+
+// StitchTrace merges the router's own span ring with every reachable
+// backend's (fetched over the trace op, each aligned onto the router's
+// clock by its fetch's RTT midpoint — see obs.ClockOffset) into one
+// skew-corrected timeline. filter, when non-empty, keeps one trace.
+// Backends that are unreachable or predate the trace op are skipped: a
+// partial stitch of the nodes that answered beats no stitch.
+func (r *Router) StitchTrace(filter string) (*palsvc.TraceDump, error) {
+	var id obs.TraceID
+	if filter != "" {
+		var err error
+		id, err = obs.ParseTraceID(filter)
+		if err != nil {
+			return nil, err
+		}
+		filter = id.String()
+	}
+	recs, dropped := r.cfg.Tracer.Snapshot()
+	if !id.IsZero() {
+		recs = obs.FilterTrace(recs, id)
+	}
+	dumps := []obs.NodeDump{{Node: "router", Records: recs, Dropped: dropped}}
+	truncated := 0
+	for _, b := range r.backends {
+		c, err := b.get()
+		if err != nil {
+			continue
+		}
+		bd, offset, err := c.Trace(filter)
+		if err != nil {
+			// Old build without the trace op, or a torn fetch: drop the
+			// connection (its state is unknown) and stitch without it.
+			_ = c.Close()
+			continue
+		}
+		b.put(c)
+		truncated += bd.Truncated
+		dumps = append(dumps, obs.NodeDump{Node: b.addr, Records: bd.Records, Dropped: bd.Dropped, Offset: offset})
+	}
+	var droppedTotal uint64
+	for _, d := range dumps {
+		droppedTotal += d.Dropped
+	}
+	out := palsvc.BoundTraceDump(obs.Stitch(dumps), droppedTotal)
+	out.Truncated += truncated
+	return out, nil
 }
 
 // forward sends req to b over a pooled connection. The connection is only

@@ -14,7 +14,7 @@ import (
 func BenchmarkStartSpanDisabled(b *testing.B) {
 	tr := NewTracer(64)
 	tr.SetEnabled(false)
-	ctx := Context{Trace: 1}
+	ctx := Context{Trace: TraceID{Lo: 1}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sp := tr.StartSpan(ctx, "x", "y")
@@ -63,5 +63,44 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(0.001)
+	}
+}
+
+// The SLO tracker rides the job-completion path: disabled it must cost one
+// nil check, enabled it stays on per-tenant fixed-size state.
+
+func BenchmarkSLOObserveDisabled(b *testing.B) {
+	var t *SLOTracker
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Observe("tenant", time.Millisecond, false, TraceID{Lo: 1})
+	}
+}
+
+func BenchmarkSLOObserveEnabled(b *testing.B) {
+	t := NewSLOTracker(SLOConfig{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Observe("tenant", time.Millisecond, i%100 == 0, TraceID{Lo: uint64(i)})
+	}
+}
+
+// TraceID parse/format run once per wire request on traced clusters.
+
+func BenchmarkTraceIDString(b *testing.B) {
+	id := TraceID{Hi: 0xabcdef0123456789, Lo: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = id.String()
+	}
+}
+
+func BenchmarkTraceIDParse(b *testing.B) {
+	s := TraceID{Hi: 0xabcdef0123456789, Lo: 42}.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTraceID(s); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -82,9 +82,21 @@ type chromeEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
+// chromeTID flattens a TraceID into the viewer's uint64 thread ID: one
+// lane per trace. Local IDs keep their small sequential value; cluster IDs
+// fold the node word in so two nodes' trace #1 land on distinct lanes.
+func chromeTID(t TraceID) uint64 {
+	if t.Hi == 0 {
+		return t.Lo
+	}
+	return t.Lo ^ (t.Hi<<1 | t.Hi>>63)
+}
+
 // WriteChromeTrace renders records as a Chrome trace-event JSON document.
 // Wall timestamps are rebased to the earliest record so the viewer opens
-// at t=0.
+// at t=0. Stitched records (Record.Node set) get one wall/virtual pid pair
+// per node, so a cross-process trace shows router and backend lanes side
+// by side; unstitched dumps keep the classic two-process layout.
 func WriteChromeTrace(w io.Writer, recs []Record) error {
 	var events []chromeEvent
 	meta := func(pid int, name string) chromeEvent {
@@ -93,7 +105,22 @@ func WriteChromeTrace(w io.Writer, recs []Record) error {
 			Args: map[string]any{"name": name},
 		}
 	}
+
+	// Assign each node a pid pair in order of first appearance. The
+	// unnamed node keeps pids 1/2 and the historical lane names.
+	nodePID := map[string]int{"": chromePIDWall}
 	events = append(events, meta(chromePIDWall, "wall clock"), meta(chromePIDVirt, "virtual clock"))
+	for i := range recs {
+		node := recs[i].Node
+		if _, ok := nodePID[node]; ok {
+			continue
+		}
+		pid := chromePIDWall + 2*len(nodePID)
+		nodePID[node] = pid
+		events = append(events,
+			meta(pid, "wall clock — "+node),
+			meta(pid+1, "virtual clock — "+node))
+	}
 
 	base := int64(0)
 	for i := range recs {
@@ -113,15 +140,20 @@ func WriteChromeTrace(w io.Writer, recs []Record) error {
 			args["virt_start_ns"] = r.VirtStart
 			args["virt_dur_ns"] = r.VirtDur
 		}
+		if r.Node != "" {
+			args["node"] = r.Node
+		}
 		for _, a := range r.Attrs {
 			args[a.Key] = a.Val
 		}
 
+		wallPID := nodePID[r.Node]
+		tid := chromeTID(r.Trace)
 		switch {
 		case r.Kind == KindEvent:
 			events = append(events, chromeEvent{
 				Name: r.Name, Cat: r.Cat, Phase: "i", Scope: "t",
-				TS: micros(r.WallStart - base), PID: chromePIDWall, TID: r.Trace, Args: args,
+				TS: micros(r.WallStart - base), PID: wallPID, TID: tid, Args: args,
 			})
 		case r.Cat == CatSePCR:
 			// Async pair: visible even though the span crosses call
@@ -134,15 +166,15 @@ func WriteChromeTrace(w io.Writer, recs []Record) error {
 			}
 			events = append(events,
 				chromeEvent{Name: r.Name, Cat: r.Cat, Phase: "b", ID: id,
-					TS: micros(r.WallStart - base), PID: chromePIDWall, TID: r.Trace, Args: args},
+					TS: micros(r.WallStart - base), PID: wallPID, TID: tid, Args: args},
 				chromeEvent{Name: r.Name, Cat: r.Cat, Phase: "e", ID: id,
-					TS: micros(r.WallStart - base + r.WallDur), PID: chromePIDWall, TID: r.Trace})
+					TS: micros(r.WallStart - base + r.WallDur), PID: wallPID, TID: tid})
 		default:
 			dur := micros(r.WallDur)
 			events = append(events, chromeEvent{
 				Name: r.Name, Cat: r.Cat, Phase: "X",
 				TS: micros(r.WallStart - base), Dur: &dur,
-				PID: chromePIDWall, TID: r.Trace, Args: args,
+				PID: wallPID, TID: tid, Args: args,
 			})
 		}
 
@@ -153,7 +185,7 @@ func WriteChromeTrace(w io.Writer, recs []Record) error {
 			events = append(events, chromeEvent{
 				Name: r.Name, Cat: r.Cat, Phase: "X",
 				TS: micros(r.VirtStart), Dur: &vdur,
-				PID: chromePIDVirt, TID: r.Trace, Args: args,
+				PID: wallPID + 1, TID: tid, Args: args,
 			})
 		}
 	}

@@ -11,15 +11,15 @@ import (
 
 func sampleRecords() []Record {
 	return []Record{
-		{Kind: KindSpan, Trace: 1, ID: 2, Parent: 1, Name: "execute", Cat: "pipeline",
+		{Kind: KindSpan, Trace: TraceID{Lo: 1}, ID: 2, Parent: 1, Name: "execute", Cat: "pipeline",
 			WallStart: 1000, WallDur: 500, VirtStart: 100, VirtDur: 50,
 			Attrs: []Attr{{Key: "cpu", Val: "1"}}},
-		{Kind: KindSpan, Trace: 1, ID: 3, Name: "sePCR.Exclusive", Cat: CatSePCR,
+		{Kind: KindSpan, Trace: TraceID{Lo: 1}, ID: 3, Name: "sePCR.Exclusive", Cat: CatSePCR,
 			WallStart: 1100, WallDur: 200, VirtStart: 110, VirtDur: 20,
 			Attrs: []Attr{{Key: "handle", Val: "0"}}},
-		{Kind: KindEvent, Trace: 1, ID: 4, Parent: 2, Name: "SYIELD", Cat: "sksm",
+		{Kind: KindEvent, Trace: TraceID{Lo: 1}, ID: 4, Parent: 2, Name: "SYIELD", Cat: "sksm",
 			WallStart: 1200, VirtStart: 120, VirtDur: -1},
-		{Kind: KindSpan, Trace: 2, ID: 5, Name: "verify", Cat: "pipeline",
+		{Kind: KindSpan, Trace: TraceID{Lo: 2}, ID: 5, Name: "verify", Cat: "pipeline",
 			WallStart: 2000, WallDur: 300, VirtStart: -1, VirtDur: -1},
 	}
 }
@@ -160,9 +160,9 @@ func TestChromeTraceSePCROrdering(t *testing.T) {
 	// must keep that order among async begins after the stable sort.
 	now := time.Now().UnixNano()
 	recs := []Record{
-		{Kind: KindSpan, Trace: 1, ID: 1, Name: "sePCR.Exclusive", Cat: CatSePCR,
+		{Kind: KindSpan, Trace: TraceID{Lo: 1}, ID: 1, Name: "sePCR.Exclusive", Cat: CatSePCR,
 			WallStart: now, WallDur: 100, Attrs: []Attr{{Key: "handle", Val: "3"}}},
-		{Kind: KindSpan, Trace: 1, ID: 2, Name: "sePCR.Quote", Cat: CatSePCR,
+		{Kind: KindSpan, Trace: TraceID{Lo: 1}, ID: 2, Name: "sePCR.Quote", Cat: CatSePCR,
 			WallStart: now + 100, WallDur: 50, Attrs: []Attr{{Key: "handle", Val: "3"}}},
 	}
 	var buf bytes.Buffer

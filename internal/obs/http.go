@@ -61,8 +61,9 @@ type Endpoint struct {
 //
 //	/metrics      Prometheus text exposition of reg
 //	/healthz      200 "ok" until health.Fail, then 503 + reason
-//	/debug/trace  the tracer's ring buffer as JSONL (?format=chrome for a
-//	              Chrome/Perfetto trace-event document)
+//	/debug/trace  the tracer's ring buffer as JSONL (?trace=<id> keeps one
+//	              trace; ?format=chrome for a Chrome/Perfetto trace-event
+//	              document)
 //	/debug/pprof  the standard Go profiler endpoints
 //
 // plus any daemon-specific extras, which the index page lists after the
@@ -84,6 +85,14 @@ func NewDebugMux(reg *Registry, tracer *Tracer, health *Health, extras ...Endpoi
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		recs, dropped := tracer.Snapshot()
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := ParseTraceID(q)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			recs = FilterTrace(recs, id)
+		}
 		if r.URL.Query().Get("format") == "chrome" {
 			w.Header().Set("Content-Type", "application/json")
 			_ = WriteChromeTrace(w, recs)
@@ -110,7 +119,7 @@ func NewDebugMux(reg *Registry, tracer *Tracer, health *Health, extras ...Endpoi
 		fmt.Fprint(w, "minimaltcb debug server\n\n"+
 			"  /metrics       Prometheus text exposition\n"+
 			"  /healthz       readiness\n"+
-			"  /debug/trace   span recorder dump (JSONL; ?format=chrome)\n"+
+			"  /debug/trace   span recorder dump (JSONL; ?trace=<id>, ?format=chrome)\n"+
 			"  /debug/pprof/  Go profiler\n")
 		for _, e := range extras {
 			fmt.Fprintf(w, "  %-14s %s\n", e.Path, e.Desc)

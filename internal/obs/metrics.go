@@ -50,6 +50,10 @@ type series struct {
 	bits atomic.Uint64  // float64 bits (counter/gauge value)
 	fn   func() float64 // callback-backed counter/gauge, nil otherwise
 	hist *histo         // histogram state, nil otherwise
+	// ex, when set, is sampled at scrape time and rendered as an
+	// OpenMetrics-style exemplar (` # {trace_id="..."} value`) after the
+	// sample line — how a p99 gauge points at the trace that caused it.
+	ex func() (traceID string, value float64, ok bool)
 }
 
 type histo struct {
@@ -185,6 +189,20 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 		return
 	}
 	r.register(name, help, "gauge", labels).fn = fn
+}
+
+// GaugeFuncExemplar registers a callback gauge that also carries an
+// exemplar: ex is sampled at scrape time and, when it reports ok, the
+// sample line is annotated OpenMetrics-style with the trace that exhibited
+// the value — the drill-down link from a quantile to a stitchable trace.
+func (r *Registry) GaugeFuncExemplar(name, help string, fn func() float64,
+	ex func() (traceID string, value float64, ok bool), labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.register(name, help, "gauge", labels)
+	s.fn = fn
+	s.ex = ex
 }
 
 // Set stores v.
@@ -330,6 +348,13 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 	v := math.Float64frombits(s.bits.Load())
 	if s.fn != nil {
 		v = s.fn()
+	}
+	if s.ex != nil {
+		if trace, exv, ok := s.ex(); ok {
+			_, err := fmt.Fprintf(w, "%s%s %s # {trace_id=\"%s\"} %s\n",
+				f.name, s.labels, formatFloat(v), escapeLabel(trace), formatFloat(exv))
+			return err
+		}
 	}
 	_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(v))
 	return err

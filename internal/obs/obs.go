@@ -56,8 +56,8 @@ func String(key, v string) Attr { return Attr{Key: key, Val: v} }
 // root of the anonymous trace 0 (untraced sessions, e.g. a bare attestd
 // quote, still record spans there).
 type Context struct {
-	Trace uint64 `json:"trace"`
-	Span  uint64 `json:"span"`
+	Trace TraceID `json:"trace"`
+	Span  uint64  `json:"span"`
 }
 
 // Record is one entry in the recorder: a completed span or an instant
@@ -65,12 +65,16 @@ type Context struct {
 // clock does not apply (events have no duration; spans outside a simulated
 // machine have no virtual time).
 type Record struct {
-	Kind   string `json:"kind"`
-	Trace  uint64 `json:"trace"`
-	ID     uint64 `json:"id"`
-	Parent uint64 `json:"parent,omitempty"`
-	Name   string `json:"name"`
-	Cat    string `json:"cat"`
+	Kind   string  `json:"kind"`
+	Trace  TraceID `json:"trace"`
+	ID     uint64  `json:"id"`
+	Parent uint64  `json:"parent,omitempty"`
+	Name   string  `json:"name"`
+	Cat    string  `json:"cat"`
+	// Node names the process the record came from. It is empty at record
+	// time; the cross-node stitcher (stitch.go) tags it while merging
+	// multi-process rings so renderers can show per-node lanes.
+	Node string `json:"node,omitempty"`
 	// WallStart is absolute wall time in Unix nanoseconds; WallDur the
 	// wall duration in nanoseconds.
 	WallStart int64 `json:"wall_start_ns"`
@@ -91,6 +95,7 @@ type Tracer struct {
 	enabled  atomic.Bool
 	spanSeq  atomic.Uint64
 	traceSeq atomic.Uint64
+	node     atomic.Uint64 // high word of minted TraceIDs; 0 = local-only
 
 	mu      sync.Mutex
 	ring    []Record
@@ -130,7 +135,29 @@ func (t *Tracer) NewTrace() Context {
 	if t == nil {
 		return Context{}
 	}
-	return Context{Trace: t.traceSeq.Add(1)}
+	return Context{Trace: TraceID{Hi: t.node.Load(), Lo: t.traceSeq.Add(1)}}
+}
+
+// SetNode installs the tracer's node epoch (see NewNodeID): minted trace
+// IDs carry it in the high word, and the span-ID sequence is rebased onto
+// a node-derived offset so spans from different processes stay unique
+// inside one stitched trace. The default node 0 preserves the small
+// sequential IDs deterministic tests and differential replay rely on.
+// Nil-safe; call before the tracer is shared.
+func (t *Tracer) SetNode(id uint64) {
+	if t == nil {
+		return
+	}
+	t.node.Store(id)
+	t.spanSeq.Store((id & 0xffffffff) << 32)
+}
+
+// Node returns the installed node epoch (0 for a local-only tracer).
+func (t *Tracer) Node() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.node.Load()
 }
 
 // append stores one finished record, overwriting the oldest when full.

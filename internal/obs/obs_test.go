@@ -39,7 +39,7 @@ func TestNilHandlesAreSafe(t *testing.T) {
 	if sc.Enabled() || sc.Tracer() != nil {
 		t.Fatal("nil scope enabled")
 	}
-	sc.Swap(Context{Trace: 1})
+	sc.Swap(Context{Trace: TraceID{Lo: 1}})
 	if sc.Current() != (Context{}) {
 		t.Fatal("nil scope carries context")
 	}

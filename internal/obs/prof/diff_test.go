@@ -179,7 +179,7 @@ func TestFaultProducesCrashBundle(t *testing.T) {
 	collector := prof.New().NewCPU()
 	mg.Prof = collector
 	mg.Flight = prof.NewFlightRecorder(dir, tracer)
-	mg.Job = prof.JobInfo{Tenant: "alice", Trace: 7, Machine: 3}
+	mg.Job = prof.JobInfo{Tenant: "alice", Trace: obs.TraceID{Lo: 7}, Machine: 3}
 
 	im := pal.MustBuild(faultSource)
 	s, err := mg.NewSECB(im, 0, 0)
@@ -201,7 +201,7 @@ func TestFaultProducesCrashBundle(t *testing.T) {
 	if b.Reason != "fault" || !strings.Contains(b.Error, "divide by zero") {
 		t.Fatalf("reason %q error %q", b.Reason, b.Error)
 	}
-	if b.Tenant != "alice" || b.Trace != 7 || b.Machine != 3 || b.CPU != 1 {
+	if b.Tenant != "alice" || b.Trace != (obs.TraceID{Lo: 7}) || b.Machine != 3 || b.CPU != 1 {
 		t.Fatalf("job identity %q/%d/%d/%d", b.Tenant, b.Trace, b.Machine, b.CPU)
 	}
 	if b.Image != hex.EncodeToString(s.Measurement[:]) {

@@ -57,7 +57,7 @@ type CrashBundle struct {
 	Reason  string `json:"reason"` // "fault" or "skill"
 	Error   string `json:"error,omitempty"`
 	Tenant  string `json:"tenant,omitempty"`
-	Trace   uint64 `json:"trace,omitempty"`
+	Trace   obs.TraceID `json:"trace"`
 	Machine int    `json:"machine"`
 	CPU     int    `json:"cpu"`
 	Image   string `json:"image"`
@@ -194,7 +194,7 @@ func WriteCrash(w io.Writer, b *CrashBundle) {
 	if b.Error != "" {
 		fmt.Fprintf(w, "  error:   %s\n", b.Error)
 	}
-	fmt.Fprintf(w, "  job:     tenant=%q trace=%d machine=%d cpu=%d\n", b.Tenant, b.Trace, b.Machine, b.CPU)
+	fmt.Fprintf(w, "  job:     tenant=%q trace=%s machine=%d cpu=%d\n", b.Tenant, b.Trace, b.Machine, b.CPU)
 	fmt.Fprintf(w, "  pal:     image=%s slices=%d resumes=%d sepcr=%d\n", short(b.Image), b.Slices, b.Resumes, b.SePCR)
 	fmt.Fprintf(w, "  region:  base=0x%08x size=%d entry=0x%04x secb=0x%08x\n",
 		b.Region.Base, b.Region.Size, b.Region.Entry, b.Region.SECBBase)
@@ -225,7 +225,7 @@ func WriteCrash(w io.Writer, b *CrashBundle) {
 	if len(b.TraceTail) > 0 {
 		fmt.Fprintf(w, "  trace tail (%d records):\n", len(b.TraceTail))
 		for _, rec := range b.TraceTail {
-			fmt.Fprintf(w, "    %-5s trace=%-4d %-20s cat=%-10s virt_ns=%d\n",
+			fmt.Fprintf(w, "    %-5s trace=%-4s %-20s cat=%-10s virt_ns=%d\n",
 				rec.Kind, rec.Trace, rec.Name, rec.Cat, rec.VirtStart)
 		}
 	}

@@ -45,6 +45,7 @@ import (
 
 	"minimaltcb/internal/cpu"
 	"minimaltcb/internal/isa"
+	"minimaltcb/internal/obs"
 	"minimaltcb/internal/pal"
 	"minimaltcb/internal/tpm"
 )
@@ -318,7 +319,7 @@ type tenantStats struct {
 // crash bundles carry the tenant and trace that hit the fault.
 type JobInfo struct {
 	Tenant  string
-	Trace   uint64
+	Trace   obs.TraceID
 	Machine int
 }
 

@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-tenant SLO accounting. The tracker classifies every finished request
+// as good or bad (failed, or slower than the latency target), keeps the
+// ratio over several sliding windows, and reports it as a burn rate: how
+// many times faster than "exactly on objective" the tenant's error budget
+// is being spent. Burn rate 1.0 consumes the budget exactly at the
+// objective's pace; 14.4 on a 99% objective is the classic page-now
+// threshold. Multi-window gauges (default 1m/5m/30m) let alerting combine
+// a fast and a slow window, and every tenant's p99 carries an exemplar
+// trace ID so the slow tail is immediately stitchable.
+//
+// A nil *SLOTracker is valid and permanently off: Observe on nil is a
+// bare receiver check, keeping the job hot path allocation-free when SLO
+// accounting is disabled (see the allocation pin in internal/palsvc).
+
+// sloBuckets is the number of rotating sub-buckets per window: staleness
+// resolution is window/sloBuckets.
+const sloBuckets = 16
+
+// SLOConfig parameterizes a tracker.
+type SLOConfig struct {
+	// Objective is the target good-request fraction, e.g. 0.99.
+	// Defaults to 0.99.
+	Objective float64
+	// LatencyTarget classifies slow-but-successful requests as bad.
+	// Defaults to 250ms. <0 disables latency classification.
+	LatencyTarget time.Duration
+	// Windows are the sliding windows burn rates are reported over.
+	// Defaults to 1m, 5m, 30m.
+	Windows []time.Duration
+	// SampleSize is the per-tenant ring of recent latencies backing the
+	// p50/p99 gauges and exemplars. Defaults to 512.
+	SampleSize int
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Objective <= 0 || c.Objective >= 1 {
+		c.Objective = 0.99
+	}
+	if c.LatencyTarget == 0 {
+		c.LatencyTarget = 250 * time.Millisecond
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute}
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = 512
+	}
+	return c
+}
+
+// sloBucket is one rotating slot of a window; epoch is the absolute bucket
+// number it was last written for, so stale slots are detected lazily.
+type sloBucket struct {
+	epoch     int64
+	good, bad uint64
+}
+
+// sloWindow is one sliding window: sloBuckets rotating slots of
+// width/sloBuckets each.
+type sloWindow struct {
+	width  time.Duration
+	bucket time.Duration
+	slots  [sloBuckets]sloBucket
+}
+
+func (w *sloWindow) observe(now time.Time, bad bool) {
+	epoch := now.UnixNano() / int64(w.bucket)
+	s := &w.slots[epoch%sloBuckets]
+	if s.epoch != epoch {
+		*s = sloBucket{epoch: epoch}
+	}
+	if bad {
+		s.bad++
+	} else {
+		s.good++
+	}
+}
+
+// totals sums the slots still inside the window ending at now.
+func (w *sloWindow) totals(now time.Time) (good, bad uint64) {
+	epoch := now.UnixNano() / int64(w.bucket)
+	for i := range w.slots {
+		if s := &w.slots[i]; s.epoch > epoch-sloBuckets && s.epoch <= epoch {
+			good += s.good
+			bad += s.bad
+		}
+	}
+	return good, bad
+}
+
+// latSample is one recent request in a tenant's quantile ring.
+type latSample struct {
+	d     time.Duration
+	trace TraceID
+}
+
+// tenantSLO is one tenant's accounting state.
+type tenantSLO struct {
+	good, bad uint64 // lifetime totals
+	windows   []*sloWindow
+	ring      []latSample // recent latencies, ring buffer
+	next, n   int
+}
+
+// SLOTracker is the windowed per-tenant error-budget accountant.
+type SLOTracker struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	tenants map[string]*tenantSLO
+	order   []string
+	now     func() time.Time // test hook
+
+	reg    *Registry
+	prefix string
+}
+
+// NewSLOTracker returns a tracker with cfg's defaults applied.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	return &SLOTracker{cfg: cfg.withDefaults(), tenants: map[string]*tenantSLO{}, now: time.Now}
+}
+
+// Config returns the tracker's effective (defaulted) configuration.
+func (t *SLOTracker) Config() SLOConfig {
+	if t == nil {
+		return SLOConfig{}
+	}
+	return t.cfg
+}
+
+// Bind attaches a registry: every tenant seen from now on (and every
+// tenant already seen) gets burn-rate gauges per window and p50/p99
+// latency gauges, the p99 carrying an exemplar trace ID. prefix namespaces
+// the family names ("palsvc" → palsvc_slo_burn_rate). Call before or
+// after observations; registration is idempotent.
+func (t *SLOTracker) Bind(reg *Registry, prefix string) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.mu.Lock()
+	t.reg = reg
+	t.prefix = prefix
+	known := append([]string(nil), t.order...)
+	t.mu.Unlock()
+	for _, tenant := range known {
+		t.bindTenant(tenant)
+	}
+}
+
+// bindTenant registers one tenant's gauge series. Called without t.mu held:
+// scrape callbacks take t.mu under the registry lock, so registration must
+// take the locks in the same registry-then-tracker order.
+func (t *SLOTracker) bindTenant(tenant string) {
+	t.mu.Lock()
+	reg, prefix := t.reg, t.prefix
+	t.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	lbl := Label{Name: "tenant", Value: tenant}
+	for _, w := range t.cfg.Windows {
+		w := w
+		reg.GaugeFunc(prefix+"_slo_burn_rate",
+			"Error-budget burn rate per tenant and window (1.0 = spending exactly at the objective's pace).",
+			func() float64 { return t.burnRate(tenant, w) },
+			lbl, Label{Name: "window", Value: w.String()})
+	}
+	reg.CounterFunc(prefix+"_slo_requests_total",
+		"Requests classified by the SLO tracker for this tenant.",
+		func() float64 { g, b := t.lifetime(tenant); return float64(g + b) }, lbl)
+	reg.CounterFunc(prefix+"_slo_bad_total",
+		"Requests that failed or missed the latency target for this tenant.",
+		func() float64 { _, b := t.lifetime(tenant); return float64(b) }, lbl)
+	reg.GaugeFunc(prefix+"_slo_latency_seconds",
+		"Recent request latency per tenant, by quantile (p99 carries an exemplar trace ID).",
+		func() float64 { d, _ := t.quantile(tenant, 0.50); return d.Seconds() },
+		lbl, Label{Name: "quantile", Value: "0.5"})
+	reg.GaugeFuncExemplar(prefix+"_slo_latency_seconds",
+		"Recent request latency per tenant, by quantile (p99 carries an exemplar trace ID).",
+		func() float64 { d, _ := t.quantile(tenant, 0.99); return d.Seconds() },
+		func() (string, float64, bool) {
+			d, trace := t.quantile(tenant, 0.99)
+			if trace.IsZero() {
+				return "", 0, false
+			}
+			return trace.String(), d.Seconds(), true
+		},
+		lbl, Label{Name: "quantile", Value: "0.99"})
+}
+
+// Observe classifies one finished request. Nil-safe and allocation-free on
+// a nil tracker; trace may be zero when tracing is off.
+func (t *SLOTracker) Observe(tenant string, latency time.Duration, failed bool, trace TraceID) {
+	if t == nil {
+		return
+	}
+	bad := failed || (t.cfg.LatencyTarget > 0 && latency > t.cfg.LatencyTarget)
+	t.mu.Lock()
+	ts, isNew := t.tenants[tenant], false
+	if ts == nil {
+		ts = &tenantSLO{ring: make([]latSample, t.cfg.SampleSize)}
+		for _, w := range t.cfg.Windows {
+			ts.windows = append(ts.windows, &sloWindow{width: w, bucket: w / sloBuckets})
+		}
+		t.tenants[tenant] = ts
+		t.order = append(t.order, tenant)
+		isNew = t.reg != nil
+	}
+	now := t.now()
+	if bad {
+		ts.bad++
+	} else {
+		ts.good++
+	}
+	for _, w := range ts.windows {
+		w.observe(now, bad)
+	}
+	ts.ring[ts.next] = latSample{d: latency, trace: trace}
+	ts.next = (ts.next + 1) % len(ts.ring)
+	if ts.n < len(ts.ring) {
+		ts.n++
+	}
+	t.mu.Unlock()
+	if isNew {
+		t.bindTenant(tenant)
+	}
+}
+
+// burnRate computes one tenant's burn over the window ending now:
+// bad-ratio divided by the budget (1 - objective). Zero-traffic windows
+// burn nothing.
+func (t *SLOTracker) burnRate(tenant string, window time.Duration) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.tenants[tenant]
+	if ts == nil {
+		return 0
+	}
+	for _, w := range ts.windows {
+		if w.width == window {
+			good, bad := w.totals(t.now())
+			if good+bad == 0 {
+				return 0
+			}
+			ratio := float64(bad) / float64(good+bad)
+			return ratio / (1 - t.cfg.Objective)
+		}
+	}
+	return 0
+}
+
+func (t *SLOTracker) lifetime(tenant string) (good, bad uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts := t.tenants[tenant]; ts != nil {
+		return ts.good, ts.bad
+	}
+	return 0, 0
+}
+
+// quantile returns the q-th latency quantile over the tenant's recent ring
+// and the trace ID of the sample holding that rank — the exemplar.
+func (t *SLOTracker) quantile(tenant string, q float64) (time.Duration, TraceID) {
+	if t == nil {
+		return 0, TraceID{}
+	}
+	t.mu.Lock()
+	ts := t.tenants[tenant]
+	if ts == nil || ts.n == 0 {
+		t.mu.Unlock()
+		return 0, TraceID{}
+	}
+	samples := make([]latSample, ts.n)
+	start := ts.next - ts.n
+	if start < 0 {
+		start += len(ts.ring)
+	}
+	for i := 0; i < ts.n; i++ {
+		samples[i] = ts.ring[(start+i)%len(ts.ring)]
+	}
+	t.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i].d < samples[j].d })
+	rank := int(q * float64(len(samples)-1))
+	return samples[rank].d, samples[rank].trace
+}
+
+// TenantSLO is one tenant's row in the snapshot (/debug/slo).
+type TenantSLO struct {
+	Tenant   string             `json:"tenant"`
+	Requests uint64             `json:"requests"`
+	Bad      uint64             `json:"bad"`
+	P50      time.Duration      `json:"p50_ns"`
+	P99      time.Duration      `json:"p99_ns"`
+	P99Trace string             `json:"p99_trace,omitempty"`
+	Burn     map[string]float64 `json:"burn_rate"` // window → burn
+}
+
+// SLOSnapshot is the full tracker state.
+type SLOSnapshot struct {
+	Objective     float64       `json:"objective"`
+	LatencyTarget time.Duration `json:"latency_target_ns"`
+	Windows       []string      `json:"windows"`
+	Tenants       []TenantSLO   `json:"tenants"`
+}
+
+// Snapshot assembles the current per-tenant view, tenants in first-seen
+// order. Nil-safe.
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	if t == nil {
+		return SLOSnapshot{}
+	}
+	t.mu.Lock()
+	tenants := append([]string(nil), t.order...)
+	t.mu.Unlock()
+	snap := SLOSnapshot{Objective: t.cfg.Objective, LatencyTarget: t.cfg.LatencyTarget}
+	for _, w := range t.cfg.Windows {
+		snap.Windows = append(snap.Windows, w.String())
+	}
+	for _, tenant := range tenants {
+		good, bad := t.lifetime(tenant)
+		p50, _ := t.quantile(tenant, 0.50)
+		p99, trace := t.quantile(tenant, 0.99)
+		row := TenantSLO{
+			Tenant: tenant, Requests: good + bad, Bad: bad,
+			P50: p50, P99: p99, Burn: map[string]float64{},
+		}
+		if !trace.IsZero() {
+			row.P99Trace = trace.String()
+		}
+		for _, w := range t.cfg.Windows {
+			row.Burn[w.String()] = t.burnRate(tenant, w)
+		}
+		snap.Tenants = append(snap.Tenants, row)
+	}
+	return snap
+}
+
+// Handler serves the snapshot as JSON — the /debug/slo endpoint.
+func (t *SLOTracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Snapshot())
+	})
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Cross-node span stitching. A cluster trace is recorded into one ring per
+// process — the router's and each backend's — on clocks that need not
+// agree. The collector fetches every ring over the wire protocol's trace
+// op, measures each fetch's round trip, and aligns each node's wall clock
+// to its own using the RTT midpoint (the classic NTP offset estimate: the
+// remote timestamp was taken, on average, half a round trip after the
+// request left). The residual error is bounded by half the RTT asymmetry —
+// microseconds on a LAN, far below the millisecond-scale spans being
+// attributed.
+
+// NodeDump is one process's contribution to a stitched trace.
+type NodeDump struct {
+	// Node names the process (its wire address, or "router"). It is
+	// stamped onto records whose Node is still empty, so re-stitching an
+	// already-stitched dump preserves the original lanes.
+	Node string
+	// Records is the node's ring snapshot (already trace-filtered).
+	Records []Record
+	// Dropped counts records the node's ring had already overwritten.
+	Dropped uint64
+	// Offset is the node's clock minus the collector's clock (see
+	// ClockOffset); it is subtracted from every wall timestamp.
+	Offset time.Duration
+}
+
+// ClockOffset estimates a remote clock's offset from the local one:
+// remoteNow is the remote's wall clock in Unix nanoseconds, sampled
+// between the local times sent and received. Positive means the remote
+// clock runs ahead.
+func ClockOffset(sent, received time.Time, remoteNow int64) time.Duration {
+	mid := sent.UnixNano() + (received.UnixNano()-sent.UnixNano())/2
+	return time.Duration(remoteNow - mid)
+}
+
+// Stitch merges per-node ring dumps into one skew-corrected timeline:
+// every record is shifted onto the collector's clock, tagged with its
+// node, and the result is sorted by corrected wall start (stable, so a
+// node's equal-timestamp records keep their ring order). Span IDs remain
+// globally unique across nodes because every daemon rebases its span
+// sequence on a node epoch (Tracer.SetNode), so parent links resolve
+// across process boundaries without rewriting.
+func Stitch(dumps []NodeDump) []Record {
+	var out []Record
+	for _, d := range dumps {
+		for _, r := range d.Records {
+			r.WallStart -= d.Offset.Nanoseconds()
+			if r.Node == "" {
+				r.Node = d.Node
+			}
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].WallStart < out[j].WallStart })
+	return out
+}
+
+// FilterTrace keeps the records belonging to one trace.
+func FilterTrace(recs []Record, id TraceID) []Record {
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if r.Trace == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TraceID is a 128-bit trace identifier. The low word is a process-local
+// sequence number; the high word carries the node epoch SetNode installs,
+// so traces minted on different processes never collide once a daemon has
+// called SetNode(NewNodeID()).
+//
+// A purely local TraceID (Hi == 0) keeps the compact decimal rendering the
+// repo has used since ISSUE 2 — in JSON dumps, flight-recorder bundles and
+// tcbtrace output alike — so deterministic differential tests and old
+// trace files stay readable. A cluster TraceID renders as 32 hex digits.
+type TraceID struct {
+	Hi uint64
+	Lo uint64
+}
+
+// IsZero reports whether t is the anonymous trace 0.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// String renders the compact form: decimal when the high word is zero,
+// 32 hex digits otherwise. ParseTraceID inverts both.
+func (t TraceID) String() string {
+	if t.Hi == 0 {
+		return strconv.FormatUint(t.Lo, 10)
+	}
+	return fmt.Sprintf("%016x%016x", t.Hi, t.Lo)
+}
+
+// ParseTraceID inverts TraceID.String: a 32-hex-digit string parses as the
+// full 128 bits; anything shorter parses as decimal first, then as up to 16
+// hex digits (so copy-pasting a truncated hex ID still works).
+func ParseTraceID(s string) (TraceID, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	if s == "" {
+		return TraceID{}, fmt.Errorf("obs: empty trace id")
+	}
+	if len(s) == 32 {
+		hi, err := strconv.ParseUint(s[:16], 16, 64)
+		if err != nil {
+			return TraceID{}, fmt.Errorf("obs: bad trace id %q: %v", s, err)
+		}
+		lo, err := strconv.ParseUint(s[16:], 16, 64)
+		if err != nil {
+			return TraceID{}, fmt.Errorf("obs: bad trace id %q: %v", s, err)
+		}
+		return TraceID{Hi: hi, Lo: lo}, nil
+	}
+	if lo, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return TraceID{Lo: lo}, nil
+	}
+	if len(s) <= 16 {
+		if lo, err := strconv.ParseUint(s, 16, 64); err == nil {
+			return TraceID{Lo: lo}, nil
+		}
+	}
+	return TraceID{}, fmt.Errorf("obs: bad trace id %q", s)
+}
+
+// MarshalJSON emits a bare number for local IDs — byte-for-byte what the
+// pre-cluster encoder wrote — and a quoted 32-hex string for cluster IDs.
+func (t TraceID) MarshalJSON() ([]byte, error) {
+	if t.Hi == 0 {
+		return strconv.AppendUint(nil, t.Lo, 10), nil
+	}
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts both encodings.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	if len(b) >= 2 && b[0] == '"' {
+		id, err := ParseTraceID(string(b[1 : len(b)-1]))
+		if err != nil {
+			return err
+		}
+		*t = id
+		return nil
+	}
+	lo, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return fmt.Errorf("obs: bad trace id %s: %v", b, err)
+	}
+	*t = TraceID{Lo: lo}
+	return nil
+}
+
+// NewNodeID derives a process-unique node epoch for Tracer.SetNode: the
+// boot wall clock mixed with the pid, diffused through a splitmix64 round
+// so two daemons started the same nanosecond on one host still diverge.
+// Daemons call this once at startup; tests that need deterministic IDs
+// simply never install a node.
+func NewNodeID() uint64 {
+	x := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e9b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}

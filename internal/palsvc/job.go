@@ -3,6 +3,8 @@ package palsvc
 import (
 	"errors"
 	"time"
+
+	"minimaltcb/internal/obs"
 )
 
 // Job is one PAL-execution request from a tenant.
@@ -25,6 +27,14 @@ type Job struct {
 	// NoAttest skips quote generation and verification; the sePCR is
 	// freed unquoted via TPM_SEPCR_Free (§5.4.3).
 	NoAttest bool
+	// Trace is the propagated trace context the job's pipeline spans
+	// adopt: a router or tenant that already opened a trace passes it so
+	// every hop lands in one tree. Zero means the service mints a fresh
+	// root trace (when tracing is on).
+	Trace obs.Context
+	// Tenant is the accounting identity for SLO tracking. Empty defaults
+	// to Name.
+	Tenant string
 }
 
 // JobResult reports one completed (or failed) job.
@@ -46,6 +56,9 @@ type JobResult struct {
 	// failed terminally) first try; higher values mean the supervisor
 	// retried retryable failures (Config.Retry).
 	Attempts int
+	// Trace is the trace the job's spans were recorded under — propagated
+	// from Job.Trace or freshly minted. Zero when tracing is off.
+	Trace obs.TraceID
 
 	// Per-stage latencies. QueueWait, ArbWait and Verify are wall-clock
 	// (they happen in real time); Execute and QuoteGen are virtual time

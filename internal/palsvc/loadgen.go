@@ -103,6 +103,22 @@ type LoadReport struct {
 	// PerBackend breaks outcomes down by the serving backend for runs
 	// pointed at a cluster front-end; empty for a direct palservd run.
 	PerBackend map[string]*BackendLoad
+	// Slowest holds each tenant's slowest classified requests (slowest
+	// first, at most loadSlowestK), each carrying the trace ID the server
+	// echoed so the tail is immediately stitchable: paste it into
+	// /debug/trace?trace=<id> or `tcbtrace -stitch ... -trace <id>`.
+	Slowest map[string][]SlowRequest
+}
+
+// loadSlowestK bounds how many slow requests are kept per tenant.
+const loadSlowestK = 3
+
+// SlowRequest is one entry in LoadReport.Slowest.
+type SlowRequest struct {
+	Latency time.Duration `json:"latency_ns"`
+	// TraceID is the server-echoed trace of this request ("" when the
+	// server traces nothing).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (r LoadReport) String() string {
@@ -110,22 +126,38 @@ func (r LoadReport) String() string {
 		"clients=%d tenants=%d sent=%d ok=%d rejected=%d (queue_full=%d bank_exhausted=%d shed=%d) deadline_exceeded=%d failed=%d conn_errors=%d elapsed=%v throughput=%.1f jobs/s\nlatency: %v",
 		r.Clients, r.Tenants, r.Sent, r.OK, r.Rejected, r.RejectedQueueFull, r.RejectedBank, r.RejectedShed,
 		r.DeadlineExceeded, r.Failed, r.ConnErrors, r.Elapsed, r.Throughput, r.Latency)
+	var b strings.Builder
+	b.WriteString(s)
 	if len(r.PerBackend) > 0 {
 		addrs := make([]string, 0, len(r.PerBackend))
 		for a := range r.PerBackend {
 			addrs = append(addrs, a)
 		}
 		sort.Strings(addrs)
-		var b strings.Builder
-		b.WriteString(s)
 		for _, a := range addrs {
 			bl := r.PerBackend[a]
 			fmt.Fprintf(&b, "\nbackend %s: sent=%d ok=%d rejected=%d deadline_exceeded=%d failed=%d",
 				a, bl.Sent, bl.OK, bl.Rejected, bl.DeadlineExceeded, bl.Failed)
 		}
-		return b.String()
 	}
-	return s
+	if len(r.Slowest) > 0 {
+		tenants := make([]string, 0, len(r.Slowest))
+		for t := range r.Slowest {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, t := range tenants {
+			fmt.Fprintf(&b, "\nslowest [%s]:", t)
+			for _, sr := range r.Slowest[t] {
+				fmt.Fprintf(&b, " %v", sr.Latency.Round(time.Microsecond))
+				if sr.TraceID != "" {
+					fmt.Fprintf(&b, " trace=%s", sr.TraceID)
+				}
+				b.WriteString(";")
+			}
+		}
+	}
+	return b.String()
 }
 
 // loadState is the shared accumulator all request goroutines report into.
@@ -136,11 +168,16 @@ type loadState struct {
 }
 
 // record classifies one finished request. A nil resp with non-nil err is a
-// transport failure; everything else got a classified answer.
-func (st *loadState) record(resp *WireResponse, err error, d time.Duration) {
+// transport failure; everything else got a classified answer and competes
+// for the tenant's slowest-k slots (with its echoed trace ID, so the tail
+// is stitchable).
+func (st *loadState) record(tenant string, resp *WireResponse, err error, d time.Duration) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.rep.Sent++
+	if err == nil && resp != nil {
+		st.noteSlow(tenant, d, resp.TraceID)
+	}
 	var bl *BackendLoad
 	if resp != nil && resp.Backend != "" {
 		if st.rep.PerBackend == nil {
@@ -188,6 +225,20 @@ func (st *loadState) record(resp *WireResponse, err error, d time.Duration) {
 	}
 }
 
+// noteSlow inserts one classified request into the tenant's slowest-k
+// list (slowest first). Called with st.mu held.
+func (st *loadState) noteSlow(tenant string, d time.Duration, trace string) {
+	if st.rep.Slowest == nil {
+		st.rep.Slowest = make(map[string][]SlowRequest)
+	}
+	l := append(st.rep.Slowest[tenant], SlowRequest{Latency: d, TraceID: trace})
+	sort.Slice(l, func(i, j int) bool { return l[i].Latency > l[j].Latency })
+	if len(l) > loadSlowestK {
+		l = l[:loadSlowestK]
+	}
+	st.rep.Slowest[tenant] = l
+}
+
 // tenantJob derives tenant i's request. Each tenant beyond the first gets a
 // distinct name and a source variant extended with unreachable, named data:
 // the image (and therefore the measurement the attestation chain binds and a
@@ -205,6 +256,10 @@ func tenantJob(cfg *LoadConfig, i int) WireRequest {
 		req.Name = fmt.Sprintf("%s-t%d", cfg.Name, i)
 		req.Source = fmt.Sprintf("%s\ntenant%d:\t.ascii %q\n", cfg.Source, i, fmt.Sprintf("t%d", i))
 	}
+	// The explicit tenant identity rides the wire as SLO-accounting
+	// baggage on every hop (palsvc and the cluster router both key their
+	// burn-rate trackers on it).
+	req.Tenant = req.Name
 	return req
 }
 
@@ -276,7 +331,7 @@ func runClosedLoop(cfg *LoadConfig, st *loadState, start time.Time) error {
 				t0 := time.Now()
 				resp, err := cl.Run(&req)
 				d := time.Since(t0)
-				st.record(resp, err, d)
+				st.record(req.Tenant, resp, err, d)
 				if err != nil {
 					return // connection-level error: this client is done
 				}
@@ -359,13 +414,13 @@ func runOpenLoop(cfg *LoadConfig, st *loadState, start time.Time) error {
 						var err error
 						cl, err = Dial(cfg.Addr, cfg.DialTimeout)
 						if err != nil {
-							st.record(nil, err, 0)
+							st.record(req.Tenant, nil, err, 0)
 							pool <- nil
 							return
 						}
 					}
 					resp, err := cl.Run(&req)
-					st.record(resp, err, time.Since(sched))
+					st.record(req.Tenant, resp, err, time.Since(sched))
 					if err != nil {
 						_ = cl.Close()
 						pool <- nil // replaced on next checkout

@@ -109,6 +109,10 @@ type Config struct {
 	// replica: TPM command faults/stalls, spurious PAL faults and slice
 	// storms, wedges and clock skew. Nil (production) costs nil checks.
 	Chaos *chaos.Injector
+	// SLO, when non-nil, receives one per-tenant observation per finished
+	// job (latency from submission to delivery, failure classification,
+	// exemplar trace ID). Nil costs a nil check on the delivery path.
+	SLO *obs.SLOTracker
 }
 
 // RetryPolicy caps the worker supervisor's retries of retryable failures.
@@ -292,6 +296,7 @@ func New(cfg Config) (*Service, error) {
 		s.bank += sys.Machine.TPM().NumSePCRs()
 	}
 	s.bindRegistry(cfg.Registry)
+	cfg.SLO.Bind(cfg.Registry, "palsvc")
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -317,9 +322,18 @@ func (s *Service) Submit(j Job) (*Ticket, error) {
 		deadline: resolveDeadline(j, now, s.cfg.DefaultDeadline)}
 	if s.tracer.Enabled() {
 		// One trace per job; the root span covers the job's whole stay in
-		// the service and every stage span nests under it.
-		t.root = s.tracer.StartSpan(s.tracer.NewTrace(), "job", "pipeline").
+		// the service and every stage span nests under it. A propagated
+		// context (router or tenant hop) is adopted so the job joins the
+		// caller's trace; otherwise the service mints a fresh root.
+		ctx := j.Trace
+		if ctx.Trace.IsZero() {
+			ctx = s.tracer.NewTrace()
+		}
+		t.root = s.tracer.StartSpan(ctx, "job", "pipeline").
 			Attr("name", j.Name)
+		if j.Tenant != "" && j.Tenant != j.Name {
+			t.root.Attr("tenant", j.Tenant)
+		}
 	}
 
 	s.closeMu.RLock()
@@ -379,6 +393,7 @@ func (s *Service) fail(t *task, res *JobResult, err error) {
 // finish closes the job's root trace span and delivers the result.
 func (s *Service) finish(t *task, res *JobResult) {
 	if t.root != nil {
+		res.Trace = t.root.Context().Trace
 		if res.Err != nil {
 			t.root.Attr("error", res.Err.Error())
 		}
@@ -448,11 +463,26 @@ func (s *Service) deliver(t *task, res *JobResult, err error) {
 	default:
 		s.metrics.incFailed()
 	}
+	s.jobDone(t, err)
 	if err != nil {
 		s.fail(t, res, err)
 		return
 	}
 	s.finish(t, res)
+}
+
+// jobDone feeds the per-tenant SLO tracker with the job's terminal
+// outcome: end-to-end latency from submission, failure classification, and
+// the trace ID as the drill-down exemplar. Nil SLO costs one nil check.
+func (s *Service) jobDone(t *task, err error) {
+	if s.cfg.SLO == nil {
+		return
+	}
+	tenant := t.job.Tenant
+	if tenant == "" {
+		tenant = t.job.Name
+	}
+	s.cfg.SLO.Observe(tenant, time.Since(t.enqueued), err != nil, t.root.Context().Trace)
 }
 
 // attempt drives one pass of admit → execute → quote → verify. It returns

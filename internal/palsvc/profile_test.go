@@ -131,7 +131,7 @@ func TestServiceFaultRecordsCrashBundle(t *testing.T) {
 	if b.Reason != "fault" || b.Tenant != "crashy" {
 		t.Fatalf("bundle reason=%q tenant=%q", b.Reason, b.Tenant)
 	}
-	if b.Trace == 0 {
+	if b.Trace.IsZero() {
 		t.Fatal("bundle not linked to the job's trace")
 	}
 	if b.Machine != res.Machine {

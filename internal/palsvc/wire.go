@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"minimaltcb/internal/obs"
 )
 
 // Wire protocol: each message is a 4-byte big-endian length followed by a
@@ -63,7 +65,17 @@ const (
 	OpStats  = "stats"
 	OpPing   = "ping"
 	OpHealth = "health"
+	// OpTrace dumps the server's span ring (optionally filtered to one
+	// trace ID) together with the server's wall clock, so a collector can
+	// align multi-process rings by RTT midpoint. Old servers answer it
+	// with an unknown-op error; callers degrade by skipping the node.
+	OpTrace = "trace"
 )
+
+// maxTraceDump bounds how many records one trace response carries: newest
+// first wins, and TraceDump.Truncated reports what was cut. 2048 records
+// of typical size stay comfortably inside MaxFrame.
+const maxTraceDump = 2048
 
 // HealthInfo is the health op's payload: the admission-relevant view of a
 // server, cheap enough for a router to poll every few hundred milliseconds.
@@ -98,6 +110,32 @@ type WireRequest struct {
 	Input      []byte `json:"input,omitempty"`
 	DeadlineMS int64  `json:"deadline_ms,omitempty"`
 	NoAttest   bool   `json:"no_attest,omitempty"`
+
+	// Propagated trace context (all optional; absent fields keep the old
+	// wire shape, and old servers ignore unknown fields by JSON contract).
+	// TraceID is the compact obs.TraceID form — decimal or 32 hex digits;
+	// on a run request the server adopts it instead of minting a root, so
+	// the job's pipeline spans join the caller's trace. ParentSpan is the
+	// caller-side span the server's spans nest under. Tenant is baggage:
+	// the accounting identity for SLO tracking, defaulting to Name. On a
+	// trace request, TraceID is the dump filter instead.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan uint64 `json:"parent_span,omitempty"`
+	Tenant     string `json:"tenant,omitempty"`
+}
+
+// TraceDump is the trace op's payload: one node's (or, from a router, a
+// whole fleet's already-stitched) span records plus the clock sample and
+// loss accounting a collector needs.
+type TraceDump struct {
+	// NowNS is the answering node's wall clock when the dump was taken,
+	// in Unix nanoseconds — the collector's skew-correction sample.
+	NowNS int64 `json:"now_ns"`
+	// Dropped counts records the ring had already overwritten.
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Truncated counts records cut from this response to honor MaxFrame.
+	Truncated int          `json:"truncated,omitempty"`
+	Records   []obs.Record `json:"records"`
 }
 
 // WireResponse is the server's answer.
@@ -129,6 +167,11 @@ type WireResponse struct {
 
 	Stats  *Metrics    `json:"stats,omitempty"`
 	Health *HealthInfo `json:"health,omitempty"`
+	Trace  *TraceDump  `json:"trace,omitempty"`
+
+	// TraceID echoes the trace the job ran under (propagated or
+	// server-minted), so callers can report and stitch it later.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Serve accepts connections on l until the listener closes, handling each
@@ -194,8 +237,11 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 	case OpHealth:
 		h := s.Health()
 		return &WireResponse{OK: true, Health: &h}
+	case OpTrace:
+		return s.traceDump(req)
 	case OpRun:
-		j := Job{Name: req.Name, Source: req.Source, Input: req.Input, NoAttest: req.NoAttest}
+		j := Job{Name: req.Name, Source: req.Source, Input: req.Input, NoAttest: req.NoAttest,
+			Tenant: req.Tenant, Trace: wireTraceContext(req)}
 		if req.DeadlineMS != 0 {
 			// A negative deadline resolves to a time in the past and fails
 			// with deadline_exceeded, matching the local-API contract.
@@ -226,10 +272,52 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 		} else {
 			resp.OK = true
 		}
+		if !res.Trace.IsZero() {
+			resp.TraceID = res.Trace.String()
+		}
 		return resp
 	default:
 		return &WireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// wireTraceContext parses a request's propagated trace context. Absent or
+// malformed fields yield the zero Context (the server mints its own root);
+// the empty-string fast path keeps the hot run dispatch allocation-free.
+func wireTraceContext(req *WireRequest) obs.Context {
+	if req.TraceID == "" {
+		return obs.Context{}
+	}
+	id, err := obs.ParseTraceID(req.TraceID)
+	if err != nil || id.IsZero() {
+		return obs.Context{}
+	}
+	return obs.Context{Trace: id, Span: req.ParentSpan}
+}
+
+// traceDump answers the trace op from the service's own ring.
+func (s *Service) traceDump(req *WireRequest) *WireResponse {
+	recs, dropped := s.tracer.Snapshot()
+	if req.TraceID != "" {
+		id, err := obs.ParseTraceID(req.TraceID)
+		if err != nil {
+			return &WireResponse{Err: err.Error()}
+		}
+		recs = obs.FilterTrace(recs, id)
+	}
+	return &WireResponse{OK: true, Trace: BoundTraceDump(recs, dropped)}
+}
+
+// BoundTraceDump packages records as a trace-op payload, keeping the
+// newest maxTraceDump records and reporting the cut in Truncated. The
+// router reuses it to bound stitched multi-node dumps to one wire frame.
+func BoundTraceDump(recs []obs.Record, dropped uint64) *TraceDump {
+	dump := &TraceDump{NowNS: time.Now().UnixNano(), Dropped: dropped, Records: recs}
+	if len(recs) > maxTraceDump {
+		dump.Truncated = len(recs) - maxTraceDump
+		dump.Records = recs[len(recs)-maxTraceDump:]
+	}
+	return dump
 }
 
 // Client is a tenant-side connection to a palsvc server.
@@ -347,6 +435,24 @@ func (c *Client) Health() (*HealthInfo, error) {
 		Bank:       stats.SePCRCapacity,
 		Degraded:   true,
 	}, nil
+}
+
+// Trace fetches the server's span ring (filter narrows it to one trace ID,
+// "" dumps everything) and estimates the server's clock offset from the
+// local one using the RTT midpoint of this very round trip — the input
+// obs.Stitch needs to merge multi-process rings onto one timeline. Old
+// servers answer with an unknown-op error, which surfaces here as err.
+func (c *Client) Trace(filter string) (*TraceDump, time.Duration, error) {
+	sent := time.Now()
+	resp, err := c.roundTrip(&WireRequest{Op: OpTrace, TraceID: filter})
+	received := time.Now()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !resp.OK || resp.Trace == nil {
+		return nil, 0, fmt.Errorf("palsvc: trace dump failed: %s", resp.Err)
+	}
+	return resp.Trace, obs.ClockOffset(sent, received, resp.Trace.NowNS), nil
 }
 
 // Ping checks liveness.
