@@ -66,11 +66,11 @@ cluster-soak:
 # machine weather rather than real regressions.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.5s -benchmem . ./internal/obs ./internal/palsvc \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
-# benchcmp gates the committed artifacts: the chaos seams must stay
-# nil-check-only when disabled, so the zero-allocation fast path of PR4 must
-# survive unchanged. Thresholds live in cmd/benchjson (-max-ns-regress 50%,
+# benchcmp gates the committed artifacts: the threaded-code tier must only
+# ever move numbers down, and the zero-allocation fast path of PR4 must
+# survive with the tier both on and off. Thresholds live in cmd/benchjson (-max-ns-regress 50%,
 # -max-alloc-regress 25% by default); nothing reruns benchmarks here.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json

@@ -13,9 +13,15 @@ import (
 	"testing"
 	"time"
 
+	"minimaltcb/internal/chipset"
+	"minimaltcb/internal/cpu"
 	"minimaltcb/internal/experiments"
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/pal"
 	"minimaltcb/internal/palsvc"
 	"minimaltcb/internal/platform"
+	"minimaltcb/internal/sim"
 )
 
 func benchCfg() experiments.Config {
@@ -186,6 +192,76 @@ func BenchmarkAblation_CrossPlatform(b *testing.B) {
 		}
 	}
 }
+
+// benchExec measures raw PAL execution on one core: a compute loop run to
+// completion per iteration, with the threaded-code tier on or off. The pair
+// is the direct interpreter-vs-compiled comparison; everything above it
+// (Table1, Impact, Service_*) measures the tier folded into full workloads.
+func benchExec(b *testing.B, compile bool) {
+	b.Helper()
+	// The hot block is store-free: a store would dirty the block's own
+	// page every iteration (code and data share this small image), which
+	// the tier correctly answers by poisoning the block — that bailout
+	// path has its own differential tests, but it is not the steady state
+	// this benchmark is after.
+	image := pal.MustBuild(`
+		ldi	r1, acc
+		ldi	r0, 0
+		ldi	r3, 400
+	loop:	addi	r0, 1
+		load	r2, [r1]
+		add	r2, r0
+		xor	r4, r2
+		add	r2, r2
+		cmp	r0, r3
+		jnz	loop
+		store	r2, [r1]
+		halt
+	acc:	.word 0
+	stack:	.space 64
+	`)
+	clock := sim.NewClock()
+	cs := chipset.New(clock, mem.New(16*mem.PageSize), lpc.NewBus(clock, lpc.FullSpeed()), nil)
+	c := cpu.New(0, cpu.ParamsAMDdc5750(), cs)
+	if err := cs.Memory().WriteRaw(0x4000, image.Bytes); err != nil {
+		b.Fatal(err)
+	}
+	c.Reset()
+	c.SetBlockCompile(compile)
+	region := mem.Region{Base: 0x4000, Size: image.Len()}
+	run := func() {
+		c.EnterRegion(region, image.Entry)
+		if reason, err := c.Run(0); err != nil || reason != cpu.StopHalt {
+			b.Fatalf("run stopped %v: %v", reason, err)
+		}
+	}
+	// Warm until every leader is past the heat threshold and compiled, so
+	// the timed loop measures the steady state of the chosen tier.
+	for i := 0; i < 32; i++ {
+		run()
+	}
+	start := c.Retired
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	instrs := c.Retired - start
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+	if st := c.TCodeStatsSnapshot(); compile && st.Execs == 0 {
+		b.Fatal("compiled benchmark never executed a compiled block")
+	} else if !compile && st.Execs != 0 {
+		b.Fatal("interpreter benchmark executed compiled blocks")
+	}
+}
+
+// BenchmarkExec_Interpreter is the pure-interpreter baseline: per-instruction
+// fetch, decode-cache lookup, and opcode dispatch.
+func BenchmarkExec_Interpreter(b *testing.B) { benchExec(b, false) }
+
+// BenchmarkExec_ThreadedCode runs the same loop from compiled
+// superinstruction closures.
+func BenchmarkExec_ThreadedCode(b *testing.B) { benchExec(b, true) }
 
 // benchService builds the multi-tenant PAL service used by the
 // BenchmarkService_* benchmarks: recommended HP dc5750, sePCR bank of 8.

@@ -60,6 +60,7 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "default per-job deadline (0 = none)")
 		connTimeout = flag.Duration("conn-timeout", 30*time.Second, "per-request connection deadline (0 = none)")
 		reject      = flag.Bool("reject", false, "reject (not queue) jobs when the sePCR bank is exhausted")
+		blockComp   = flag.Bool("block-compile", true, "compile hot basic blocks into threaded code (disable to force pure interpretation)")
 
 		chaosProfile = flag.String("chaos-profile", "", "fault-injection profile: off|light|heavy|tpm|storm|soak, optionally with k=v overrides (e.g. \"soak,tpm_fail=0.1\"); \"\" disables chaos")
 		chaosSeed    = flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = derive from time; the chosen seed is printed so any run can be replayed)")
@@ -96,6 +97,7 @@ func main() {
 	}
 	svcCfg := serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
 		*quantum, *keyBits, *seed, *deadline, *reject)
+	svcCfg.DisableBlockCompile = !*blockComp
 	if err := applyChaos(&svcCfg, *chaosProfile, *chaosSeed); err != nil {
 		fmt.Fprintf(os.Stderr, "palservd: %v\n", err)
 		os.Exit(2)

@@ -142,7 +142,23 @@ func Verify(pub *rsa.PublicKey, m *Module) error {
 	if m == nil {
 		return fmt.Errorf("acmod: nil module")
 	}
-	digest := sha1.Sum(m.Code)
+	return verifyDigest(pub, m, sha1.Sum(m.Code))
+}
+
+// VerifyWithDigest is Verify for a caller that already holds SHA-1 of
+// m.Code from a content-validated source (the CPU's launch-measurement
+// cache compares the module's bytes against the cached copy before
+// vouching for the digest). The memoization key is identical to Verify's,
+// so in-place tampering with the code changes the supplied digest —
+// through the caller's content compare — and forces a live verification.
+func VerifyWithDigest(pub *rsa.PublicKey, m *Module, codeDigest [sha1.Size]byte) error {
+	if m == nil {
+		return fmt.Errorf("acmod: nil module")
+	}
+	return verifyDigest(pub, m, codeDigest)
+}
+
+func verifyDigest(pub *rsa.PublicKey, m *Module, digest [sha1.Size]byte) error {
 	k := verifyKey{pub: pub, digest: digest, sig: sha1.Sum(m.Signature)}
 	verifyMu.Lock()
 	_, ok := verifyCache[k]

@@ -1,6 +1,7 @@
 package acmod
 
 import (
+	"crypto/sha1"
 	"testing"
 )
 
@@ -84,5 +85,49 @@ func TestVendorDeterministic(t *testing.T) {
 	b, _ := NewVendor(7, 1024)
 	if a.Public().N.Cmp(b.Public().N) != 0 {
 		t.Fatal("same seed produced different vendor keys")
+	}
+}
+
+func TestVerifyWithDigestMatchesVerify(t *testing.T) {
+	v := testVendor(t)
+	m, _ := v.Sign(nil)
+	if err := VerifyWithDigest(v.Public(), m, sha1.Sum(m.Code)); err != nil {
+		t.Fatalf("genuine module rejected via supplied digest: %v", err)
+	}
+}
+
+// TestVerifyWithDigestRejectsTamperedCode: the supplied digest comes from a
+// content-validated source, so tampering with the code in place shows up as
+// a different digest — the memo cannot hit and live verification fails.
+func TestVerifyWithDigestRejectsTamperedCode(t *testing.T) {
+	v := testVendor(t)
+	m, _ := v.Sign(nil)
+	if err := Verify(v.Public(), m); err != nil { // prime the memo
+		t.Fatal(err)
+	}
+	m.Code[0] ^= 1
+	if err := VerifyWithDigest(v.Public(), m, sha1.Sum(m.Code)); err == nil {
+		t.Fatal("tampered ACMod verified via supplied digest — the memo leaked across content")
+	}
+}
+
+// TestVerifyWithDigestRejectsTamperedSignature: the signature digest is part
+// of the memo key, so a primed memo does not vouch for a modified signature.
+func TestVerifyWithDigestRejectsTamperedSignature(t *testing.T) {
+	v := testVendor(t)
+	m, _ := v.Sign(nil)
+	if err := Verify(v.Public(), m); err != nil {
+		t.Fatal(err)
+	}
+	m.Signature[0] ^= 1
+	if err := VerifyWithDigest(v.Public(), m, sha1.Sum(m.Code)); err == nil {
+		t.Fatal("tampered signature verified via supplied digest")
+	}
+}
+
+func TestVerifyWithDigestNil(t *testing.T) {
+	v := testVendor(t)
+	if err := VerifyWithDigest(v.Public(), nil, [sha1.Size]byte{}); err == nil {
+		t.Fatal("nil module verified")
 	}
 }

@@ -48,10 +48,36 @@ func (c *CPU) SetDecodeCache(on bool) {
 // DecodeCacheEnabled reports whether the decode cache is active.
 func (c *CPU) DecodeCacheEnabled() bool { return !c.decodeOff }
 
+// DecodeCacheStats counts the decode cache's outcomes. Words straddling a
+// page boundary bypass the cache entirely (one page version cannot vouch
+// for two pages) — before BoundarySkips existed that bypass was invisible,
+// making straddling fetch patterns look like unexplained slowdowns.
+type DecodeCacheStats struct {
+	// Hits and Misses count lookups of in-page words.
+	Hits, Misses int64
+	// BoundarySkips counts fetches that bypassed the cache because the
+	// word straddles a page boundary.
+	BoundarySkips int64
+	// VersionEvictions counts misses whose slot held the same address
+	// with a stale page version (self-modified code or an ownership
+	// transition), as opposed to cold or conflict misses.
+	VersionEvictions int64
+}
+
+// DecodeCacheStatsSnapshot returns the cache's counters. The counters are
+// plain increments on the fetch hot path, so — like every CPUProfiler
+// method — this must be called under whatever lock serializes the machine
+// (palsvc holds its per-machine mutex across /debug/profile snapshots).
+func (c *CPU) DecodeCacheStatsSnapshot() DecodeCacheStats { return c.dstats }
+
 // fetchCached returns the decoded instruction at physical address phys,
 // consulting the cache when the word lies within one page.
 func (c *CPU) fetchCached(phys uint32) (isa.Instruction, error) {
-	if c.decodeOff || phys&(mem.PageSize-1) > mem.PageSize-isa.WordSize {
+	if c.decodeOff {
+		return c.fetchSlow(phys)
+	}
+	if phys&(mem.PageSize-1) > mem.PageSize-isa.WordSize {
+		c.dstats.BoundarySkips++
 		return c.fetchSlow(phys)
 	}
 	ver := c.chip.Memory().PageVersion(int(phys) / mem.PageSize)
@@ -60,8 +86,13 @@ func (c *CPU) fetchCached(phys uint32) (isa.Instruction, error) {
 	}
 	e := &c.dcache[(phys>>2)&(decodeCacheSize-1)]
 	if e.key == phys+1 && e.ver == ver {
+		c.dstats.Hits++
 		return e.in, nil
 	}
+	if e.key == phys+1 {
+		c.dstats.VersionEvictions++
+	}
+	c.dstats.Misses++
 	in, err := c.fetchSlow(phys)
 	if err != nil {
 		return in, err

@@ -104,7 +104,10 @@ func (c *CPU) SKINIT(slbBase uint32) (*LaunchResult, error) {
 	}
 	defer slbBufPool.Put(bufp)
 
-	res := &LaunchResult{Region: region, Entry: entry, PALMeasurement: tpm.Measure(image)}
+	// The measurement is served from the launch cache (launchcache.go)
+	// when the same bytes launched recently; a memcmp validates the hit.
+	meas := c.measureCached(region.Base, image)
+	res := &LaunchResult{Region: region, Entry: entry, PALMeasurement: meas}
 
 	bus := chip.Bus()
 	if err := bus.SetLocality(4); err != nil {
@@ -118,7 +121,7 @@ func (c *CPU) SKINIT(slbBase uint32) (*LaunchResult, error) {
 			return nil, fmt.Errorf("cpu: SKINIT hash start: %w", err)
 		}
 		bus.TransferHash(image) // the Table 1 cost: SLB bytes through the TPM's wait states
-		if err := t.HashData(image); err != nil {
+		if err := t.HashDataPremeasured(image, meas); err != nil {
 			return nil, err
 		}
 		pcr17, err := t.HashEnd()
@@ -176,11 +179,14 @@ func (c *CPU) SENTER(slbBase uint32, module *acmod.Module, fused *rsa.PublicKey)
 	t := chip.TPM()
 
 	// Phase 1: the ACMod crosses the LPC bus and is measured into PCR 17.
+	// The launch cache vouches for the digest by content compare, so both
+	// the TPM_HASH sequence and the signature check below reuse it.
+	acmDigest := c.measureCached(acmTag, module.Code)
 	if err := t.HashStart(); err != nil {
 		return nil, fmt.Errorf("cpu: SENTER hash start: %w", err)
 	}
 	bus.TransferHash(module.Code)
-	if err := t.HashData(module.Code); err != nil {
+	if err := t.HashDataPremeasured(module.Code, acmDigest); err != nil {
 		return nil, err
 	}
 	pcr17, err := t.HashEnd()
@@ -190,7 +196,7 @@ func (c *CPU) SENTER(slbBase uint32, module *acmod.Module, fused *rsa.PublicKey)
 
 	// The chipset verifies the ACMod signature against the fused key.
 	c.Clock().Advance(c.Params.SigVerifyCost)
-	if err := acmod.Verify(fused, module); err != nil {
+	if err := acmod.VerifyWithDigest(fused, module, acmDigest); err != nil {
 		chip.SetDEVRegion(region, false) // abort: undo protections
 		return nil, fmt.Errorf("cpu: SENTER aborted: %w", err)
 	}
@@ -201,7 +207,7 @@ func (c *CPU) SENTER(slbBase uint32, module *acmod.Module, fused *rsa.PublicKey)
 	if err != nil {
 		return nil, fmt.Errorf("cpu: SENTER image: %w", err)
 	}
-	meas := c.HashOnCPU(image)
+	meas := c.hashOnCPUCached(region.Base, image)
 	slbBufPool.Put(bufp)
 	pcr18, err := t.ExtendMicrocode(18, meas)
 	if err != nil {

@@ -147,9 +147,15 @@ func TestRunSteadyStateAllocsProfilerOff(t *testing.T) {
 	}
 	c.Reset()
 	region := mem.Region{Base: 0x4000, Size: image.Len()}
-	c.EnterRegion(region, image.Entry)
-	if reason, err := c.Run(0); err != nil || reason != StopHalt { // warm the decode cache
-		t.Fatalf("warm run: %v %v", reason, err)
+	// Warm until every leader is past blockHeatMin: the decode cache fills
+	// on the first pass, and the threaded-code tier must finish compiling
+	// before the timed runs or its one-time allocations would be charged
+	// to the steady state.
+	for i := 0; i < 3*blockHeatMin; i++ {
+		c.EnterRegion(region, image.Entry)
+		if reason, err := c.Run(0); err != nil || reason != StopHalt {
+			t.Fatalf("warm run: %v %v", reason, err)
+		}
 	}
 	var (
 		reason StopReason

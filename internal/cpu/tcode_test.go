@@ -1,0 +1,645 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"minimaltcb/internal/chipset"
+	"minimaltcb/internal/isa"
+	"minimaltcb/internal/lpc"
+	"minimaltcb/internal/mem"
+	"minimaltcb/internal/pal"
+	"minimaltcb/internal/sim"
+)
+
+// Tests for the threaded-code tier (tcode.go). The contract under test is
+// bit-identity: with the tier on, every architecturally observable output —
+// registers, flags, memory, PC at faults, error values, retirement count,
+// and the virtual clock — must match a pure-interpreter run instruction for
+// instruction.
+
+// tcodePasses is enough Run passes to push every leader past blockHeatMin
+// and then re-execute the compiled blocks several times.
+const tcodePasses = 3 * blockHeatMin
+
+// newTCodeMachine builds a fresh machine with image placed at 0x4000.
+func newTCodeMachine(t *testing.T, image pal.Image, compile bool) (*CPU, *chipset.Chipset, mem.Region) {
+	t.Helper()
+	clock := sim.NewClock()
+	cs := chipset.New(clock, mem.New(16*mem.PageSize), lpc.NewBus(clock, lpc.FullSpeed()), nil)
+	c := New(0, ParamsAMDdc5750(), cs)
+	if err := cs.Memory().WriteRaw(0x4000, image.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	c.SetBlockCompile(compile)
+	return c, cs, mem.Region{Base: 0x4000, Size: image.Len()}
+}
+
+// runPasses executes image `passes` times on one machine; heat counters and
+// compiled blocks accumulate across passes exactly as they do across jobs
+// on a palsvc machine. Each pass must halt cleanly.
+func runPasses(t *testing.T, image pal.Image, compile bool, passes int) (*CPU, *chipset.Chipset) {
+	t.Helper()
+	c, cs, region := newTCodeMachine(t, image, compile)
+	for i := 0; i < passes; i++ {
+		c.EnterRegion(region, image.Entry)
+		if reason, err := c.Run(0); err != nil || reason != StopHalt {
+			t.Fatalf("pass %d (compile=%v): %v %v", i, compile, reason, err)
+		}
+	}
+	return c, cs
+}
+
+// sameRun compares every observable of two finished runs.
+func sameRun(t *testing.T, on, off *CPU, csOn, csOff *chipset.Chipset) {
+	t.Helper()
+	sameArchState(t, on, off, csOn, csOff)
+	if on.Retired != off.Retired {
+		t.Fatalf("retired diverge: compiled %d, interpreted %d", on.Retired, off.Retired)
+	}
+	if on.Clock().Now() != off.Clock().Now() {
+		t.Fatalf("virtual clocks diverge: compiled %v, interpreted %v",
+			on.Clock().Now(), off.Clock().Now())
+	}
+	if on.PC != off.PC {
+		t.Fatalf("PC diverges: compiled %d, interpreted %d", on.PC, off.PC)
+	}
+}
+
+// TestBlockCompileDifferentialHotLoop: the canonical case — a hot loop that
+// compiles (cmp+jnz fuses) and then re-executes from the block cache many
+// times must end bit-identical to pure interpretation.
+func TestBlockCompileDifferentialHotLoop(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 25
+	loop:	addi	r0, 1
+		add	r2, r0
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`)
+	on, csOn := runPasses(t, image, true, tcodePasses)
+	off, csOff := runPasses(t, image, false, tcodePasses)
+	sameRun(t, on, off, csOn, csOff)
+
+	st := on.TCodeStatsSnapshot()
+	if st.Compiled == 0 || st.Execs == 0 || st.Instrs == 0 {
+		t.Fatalf("tier never engaged: %+v", st)
+	}
+	if off.TCodeStatsSnapshot().Execs != 0 {
+		t.Fatal("compile-off machine executed compiled blocks")
+	}
+}
+
+// TestBlockCompileDifferentialFusionShapes covers every fusion rule — the
+// load+ALU pair, pop/pop, pop/push, and cmp+branch — plus the lookahead
+// that reserves a cmp for the branch behind it.
+func TestBlockCompileDifferentialFusionShapes(t *testing.T) {
+	src := `
+		ldi	r0, 0
+		ldi	r1, 12
+	loop:	ldi	r2, v
+		load	r3, [r2]
+		addi	r3, 3
+		store	r3, [r2]
+		push	r3
+		push	r0
+		pop	r4
+		pop	r5
+		push	r4
+		pop	r6
+		load	r3, [r2]
+		cmp	r3, r1
+		addi	r0, 1
+		cmp	r0, r1
+		jnz	loop
+		halt
+	v:	.word 5
+		.space	64	; stack: sp starts at the region top
+	`
+	image := pal.MustBuild(src)
+	on, csOn := runPasses(t, image, true, tcodePasses)
+	off, csOff := runPasses(t, image, false, tcodePasses)
+	sameRun(t, on, off, csOn, csOff)
+}
+
+// TestBlockCompileFaultMidBlock: a fault raised from inside a compiled
+// block must report the same error, leave PC on the faulting instruction,
+// and charge exactly the retired instructions (the faulting one included),
+// matching the interpreter's charge-before-execute contract.
+func TestBlockCompileFaultMidBlock(t *testing.T) {
+	// The counter at v survives across passes; pass 12 makes the divisor
+	// zero, well after the fb block compiled on pass blockHeatMin.
+	image := pal.MustBuild(`
+		ldi	r2, v
+		load	r0, [r2]
+		addi	r0, 1
+		store	r0, [r2]
+		jmp	fb
+	fb:	ldi	r1, 12
+		sub	r1, r0
+		ldi	r3, 100
+		divu	r3, r1
+		halt
+	v:	.word 0
+	`)
+	run := func(compile bool) (*CPU, *chipset.Chipset, error) {
+		c, cs, region := newTCodeMachine(t, image, compile)
+		for i := 0; i < 11; i++ {
+			c.EnterRegion(region, image.Entry)
+			if reason, err := c.Run(0); err != nil || reason != StopHalt {
+				t.Fatalf("pass %d: %v %v", i, reason, err)
+			}
+		}
+		c.EnterRegion(region, image.Entry)
+		reason, err := c.Run(0)
+		if reason != StopFault || err == nil {
+			t.Fatalf("pass 12: want fault, got %v %v", reason, err)
+		}
+		return c, cs, err
+	}
+	on, csOn, errOn := run(true)
+	off, csOff, errOff := run(false)
+	if errOn.Error() != errOff.Error() {
+		t.Fatalf("fault errors diverge:\n  compiled    %v\n  interpreted %v", errOn, errOff)
+	}
+	if !errors.Is(errOn, ErrFault) {
+		t.Fatalf("compiled fault does not wrap ErrFault: %v", errOn)
+	}
+	sameRun(t, on, off, csOn, csOff)
+	if st := on.TCodeStatsSnapshot(); st.Execs == 0 {
+		t.Fatalf("fault path never ran compiled: %+v", st)
+	}
+}
+
+// TestBlockCompileSelfModifyInvalidation: patching an instruction inside an
+// already-compiled block must be observed — the stale closure chain may
+// never run the old semantics. The patch happens from *outside* the block,
+// so it is caught by lookup-time revalidation (version moved, bytes
+// changed), counted as an invalidation, and recompiled.
+func TestBlockCompileSelfModifyInvalidation(t *testing.T) {
+	patched := isa.Instruction{Op: isa.OpLdi, RA: 4, Imm: 99}.Encode()
+	src := fmt.Sprintf(`
+		ldi	r5, 0
+	start:	ldi	r0, 0
+		ldi	r1, 10
+	lp1:	addi	r0, 1
+	mark:	ldi	r4, 1
+		cmp	r0, r1
+		jnz	lp1
+		ldi	r6, 1
+		cmp	r5, r6
+		jz	done
+		mov	r5, r6
+		ldi	r3, %d
+		lui	r3, %d
+		ldi	r2, mark
+		store	r3, [r2]
+		jmp	start
+	done:	halt
+	`, patched&0xffff, patched>>16)
+	image := pal.MustBuild(src)
+	on, csOn := runPasses(t, image, true, 1)
+	off, csOff := runPasses(t, image, false, 1)
+	sameRun(t, on, off, csOn, csOff)
+	if on.Regs[4] != 99 {
+		t.Fatalf("patched instruction did not execute: r4=%d, want 99", on.Regs[4])
+	}
+	st := on.TCodeStatsSnapshot()
+	if st.Invalidations == 0 {
+		t.Fatalf("patch went unnoticed by the block cache: %+v", st)
+	}
+	if st.Compiled < 2 {
+		t.Fatalf("block was not recompiled after the patch: %+v", st)
+	}
+}
+
+// TestBlockCompileMidBlockStoreBailout: a store inside a hot block that
+// dirties the block's own pages must stop the block right after the store
+// (its effects are architecturally complete) and resume interpretation at
+// the next instruction. Repeated offenders get poisoned so the tier stops
+// paying compile + bailout for them.
+func TestBlockCompileMidBlockStoreBailout(t *testing.T) {
+	// The store rewrites mark with its existing bytes: semantics never
+	// change, but every write bumps the page version, so each compiled
+	// execution bails mid-block.
+	word := isa.Instruction{Op: isa.OpLdi, RA: 4, Imm: 7}.Encode()
+	src := fmt.Sprintf(`
+		ldi	r0, 0
+		ldi	r1, 40
+		ldi	r3, %d
+		lui	r3, %d
+		ldi	r2, mark
+	loop:	addi	r0, 1
+		store	r3, [r2]
+	mark:	ldi	r4, 7
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`, word&0xffff, word>>16)
+	image := pal.MustBuild(src)
+	on, csOn := runPasses(t, image, true, 2)
+	off, csOff := runPasses(t, image, false, 2)
+	sameRun(t, on, off, csOn, csOff)
+	st := on.TCodeStatsSnapshot()
+	if st.Bailouts == 0 {
+		t.Fatalf("self-dirtying block never bailed: %+v", st)
+	}
+	// 40 iterations × 2 passes is far past maxBlockBails: the loop leader
+	// must have been poisoned instead of bailing ~70 times.
+	if st.Bailouts > maxBlockBails+2 {
+		t.Fatalf("poisoning did not engage: %d bailouts, %+v", st.Bailouts, st)
+	}
+}
+
+// TestBlockCompileQuantumDifferential: preemption must land on exactly the
+// same instruction with the tier on — a block only runs when all of it fits
+// the remaining quantum, otherwise the interpreter runs the tail.
+func TestBlockCompileQuantumDifferential(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 30
+	loop:	addi	r0, 1
+		add	r2, r0
+		xor	r3, r2
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`)
+	instr := ParamsAMDdc5750().InstrCost
+	for _, qn := range []int{1, 2, 3, 5, 7, 64} {
+		quantum := time.Duration(qn) * instr
+		drive := func(compile bool) (*CPU, *chipset.Chipset, []uint32) {
+			c, cs, region := newTCodeMachine(t, image, compile)
+			var stops []uint32
+			for pass := 0; pass < tcodePasses; pass++ {
+				c.EnterRegion(region, image.Entry)
+				for {
+					reason, err := c.Run(quantum)
+					if err != nil {
+						t.Fatalf("q=%d pass %d: %v", qn, pass, err)
+					}
+					if reason == StopHalt {
+						break
+					}
+					if reason != StopPreempted {
+						t.Fatalf("q=%d pass %d: unexpected %v", qn, pass, reason)
+					}
+					stops = append(stops, c.PC)
+				}
+			}
+			return c, cs, stops
+		}
+		on, csOn, stopsOn := drive(true)
+		off, csOff, stopsOff := drive(false)
+		sameRun(t, on, off, csOn, csOff)
+		if len(stopsOn) != len(stopsOff) {
+			t.Fatalf("q=%d: preemption counts diverge: %d vs %d", qn, len(stopsOn), len(stopsOff))
+		}
+		for i := range stopsOn {
+			if stopsOn[i] != stopsOff[i] {
+				t.Fatalf("q=%d: preemption %d lands at pc=%d compiled, pc=%d interpreted",
+					qn, i, stopsOn[i], stopsOff[i])
+			}
+		}
+	}
+}
+
+// TestBlockCompileProfilerParity: with a plain Profiler installed, the
+// compiled tier must report the identical (pc, op, cost) retirement stream
+// as the interpreter — per instruction, in program order, fused pairs
+// included.
+func TestBlockCompileProfilerParity(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 9
+	loop:	ldi	r2, v
+		load	r3, [r2]
+		add	r3, r0
+		addi	r0, 1
+		cmp	r0, r1
+		jnz	loop
+		halt
+	v:	.word 21
+	`)
+	record := func(compile bool) *fakeProfiler {
+		c, _, region := newTCodeMachine(t, image, compile)
+		f := &fakeProfiler{}
+		c.SetProfiler(f)
+		for i := 0; i < tcodePasses; i++ {
+			c.EnterRegion(region, image.Entry)
+			if reason, err := c.Run(0); err != nil || reason != StopHalt {
+				t.Fatalf("pass %d: %v %v", i, reason, err)
+			}
+		}
+		if int64(len(f.pcs)) != c.Retired {
+			t.Fatalf("profiler saw %d retirements, CPU retired %d", len(f.pcs), c.Retired)
+		}
+		return f
+	}
+	on, off := record(true), record(false)
+	if len(on.pcs) != len(off.pcs) {
+		t.Fatalf("retirement streams diverge in length: %d vs %d", len(on.pcs), len(off.pcs))
+	}
+	for i := range on.pcs {
+		if on.pcs[i] != off.pcs[i] || on.ops[i] != off.ops[i] {
+			t.Fatalf("retirement %d diverges: compiled (pc=%d %v), interpreted (pc=%d %v)",
+				i, on.pcs[i], on.ops[i], off.pcs[i], off.ops[i])
+		}
+	}
+	if on.total != off.total {
+		t.Fatalf("charged cost diverges: %v vs %v", on.total, off.total)
+	}
+}
+
+// tierProfiler implements BlockProfiler: it sees which tier retired each
+// instruction.
+type tierProfiler struct {
+	fakeProfiler
+	compiled int
+}
+
+func (p *tierProfiler) RetireCompiled(pc uint32, op isa.Opcode, cost time.Duration) {
+	p.compiled++
+	p.RetireInstr(pc, op, cost)
+}
+
+// TestBlockProfilerSeesCompiledTier: a profiler implementing the optional
+// BlockProfiler interface is routed compiled retirements through
+// RetireCompiled, and the union of both callbacks covers every retirement.
+func TestBlockProfilerSeesCompiledTier(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 10
+	loop:	addi	r0, 1
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`)
+	c, _, region := newTCodeMachine(t, image, true)
+	p := &tierProfiler{}
+	c.SetProfiler(p)
+	for i := 0; i < tcodePasses; i++ {
+		c.EnterRegion(region, image.Entry)
+		if reason, err := c.Run(0); err != nil || reason != StopHalt {
+			t.Fatalf("pass %d: %v %v", i, reason, err)
+		}
+	}
+	if int64(len(p.pcs)) != c.Retired {
+		t.Fatalf("profiler saw %d retirements, CPU retired %d", len(p.pcs), c.Retired)
+	}
+	if p.compiled == 0 {
+		t.Fatal("BlockProfiler never saw a compiled retirement")
+	}
+	if int64(p.compiled) != c.TCodeStatsSnapshot().Instrs {
+		t.Fatalf("profiler counted %d compiled retirements, tier counted %d",
+			p.compiled, c.TCodeStatsSnapshot().Instrs)
+	}
+}
+
+// TestSetBlockCompile: the switch mirrors SetDecodeCache — disabling drops
+// all tier state and re-enabling starts cold.
+func TestSetBlockCompile(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 10
+	loop:	addi	r0, 1
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`)
+	c, _, region := newTCodeMachine(t, image, true)
+	if !c.BlockCompileEnabled() {
+		t.Fatal("tier not enabled by default")
+	}
+	for i := 0; i < tcodePasses; i++ {
+		c.EnterRegion(region, image.Entry)
+		if reason, err := c.Run(0); err != nil || reason != StopHalt {
+			t.Fatalf("pass %d: %v %v", i, reason, err)
+		}
+	}
+	if c.bcache == nil {
+		t.Fatal("hot run left no block cache")
+	}
+	c.SetBlockCompile(false)
+	if c.BlockCompileEnabled() || c.bcache != nil || c.bheat != nil {
+		t.Fatal("SetBlockCompile(false) did not drop tier state")
+	}
+	before := c.TCodeStatsSnapshot().Execs
+	c.EnterRegion(region, image.Entry)
+	if reason, err := c.Run(0); err != nil || reason != StopHalt {
+		t.Fatalf("compile-off run: %v %v", reason, err)
+	}
+	if c.TCodeStatsSnapshot().Execs != before {
+		t.Fatal("disabled tier still executed compiled blocks")
+	}
+}
+
+// TestBlockCompileTracerDisablesTier: palasm -trace must observe the
+// interpreter — a CPU with a tracer installed never consults the tier.
+func TestBlockCompileTracerDisablesTier(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 10
+	loop:	addi	r0, 1
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`)
+	c, _, region := newTCodeMachine(t, image, true)
+	traced := 0
+	c.SetTracer(func(_ *CPU, _ uint32, _ isa.Instruction) { traced++ })
+	for i := 0; i < tcodePasses; i++ {
+		c.EnterRegion(region, image.Entry)
+		if reason, err := c.Run(0); err != nil || reason != StopHalt {
+			t.Fatalf("pass %d: %v %v", i, reason, err)
+		}
+	}
+	if traced == 0 {
+		t.Fatal("tracer never fired")
+	}
+	if int64(traced) != c.Retired {
+		t.Fatalf("tracer saw %d of %d retirements — compiled blocks bypassed it", traced, c.Retired)
+	}
+	if st := c.TCodeStatsSnapshot(); st.Execs != 0 {
+		t.Fatalf("tier ran under a tracer: %+v", st)
+	}
+}
+
+// TestRunSteadyStateAllocsCompiled pins the compiled tier's hot path: once
+// every leader is compiled, re-running the program end to end must not
+// allocate — lookup, revalidation, and the closure chains are all
+// allocation-free.
+func TestRunSteadyStateAllocsCompiled(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 8
+	loop:	addi	r0, 1
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`)
+	c, _, region := newTCodeMachine(t, image, true)
+	for i := 0; i < tcodePasses; i++ { // warm: compile every leader
+		c.EnterRegion(region, image.Entry)
+		if reason, err := c.Run(0); err != nil || reason != StopHalt {
+			t.Fatalf("warm pass %d: %v %v", i, reason, err)
+		}
+	}
+	if st := c.TCodeStatsSnapshot(); st.Execs == 0 {
+		t.Fatalf("warm-up never reached the compiled tier: %+v", st)
+	}
+	execsBefore := c.TCodeStatsSnapshot().Execs
+	var (
+		reason StopReason
+		err    error
+	)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.EnterRegion(region, image.Entry)
+		reason, err = c.Run(0)
+	})
+	if err != nil || reason != StopHalt {
+		t.Fatalf("run: %v %v", reason, err)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state compiled Run allocates %v allocs/op, want 0", allocs)
+	}
+	if c.TCodeStatsSnapshot().Execs == execsBefore {
+		t.Fatal("timed runs did not execute compiled blocks")
+	}
+}
+
+// TestRunSteadyStateAllocsCompileOff pins the tier-off path: with
+// SetBlockCompile(false) the only new per-iteration work is one boolean
+// test, so the PR 3 zero-allocation gate must still hold.
+func TestRunSteadyStateAllocsCompileOff(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 8
+	loop:	addi	r0, 1
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`)
+	c, _, region := newTCodeMachine(t, image, false)
+	c.EnterRegion(region, image.Entry)
+	if reason, err := c.Run(0); err != nil || reason != StopHalt { // warm decode cache
+		t.Fatalf("warm run: %v %v", reason, err)
+	}
+	var (
+		reason StopReason
+		err    error
+	)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.EnterRegion(region, image.Entry)
+		reason, err = c.Run(0)
+	})
+	if err != nil || reason != StopHalt {
+		t.Fatalf("run: %v %v", reason, err)
+	}
+	if allocs != 0 {
+		t.Fatalf("compile-off Run allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestBlockCompileRandomPrograms is the in-package cousin of the isa-level
+// differential fuzzer: random branchy ALU programs inside a loop must end
+// bit-identical under both tiers.
+func TestBlockCompileRandomPrograms(t *testing.T) {
+	ops := []string{"add", "sub", "mul", "and", "or", "xor", "shl", "shr", "cmp", "mov"}
+	for seed := uint64(1); seed <= 24; seed++ {
+		rng := sim.NewRNG(seed)
+		n := int(rng.Uint64()%40) + 4
+		src := "\tldi\tr6, 0\n\tldi\tr5, 13\nloop:\taddi\tr6, 1\n"
+		for i := 0; i < n; i++ {
+			op := ops[rng.Uint64()%uint64(len(ops))]
+			ra := rng.Uint64() % 5 // r0-r4 scratch
+			rb := rng.Uint64() % 5
+			src += fmt.Sprintf("\t%s\tr%d, r%d\n", op, ra, rb)
+		}
+		src += "\tcmp\tr6, r5\n\tjnz\tloop\n\thalt\n"
+		image := pal.MustBuild(src)
+		on, csOn := runPasses(t, image, true, tcodePasses)
+		off, csOff := runPasses(t, image, false, tcodePasses)
+		sameRun(t, on, off, csOn, csOff)
+	}
+}
+
+// TestDecodeCacheStats: the new accessor must account for every fetch —
+// cold misses, steady hits, version evictions after self-modification, and
+// the page-boundary bypass that used to be invisible.
+func TestDecodeCacheStats(t *testing.T) {
+	image := pal.MustBuild(`
+		ldi	r0, 0
+		ldi	r1, 6
+	loop:	addi	r0, 1
+		cmp	r0, r1
+		jnz	loop
+		halt
+	`)
+	c, _, region := newTCodeMachine(t, image, false) // interpreter only: every fetch is counted
+	c.EnterRegion(region, image.Entry)
+	if reason, err := c.Run(0); err != nil || reason != StopHalt {
+		t.Fatalf("run: %v %v", reason, err)
+	}
+	st := c.DecodeCacheStatsSnapshot()
+	if st.Misses == 0 {
+		t.Fatalf("cold run recorded no misses: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("looped run recorded no hits: %+v", st)
+	}
+	if got := st.Hits + st.Misses + st.BoundarySkips; got != c.Retired {
+		t.Fatalf("stats cover %d fetches, CPU retired %d: %+v", got, c.Retired, st)
+	}
+
+	// A store into the code page makes the next trip through the loop
+	// refetch stale entries: same slot, same address, moved version.
+	selfmod := pal.MustBuild(`
+		ldi	r2, v
+		ldi	r3, 0
+	loop:	addi	r3, 1
+		store	r3, [r2]
+		ldi	r4, 3
+		cmp	r3, r4
+		jnz	loop
+		halt
+	v:	.word 0
+	`)
+	c2, _, region2 := newTCodeMachine(t, selfmod, false)
+	c2.EnterRegion(region2, selfmod.Entry)
+	if reason, err := c2.Run(0); err != nil || reason != StopHalt {
+		t.Fatalf("selfmod run: %v %v", reason, err)
+	}
+	if st2 := c2.DecodeCacheStatsSnapshot(); st2.VersionEvictions == 0 {
+		t.Fatalf("store into code page recorded no version evictions: %+v", st2)
+	}
+}
+
+// TestDecodeCacheStatsBoundarySkip places an instruction across a page
+// boundary and checks the bypass is counted rather than silent.
+func TestDecodeCacheStatsBoundarySkip(t *testing.T) {
+	clock := sim.NewClock()
+	cs := chipset.New(clock, mem.New(16*mem.PageSize), lpc.NewBus(clock, lpc.FullSpeed()), nil)
+	c := New(0, ParamsAMDdc5750(), cs)
+	c.Reset()
+	c.SetBlockCompile(false)
+	// Region starts 2 bytes before a page boundary: the first word
+	// straddles pages and must bypass the cache.
+	base := uint32(mem.PageSize - 2)
+	prog := isa.EncodeProgram([]isa.Instruction{{Op: isa.OpNop}, {Op: isa.OpHalt}})
+	if err := cs.Memory().WriteRaw(base, prog); err != nil {
+		t.Fatal(err)
+	}
+	c.EnterRegion(mem.Region{Base: base, Size: len(prog)}, 0)
+	if reason, err := c.Run(0); err != nil || reason != StopHalt {
+		t.Fatalf("run: %v %v", reason, err)
+	}
+	if st := c.DecodeCacheStatsSnapshot(); st.BoundarySkips == 0 {
+		t.Fatalf("straddling fetch not counted: %+v", st)
+	}
+}

@@ -83,6 +83,11 @@ type imageRec struct {
 	slices                    int64
 	preempts, yields, faults  int64
 	quoteCalls, quoteVirtNs   int64
+
+	// Compiled-tier split: cycles and retirements attributed through
+	// the threaded-code tier (cpu.BlockProfiler) rather than the
+	// interpreter. Always a subset of the pcs totals.
+	compiledNs, compiledCount int64
 }
 
 // CPUProfiler collects exact per-instruction attribution for one machine.
@@ -96,7 +101,10 @@ type CPUProfiler struct {
 	cur    *imageRec
 }
 
-var _ cpu.Profiler = (*CPUProfiler)(nil)
+var (
+	_ cpu.Profiler      = (*CPUProfiler)(nil)
+	_ cpu.BlockProfiler = (*CPUProfiler)(nil)
+)
 
 // Enter begins attributing cycles to the image identified by hash —
 // called by sksm's SLAUNCH microcode when the PAL starts executing.
@@ -140,6 +148,26 @@ func (p *CPUProfiler) RetireInstr(pc uint32, op isa.Opcode, cost time.Duration) 
 		return
 	}
 	r := p.cur
+	i := int(pc / isa.WordSize)
+	if i >= len(r.pcs) {
+		return
+	}
+	e := &r.pcs[i]
+	e.cycles += int64(cost)
+	e.count++
+}
+
+// RetireCompiled is the threaded-code tier's hook (cpu.BlockProfiler):
+// identical attribution to RetireInstr — same (pc, op, cost) for the same
+// instruction — plus the compiled-vs-interpreted cycle split tcbprof -top
+// reports.
+func (p *CPUProfiler) RetireCompiled(pc uint32, op isa.Opcode, cost time.Duration) {
+	if p == nil || p.cur == nil {
+		return
+	}
+	r := p.cur
+	r.compiledNs += int64(cost)
+	r.compiledCount++
 	i := int(pc / isa.WordSize)
 	if i >= len(r.pcs) {
 		return
@@ -245,6 +273,8 @@ func (c *CPUProfiler) SnapshotInto(p *Profile) {
 		ip.Faults += r.faults
 		ip.QuoteCalls += r.quoteCalls
 		ip.QuoteVirtNs += r.quoteVirtNs
+		ip.CompiledCyclesNs += r.compiledNs
+		ip.CompiledRetired += r.compiledCount
 		for i := range r.pcs {
 			if r.pcs[i].count == 0 {
 				continue

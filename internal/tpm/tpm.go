@@ -73,6 +73,12 @@ type TPM struct {
 	hashing  bool
 	hashBuf  []byte
 	hashBufP *[]byte // pooled backing for hashBuf while a hash is open
+	// Premeasured fast path (HashDataPremeasured): the caller-supplied
+	// digest is used by HashEnd iff that call's bytes were the sequence's
+	// only data.
+	hashKnown    Digest
+	hashKnownLen int
+	hashKnownSet bool
 	booted   bool
 	extends  int // statistics: number of Extend operations served
 	unsealOK int // statistics: successful unseals
@@ -327,6 +333,7 @@ func (t *TPM) HashStart() error {
 		t.pcrs[i] = Digest{}
 	}
 	t.hashing = true
+	t.hashKnownSet = false
 	if t.hashBufP == nil {
 		t.hashBufP = hashBufPool.Get().(*[]byte)
 	}
@@ -355,6 +362,25 @@ func (t *TPM) HashData(b []byte) error {
 	return nil
 }
 
+// HashDataPremeasured is HashData for a caller that already knows SHA-1
+// of b (the CPU's launch-measurement cache). The bytes still enter the
+// buffered sequence — the model's state is unchanged — but if b turns out
+// to be the sequence's only data, HashEnd reuses d instead of re-hashing
+// the buffer. Mixing with other HashData calls quietly falls back to the
+// full hash, so the fast path can never change a PCR value.
+func (t *TPM) HashDataPremeasured(b []byte, d Digest) error {
+	if !t.hashing {
+		return ErrNotHashing
+	}
+	if len(t.hashBuf) == 0 {
+		t.hashKnown = d
+		t.hashKnownLen = len(b)
+		t.hashKnownSet = true
+	}
+	t.hashBuf = append(t.hashBuf, b...)
+	return nil
+}
+
 // HashEnd executes TPM_HASH_END: the buffered bytes are hashed and the
 // digest extended into PCR 17. It returns the resulting PCR 17 value.
 func (t *TPM) HashEnd() (Digest, error) {
@@ -362,7 +388,13 @@ func (t *TPM) HashEnd() (Digest, error) {
 		return Digest{}, ErrNotHashing
 	}
 	t.hashing = false
-	meas := Measure(t.hashBuf)
+	var meas Digest
+	if t.hashKnownSet && len(t.hashBuf) == t.hashKnownLen {
+		meas = t.hashKnown
+	} else {
+		meas = Measure(t.hashBuf)
+	}
+	t.hashKnownSet = false
 	t.releaseHashBuf()
 	t.pcrs[FirstDynamicPCR] = chain(Digest{}, meas)
 	return t.pcrs[FirstDynamicPCR], nil
