@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench benchcmp soak soak-short cluster-soak
+.PHONY: check build vet test race bench benchcmp soak soak-short cluster-soak audit-verify
 
-check: build vet test race benchcmp soak-short
+check: build vet test race benchcmp audit-verify soak-short
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 race:
 	$(GO) test -race ./internal/palsvc ./internal/cluster ./internal/attest \
 		./internal/obs ./internal/obs/prof ./internal/cpu ./internal/mem \
-		./internal/chaos ./internal/sksm \
+		./internal/chaos ./internal/sksm ./internal/audit \
 		./cmd/palservd ./cmd/attestd
 
 # soak drives the fault-injected zero-loss/zero-leak acceptance run (see
@@ -59,18 +59,28 @@ cluster-soak:
 		CLUSTER_SOAK_SEED=$(CLUSTER_SOAK_SEED) \
 		$(GO) test -v -count 1 -run TestClusterFailoverSoak ./internal/cluster
 
+# audit-verify exercises the tamper-evident log end to end (see
+# docs/AUDIT.md): the persistence/recovery/tamper matrix in
+# internal/audit, the demo cross-check that verifies both attestd-side
+# logs offline, and tcbaudit's offline -verify path — inclusion plus
+# cross-restart consistency proofs replayed with no daemon running.
+audit-verify:
+	$(GO) test -count 1 ./internal/audit
+	$(GO) test -count 1 -run 'TestDemoAuditCrossCheck' ./cmd/attestd
+	$(GO) test -count 1 -run 'TestOfflineQueryAndVerify|TestVerifyDetectsTamper' ./cmd/tcbaudit
+
 # bench commits a machine-readable artifact so later sessions can diff
 # against this PR's numbers. Time-based -benchtime lets go test pick the
 # iteration count per benchmark: fixed 100x gave microsecond-scale
 # benchmarks ±2x run-to-run noise, which tripped the benchcmp gate on
 # machine weather rather than real regressions.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 0.5s -benchmem . ./internal/obs ./internal/palsvc \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+	$(GO) test -run '^$$' -bench . -benchtime 0.5s -benchmem . ./internal/obs ./internal/palsvc ./internal/audit \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
 
 # benchcmp gates the committed artifacts: the threaded-code tier must only
 # ever move numbers down, and the zero-allocation fast path of PR4 must
 # survive with the tier both on and off. Thresholds live in cmd/benchjson (-max-ns-regress 50%,
 # -max-alloc-regress 25% by default); nothing reruns benchmarks here.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json BENCH_PR9.json

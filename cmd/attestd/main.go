@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"minimaltcb/internal/attest"
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/core"
 	"minimaltcb/internal/obs"
 	"minimaltcb/internal/platform"
@@ -61,16 +62,18 @@ func main() {
 		"per-exchange I/O deadline (0 disables)")
 	debugAddr := fs.String("debug", "",
 		"debug HTTP listen address for /metrics, /healthz, /debug/trace, /debug/pprof (serve only; \"\" disables)")
+	auditDir := fs.String("audit-dir", "",
+		"persist a tamper-evident audit log under this directory: serve records challenges (AIK-signed heads), verify records verdicts; cross-check the two with tcbaudit")
 	fs.Parse(os.Args[2:])
 
 	var err error
 	switch sub {
 	case "serve":
-		err = serveDebug(*addr, *palFile, *anchors, *timeout, *debugAddr, nil)
+		err = serveDebug(*addr, *palFile, *anchors, *timeout, *debugAddr, *auditDir, nil)
 	case "verify":
-		err = verify(*addr, *anchors, *timeout)
+		err = verify(*addr, *anchors, *timeout, *auditDir)
 	case "demo":
-		err = demo(*timeout)
+		err = demo(*timeout, *auditDir)
 	default:
 		err = usage()
 	}
@@ -123,18 +126,46 @@ type anchorsFile struct {
 
 // serve runs the platform side with no debug server. If ready is non-nil
 // the bound address is sent on it once listening (used by demo and tests).
-func serve(addr, palFile, anchorsPath string, timeout time.Duration, ready chan<- string) error {
-	return serveDebug(addr, palFile, anchorsPath, timeout, "", ready)
+func serve(addr, palFile, anchorsPath string, timeout time.Duration, auditDir string, ready chan<- string) error {
+	return serveDebug(addr, palFile, anchorsPath, timeout, "", auditDir, ready)
+}
+
+// tpmAuditAdapter forwards TPM lifecycle events (late launch, sePCR ops)
+// into the platform-side audit log. attestd's legacy profile has no SKSM
+// manager to play this role, so the daemon carries its own adapter.
+type tpmAuditAdapter struct{ rec *audit.Recorder }
+
+func (a tpmAuditAdapter) TPMAuditEvent(op string, handle int, value tpm.Digest) {
+	a.rec.Record(audit.Event{Type: op, Handle: handle, Value: audit.Digest20(value)})
 }
 
 // serveDebug is serve plus an optional debug HTTP server: when debugAddr
 // is set, every answered challenge is counted and traced (the TPM command
 // spans under it come through the machine's obs.Scope), and the /metrics,
 // /healthz, /debug/trace and /debug/pprof endpoints are exposed.
-func serveDebug(addr, palFile, anchorsPath string, timeout time.Duration, debugAddr string, ready chan<- string) error {
+func serveDebug(addr, palFile, anchorsPath string, timeout time.Duration, debugAddr, auditDir string, ready chan<- string) error {
 	sys, p, err := buildSystem(palFile)
 	if err != nil {
 		return err
+	}
+
+	// The platform-side audit log must exist before RunLegacy so the late
+	// launch itself lands on the record; its heads are signed by this
+	// platform's AIK.
+	var (
+		alog *audit.Log
+		arec *audit.Recorder
+	)
+	if auditDir != "" {
+		alog, err = audit.Open(audit.Config{Dir: auditDir, Node: "attestd"})
+		if err != nil {
+			return err
+		}
+		defer alog.Close()
+		alog.SetSigner(sys.Machine.TPM())
+		arec = alog.Recorder(sys.Machine.Clock, 0)
+		sys.Machine.TPM().SetAuditHook(tpmAuditAdapter{rec: arec})
+		fmt.Printf("audit log in %s (AIK-signed heads; verify with tcbaudit -verify -log %s)\n", auditDir, auditDir)
 	}
 
 	// A nil tracer/scope/counter no-ops through every call below, so the
@@ -158,6 +189,7 @@ func serveDebug(addr, palFile, anchorsPath string, timeout time.Duration, debugA
 		quoteH = reg.Histogram("attestd_quote_duration_seconds",
 			"Wall-clock time to produce quote evidence per challenge.", nil)
 		obs.RegisterTracerMetrics(reg, tracer)
+		alog.BindRegistry(reg)
 		srv, err := obs.ListenAndServeDebug(debugAddr, obs.NewDebugMux(reg, tracer, health))
 		if err != nil {
 			return err
@@ -207,9 +239,22 @@ func serveDebug(addr, palFile, anchorsPath string, timeout time.Duration, debugA
 		challenges.Inc()
 		if err != nil {
 			chErrors.Inc()
+			arec.Record(audit.Event{
+				Type: audit.EventChallenge, Handle: -1,
+				Trace: ctx.Trace, Detail: err.Error(),
+			})
+			alog.Sync()
 			sp.Attr("error", err.Error()).End()
 			return nil, err
 		}
+		arec.Record(audit.Event{
+			Type: audit.EventChallenge, Handle: -1,
+			Trace: ctx.Trace, Value: audit.Digest20(q.Composite),
+		})
+		// Seal a signed head per answered challenge: the challenge that
+		// just went out is immediately provable, even though serve never
+		// returns (and so never reaches Close) in steady state.
+		alog.Sync()
 		sp.End()
 		return &attest.Evidence{Cert: sys.Cert, Quote: q, Log: log}, nil
 	}
@@ -232,8 +277,23 @@ func caFingerprint(sys *core.System) []byte {
 
 // verify runs the verifier side. Trust anchors come from -anchors when
 // given (cross-process), otherwise from rebuilding the shared-seed system
-// in this process (the demo path).
-func verify(addr, anchorsPath string, timeout time.Duration) error {
+// in this process (the demo path). With -audit-dir, the verdict lands in
+// a verifier-side audit log sharing a trace ID with the platform's
+// challenge record, so tcbaudit can cross-check the two ends.
+func verify(addr, anchorsPath string, timeout time.Duration, auditDir string) error {
+	var (
+		alog *audit.Log
+		arec *audit.Recorder
+	)
+	if auditDir != "" {
+		var err error
+		alog, err = audit.Open(audit.Config{Dir: auditDir, Node: "attestd-verifier"})
+		if err != nil {
+			return err
+		}
+		defer alog.Close()
+		arec = alog.Recorder(nil, -1)
+	}
 	var v *attest.Verifier
 	if anchorsPath != "" {
 		f, err := os.Open(anchorsPath)
@@ -261,26 +321,51 @@ func verify(addr, anchorsPath string, timeout time.Duration) error {
 		return err
 	}
 	nonce := []byte(fmt.Sprintf("attestd-nonce-%d", os.Getpid()))
-	name, err := v.ChallengeAndVerify(conn, nonce, false, 0, attest.WithTimeout(timeout))
+	opts := []attest.Option{attest.WithTimeout(timeout)}
+	var trace obs.TraceID
+	if arec != nil {
+		// Mint a trace ID and propagate it on the challenge so the
+		// platform's challenge record and this verdict share one ID.
+		tr := obs.NewTracer(0)
+		tr.SetNode(obs.NewNodeID())
+		ctx := tr.NewTrace()
+		trace = ctx.Trace
+		opts = append(opts, attest.WithTraceContext(trace.String(), ctx.Span))
+	}
+	name, err := v.ChallengeAndVerify(conn, nonce, false, 0, opts...)
 	if err != nil {
+		arec.Record(audit.Event{
+			Type: audit.EventVerifyFail, Handle: -1,
+			Trace: trace, Detail: err.Error(),
+		})
 		var te *attest.TimeoutError
 		if errors.As(err, &te) {
 			return fmt.Errorf("attestation TIMED OUT (%s after %v): %w", te.Op, te.Limit, err)
 		}
 		return fmt.Errorf("attestation REJECTED: %w", err)
 	}
+	arec.Record(audit.Event{
+		Type: audit.EventVerifyOK, Handle: -1,
+		Trace: trace, Detail: name,
+	})
 	fmt.Printf("attestation verified: platform ran %q under late launch\n", name)
 	return nil
 }
 
-// demo runs both halves over the loopback.
-func demo(timeout time.Duration) error {
+// demo runs both halves over the loopback. With -audit-dir, the platform
+// and verifier logs land in <dir>/platform and <dir>/verifier.
+func demo(timeout time.Duration, auditDir string) error {
+	serveDir, verifyDir := "", ""
+	if auditDir != "" {
+		serveDir = auditDir + "/platform"
+		verifyDir = auditDir + "/verifier"
+	}
 	ready := make(chan string, 1)
 	errs := make(chan error, 1)
-	go func() { errs <- serve("127.0.0.1:0", "", "", timeout, ready) }()
+	go func() { errs <- serve("127.0.0.1:0", "", "", timeout, serveDir, ready) }()
 	select {
 	case addr := <-ready:
-		if err := verify(addr, "", timeout); err != nil {
+		if err := verify(addr, "", timeout, verifyDir); err != nil {
 			return err
 		}
 		fmt.Println("demo complete")

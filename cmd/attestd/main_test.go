@@ -9,11 +9,73 @@ import (
 	"time"
 
 	"minimaltcb/internal/attest"
+	"minimaltcb/internal/audit"
 )
 
 func TestDemoEndToEnd(t *testing.T) {
-	if err := demo(attest.DefaultTimeout); err != nil {
+	if err := demo(attest.DefaultTimeout, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDemoAuditCrossCheck runs the demo with audit logging on both ends
+// and proves (a) each log verifies offline, (b) the platform's challenge
+// record and the verifier's verdict share a trace ID, and (c) the
+// platform log captured the late launch under an AIK-signed head.
+func TestDemoAuditCrossCheck(t *testing.T) {
+	dir := t.TempDir()
+	if err := demo(attest.DefaultTimeout, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"platform", "verifier"} {
+		rep, err := audit.VerifyChain(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("%s log does not verify: %v", sub, err)
+		}
+		if rep.Uncovered != 0 {
+			t.Fatalf("%s log has %d events outside the final head", sub, rep.Uncovered)
+		}
+	}
+	plat, err := audit.LoadDir(filepath.Join(dir, "platform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verif, err := audit.LoadDir(filepath.Join(dir, "verifier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var challenge, launch *audit.Event
+	for i := range plat {
+		switch plat[i].Type {
+		case audit.EventChallenge:
+			challenge = &plat[i]
+		case audit.EventLateLaunch:
+			launch = &plat[i]
+		}
+	}
+	if launch == nil {
+		t.Fatal("platform log missing late_launch event")
+	}
+	if challenge == nil {
+		t.Fatal("platform log missing challenge event")
+	}
+	var verdict *audit.Event
+	for i := range verif {
+		if verif[i].Type == audit.EventVerifyOK {
+			verdict = &verif[i]
+		}
+	}
+	if verdict == nil {
+		t.Fatal("verifier log missing verify_ok event")
+	}
+	if verdict.Trace.IsZero() || verdict.Trace != challenge.Trace {
+		t.Fatalf("trace mismatch: verifier %v vs platform %v", verdict.Trace, challenge.Trace)
+	}
+	if pub, err := audit.ReadAIK(filepath.Join(dir, "platform")); err != nil || pub == nil {
+		t.Fatalf("platform log has no AIK public key (err=%v)", err)
 	}
 }
 
@@ -22,7 +84,7 @@ func TestServeWithAnchorsAndVerify(t *testing.T) {
 	anchors := filepath.Join(dir, "anchors.gob")
 	ready := make(chan string, 1)
 	errs := make(chan error, 1)
-	go func() { errs <- serve("127.0.0.1:0", "", anchors, attest.DefaultTimeout, ready) }()
+	go func() { errs <- serve("127.0.0.1:0", "", anchors, attest.DefaultTimeout, "", ready) }()
 	var addr string
 	select {
 	case addr = <-ready:
@@ -32,7 +94,7 @@ func TestServeWithAnchorsAndVerify(t *testing.T) {
 	if _, err := os.Stat(anchors); err != nil {
 		t.Fatalf("anchors not written: %v", err)
 	}
-	if err := verify(addr, anchors, attest.DefaultTimeout); err != nil {
+	if err := verify(addr, anchors, attest.DefaultTimeout, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,12 +105,12 @@ func TestServeCustomPAL(t *testing.T) {
 	os.WriteFile(palSrc, []byte("ldi r0, 0\nsvc 0\n"), 0o644)
 	ready := make(chan string, 1)
 	errs := make(chan error, 1)
-	go func() { errs <- serve("127.0.0.1:0", palSrc, "", attest.DefaultTimeout, ready) }()
+	go func() { errs <- serve("127.0.0.1:0", palSrc, "", attest.DefaultTimeout, "", ready) }()
 	select {
 	case addr := <-ready:
 		// The default-anchor verifier approves only the built-in PAL,
 		// so verification must fail for the custom one.
-		if err := verify(addr, "", attest.DefaultTimeout); err == nil {
+		if err := verify(addr, "", attest.DefaultTimeout, ""); err == nil {
 			t.Fatal("custom PAL verified against default anchors")
 		}
 	case err := <-errs:
@@ -69,7 +131,7 @@ func TestBuildSystemBadPALFile(t *testing.T) {
 }
 
 func TestVerifyConnectError(t *testing.T) {
-	if err := verify("127.0.0.1:1", "", attest.DefaultTimeout); err == nil {
+	if err := verify("127.0.0.1:1", "", attest.DefaultTimeout, ""); err == nil {
 		t.Fatal("verify against closed port succeeded")
 	}
 }
@@ -92,7 +154,7 @@ func TestVerifyTimeoutAgainstSilentServer(t *testing.T) {
 		}
 	}()
 	start := time.Now()
-	err = verify(l.Addr().String(), "", 100*time.Millisecond)
+	err = verify(l.Addr().String(), "", 100*time.Millisecond, "")
 	if err == nil {
 		t.Fatal("verify against silent server succeeded")
 	}

@@ -30,9 +30,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/chaos"
 	"minimaltcb/internal/cluster"
 	"minimaltcb/internal/obs"
@@ -58,6 +62,7 @@ func main() {
 
 		sloObjective = flag.Float64("slo-objective", 0.99, "SLO good-request objective for per-tenant burn-rate accounting")
 		sloTarget    = flag.Duration("slo-target", 250*time.Millisecond, "SLO latency target: slower answers count against the error budget (<0 disables)")
+		auditDir     = flag.String("audit-dir", "", "persist the router's tamper-evident audit log under this directory (spawned backends log under <dir>/backend-N); query the fleet with tcbaudit -stitch")
 
 		// Spawned-backend flags, mirroring palservd.
 		machines   = flag.Int("machines", 1, "spawn: platform replicas per backend")
@@ -83,6 +88,7 @@ func main() {
 		connTimeout: *connTimeout, debugAddr: *debugAddr,
 		trace:        *trace || *debugAddr != "",
 		sloObjective: *sloObjective, sloTarget: *sloTarget,
+		auditDir: *auditDir,
 		machines: *machines, sePCRs: *sePCRs, workers: *workers,
 		queueDepth: *queueDepth, quantum: *quantum, keyBits: *keyBits,
 		seed: *seed, deadline: *deadline, reject: *reject,
@@ -105,6 +111,7 @@ type routerOpts struct {
 	trace                   bool
 	sloObjective            float64
 	sloTarget               time.Duration
+	auditDir                string
 	machines, sePCRs        int
 	workers, queueDepth     int
 	quantum                 time.Duration
@@ -134,6 +141,20 @@ func run(o routerOpts) error {
 		obs.RegisterTracerMetrics(reg, tracer)
 	}
 	slo := obs.NewSLOTracker(obs.SLOConfig{Objective: o.sloObjective, LatencyTarget: o.sloTarget})
+	// The router's own log holds control-plane events (cluster-wide sheds)
+	// under unsigned heads — there is no TPM at the routing tier; signed
+	// per-node heads come from the backends via the audit wire op. Closed
+	// after the router drains so the final head covers every event.
+	var alog *audit.Log
+	if o.auditDir != "" {
+		alog, err = audit.Open(audit.Config{Dir: o.auditDir, Node: "palrouter"})
+		if err != nil {
+			return err
+		}
+		defer alog.Close()
+		alog.BindRegistry(reg)
+		fmt.Printf("palrouter: audit log in %s\n", o.auditDir)
+	}
 	r, err := cluster.New(cluster.Config{
 		Backends:       addrs,
 		VNodes:         o.vnodes,
@@ -146,6 +167,7 @@ func run(o routerOpts) error {
 		Registry:       reg,
 		Tracer:         tracer,
 		SLO:            slo,
+		Audit:          alog,
 	})
 	if err != nil {
 		return err
@@ -153,11 +175,19 @@ func run(o routerOpts) error {
 	defer r.Close()
 
 	if o.debugAddr != "" {
-		srv, err := obs.ListenAndServeDebug(o.debugAddr, obs.NewDebugMux(reg, tracer, health,
-			obs.Endpoint{Path: "/debug/cluster", Desc: "cluster snapshot: ring, per-backend state/health/stats (JSON)",
+		extras := []obs.Endpoint{
+			{Path: "/debug/cluster", Desc: "cluster snapshot: ring, per-backend state/health/stats (JSON)",
 				Handler: r.DebugHandler()},
-			obs.Endpoint{Path: "/debug/slo", Desc: "per-tenant SLO burn rates and latency quantiles (JSON)",
-				Handler: slo.Handler()}))
+			{Path: "/debug/slo", Desc: "per-tenant SLO burn rates and latency quantiles (JSON)",
+				Handler: slo.Handler()},
+		}
+		if alog != nil {
+			extras = append(extras, obs.Endpoint{
+				Path: "/debug/audit", Desc: "router-side tamper-evident audit log (JSON; ?tenant=&trace=&image=&since=&n=)",
+				Handler: alog.Handler(),
+			})
+		}
+		srv, err := obs.ListenAndServeDebug(o.debugAddr, obs.NewDebugMux(reg, tracer, health, extras...))
 		if err != nil {
 			return err
 		}
@@ -172,7 +202,29 @@ func run(o routerOpts) error {
 	}
 	fmt.Printf("palrouter: routing across %d backend(s): %s\n", len(addrs), strings.Join(addrs, ", "))
 	fmt.Printf("palrouter: serving PAL jobs on %s\n", l.Addr())
-	return r.Serve(l, o.connTimeout)
+	stopping := shutdownOnSignal(l, "palrouter")
+	err = r.Serve(l, o.connTimeout)
+	if stopping.Load() {
+		return nil
+	}
+	return err
+}
+
+// shutdownOnSignal closes l on SIGINT/SIGTERM so the blocking Serve
+// returns and the deferred closers run — the router's own audit log and
+// every spawned backend's must seal a final head covering the whole tail
+// rather than dying mid-segment with an unprovable suffix.
+func shutdownOnSignal(l net.Listener, name string) *atomic.Bool {
+	var stopping atomic.Bool
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		stopping.Store(true)
+		fmt.Printf("%s: %v — shutting down\n", name, sig)
+		l.Close()
+	}()
+	return &stopping
 }
 
 // resolveBackends either parses -backends or spawns -spawn in-process
@@ -224,6 +276,20 @@ func resolveBackends(o routerOpts) (addrs []string, cleanup func(), err error) {
 			bt.SetNode(obs.NewNodeID())
 			cfg.Tracer = bt
 		}
+		if o.auditDir != "" {
+			// Per-backend logs in subdirectories, each with its own
+			// AIK-signed heads — the same layout separate palservd
+			// processes given distinct -audit-dir values would produce.
+			node := fmt.Sprintf("backend-%d", i)
+			blog, berr := audit.Open(audit.Config{
+				Dir: o.auditDir + "/" + node, Node: node,
+			})
+			if berr != nil {
+				cleanup()
+				return nil, func() {}, berr
+			}
+			cfg.Audit = blog
+		}
 		if o.chaosProfile != "" {
 			p, perr := chaos.ParseProfile(o.chaosProfile)
 			if perr != nil {
@@ -244,16 +310,21 @@ func resolveBackends(o routerOpts) (addrs []string, cleanup func(), err error) {
 		}
 		s, serr := palsvc.New(cfg)
 		if serr != nil {
+			cfg.Audit.Close()
 			cleanup()
 			return nil, func() {}, fmt.Errorf("spawning backend %d: %w", i, serr)
 		}
 		l, lerr := net.Listen("tcp", "127.0.0.1:0")
 		if lerr != nil {
 			s.Close()
+			cfg.Audit.Close()
 			cleanup()
 			return nil, func() {}, lerr
 		}
-		closers = append(closers, func() { _ = l.Close(); s.Close() })
+		// The audit log closes after the service drains, so the final
+		// signed head covers the backend's last event.
+		blog := cfg.Audit
+		closers = append(closers, func() { _ = l.Close(); s.Close(); blog.Close() })
 		go func() { _ = s.Serve(l, o.connTimeout) }()
 		addrs = append(addrs, l.Addr().String())
 		fmt.Printf("palrouter: spawned backend %d on %s (bank %d)\n", i, l.Addr(), s.Bank())

@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/obs"
 	"minimaltcb/internal/obs/prof"
 	"minimaltcb/internal/palsvc"
@@ -38,12 +39,16 @@ type debugOpts struct {
 	// tracker defaults: 0.99 and 250ms).
 	sloObjective float64
 	sloTarget    time.Duration
+	// auditDir, when set, persists the tamper-evident attestation audit
+	// log (Merkle tree + AIK-signed heads) under this directory and serves
+	// it at /debug/audit. Verify offline with tcbaudit -verify.
+	auditDir string
 }
 
 // enabled reports whether any observability feature was requested.
 func (o debugOpts) enabled() bool {
 	return o.addr != "" || o.trace || o.traceOut != "" ||
-		o.profiling() || o.crashDir != ""
+		o.profiling() || o.crashDir != "" || o.auditDir != ""
 }
 
 // profiling reports whether the virtual-cycle profiler was requested.
@@ -62,6 +67,7 @@ type debugStack struct {
 	slo      *obs.SLOTracker
 	profiler *prof.Profiler
 	flight   *prof.FlightRecorder
+	audit    *audit.Log
 	srv      *obs.DebugServer
 }
 
@@ -90,14 +96,41 @@ func newDebugStack(o debugOpts) *debugStack {
 	return d
 }
 
-// apply hands the tracer, registry, profiler, and flight recorder to a
-// service config.
+// openAudit opens the tamper-evident audit log under dir (no-op when dir
+// is empty). Call closeAudit when the service is fully drained: Close
+// emits the final signed tree head that makes the tail of the log
+// provable offline.
+func (d *debugStack) openAudit(dir, node string) error {
+	if dir == "" {
+		return nil
+	}
+	l, err := audit.Open(audit.Config{Dir: dir, Node: node})
+	if err != nil {
+		return err
+	}
+	l.BindRegistry(d.reg)
+	d.audit = l
+	return nil
+}
+
+// closeAudit seals the audit log with a final tree head. Register it
+// before the service's own Close so LIFO ordering runs it after the last
+// event has been appended.
+func (d *debugStack) closeAudit() {
+	if d.audit != nil {
+		d.audit.Close()
+	}
+}
+
+// apply hands the tracer, registry, profiler, flight recorder, and audit
+// log to a service config.
 func (d *debugStack) apply(cfg *palsvc.Config) {
 	cfg.Tracer = d.tracer
 	cfg.Registry = d.reg
 	cfg.SLO = d.slo
 	cfg.Profiler = d.profiler
 	cfg.Flight = d.flight
+	cfg.Audit = d.audit
 }
 
 // serve starts the debug HTTP server when addr is set. svc, when non-nil,
@@ -123,6 +156,12 @@ func (d *debugStack) serve(addr string, svc *palsvc.Service) error {
 		extras = append(extras, obs.Endpoint{
 			Path: "/debug/slo", Desc: "per-tenant SLO burn rates and latency quantiles (JSON)",
 			Handler: d.slo.Handler(),
+		})
+	}
+	if d.audit != nil {
+		extras = append(extras, obs.Endpoint{
+			Path: "/debug/audit", Desc: "tamper-evident attestation audit log (JSON; ?tenant=&trace=&image=&since=&n=)",
+			Handler: d.audit.Handler(),
 		})
 	}
 	srv, err := obs.ListenAndServeDebug(addr, obs.NewDebugMux(d.reg, d.tracer, d.health, extras...))

@@ -32,7 +32,12 @@ func httpGet(t *testing.T, url string) (int, string) {
 // TestDebugStackEndToEnd drives real jobs through a traced, metered
 // service and scrapes the debug endpoints the way an operator would.
 func TestDebugStackEndToEnd(t *testing.T) {
-	d := newDebugStack(debugOpts{trace: true, profile: true})
+	auditDir := t.TempDir()
+	d := newDebugStack(debugOpts{trace: true, profile: true, auditDir: auditDir})
+	if err := d.openAudit(auditDir, "palservd"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.closeAudit()
 	cfg := testCfg(4)
 	d.apply(&cfg)
 	s, err := palsvc.New(cfg)
@@ -125,6 +130,28 @@ func TestDebugStackEndToEnd(t *testing.T) {
 	}
 	if len(bundles) != 1 || bundles[0].Tenant != "dbg-crash" || bundles[0].Reason != "fault" {
 		t.Fatalf("/debug/crashes bundles %+v", bundles)
+	}
+
+	// /debug/audit serves the tamper-evident log: the completed job's
+	// launch and the crashed job's fault are both on the record, and the
+	// audit counters are on /metrics.
+	code, body = httpGet(t, base+"/debug/audit")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/audit status %d", code)
+	}
+	for _, want := range []string{`"slaunch"`, `"pal_fault"`, `"dbg-crash"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/audit missing %s:\n%s", want, body)
+		}
+	}
+	code, body = httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"audit_events_total", "audit_events_dropped_total 0", "audit_log_size"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
 	}
 
 	// /healthz flips to 503 with the shutdown reason.

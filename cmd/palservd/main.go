@@ -26,6 +26,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"minimaltcb/internal/chaos"
@@ -83,6 +86,7 @@ func main() {
 		profile     = flag.Bool("profile", false, "record the exact virtual-cycle profile (served at /debug/profile; implied by -profile-out)")
 		profileOut  = flag.String("profile-out", "", "write the profile JSON (tcbprof input) to this file on exit (self-hosted loadgen only)")
 		crashDir    = flag.String("crash-dir", "", "persist fault flight-recorder bundles to <dir>/crashes.jsonl")
+		auditDir    = flag.String("audit-dir", "", "persist the tamper-evident attestation audit log (Merkle tree + AIK-signed heads) under this directory; query/verify with tcbaudit")
 
 		sloObjective = flag.Float64("slo-objective", 0.99, "SLO good-request objective for per-tenant burn-rate accounting")
 		sloTarget    = flag.Duration("slo-target", 250*time.Millisecond, "SLO latency target: slower successes count against the error budget (<0 disables)")
@@ -94,6 +98,7 @@ func main() {
 		traceOut: *traceOut, traceFormat: *traceFormat,
 		profile: *profile, profileOut: *profileOut, crashDir: *crashDir,
 		sloObjective: *sloObjective, sloTarget: *sloTarget,
+		auditDir: *auditDir,
 	}
 	svcCfg := serviceConfig(*machines, *sePCRs, *workers, *queueDepth,
 		*quantum, *keyBits, *seed, *deadline, *reject)
@@ -178,6 +183,10 @@ func applyChaos(cfg *palsvc.Config, profile string, seed uint64) error {
 // self-hosting use it).
 func runServer(addr string, connTimeout time.Duration, cfg palsvc.Config, dbg debugOpts, ready chan<- string) error {
 	d := newDebugStack(dbg)
+	if err := d.openAudit(dbg.auditDir, "palservd"); err != nil {
+		return err
+	}
+	defer d.closeAudit()
 	d.apply(&cfg)
 	s, err := palsvc.New(cfg)
 	if err != nil {
@@ -199,7 +208,30 @@ func runServer(addr string, connTimeout time.Duration, cfg palsvc.Config, dbg de
 	if ready != nil {
 		ready <- l.Addr().String()
 	}
-	return s.Serve(l, connTimeout)
+	stopping := shutdownOnSignal(l, "palservd")
+	err = s.Serve(l, connTimeout)
+	if stopping.Load() {
+		return nil
+	}
+	return err
+}
+
+// shutdownOnSignal closes l on SIGINT/SIGTERM so the blocking Serve
+// returns and the deferred closers run — in particular the audit log's
+// Close, whose final signed head must cover the whole tail. Without this
+// the process dies mid-segment and every event since the last periodic
+// head is unprovable.
+func shutdownOnSignal(l net.Listener, name string) *atomic.Bool {
+	var stopping atomic.Bool
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		stopping.Store(true)
+		fmt.Printf("%s: %v — shutting down\n", name, sig)
+		l.Close()
+	}()
+	return &stopping
 }
 
 type loadgenOpts struct {
@@ -236,6 +268,10 @@ func runLoadgen(o loadgenOpts) error {
 	if target == "" {
 		// Tracing and metrics live server-side: they only capture
 		// anything when the server is hosted in this process.
+		if err := d.openAudit(o.debug.auditDir, "palservd"); err != nil {
+			return err
+		}
+		defer d.closeAudit()
 		d.apply(&o.svc)
 		s, err := palsvc.New(o.svc)
 		if err != nil {

@@ -1,0 +1,216 @@
+// Command tcbaudit queries and verifies the tamper-evident attestation
+// audit logs the execution stack writes (palservd/palrouter/attestd with
+// -audit-dir; see internal/audit and docs/AUDIT.md).
+//
+// Every trust-relevant lifecycle event — late launch, sePCR extend/quote,
+// seal/unseal, PAL fault, admission rejection, attestation verdict — is a
+// leaf in a per-node Merkle tree whose heads the node's AIK signs. This
+// tool is the relying party's half: it reads a log directory offline (no
+// daemon, no network) and replays the inclusion and consistency proofs
+// against the saved signed heads, or tails a live fleet over the wire.
+//
+// Usage:
+//
+//	tcbaudit -log DIR [-tenant T] [-trace ID] [-image HEXPREFIX] [-since N] [-n N]
+//	    Print matching events from an audit log directory, newest -n
+//	    (default 64) of them, oldest first. Entirely offline.
+//
+//	tcbaudit -log DIR -verify
+//	    Recompute every leaf and root, check head signatures against the
+//	    saved AIK, replay consistency proofs between consecutive heads and
+//	    inclusion proofs for every covered event. Exits 1 and lists the
+//	    problems if anything fails to verify — a byte flipped anywhere in
+//	    the log, the heads, or the binary mirror is caught here.
+//
+//	tcbaudit -addr HOST:PORT [-stitch] [filters...]
+//	    Tail a live palservd (or palrouter) over the wire protocol's audit
+//	    op. -stitch against a palrouter prints the whole fleet: the
+//	    router's control-plane log plus every backend's, each under its
+//	    own node name and signed head.
+//
+// -json switches any mode to machine-readable output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"minimaltcb/internal/audit"
+	"minimaltcb/internal/obs"
+	"minimaltcb/internal/palsvc"
+)
+
+func main() {
+	var (
+		logDir  = flag.String("log", "", "audit log directory to read offline")
+		addr    = flag.String("addr", "", "live palservd/palrouter wire address to query instead of -log")
+		stitch  = flag.Bool("stitch", false, "with -addr against a palrouter: print the fleet view, one section per node")
+		verify  = flag.Bool("verify", false, "with -log: replay all proofs offline; exit 1 on any tamper evidence")
+		tenant  = flag.String("tenant", "", "only events for this tenant")
+		trace   = flag.String("trace", "", "only events on this trace ID (decimal or 32-hex cluster form)")
+		image   = flag.String("image", "", "only events whose PAL measurement starts with this hex prefix")
+		since   = flag.Uint64("since", 0, "only events with seq >= this")
+		limit   = flag.Int("n", 64, "newest N matching events (0 = server/default cap)")
+		asJSON  = flag.Bool("json", false, "machine-readable JSON output")
+		timeout = flag.Duration("timeout", 5*time.Second, "wire dial + per-request deadline")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *verify:
+		if *logDir == "" {
+			err = fmt.Errorf("-verify needs -log DIR")
+		} else {
+			err = runVerify(*logDir, *asJSON)
+		}
+	case *logDir != "":
+		err = runOffline(*logDir, query(*tenant, *trace, *image, *since, *limit), *asJSON)
+	case *addr != "":
+		err = runWire(*addr, *stitch, wireReq(*tenant, *trace, *image, *since, *limit), *timeout, *asJSON)
+	default:
+		err = fmt.Errorf("need -log DIR or -addr HOST:PORT (and -verify to prove a log)")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcbaudit: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func query(tenant, trace, image string, since uint64, limit int) audit.Query {
+	q := audit.Query{Tenant: tenant, Image: image, Since: since, Limit: limit}
+	if trace != "" {
+		id, err := obs.ParseTraceID(trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbaudit: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		q.Trace = id
+	}
+	return q
+}
+
+func wireReq(tenant, trace, image string, since uint64, limit int) *palsvc.WireRequest {
+	return &palsvc.WireRequest{
+		Tenant: tenant, TraceID: trace, Image: image, Since: since, Limit: limit,
+	}
+}
+
+// runVerify replays the whole proof chain offline and reports.
+func runVerify(dir string, asJSON bool) error {
+	rep, err := audit.VerifyChain(dir)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		out, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Println(rep)
+	}
+	return rep.Err()
+}
+
+// runOffline prints matching events straight from the segment files.
+func runOffline(dir string, q audit.Query, asJSON bool) error {
+	events, err := audit.LoadDir(dir)
+	if err != nil {
+		return err
+	}
+	matched, truncated := audit.FilterEvents(events, q)
+	if asJSON {
+		out, jerr := json.MarshalIndent(matched, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	for i := range matched {
+		fmt.Println(eventLine(&matched[i]))
+	}
+	fmt.Printf("%d event(s) in %s (%d matched, %d older matches cut by -n)\n",
+		len(events), dir, len(matched)+truncated, truncated)
+	return nil
+}
+
+// runWire tails a live daemon; with stitch the nested per-node dumps are
+// printed as their own sections.
+func runWire(addr string, stitch bool, req *palsvc.WireRequest, timeout time.Duration, asJSON bool) error {
+	c, err := palsvc.Dial(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	dump, err := c.Audit(req)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		out, jerr := json.MarshalIndent(dump, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	printDump(dump)
+	if stitch {
+		for i := range dump.Nodes {
+			fmt.Println()
+			printDump(&dump.Nodes[i])
+		}
+	} else if len(dump.Nodes) > 0 {
+		fmt.Printf("(+%d backend log(s); rerun with -stitch to print them)\n", len(dump.Nodes))
+	}
+	return nil
+}
+
+func printDump(d *palsvc.AuditDump) {
+	head := "no head yet"
+	if d.Head != nil {
+		signed := "unsigned"
+		if len(d.Head.Sig) > 0 {
+			signed = "AIK-signed"
+		}
+		head = fmt.Sprintf("head size=%d root=%s (%s)", d.Head.Size, d.Head.Root, signed)
+	}
+	fmt.Printf("== %s: %d event(s), %d dropped, %s\n", d.Node, d.Size, d.Dropped, head)
+	for i := range d.Events {
+		fmt.Println(eventLine(&d.Events[i]))
+	}
+	if d.Truncated > 0 {
+		fmt.Printf("(%d older match(es) beyond the limit)\n", d.Truncated)
+	}
+}
+
+// eventLine renders one event the way the docs quote it: stable columns
+// first, then the optional identity and payload fields.
+func eventLine(e *audit.Event) string {
+	s := fmt.Sprintf("%6d %12dns m%-2d %-14s", e.Seq, e.VirtNS, e.Machine, e.Type)
+	if e.Tenant != "" {
+		s += " tenant=" + e.Tenant
+	}
+	if !e.Trace.IsZero() {
+		s += " trace=" + e.Trace.String()
+	}
+	if e.Handle >= 0 {
+		s += fmt.Sprintf(" handle=%d", e.Handle)
+	}
+	if !e.Image.IsZero() {
+		s += " image=" + e.Image.String()[:12]
+	}
+	if !e.Value.IsZero() {
+		s += " value=" + e.Value.String()[:12]
+	}
+	if e.Detail != "" {
+		s += " detail=" + e.Detail
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"minimaltcb/internal/audit"
+	"minimaltcb/internal/palsvc"
+	"minimaltcb/internal/platform"
+)
+
+// writeLog populates an audit log with a few events and seals it.
+func writeLog(t *testing.T, dir string) {
+	t.Helper()
+	l, err := audit.Open(audit.Config{Dir: dir, Node: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := l.Recorder(nil, 0)
+	for i := 0; i < 10; i++ {
+		ten := "alice"
+		if i%2 == 1 {
+			ten = "bob"
+		}
+		rec.Record(audit.Event{Type: audit.EventSLaunch, Handle: i, Tenant: ten})
+	}
+	l.Close()
+}
+
+func TestOfflineQueryAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir)
+	if err := runOffline(dir, audit.Query{Tenant: "alice", Limit: 3}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOffline(dir, audit.Query{}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify(dir, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsTamper(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir)
+	seg := filepath.Join(dir, "seg-000001.jsonl")
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the tenant of the first matching event: "alice" -> "alicf".
+	b = bytes.Replace(b, []byte(`"alice"`), []byte(`"alicf"`), 1)
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify(dir, false); err == nil {
+		t.Fatal("tampered log verified clean")
+	}
+}
+
+func TestWireQuery(t *testing.T) {
+	dir := t.TempDir()
+	alog, err := audit.Open(audit.Config{Dir: dir, Node: "palservd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := platform.Recommended(platform.HPdc5750(), 2)
+	prof.KeyBits = 512
+	prof.Seed = 7
+	s, err := palsvc.New(palsvc.Config{Profile: prof, Machines: 1, QueueDepth: 8, Audit: alog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = s.Serve(l, 10*time.Second) }()
+	defer s.Close()
+
+	cl, err := palsvc.Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Run(&palsvc.WireRequest{Name: "p", Source: "ldi r0, 0\nsvc 0\n", NoAttest: true})
+	cl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("run failed: %s", resp.Err)
+	}
+
+	if err := runWire(l.Addr().String(), false, &palsvc.WireRequest{}, 5*time.Second, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWire(l.Addr().String(), true, &palsvc.WireRequest{Limit: 4}, 5*time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// The served job's lifecycle must be on the record.
+	dump, err := func() (*palsvc.AuditDump, error) {
+		c, err := palsvc.Dial(l.Addr().String(), 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		return c.Audit(&palsvc.WireRequest{})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLaunch bool
+	for _, e := range dump.Events {
+		if e.Type == audit.EventSLaunch {
+			sawLaunch = true
+		}
+	}
+	if !sawLaunch {
+		t.Fatalf("no slaunch event in wire dump of %d events", len(dump.Events))
+	}
+}

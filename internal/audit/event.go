@@ -1,0 +1,180 @@
+// Package audit implements a tamper-evident, append-only transparency log
+// for the trust-relevant lifecycle events of the minimal-TCB stack: launch
+// measurements, sePCR state transitions, seal/unseal decisions, PAL faults
+// and kills, admission rejections, and attestation outcomes on both ends of
+// the protocol.
+//
+// Every event is serialized to a canonical binary form and chained into an
+// RFC 6962-style Merkle tree. The log periodically emits tree heads signed
+// by the platform AIK, so a verifier holding only the persisted segments
+// and signed heads can prove, entirely offline, that (a) each event is
+// included under a signed head and (b) successive heads are consistent —
+// the log only ever grew. The Merkle machinery deliberately lives outside
+// the modeled TCB: the paper's minimal-PAL argument (and Sanctorum's
+// minimal-monitor framing) keeps evidence plumbing in untrusted code, with
+// the AIK signature as the only trusted ingredient.
+//
+// The package depends only on obs (trace identity), sim (virtual clock) and
+// the standard library; tpm, sksm, palsvc and cluster all layer on top.
+package audit
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"minimaltcb/internal/obs"
+)
+
+// Event types recorded by the stack. The TPM-level types mirror the sePCR
+// life cycle (tpm/sepcr.go); the service-level types mirror the admission
+// and attestation pipelines.
+const (
+	// Emitted by sksm.Manager around PAL lifecycle transitions.
+	EventSLaunch = "slaunch"  // late launch succeeded; Image = PAL measurement
+	EventSFree   = "sfree"    // clean PAL exit (SFREE)
+	EventFault   = "pal_fault" // PAL faulted; Detail carries the cause
+	EventSKill   = "skill"    // SKILL issued against a wedged or faulted PAL
+
+	// Emitted via the TPM audit hook on sePCR and sealing-storage commands.
+	EventSePCRAlloc   = "sepcr_alloc"   // Free -> Exclusive; Value = post-extend value
+	EventSePCRExtend  = "sepcr_extend"  // measurement extended; Value = new value
+	EventSePCRRelease = "sepcr_release" // Exclusive -> Quote
+	EventSePCRKill    = "sepcr_kill"    // kill marker extended, register freed
+	EventSePCRQuote   = "sepcr_quote"   // attestation generated; Value = composite
+	EventSePCRFree    = "sepcr_free"    // Quote -> Free without attestation
+	EventSeal         = "seal"          // data sealed; Value = release value
+	EventUnseal       = "unseal"        // unseal succeeded
+	EventUnsealDenied = "unseal_denied" // unseal refused on sePCR mismatch
+	EventLateLaunch   = "late_launch"   // SKINIT/SENTER measurement into PCR17; Value = PCR17
+
+	// Emitted by the service and router control planes.
+	EventAdmitReject = "admit_reject" // admission control refused a job; Detail = cause code
+	EventRouteShed   = "route_shed"   // router shed a request with no live backend
+
+	// Emitted by attestd on both ends of the remote-attestation protocol.
+	EventChallenge  = "challenge"   // platform side answered a challenge; Value = quoted composite
+	EventVerifyOK   = "verify_ok"   // verifier side accepted a quote; Detail = verified PAL name
+	EventVerifyFail = "verify_fail" // verifier side rejected a quote; Detail = reason
+)
+
+// Digest20 is a hex-encoded 20-byte digest field (the TPM's SHA-1 width).
+// It is a local type rather than tpm.Digest so the audit package stays
+// below tpm in the import graph.
+type Digest20 [20]byte
+
+// IsZero reports whether the digest is all zeroes (field unset).
+func (d Digest20) IsZero() bool { return d == Digest20{} }
+
+// String renders the digest as lowercase hex; empty for the zero digest.
+func (d Digest20) String() string {
+	if d.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(d[:])
+}
+
+// MarshalJSON encodes the digest as a hex string ("" when unset).
+func (d Digest20) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a hex string; "" yields the zero digest.
+func (d *Digest20) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("audit: digest must be a JSON string")
+	}
+	s := string(b[1 : len(b)-1])
+	if s == "" {
+		*d = Digest20{}
+		return nil
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(d) {
+		return fmt.Errorf("audit: bad digest %q", s)
+	}
+	copy(d[:], raw)
+	return nil
+}
+
+// Event is one trust-relevant lifecycle record. The JSON form is what the
+// human-facing segment files, the wire op, and tcbaudit show; the canonical
+// binary form (Canonical) is what gets hashed into the Merkle tree and
+// persisted to the .bin segments. Wall-clock time is deliberately absent:
+// under the virtual clock and seeded RNG the canonical bytes of a machine's
+// event stream are replayable bit for bit, which is what lets the chaos
+// soaks assert chain integrity across runs.
+type Event struct {
+	Seq     uint64      `json:"seq"`
+	Type    string      `json:"type"`
+	Node    string      `json:"node,omitempty"`
+	Machine int         `json:"machine"`
+	VirtNS  int64       `json:"virt_ns"`
+	Tenant  string      `json:"tenant,omitempty"`
+	Trace   obs.TraceID `json:"trace"`
+	Image   Digest20    `json:"image"`
+	Value   Digest20    `json:"value"`
+	Handle  int         `json:"handle"`
+	Detail  string      `json:"detail,omitempty"`
+}
+
+// Field-length caps keep canonical records bounded; Append clamps before
+// encoding so the JSON and binary forms always agree.
+const (
+	maxShortField  = 255 // type, node, tenant
+	maxDetailField = 512
+)
+
+func clampStr(s string, max int) string {
+	if len(s) > max {
+		return s[:max]
+	}
+	return s
+}
+
+// clamp bounds the variable-length fields in place.
+func (e *Event) clamp() {
+	e.Type = clampStr(e.Type, maxShortField)
+	e.Node = clampStr(e.Node, maxShortField)
+	e.Tenant = clampStr(e.Tenant, maxShortField)
+	e.Detail = clampStr(e.Detail, maxDetailField)
+}
+
+// Canonical appends the canonical binary encoding (version 1) of the event
+// to dst and returns the extended slice. The encoding is a fixed field
+// order with big-endian integers and length-prefixed strings:
+//
+//	u64 seq | i64 machine | i64 virt_ns | u64 trace.hi | u64 trace.lo |
+//	u8  len(type)   || type
+//	u8  len(node)   || node
+//	u8  len(tenant) || tenant
+//	u16 len(detail) || detail
+//	image[20] | value[20] | i64 handle
+//
+// This is the byte string that leaf hashes commit to and that the .bin
+// segments persist, so any divergence between the JSON and binary views of
+// a record is itself tamper evidence.
+func (e *Event) Canonical(dst []byte) []byte {
+	var u [8]byte
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(u[:], v)
+		dst = append(dst, u[:]...)
+	}
+	put64(e.Seq)
+	put64(uint64(int64(e.Machine)))
+	put64(uint64(e.VirtNS))
+	put64(e.Trace.Hi)
+	put64(e.Trace.Lo)
+	dst = append(dst, byte(len(e.Type)))
+	dst = append(dst, e.Type...)
+	dst = append(dst, byte(len(e.Node)))
+	dst = append(dst, e.Node...)
+	dst = append(dst, byte(len(e.Tenant)))
+	dst = append(dst, e.Tenant...)
+	dst = append(dst, byte(len(e.Detail)>>8), byte(len(e.Detail)))
+	dst = append(dst, e.Detail...)
+	dst = append(dst, e.Image[:]...)
+	dst = append(dst, e.Value[:]...)
+	put64(uint64(int64(e.Handle)))
+	return dst
+}

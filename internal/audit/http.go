@@ -1,0 +1,73 @@
+package audit
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"minimaltcb/internal/obs"
+)
+
+// debugView is the JSON shape of /debug/audit: the log's identity, its
+// newest signed head, and a (filterable, bounded) tail of events.
+type debugView struct {
+	Node      string    `json:"node,omitempty"`
+	Size      uint64    `json:"size"`
+	Dropped   uint64    `json:"dropped,omitempty"`
+	Head      *TreeHead `json:"head,omitempty"`
+	Truncated int       `json:"truncated,omitempty"`
+	Events    []Event   `json:"events"`
+}
+
+// Handler serves the log for the debug mux. Query parameters mirror
+// tcbaudit's filters: ?tenant=, ?trace=, ?image= (hex prefix), ?since=
+// (sequence number), ?n= (tail length, default 256).
+func (l *Log) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if l == nil {
+			http.Error(w, "audit log disabled", http.StatusNotFound)
+			return
+		}
+		q := Query{Limit: 256}
+		params := req.URL.Query()
+		q.Tenant = params.Get("tenant")
+		q.Image = params.Get("image")
+		if v := params.Get("trace"); v != "" {
+			id, err := obs.ParseTraceID(v)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			q.Trace = id
+		}
+		if v := params.Get("since"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since", http.StatusBadRequest)
+				return
+			}
+			q.Since = n
+		}
+		if v := params.Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			q.Limit = n
+		}
+		events, truncated := l.Select(q)
+		view := debugView{
+			Node:      l.Node(),
+			Size:      l.Size(),
+			Dropped:   l.Dropped(),
+			Head:      l.Head(),
+			Truncated: truncated,
+			Events:    events,
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(view)
+	})
+}

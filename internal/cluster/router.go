@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/obs"
 	"minimaltcb/internal/palsvc"
 )
@@ -58,6 +59,13 @@ type Config struct {
 	// the tenant experiences it. Bound to Registry under the "cluster"
 	// prefix.
 	SLO *obs.SLOTracker
+	// Audit, when non-nil, is the router's own control-plane audit log: it
+	// records cluster-level shed decisions (the only trust-relevant event
+	// the router itself originates — a refusal to run work) and anchors the
+	// fleet view the audit wire op answers with. Router heads are unsigned
+	// (the router has no TPM); per-backend heads stay AIK-signed by their
+	// own nodes. Nil disables router auditing.
+	Audit *audit.Log
 }
 
 // ErrNoBackends is returned by New for an empty backend list.
@@ -71,6 +79,7 @@ type Router struct {
 	backends []*backend
 	byAddr   map[string]*backend
 	metrics  *metrics
+	auditRec *audit.Recorder // nil when Config.Audit is nil
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -126,6 +135,7 @@ func New(cfg Config) (*Router, error) {
 		// (which steal onward) before it drains.
 		r.ring.Add(addr)
 	}
+	r.auditRec = cfg.Audit.Recorder(nil, -1)
 	r.bindRegistry(cfg.Registry)
 	cfg.SLO.Bind(cfg.Registry, "cluster")
 	for _, b := range r.backends {
@@ -226,6 +236,8 @@ func (r *Router) dispatch(req *palsvc.WireRequest) *palsvc.WireResponse {
 		return r.route(req)
 	case palsvc.OpTrace:
 		return r.traceOp(req)
+	case palsvc.OpAudit:
+		return r.auditOp(req)
 	default:
 		return &palsvc.WireResponse{Err: fmt.Sprintf("cluster: unknown op %q", req.Op)}
 	}
@@ -349,6 +361,18 @@ func (r *Router) route(req *palsvc.WireRequest) *palsvc.WireResponse {
 	// recovered backends — so resubmission is the right tenant response.
 	r.metrics.incShed()
 	r.cfg.SLO.Observe(tenant, time.Since(t0), true, route.Context().Trace)
+	if r.auditRec != nil {
+		// A cluster-wide refusal to run work is a trust decision: put it
+		// on the record with the tenant and trace so an auditor can prove
+		// the job was shed, not silently dropped.
+		r.auditRec.Record(audit.Event{
+			Type:   audit.EventRouteShed,
+			Handle: -1,
+			Tenant: tenant,
+			Trace:  route.Context().Trace,
+			Detail: fmt.Sprintf("candidates=%d", len(cands)),
+		})
+	}
 	if route != nil {
 		route.Attr("outcome", "shed").End()
 	}
@@ -441,6 +465,72 @@ func (r *Router) StitchTrace(filter string) (*palsvc.TraceDump, error) {
 	}
 	out := palsvc.BoundTraceDump(obs.Stitch(dumps), droppedTotal)
 	out.Truncated += truncated
+	return out, nil
+}
+
+// auditOp answers the audit wire op with the fleet view.
+func (r *Router) auditOp(req *palsvc.WireRequest) *palsvc.WireResponse {
+	dump, err := r.FleetAudit(req)
+	if err != nil {
+		return &palsvc.WireResponse{Err: err.Error()}
+	}
+	return &palsvc.WireResponse{OK: true, Audit: dump}
+}
+
+// FleetAudit aggregates per-backend audit logs into one fleet view: the
+// outer dump is the router's own control-plane log (unsigned heads), and
+// Nodes carries one dump per reachable backend, each with that node's
+// AIK-signed head — the per-node roots of trust stay distinct; the router
+// never re-signs or merges trees. Backends that are unreachable, predate
+// the audit op, or run without a log are skipped: a partial fleet view of
+// the nodes that answered beats none, the same contract as StitchTrace.
+func (r *Router) FleetAudit(req *palsvc.WireRequest) (*palsvc.AuditDump, error) {
+	out := &palsvc.AuditDump{Node: "router"}
+	if r.cfg.Audit != nil {
+		q := audit.Query{Tenant: req.Tenant, Image: req.Image, Since: req.Since, Limit: req.Limit}
+		if q.Limit <= 0 {
+			q.Limit = 256
+		}
+		if req.TraceID != "" {
+			id, err := obs.ParseTraceID(req.TraceID)
+			if err != nil {
+				return nil, err
+			}
+			q.Trace = id
+		}
+		// Seal the tail first so the dumped head covers every event,
+		// mirroring the backend-side contract in palsvc.auditDump.
+		r.cfg.Audit.Sync()
+		events, truncated := r.cfg.Audit.Select(q)
+		out.Node = r.cfg.Audit.Node()
+		out.Size = r.cfg.Audit.Size()
+		out.Dropped = r.cfg.Audit.Dropped()
+		out.Head = r.cfg.Audit.Head()
+		out.Truncated = truncated
+		out.Events = events
+	}
+	// Bound each backend's slice so the nested fleet answer stays inside
+	// one wire frame even on a wide cluster.
+	fwd := *req
+	if fwd.Limit <= 0 || fwd.Limit > 256 {
+		fwd.Limit = 256
+	}
+	for _, b := range r.backends {
+		c, err := b.get()
+		if err != nil {
+			continue
+		}
+		bd, err := c.Audit(&fwd)
+		if err != nil {
+			_ = c.Close()
+			continue
+		}
+		b.put(c)
+		if bd.Node == "" {
+			bd.Node = b.addr
+		}
+		out.Nodes = append(out.Nodes, *bd)
+	}
 	return out, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/palsvc"
 )
 
@@ -133,7 +134,14 @@ func TestRouterStealsOnSaturation(t *testing.T) {
 func TestRouterShedsWhenRingExhausted(t *testing.T) {
 	cfg := palsvc.Config{Profile: testProfile(1), Admission: palsvc.AdmitReject, Quantum: 50 * time.Microsecond}
 	sA, lA := startBackend(t, cfg)
-	r := newTestRouter(t, []string{lA.Addr().String()}, nil)
+	routerLog, err := audit.Open(audit.Config{Dir: t.TempDir(), Node: "router"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer routerLog.Close()
+	r := newTestRouter(t, []string{lA.Addr().String()}, func(c *Config) {
+		c.Audit = routerLog
+	})
 	addr := serveRouter(t, r)
 
 	tk, err := sA.Submit(hogJob(1500 * time.Millisecond))
@@ -168,6 +176,33 @@ func TestRouterShedsWhenRingExhausted(t *testing.T) {
 	if snap := r.Snapshot(); snap.Shed != 1 {
 		t.Errorf("snapshot shed=%d, want 1", snap.Shed)
 	}
+
+	// The cluster-wide refusal is a trust decision: it must be on the
+	// router's audit record, and the audit wire op must surface it (outer
+	// dump) along with the backend's own log (nested).
+	shedEvents, _ := routerLog.Select(audit.Query{})
+	var sawShed bool
+	for _, e := range shedEvents {
+		if e.Type == audit.EventRouteShed {
+			sawShed = true
+		}
+	}
+	if !sawShed {
+		t.Errorf("no %s event in the router audit log (%d events)", audit.EventRouteShed, len(shedEvents))
+	}
+	dump, err := cl.Audit(&palsvc.WireRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Node != "router" {
+		t.Errorf("audit op outer node %q, want router", dump.Node)
+	}
+	if len(dump.Nodes) != 0 {
+		// The single backend has no audit log configured, so the fleet
+		// view carries no nested dumps — reaching it must not error.
+		t.Errorf("unexpected nested dumps: %d", len(dump.Nodes))
+	}
+
 	tk.Wait() // deadline-killed, register freed
 
 	// Capacity back: the same image now runs — the shed really was

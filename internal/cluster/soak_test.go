@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"fmt"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
 
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/chaos"
 	"minimaltcb/internal/palsvc"
 )
@@ -41,6 +44,46 @@ func TestClusterFailoverSoak(t *testing.T) {
 	}
 
 	const nBackends = 3
+
+	// Every node gets its own tamper-evident audit log — the three
+	// backends (AIK-signed heads) plus the router (unsigned, control
+	// plane). The cleanup is registered before the backends', so it runs
+	// after every service has closed and sealed its final head: the whole
+	// fleet's logs, the killed node's included, must replay offline with
+	// zero gaps and zero unverifiable entries.
+	auditRoot := t.TempDir()
+	var auditLogs []*audit.Log
+	var auditDirs []string
+	t.Cleanup(func() {
+		for i, l := range auditLogs {
+			l.Close()
+			if l.Dropped() != 0 {
+				t.Errorf("audit log %s dropped %d events", auditDirs[i], l.Dropped())
+			}
+			arep, err := audit.VerifyChain(auditDirs[i])
+			if err != nil {
+				t.Errorf("audit verify %s: %v", auditDirs[i], err)
+				continue
+			}
+			if err := arep.Err(); err != nil {
+				t.Errorf("audit log %s does not verify after soak: %v", auditDirs[i], err)
+			}
+			if arep.Uncovered != 0 {
+				t.Errorf("audit log %s: %d events not covered by the final head", auditDirs[i], arep.Uncovered)
+			}
+		}
+	})
+	openAudit := func(node string) *audit.Log {
+		dir := filepath.Join(auditRoot, node)
+		l, err := audit.Open(audit.Config{Dir: dir, Node: node, HeadEvery: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		auditLogs = append(auditLogs, l)
+		auditDirs = append(auditDirs, dir)
+		return l
+	}
+
 	var (
 		services  []*palsvc.Service
 		listeners []*killableListener
@@ -53,13 +96,16 @@ func TestClusterFailoverSoak(t *testing.T) {
 			Chaos:      chaos.New(seed+uint64(i), p),
 			Retry:      palsvc.DefaultRetryPolicy(),
 			Supervisor: palsvc.SupervisorPolicy{QuarantineAfter: 4, QuarantineFor: 5 * time.Millisecond},
+			Audit:      openAudit(fmt.Sprintf("backend-%d", i)),
 		})
 		services = append(services, s)
 		listeners = append(listeners, l)
 		addrs = append(addrs, l.Addr().String())
 	}
+	routerLog := openAudit("router")
 	r := newTestRouter(t, addrs, func(c *Config) {
 		c.RequestTimeout = 10 * time.Second
+		c.Audit = routerLog
 	})
 	addr := serveRouter(t, r)
 
@@ -125,6 +171,42 @@ func TestClusterFailoverSoak(t *testing.T) {
 	}
 	if resp.Backend == victim {
 		t.Fatalf("post-kill run served by the dead backend %s", victim)
+	}
+
+	// Fleet audit view over the wire: the router aggregates the surviving
+	// backends' logs, each under its own AIK-signed head; the dead node is
+	// skipped, not fatal.
+	fleet, err := r.FleetAudit(&palsvc.WireRequest{Limit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Nodes) < nBackends-1 {
+		t.Errorf("fleet audit reached %d backend logs, want at least %d", len(fleet.Nodes), nBackends-1)
+	}
+	// A backend the balancer never picked has a legitimately empty log;
+	// every backend that recorded anything must present a signed head
+	// covering its tail, and at least one must have recorded something.
+	signed := 0
+	for _, nd := range fleet.Nodes {
+		if nd.Size == 0 {
+			continue
+		}
+		if nd.Head == nil {
+			t.Errorf("fleet audit: backend %s has no tree head over %d events", nd.Node, nd.Size)
+			continue
+		}
+		if len(nd.Head.Sig) == 0 {
+			t.Errorf("fleet audit: backend %s head is unsigned", nd.Node)
+			continue
+		}
+		if nd.Head.Size != nd.Size {
+			t.Errorf("fleet audit: backend %s head covers %d of %d events", nd.Node, nd.Head.Size, nd.Size)
+			continue
+		}
+		signed++
+	}
+	if signed == 0 {
+		t.Error("fleet audit: no backend presented a signed head over a non-empty log")
 	}
 
 	// Server view, every node including the killed one (its service is

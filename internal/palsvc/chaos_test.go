@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/chaos"
 	"minimaltcb/internal/obs/prof"
 )
@@ -300,6 +301,36 @@ func TestSoakZeroLossUnderChaos(t *testing.T) {
 	inj := chaos.New(seed, p)
 	crashDir := t.TempDir()
 	rec := prof.NewFlightRecorder(crashDir, nil)
+
+	// The audit log rides the whole soak; the cleanup below runs after the
+	// service's own Close (LIFO), seals the final head, and replays every
+	// proof — chaos must leave zero gaps and zero unverifiable entries.
+	auditDir := t.TempDir()
+	alog, err := audit.Open(audit.Config{Dir: auditDir, Node: "soak", HeadEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		alog.Close()
+		if alog.Dropped() != 0 {
+			t.Errorf("audit log dropped %d events during the soak", alog.Dropped())
+		}
+		arep, err := audit.VerifyChain(auditDir)
+		if err != nil {
+			t.Errorf("audit verify: %v", err)
+			return
+		}
+		if err := arep.Err(); err != nil {
+			t.Errorf("audit log does not verify after soak: %v", err)
+		}
+		if arep.Uncovered != 0 {
+			t.Errorf("%d audit events not covered by the final head", arep.Uncovered)
+		}
+		if arep.Events == 0 {
+			t.Error("soak produced no audit events")
+		}
+	})
+
 	s := newTestService(t, Config{
 		Machines: 2, Workers: 8,
 		Quantum:    50 * time.Microsecond, // multi-slice jobs: storms and spurious faults get traction
@@ -307,6 +338,7 @@ func TestSoakZeroLossUnderChaos(t *testing.T) {
 		Retry:      DefaultRetryPolicy(),
 		Supervisor: SupervisorPolicy{QuarantineAfter: 4, QuarantineFor: 5 * time.Millisecond},
 		Flight:     rec,
+		Audit:      alog,
 	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

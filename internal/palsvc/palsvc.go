@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"minimaltcb/internal/attest"
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/chaos"
 	"minimaltcb/internal/core"
 	"minimaltcb/internal/obs"
@@ -118,6 +119,14 @@ type Config struct {
 	// escape hatch palservd exposes as -block-compile=false. The zero
 	// value keeps the tier on (the CPU default).
 	DisableBlockCompile bool
+	// Audit, when non-nil, records every trust-relevant lifecycle event —
+	// launch measurements, sePCR transitions, seal/unseal decisions, PAL
+	// faults and kills, admission rejections — into the tamper-evident
+	// Merkle log (internal/audit). New installs a per-machine recorder on
+	// each replica's SKSM manager and TPM, and machine 0's TPM becomes the
+	// log's AIK head signer. Nil (the default) costs one nil check per
+	// event site.
+	Audit *audit.Log
 }
 
 // RetryPolicy caps the worker supervisor's retries of retryable failures.
@@ -227,6 +236,9 @@ type Service struct {
 	cache    *palCache
 	metrics  *metrics
 	tracer   *obs.Tracer // nil when tracing is off
+	// auditRec records service-level events (admission rejections) with no
+	// machine identity; nil when auditing is off.
+	auditRec *audit.Recorder
 	nonceSeq atomic.Uint64
 
 	// jitter feeds retry-backoff jitter; deterministic (seeded from the
@@ -288,6 +300,13 @@ func New(cfg Config) (*Service, error) {
 			sys.SKSM.Prof = m.prof
 		}
 		sys.SKSM.Flight = cfg.Flight
+		if cfg.Audit != nil {
+			// The manager stamps Job identity onto every event the chip
+			// reports; both hooks fire under m.mu, the lock that already
+			// serializes the machine's TPM commands.
+			sys.SKSM.Audit = cfg.Audit.Recorder(sys.Machine.Clock, i)
+			sys.Machine.TPM().SetAuditHook(sys.SKSM)
+		}
 		if cfg.Chaos != nil {
 			// One hook set per replica: each gets its own deterministic
 			// decision streams, so the fault schedule on machine i does
@@ -304,6 +323,13 @@ func New(cfg Config) (*Service, error) {
 		m.basePages = sys.SKSM.Kernel.Alloc.FreePages()
 		s.machines = append(s.machines, m)
 		s.bank += sys.Machine.TPM().NumSePCRs()
+	}
+	if cfg.Audit != nil {
+		// Machine 0's AIK anchors the log's tree heads; the service-level
+		// recorder (admission rejections) carries no machine or virtual
+		// clock — those events happen before any machine is chosen.
+		cfg.Audit.SetSigner(s.machines[0].sys.Machine.TPM())
+		s.auditRec = cfg.Audit.Recorder(nil, -1)
 	}
 	s.bindRegistry(cfg.Registry)
 	cfg.SLO.Bind(cfg.Registry, "palsvc")
@@ -358,6 +384,7 @@ func (s *Service) Submit(j Job) (*Ticket, error) {
 	default:
 		err := fmt.Errorf("%w: depth %d", ErrQueueFull, cap(s.queue))
 		s.metrics.incRejected(err)
+		s.auditReject(t, err)
 		t.root.Attr("error", err.Error()).End()
 		return nil, err
 	}
@@ -470,6 +497,7 @@ func (s *Service) deliver(t *task, res *JobResult, err error) {
 		s.metrics.incDeadline()
 	case errors.Is(err, ErrBankExhausted), errors.Is(err, ErrShedding):
 		s.metrics.incRejected(err)
+		s.auditReject(t, err)
 	default:
 		s.metrics.incFailed()
 	}
@@ -479,6 +507,31 @@ func (s *Service) deliver(t *task, res *JobResult, err error) {
 		return
 	}
 	s.finish(t, res)
+}
+
+// auditReject records an admission rejection in the audit log — the
+// "every trust decision is on the record" half of admission control: a
+// verifier can later prove the service refused work rather than silently
+// dropping it. Nil recorder (auditing off) costs one nil check.
+func (s *Service) auditReject(t *task, err error) {
+	if s.auditRec == nil {
+		return
+	}
+	tenant := t.job.Tenant
+	if tenant == "" {
+		tenant = t.job.Name
+	}
+	trace := t.root.Context().Trace
+	if trace.IsZero() {
+		trace = t.job.Trace.Trace
+	}
+	s.auditRec.Record(audit.Event{
+		Type:   audit.EventAdmitReject,
+		Handle: -1,
+		Tenant: tenant,
+		Trace:  trace,
+		Detail: ErrorCode(err),
+	})
 }
 
 // jobDone feeds the per-tenant SLO tracker with the job's terminal
@@ -631,10 +684,16 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) erro
 		return fmt.Errorf("palsvc: allocating SECB: %w", err)
 	}
 	secb.Input = t.job.Input
-	if s.cfg.Flight != nil {
-		// Stamp the job identity for crash bundles; cleared below before
-		// the lock drops so a later unrelated SKILL is not misattributed.
-		sys.SKSM.Job = prof.JobInfo{Tenant: t.job.Name, Trace: rctx.Trace, Machine: m.id}
+	if s.cfg.Flight != nil || s.cfg.Audit != nil {
+		// Stamp the job identity for crash bundles and audit events;
+		// cleared below before the lock drops so a later unrelated SKILL
+		// is not misattributed. Tenant falls back to the job name, same as
+		// the SLO tracker's attribution.
+		ten := t.job.Tenant
+		if ten == "" {
+			ten = t.job.Name
+		}
+		sys.SKSM.Job = prof.JobInfo{Tenant: ten, Trace: rctx.Trace, Machine: m.id}
 	}
 	sw := sim.StartStopwatch(sys.Machine.Clock)
 	runErr := s.runBounded(m, t, secb)

@@ -9,6 +9,7 @@ import (
 	"net"
 	"time"
 
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/obs"
 )
 
@@ -70,12 +71,25 @@ const (
 	// align multi-process rings by RTT midpoint. Old servers answer it
 	// with an unknown-op error; callers degrade by skipping the node.
 	OpTrace = "trace"
+	// OpAudit queries the server's tamper-evident audit log: a bounded
+	// tail of events (filterable by tenant, trace, image-hash prefix and
+	// sequence number) plus the newest signed tree head. A router answers
+	// it with the fleet view — its own log plus one nested dump per live
+	// backend. Old servers answer with an unknown-op error; callers
+	// degrade by skipping the node, same as trace.
+	OpAudit = "audit"
 )
 
 // maxTraceDump bounds how many records one trace response carries: newest
 // first wins, and TraceDump.Truncated reports what was cut. 2048 records
 // of typical size stay comfortably inside MaxFrame.
 const maxTraceDump = 2048
+
+// maxAuditDump bounds how many audit events one response carries (newest
+// matches win; AuditDump.Truncated reports the cut). Events are a few
+// hundred JSON bytes, so 1024 stays far inside MaxFrame even with a
+// router's per-backend nesting.
+const maxAuditDump = 1024
 
 // HealthInfo is the health op's payload: the admission-relevant view of a
 // server, cheap enough for a router to poll every few hundred milliseconds.
@@ -122,6 +136,14 @@ type WireRequest struct {
 	TraceID    string `json:"trace_id,omitempty"`
 	ParentSpan uint64 `json:"parent_span,omitempty"`
 	Tenant     string `json:"tenant,omitempty"`
+
+	// Audit-op filters (ignored by every other op): Image matches on the
+	// hex prefix of the event's PAL measurement, Since selects events with
+	// seq >= Since, Limit bounds the tail (0 means the server cap). Tenant
+	// and TraceID double as audit filters on this op.
+	Image string `json:"image,omitempty"`
+	Since uint64 `json:"since,omitempty"`
+	Limit int    `json:"limit,omitempty"`
 }
 
 // TraceDump is the trace op's payload: one node's (or, from a router, a
@@ -136,6 +158,22 @@ type TraceDump struct {
 	// Truncated counts records cut from this response to honor MaxFrame.
 	Truncated int          `json:"truncated,omitempty"`
 	Records   []obs.Record `json:"records"`
+}
+
+// AuditDump is the audit op's payload: one node's bounded event tail plus
+// the newest signed tree head — enough for tcbaudit to show recent history
+// and for a verifier to pin it. From a router, Nodes nests one dump per
+// live backend (the fleet view with per-node signed heads) and the outer
+// dump describes the router's own control-plane log.
+type AuditDump struct {
+	Node    string          `json:"node,omitempty"`
+	Size    uint64          `json:"size"`
+	Dropped uint64          `json:"dropped,omitempty"`
+	Head    *audit.TreeHead `json:"head,omitempty"`
+	// Truncated counts older matches cut to honor the response bound.
+	Truncated int           `json:"truncated,omitempty"`
+	Events    []audit.Event `json:"events"`
+	Nodes     []AuditDump   `json:"nodes,omitempty"`
 }
 
 // WireResponse is the server's answer.
@@ -168,6 +206,7 @@ type WireResponse struct {
 	Stats  *Metrics    `json:"stats,omitempty"`
 	Health *HealthInfo `json:"health,omitempty"`
 	Trace  *TraceDump  `json:"trace,omitempty"`
+	Audit  *AuditDump  `json:"audit,omitempty"`
 
 	// TraceID echoes the trace the job ran under (propagated or
 	// server-minted), so callers can report and stitch it later.
@@ -239,6 +278,8 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 		return &WireResponse{OK: true, Health: &h}
 	case OpTrace:
 		return s.traceDump(req)
+	case OpAudit:
+		return s.auditDump(req)
 	case OpRun:
 		j := Job{Name: req.Name, Source: req.Source, Input: req.Input, NoAttest: req.NoAttest,
 			Tenant: req.Tenant, Trace: wireTraceContext(req)}
@@ -306,6 +347,40 @@ func (s *Service) traceDump(req *WireRequest) *WireResponse {
 		recs = obs.FilterTrace(recs, id)
 	}
 	return &WireResponse{OK: true, Trace: BoundTraceDump(recs, dropped)}
+}
+
+// auditDump answers the audit op from the service's log: the filtered,
+// bounded event tail plus the newest signed tree head. A service built
+// without an audit log answers with an error, which callers treat like an
+// unknown op (skip the node).
+func (s *Service) auditDump(req *WireRequest) *WireResponse {
+	if s.cfg.Audit == nil {
+		return &WireResponse{Err: "palsvc: audit log disabled"}
+	}
+	q := audit.Query{Tenant: req.Tenant, Image: req.Image, Since: req.Since, Limit: req.Limit}
+	if q.Limit <= 0 || q.Limit > maxAuditDump {
+		q.Limit = maxAuditDump
+	}
+	if req.TraceID != "" {
+		id, err := obs.ParseTraceID(req.TraceID)
+		if err != nil {
+			return &WireResponse{Err: err.Error()}
+		}
+		q.Trace = id
+	}
+	// Seal the tail before dumping: the reported head must cover every
+	// event in the dump, even when the log is mid-segment. Sync is a
+	// no-op when the newest head is already current.
+	s.cfg.Audit.Sync()
+	events, truncated := s.cfg.Audit.Select(q)
+	return &WireResponse{OK: true, Audit: &AuditDump{
+		Node:      s.cfg.Audit.Node(),
+		Size:      s.cfg.Audit.Size(),
+		Dropped:   s.cfg.Audit.Dropped(),
+		Head:      s.cfg.Audit.Head(),
+		Truncated: truncated,
+		Events:    events,
+	}}
 }
 
 // BoundTraceDump packages records as a trace-op payload, keeping the
@@ -453,6 +528,24 @@ func (c *Client) Trace(filter string) (*TraceDump, time.Duration, error) {
 		return nil, 0, fmt.Errorf("palsvc: trace dump failed: %s", resp.Err)
 	}
 	return resp.Trace, obs.ClockOffset(sent, received, resp.Trace.NowNS), nil
+}
+
+// Audit queries the server's tamper-evident audit log. The request's
+// Tenant/TraceID/Image/Since/Limit fields filter the event tail; a zero
+// request fetches the newest events and the latest signed head. Old
+// servers (and servers running without a log) answer with an error, which
+// surfaces here — fleet callers skip such nodes.
+func (c *Client) Audit(req *WireRequest) (*AuditDump, error) {
+	r := *req
+	r.Op = OpAudit
+	resp, err := c.roundTrip(&r)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK || resp.Audit == nil {
+		return nil, fmt.Errorf("palsvc: audit query failed: %s", resp.Err)
+	}
+	return resp.Audit, nil
 }
 
 // Ping checks liveness.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"minimaltcb/internal/audit"
 	"minimaltcb/internal/cpu"
 	"minimaltcb/internal/mem"
 	"minimaltcb/internal/obs"
@@ -41,6 +42,44 @@ type Manager struct {
 	// per-slice quantum collapse (slice-expiry storms) and spurious PAL
 	// faults after a slice. Nil costs one pointer check per slice.
 	Chaos ChaosHook
+	// Audit, when set, records trust-relevant lifecycle events (launch,
+	// fault, SKILL, SFREE, and — via the TPM hook — every sePCR and
+	// sealing-storage transition) into the machine's tamper-evident log,
+	// stamped with the Job identity. Nil costs one pointer check per event.
+	// Installing it as the TPM's audit hook (tpm.SetAuditHook) is the
+	// embedder's job; palsvc.New does both together.
+	Audit *audit.Recorder
+}
+
+// TPMAuditEvent implements tpm.AuditHook: the chip reports the bare state
+// transition, the manager stamps the identity of the PAL it is currently
+// running. Called under the machine lock, like every TPM command.
+func (mg *Manager) TPMAuditEvent(op string, handle int, value tpm.Digest) {
+	if mg.Audit == nil {
+		return
+	}
+	mg.Audit.Record(audit.Event{
+		Type:   op,
+		Handle: handle,
+		Value:  audit.Digest20(value),
+		Tenant: mg.Job.Tenant,
+		Trace:  mg.Job.Trace,
+	})
+}
+
+// auditEvent records one manager-level lifecycle event with Job identity.
+func (mg *Manager) auditEvent(typ string, handle int, detail string, image tpm.Digest) {
+	if mg.Audit == nil {
+		return
+	}
+	mg.Audit.Record(audit.Event{
+		Type:   typ,
+		Handle: handle,
+		Detail: detail,
+		Image:  audit.Digest20(image),
+		Tenant: mg.Job.Tenant,
+		Trace:  mg.Job.Trace,
+	})
 }
 
 // ChaosHook injects scheduler-level faults into RunSlice. SliceQuantum may
@@ -223,6 +262,7 @@ func (mg *Manager) slaunch(c *cpu.CPU, s *SECB, sp *obs.Span) error {
 		}
 		s.OwnerCPU = c.ID
 		s.State = StateExecute
+		mg.auditEvent(audit.EventSLaunch, s.SePCRHandle, "", s.Measurement)
 		return nil
 
 	case StateSuspend:
@@ -339,6 +379,7 @@ func (mg *Manager) sfree(c *cpu.CPU, s *SECB) error {
 	}
 	s.OwnerCPU = -1
 	s.State = StateDone
+	mg.auditEvent(audit.EventSFree, s.SePCRHandle, "", s.Measurement)
 	return nil
 }
 
@@ -377,6 +418,7 @@ func (mg *Manager) skill(s *SECB) error {
 	}
 	s.State = StateDone
 	s.OwnerCPU = -1
+	mg.auditEvent(audit.EventSKill, s.SePCRHandle, "", s.Measurement)
 	return nil
 }
 
@@ -433,6 +475,7 @@ func (mg *Manager) runSlice(c *cpu.CPU, s *SECB) (cpu.StopReason, error) {
 		if mg.Flight != nil {
 			s.CrashID = mg.Flight.Record(mg.crashBundle(s, "fault", err))
 		}
+		mg.auditEvent(audit.EventFault, s.SePCRHandle, err.Error(), s.Measurement)
 		return cpu.StopFault, fmt.Errorf("%w: %w", ErrPALFault, err)
 	case reason == cpu.StopHalt:
 		if err := mg.SFREE(c, s); err != nil {

@@ -126,6 +126,7 @@ func (t *TPM) AllocateSePCR(owner int, palMeasurement Digest) (int, error) {
 		t.charge(t.profile.ExtendLatency, 0)
 		t.endCmd(sp, nil)
 		t.lifeOpen(i, "Exclusive")
+		t.auditEvent("sepcr_alloc", i, t.sePCRs[i].value)
 		return i, nil
 	}
 	return -1, ErrNoSePCR
@@ -174,6 +175,7 @@ func (t *TPM) SePCRExtend(handle, owner int, measurement Digest) (Digest, error)
 	t.busCommand(34, 30)
 	t.charge(t.profile.ExtendLatency, t.profile.Jitter)
 	t.endCmd(sp, nil)
+	t.auditEvent("sepcr_extend", handle, p.value)
 	return p.value, nil
 }
 
@@ -198,6 +200,7 @@ func (t *TPM) SealSePCR(handle, owner int, data []byte) ([]byte, error) {
 	t.busCommand(64+len(data), len(blob))
 	t.charge(t.sealCost(len(data)), t.profile.Jitter)
 	t.endCmd(sp, nil)
+	t.auditEvent("seal", handle, release)
 	return blob, nil
 }
 
@@ -224,6 +227,7 @@ func (t *TPM) UnsealSePCR(handle, owner int, blob []byte) ([]byte, error) {
 		err := fmt.Errorf("%w: sePCR %x, sealed to %x",
 			ErrPCRMismatch, t.sePCRs[handle].value, release)
 		t.endCmd(sp, err)
+		t.auditEvent("unseal_denied", handle, t.sePCRs[handle].value)
 		return nil, err
 	}
 	pt, err := t.openBlob(mode, selBytes, release, ekey, nonce, ct)
@@ -233,6 +237,7 @@ func (t *TPM) UnsealSePCR(handle, owner int, blob []byte) ([]byte, error) {
 	}
 	t.unsealOK++
 	t.endCmd(sp, nil)
+	t.auditEvent("unseal", handle, release)
 	return pt, nil
 }
 
@@ -246,6 +251,7 @@ func (t *TPM) ReleaseSePCR(handle, owner int) error {
 	t.sePCRs[handle].owner = -1
 	t.lifeClose(handle)
 	t.lifeOpen(handle, "Quote")
+	t.auditEvent("sepcr_release", handle, t.sePCRs[handle].value)
 	return nil
 }
 
@@ -269,6 +275,7 @@ func (t *TPM) KillSePCR(handle int) error {
 	t.endCmd(sp, nil)
 	t.lifeClose(handle, obs.Attr{Key: "killed", Val: "true"})
 	t.lifeFree(handle)
+	t.auditEvent("sepcr_kill", handle, p.value)
 	return nil
 }
 
@@ -309,6 +316,7 @@ func (t *TPM) QuoteSePCR(handle int, nonce []byte) (*Quote, error) {
 	t.endCmd(sp, nil)
 	t.lifeClose(handle, obs.Attr{Key: "quoted", Val: "true"})
 	t.lifeFree(handle)
+	t.auditEvent("sepcr_quote", handle, q.Composite)
 	return q, nil
 }
 
@@ -323,9 +331,11 @@ func (t *TPM) FreeSePCR(handle int) error {
 		return fmt.Errorf("%w: sePCR %d is %v, TPM_SEPCR_Free needs Quote state",
 			ErrSePCRState, handle, p.state)
 	}
+	released := p.value
 	p.state = SePCRFree
 	p.value = Digest{}
 	t.lifeClose(handle)
 	t.lifeFree(handle)
+	t.auditEvent("sepcr_free", handle, released)
 	return nil
 }

@@ -94,6 +94,11 @@ type TPM struct {
 	// fault, when set, is consulted before every fallible command; nil
 	// (the default) costs one pointer check per command.
 	fault FaultHook
+
+	// audit, when set, observes trust-relevant state transitions (sePCR
+	// life cycle, seal/unseal, late launch) for the tamper-evident audit
+	// log; nil (the default) costs one pointer check per transition.
+	audit AuditHook
 }
 
 // FaultHook intercepts TPM commands for fault injection (internal/chaos).
@@ -397,6 +402,7 @@ func (t *TPM) HashEnd() (Digest, error) {
 	t.hashKnownSet = false
 	t.releaseHashBuf()
 	t.pcrs[FirstDynamicPCR] = chain(Digest{}, meas)
+	t.auditEvent("late_launch", -1, t.pcrs[FirstDynamicPCR])
 	return t.pcrs[FirstDynamicPCR], nil
 }
 
