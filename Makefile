@@ -76,11 +76,12 @@ audit-verify:
 # machine weather rather than real regressions.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.5s -benchmem . ./internal/obs ./internal/palsvc ./internal/audit \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR10.json
 
-# benchcmp gates the committed artifacts: the threaded-code tier must only
-# ever move numbers down, and the zero-allocation fast path of PR4 must
-# survive with the tier both on and off. Thresholds live in cmd/benchjson (-max-ns-regress 50%,
+# benchcmp gates the committed artifacts: the batched quote pipeline must
+# only ever move the attested-job numbers down, and the zero-allocation
+# fast paths of earlier PRs must survive with batching both on and off.
+# Thresholds live in cmd/benchjson (-max-ns-regress 50%,
 # -max-alloc-regress 25% by default); nothing reruns benchmarks here.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR9.json BENCH_PR10.json

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"encoding/binary"
+	"fmt"
 	"testing"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"minimaltcb/internal/palsvc"
 	"minimaltcb/internal/platform"
 	"minimaltcb/internal/sim"
+	"minimaltcb/internal/tpm"
 )
 
 func benchCfg() experiments.Config {
@@ -265,12 +268,18 @@ func BenchmarkExec_ThreadedCode(b *testing.B) { benchExec(b, true) }
 
 // benchService builds the multi-tenant PAL service used by the
 // BenchmarkService_* benchmarks: recommended HP dc5750, sePCR bank of 8.
-func benchService(b *testing.B) *palsvc.Service {
+// Optional mods adjust the config (e.g. enabling the batched quote
+// pipeline) before the service starts.
+func benchService(b *testing.B, mods ...func(*palsvc.Config)) *palsvc.Service {
 	b.Helper()
 	prof := platform.Recommended(platform.HPdc5750(), 8)
 	prof.KeyBits = 1024
 	prof.Seed = 42
-	s, err := palsvc.New(palsvc.Config{Profile: prof, Workers: 8, QueueDepth: 256})
+	cfg := palsvc.Config{Profile: prof, Workers: 8, QueueDepth: 256}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	s, err := palsvc.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -297,7 +306,21 @@ msg:	.ascii "bench"
 // — keeping a window of jobs in flight so admission and the TPM-arbitration
 // locks are actually contended.
 func BenchmarkService_Pipeline(b *testing.B) {
-	s := benchService(b)
+	benchPipeline(b, benchService(b))
+}
+
+// BenchmarkService_PipelineBatched is the same pipeline with the batched
+// quote stage enabled: under a full in-flight window the batcher coalesces
+// concurrent exits into one AIK signature per batch, so signs_per_job
+// drops below 1 while every job still carries its own inclusion proof.
+func BenchmarkService_PipelineBatched(b *testing.B) {
+	benchPipeline(b, benchService(b, func(c *palsvc.Config) {
+		c.Batch = palsvc.DefaultBatchPolicy()
+	}))
+}
+
+func benchPipeline(b *testing.B, s *palsvc.Service) {
+	b.Helper()
 	const window = 16
 	inflight := make(chan *palsvc.Ticket, window)
 	done := make(chan error, 1)
@@ -335,6 +358,79 @@ func BenchmarkService_Pipeline(b *testing.B) {
 	b.ReportMetric(float64(m.MaxSePCROccupancy), "max_occupancy")
 	if m.CacheHits+m.CacheMisses > 0 {
 		b.ReportMetric(float64(m.CacheHits)/float64(m.CacheHits+m.CacheMisses), "cache_hit_ratio")
+	}
+	if m.Completed > 0 && m.QuoteSigns > 0 {
+		b.ReportMetric(float64(m.QuoteSigns)/float64(m.Completed), "signs_per_job")
+	}
+}
+
+// benchQuoteChip builds a bare chip with n sePCR registers for the quote
+// microbenchmarks.
+func benchQuoteChip(b *testing.B, n int) *tpm.TPM {
+	b.Helper()
+	clock := sim.NewClock()
+	chip, err := tpm.New(clock, lpc.NewBus(clock, lpc.FullSpeed()),
+		tpm.Config{KeyBits: 1024, Seed: 42, NumSePCRs: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return chip
+}
+
+// quoteBatchSizes are the batch widths the single-vs-batch comparison
+// sweeps; width 1 is the one-signature-per-job baseline.
+var quoteBatchSizes = []int{1, 4, 8}
+
+// BenchmarkTPM_QuoteBatch measures the amortization the batched quote
+// buys at the chip level: each iteration parks `size` registers in the
+// Quote state and attests all of them. Width 1 uses the one-shot
+// TPM_Quote (one RSA signature per job); wider batches pay one signature
+// over the Merkle root for the whole set, so ns/op grows far slower than
+// linearly in the width. Nonces vary per iteration so the signature memo
+// cannot short-circuit the RSA operation being measured.
+func BenchmarkTPM_QuoteBatch(b *testing.B) {
+	for _, size := range quoteBatchSizes {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			chip := benchQuoteChip(b, size)
+			meas := tpm.Measure([]byte("bench-pal"))
+			park := func() []int {
+				handles := make([]int, size)
+				for i := 0; i < size; i++ {
+					h, err := chip.AllocateSePCR(i, meas)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := chip.ReleaseSePCR(h, i); err != nil {
+						b.Fatal(err)
+					}
+					handles[i] = h
+				}
+				return handles
+			}
+			nonce := make([]byte, 12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				handles := park()
+				binary.BigEndian.PutUint64(nonce, uint64(i))
+				if size == 1 {
+					if _, err := chip.QuoteSePCR(handles[0], nonce); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				reqs := make([]tpm.BatchRequest, size)
+				for j, h := range handles {
+					jn := make([]byte, 12)
+					binary.BigEndian.PutUint64(jn, uint64(i))
+					jn[8] = byte(j)
+					reqs[j] = tpm.BatchRequest{Handle: h, Nonce: jn}
+				}
+				if _, err := chip.QuoteSePCRBatch(reqs, nonce, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size), "jobs_per_sign")
+		})
 	}
 }
 

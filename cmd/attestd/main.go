@@ -15,6 +15,12 @@
 //
 //	attestd demo
 //	    Run both sides in one process over the loopback.
+//
+//	attestd batch [-jobs N]
+//	    Run the batched, sessionful exchange in one process over the
+//	    loopback: N sePCRs parked in the Quote state, one AIK signature
+//	    over a Merkle batch quote covering all of them, then a second
+//	    round resumed over the session's HMAC channel with zero RSA.
 package main
 
 import (
@@ -31,8 +37,10 @@ import (
 	"minimaltcb/internal/attest"
 	"minimaltcb/internal/audit"
 	"minimaltcb/internal/core"
+	"minimaltcb/internal/lpc"
 	"minimaltcb/internal/obs"
 	"minimaltcb/internal/platform"
+	"minimaltcb/internal/sim"
 	"minimaltcb/internal/tpm"
 )
 
@@ -64,6 +72,7 @@ func main() {
 		"debug HTTP listen address for /metrics, /healthz, /debug/trace, /debug/pprof (serve only; \"\" disables)")
 	auditDir := fs.String("audit-dir", "",
 		"persist a tamper-evident audit log under this directory: serve records challenges (AIK-signed heads), verify records verdicts; cross-check the two with tcbaudit")
+	jobs := fs.Int("jobs", 4, "jobs per batch quote (batch only)")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -74,6 +83,8 @@ func main() {
 		err = verify(*addr, *anchors, *timeout, *auditDir)
 	case "demo":
 		err = demo(*timeout, *auditDir)
+	case "batch":
+		err = batchDemo(*timeout, *jobs)
 	default:
 		err = usage()
 	}
@@ -88,7 +99,7 @@ func fail(err error) {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: attestd serve [-addr A] [-pal file] | attestd verify [-addr A] | attestd demo")
+	return fmt.Errorf("usage: attestd serve [-addr A] [-pal file] | attestd verify [-addr A] | attestd demo | attestd batch [-jobs N]")
 }
 
 // buildSystem assembles the shared-seed platform and PAL.
@@ -349,6 +360,146 @@ func verify(addr, anchorsPath string, timeout time.Duration, auditDir string) er
 		Trace: trace, Detail: name,
 	})
 	fmt.Printf("attestation verified: platform ran %q under late launch\n", name)
+	return nil
+}
+
+// batchDemo runs the batched, sessionful exchange end to end in one
+// process: a chip with `jobs` registers parked in the Quote state answers
+// batch challenges over the loopback. Round one opens a session — the AIK
+// certificate chain and the TPM's signed session grant are verified once.
+// Round two resumes the session: the batch is admitted over the HMAC
+// channel with zero RSA operations on either side, which is the steady
+// state palservd's batcher runs in.
+func batchDemo(timeout time.Duration, jobs int) error {
+	if jobs < 1 {
+		return fmt.Errorf("batch: -jobs must be >= 1, got %d", jobs)
+	}
+	clock := sim.NewClock()
+	// A sePCR quote consumes the register, so each round needs its own
+	// set: 2*jobs registers, the first half for the opening batch, the
+	// second for the resumed one.
+	chip, err := tpm.New(clock, lpc.NewBus(clock, lpc.FullSpeed()),
+		tpm.Config{KeyBits: 1024, Seed: demoSeed, NumSePCRs: 2 * jobs})
+	if err != nil {
+		return err
+	}
+	ca, err := attest.NewPrivacyCA(demoSeed, 1024)
+	if err != nil {
+		return err
+	}
+	cert, err := ca.Certify("attestd-batch", chip.AIKPublic())
+	if err != nil {
+		return err
+	}
+	v := attest.NewVerifier(ca.Public())
+
+	// Park one register per job in the Quote state: allocate with the
+	// PAL's measurement, then release execute access so only quoting
+	// remains — exactly the state palservd leaves registers in between a
+	// PAL's exit and its batched quote.
+	handles := make([]int, 2*jobs)
+	logs := map[int]attest.Log{}
+	for i := 0; i < 2*jobs; i++ {
+		name := fmt.Sprintf("batch-pal-%d", i)
+		meas := tpm.Measure([]byte(name))
+		v.Approve(name, meas)
+		h, err := chip.AllocateSePCR(i, meas)
+		if err != nil {
+			return err
+		}
+		if err := chip.ReleaseSePCR(h, i); err != nil {
+			return err
+		}
+		handles[i] = h
+		logs[h] = attest.Log{{PCR: -1, Description: name, Measurement: meas}}
+	}
+
+	// The platform remembers the session it opened and keeps MACing
+	// later batches under it — that is what lets the verifier resume
+	// without re-checking the certificate chain.
+	var sessionID uint64
+	respond := func(ch attest.Challenge) (*attest.Evidence, error) {
+		if !ch.Batch {
+			return nil, errors.New("batch demo answers batch challenges only")
+		}
+		ev := &attest.Evidence{Cert: cert}
+		if ch.OpenSession {
+			grant, err := chip.OpenQuoteSession(ch.Nonce)
+			if err != nil {
+				return nil, err
+			}
+			ev.Grant = grant
+			sessionID = grant.ID
+		}
+		reqs := make([]tpm.BatchRequest, len(ch.Handles))
+		for i, h := range ch.Handles {
+			reqs[i] = tpm.BatchRequest{Handle: h, Nonce: ch.JobNonces[i]}
+		}
+		q, err := chip.QuoteSePCRBatch(reqs, ch.Nonce, sessionID)
+		if err != nil {
+			return nil, err
+		}
+		ev.Batch = q
+		ev.Logs = make([]attest.Log, len(ch.Handles))
+		for i, h := range ch.Handles {
+			ev.Logs[i] = logs[h]
+		}
+		return ev, nil
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	go func() { _ = attest.Serve(l, respond, attest.WithTimeout(timeout)) }()
+	round := func(n int) [][]byte {
+		out := make([][]byte, jobs)
+		for i := range out {
+			out[i] = []byte(fmt.Sprintf("batch-r%d-job-%d-%d", n, i, os.Getpid()))
+		}
+		return out
+	}
+	opts := []attest.Option{attest.WithTimeout(timeout)}
+
+	// Round 1: open the session. One AIK signature covers the whole batch
+	// (the Merkle root), one more covers the session grant.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return err
+	}
+	first, second := handles[:jobs], handles[jobs:]
+	sess, ev, err := v.OpenRemoteSession(conn, []byte(fmt.Sprintf("open-%d", os.Getpid())),
+		first, round(1), opts...)
+	if err != nil {
+		return fmt.Errorf("batched attestation REJECTED: %w", err)
+	}
+	names := make([]string, jobs)
+	for i := range first {
+		name, err := v.VerifyBatchedQuote(cert, ev.Batch, i, logs[first[i]], round(1)[i])
+		if err != nil {
+			return fmt.Errorf("inclusion proof for job %d REJECTED: %w", i, err)
+		}
+		names[i] = name
+	}
+	fmt.Printf("platform %q: batch of %d verified with one AIK quote signature\n",
+		sess.PlatformID(), jobs)
+	fmt.Printf("  merkle root %x covers jobs %v\n", ev.Batch.Root[:8], names)
+
+	// Round 2: resume. The grant is not re-sent and no RSA runs — the
+	// batch is admitted over the session's HMAC channel.
+	conn2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return err
+	}
+	names2, err := v.ChallengeAndVerifyBatch(conn2, sess, []byte(fmt.Sprintf("resume-%d", os.Getpid())),
+		second, round(2), opts...)
+	if err != nil {
+		return fmt.Errorf("session resume REJECTED: %w", err)
+	}
+	fmt.Printf("session resumed: batch of %d verified over HMAC, zero RSA (batches admitted on this session: %d)\n",
+		len(names2), sess.Batches())
+	fmt.Println("batch demo complete")
 	return nil
 }
 

@@ -141,24 +141,42 @@ type Verifier struct {
 	mu sync.Mutex
 	// known maps PAL measurement -> human-readable name.
 	known map[tpm.Digest]string
-	// usedNonces provides replay protection.
-	usedNonces map[string]bool
+	// nonceCur and noncePrev provide replay protection as a rotating
+	// two-generation window (see consumeNonce): membership in either
+	// generation is a replay; inserts go to nonceCur; when nonceCur
+	// reaches nonceWindow entries it becomes noncePrev and a fresh
+	// generation starts. Total footprint is bounded by 2*nonceWindow
+	// entries however long the verifier lives.
+	nonceCur  map[string]bool
+	noncePrev map[string]bool
+	// replays counts rejected replay attempts (see NonceReplays).
+	replays uint64
 	// verifiedCerts and verifiedSigs memoize successful RSA
 	// verifications, keyed by the exact signed message plus signature
 	// bytes — a memo hit is only possible for an input that already
-	// passed verification unchanged.
+	// passed verification unchanged. Both are emptied at nonceWindow
+	// entries (nonces make most keys single-use, so these would
+	// otherwise grow with the nonce history).
 	verifiedCerts map[string]bool
 	verifiedSigs  map[string]bool
 	memoHits      uint64
 	memoMisses    uint64
 }
 
+// nonceWindow bounds each replay-window generation (and each RSA memo
+// table). Two generations deep, the verifier always detects a replay of
+// any of the last nonceWindow nonces, and of up to 2*nonceWindow depending
+// on rotation phase. Nonces older than that are outside the detection
+// horizon — acceptable because nonces are verifier-chosen and verified
+// promptly; a challenge is not a bearer token with a shelf life.
+const nonceWindow = 4096
+
 // NewVerifier builds a verifier trusting the given CA.
 func NewVerifier(caPub *rsa.PublicKey) *Verifier {
 	return &Verifier{
 		caPub:         caPub,
 		known:         map[tpm.Digest]string{},
-		usedNonces:    map[string]bool{},
+		nonceCur:      map[string]bool{},
 		verifiedCerts: map[string]bool{},
 		verifiedSigs:  map[string]bool{},
 	}
@@ -198,6 +216,9 @@ func (v *Verifier) verifyCertMemo(cert *AIKCert) error {
 		return err
 	}
 	v.mu.Lock()
+	if len(v.verifiedCerts) >= nonceWindow {
+		v.verifiedCerts = map[string]bool{}
+	}
 	v.verifiedCerts[key] = true
 	v.mu.Unlock()
 	return nil
@@ -224,6 +245,9 @@ func (v *Verifier) verifyQuoteSigMemo(aik *rsa.PublicKey, q *tpm.Quote) error {
 		return err
 	}
 	v.mu.Lock()
+	if len(v.verifiedSigs) >= nonceWindow {
+		v.verifiedSigs = map[string]bool{}
+	}
 	v.verifiedSigs[key] = true
 	v.mu.Unlock()
 	return nil
@@ -231,15 +255,43 @@ func (v *Verifier) verifyQuoteSigMemo(aik *rsa.PublicKey, q *tpm.Quote) error {
 
 // consumeNonce atomically checks freshness and marks the nonce used. It is
 // called only after all other validation passed, so a failed verification
-// never burns a nonce.
+// never burns a nonce. The used set is a rotating two-generation window:
+// a long-running verifier holds at most 2*nonceWindow entries instead of
+// one per nonce ever seen.
 func (v *Verifier) consumeNonce(nonce []byte) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if v.usedNonces[string(nonce)] {
+	n := string(nonce)
+	if v.nonceCur[n] || v.noncePrev[n] {
+		v.replays++
 		return ErrNonceReplay
 	}
-	v.usedNonces[string(nonce)] = true
+	if len(v.nonceCur) >= nonceWindow {
+		v.noncePrev = v.nonceCur
+		v.nonceCur = make(map[string]bool, nonceWindow)
+	}
+	v.nonceCur[n] = true
 	return nil
+}
+
+// NonceWindowSize reports how many nonces the replay window currently
+// holds across both generations. It can never exceed 2*nonceWindow — the
+// soak asserts exactly that to pin the bounded-memory fix.
+func (v *Verifier) NonceWindowSize() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.nonceCur) + len(v.noncePrev)
+}
+
+// NonceWindowBound is the maximum NonceWindowSize can reach.
+const NonceWindowBound = 2 * nonceWindow
+
+// NonceReplays counts rejected replay attempts over the verifier's
+// lifetime — the soak asserts it stays zero under an honest workload.
+func (v *Verifier) NonceReplays() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.replays
 }
 
 // lookup returns the approved name for a measurement.
@@ -350,29 +402,11 @@ func (v *Verifier) VerifySePCRQuote(cert *AIKCert, q *tpm.Quote, log Log, nonce 
 	if q.SePCRHandle < 0 {
 		return "", errors.New("attest: quote does not cover a sePCR")
 	}
-	// Replay: sePCRs are single registers; reuse PCR index 0 in the log.
-	var value tpm.Digest
-	for _, e := range log {
-		value = tpm.ExtendDigest(value, e.Measurement)
-	}
-	if value != q.Composite {
-		return "", ErrLogMismatch
-	}
-	// A killed PAL's register contains the SKILL marker; its chain will
-	// not match an approved-PAL-only log, but defend explicitly anyway.
-	for _, e := range log {
-		if e.Measurement == tpm.SKillMarker {
-			return "", fmt.Errorf("%w: PAL was killed (SKILL marker in log)", ErrUnknownPAL)
-		}
-	}
-	// The root of a sePCR chain is the PAL measurement SLAUNCH extended
-	// at allocation; it must be approved code.
-	if len(log) == 0 {
-		return "", ErrUnknownPAL
-	}
-	name, ok := v.lookup(log[0].Measurement)
-	if !ok {
-		return "", ErrUnknownPAL
+	// Replay the sePCR chain and approve its root (session.go shares this
+	// with the batched paths).
+	name, err := v.approveSePCRLog(log, q.Composite)
+	if err != nil {
+		return "", err
 	}
 	if err := v.consumeNonce(nonce); err != nil {
 		return "", err

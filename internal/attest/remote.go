@@ -36,13 +36,33 @@ type Challenge struct {
 	// by name, so old peers on either side simply ignore them.
 	TraceID    string
 	ParentSpan uint64
+
+	// Batch, when set, asks for ONE batched quote (tpm.QuoteSePCRBatch)
+	// covering Handles, with JobNonces[i] bound into Handles[i]'s leaf;
+	// Nonce becomes the batch-level nonce. OpenSession additionally asks
+	// the platform to open a quote session, return its grant, and MAC the
+	// batch under it. Old platforms ignore all three (gob matches by
+	// name) and answer the one-shot path — the verifier detects the
+	// downgrade by the missing Evidence.Batch.
+	Batch       bool
+	Handles     []int
+	JobNonces   [][]byte
+	OpenSession bool
 }
 
-// Evidence is the platform's response.
+// Evidence is the platform's response. Exactly one of Quote (one-shot) or
+// Batch (batched challenge) is set.
 type Evidence struct {
 	Cert  *AIKCert
 	Quote *tpm.Quote
 	Log   Log
+
+	// Batch carries the batched quote, Logs the per-entry event logs
+	// (Logs[i] belongs to Batch.Entries[i]), and Grant the session grant
+	// when the challenge asked to open one. Old verifiers ignore them.
+	Batch *tpm.BatchQuote
+	Logs  []Log
+	Grant *tpm.QuoteSession
 }
 
 // Responder produces evidence for a challenge; the platform side supplies
@@ -145,6 +165,26 @@ func ServeOne(conn net.Conn, respond Responder, opts ...Option) error {
 	if len(ch.Nonce) == 0 || len(ch.Nonce) > 256 {
 		return errors.New("attest: refusing challenge with absent or oversized nonce")
 	}
+	if ch.Batch {
+		// A malformed batch challenge is rejected BEFORE the platform is
+		// consulted: batch assembly must not be able to fail mid-flight
+		// with registers already consumed, and the verifier's nonces must
+		// stay unburned (they are only consumed against evidence that
+		// verifies). tpm.QuoteSePCRBatch upholds the same contract below
+		// us by validating every register before mutating any.
+		if len(ch.Handles) == 0 {
+			return errors.New("attest: refusing batch challenge with no handles")
+		}
+		if len(ch.Handles) != len(ch.JobNonces) {
+			return fmt.Errorf("attest: batch challenge with %d handles but %d job nonces",
+				len(ch.Handles), len(ch.JobNonces))
+		}
+		for _, n := range ch.JobNonces {
+			if len(n) == 0 || len(n) > 256 {
+				return errors.New("attest: refusing batch challenge with absent or oversized job nonce")
+			}
+		}
+	}
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		// The deadline expired before the platform was consulted (a
 		// slow-read client can burn the whole budget on the challenge).
@@ -222,8 +262,13 @@ func Request(conn net.Conn, ch Challenge, opts ...Option) (*Evidence, error) {
 		return nil, wrapTimeout("reading evidence", cfg.timeout,
 			fmt.Errorf("attest: decoding evidence: %w", err))
 	}
-	if ev.Quote == nil || ev.Cert == nil {
+	if ev.Cert == nil || (ev.Quote == nil && ev.Batch == nil) {
 		return nil, errors.New("attest: platform returned no evidence")
+	}
+	if ch.Batch && ev.Batch == nil {
+		// A legacy platform ignored the batch fields and answered the
+		// one-shot path; surface the downgrade rather than mis-verifying.
+		return nil, errors.New("attest: platform does not support batched quotes")
 	}
 	return &ev, nil
 }
@@ -240,4 +285,70 @@ func (v *Verifier) ChallengeAndVerify(conn net.Conn, nonce []byte, sePCR bool, h
 		return v.VerifySePCRQuote(ev.Cert, ev.Quote, ev.Log, nonce)
 	}
 	return v.VerifyPALQuote(ev.Cert, ev.Quote, ev.Log, nonce)
+}
+
+// ChallengeAndVerifyBatch runs one batched exchange over conn: a single
+// challenge covering every handle, one signature (and network round trip)
+// for the whole set, then per-entry verification against this verifier's
+// trust anchors. jobNonces[i] is the fresh per-job nonce for handles[i].
+// When session is non-nil the batch is verified over the session's HMAC
+// channel; otherwise the stateless (RSA) path is used. It returns the
+// approved PAL names in handle order; on ANY entry failing, no result and
+// the first error (per-job nonces of entries that verified before the
+// failure are consumed — each entry is an independent attestation).
+func (v *Verifier) ChallengeAndVerifyBatch(conn net.Conn, session *Session, nonce []byte, handles []int, jobNonces [][]byte, opts ...Option) ([]string, error) {
+	ev, err := Request(conn, Challenge{
+		Nonce:     nonce,
+		SePCR:     true,
+		Batch:     true,
+		Handles:   handles,
+		JobNonces: jobNonces,
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(ev.Logs) != len(handles) {
+		return nil, fmt.Errorf("attest: batch evidence with %d logs for %d handles", len(ev.Logs), len(handles))
+	}
+	names := make([]string, len(handles))
+	for i := range handles {
+		var name string
+		if session != nil {
+			name, err = session.VerifyBatchedQuote(ev.Batch, i, ev.Logs[i], jobNonces[i])
+		} else {
+			name, err = v.VerifyBatchedQuote(ev.Cert, ev.Batch, i, ev.Logs[i], jobNonces[i])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("attest: batch entry %d: %w", i, err)
+		}
+		names[i] = name
+	}
+	return names, nil
+}
+
+// OpenRemoteSession opens a verification session against a platform over
+// conn: it challenges with OpenSession set, expects a session grant in the
+// evidence, and validates grant + certificate chain once (NewSession). The
+// evidence's batch, if any, is NOT verified here — callers hold the
+// returned session and verify batches as they arrive.
+func (v *Verifier) OpenRemoteSession(conn net.Conn, nonce []byte, handles []int, jobNonces [][]byte, opts ...Option) (*Session, *Evidence, error) {
+	ev, err := Request(conn, Challenge{
+		Nonce:       nonce,
+		SePCR:       true,
+		Batch:       true,
+		Handles:     handles,
+		JobNonces:   jobNonces,
+		OpenSession: true,
+	}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ev.Grant == nil {
+		return nil, nil, errors.New("attest: platform did not return a session grant")
+	}
+	s, err := v.NewSession(ev.Cert, ev.Grant, nonce)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, ev, nil
 }

@@ -31,10 +31,10 @@ import (
 // and attestation pipelines.
 const (
 	// Emitted by sksm.Manager around PAL lifecycle transitions.
-	EventSLaunch = "slaunch"  // late launch succeeded; Image = PAL measurement
-	EventSFree   = "sfree"    // clean PAL exit (SFREE)
+	EventSLaunch = "slaunch"   // late launch succeeded; Image = PAL measurement
+	EventSFree   = "sfree"     // clean PAL exit (SFREE)
 	EventFault   = "pal_fault" // PAL faulted; Detail carries the cause
-	EventSKill   = "skill"    // SKILL issued against a wedged or faulted PAL
+	EventSKill   = "skill"     // SKILL issued against a wedged or faulted PAL
 
 	// Emitted via the TPM audit hook on sePCR and sealing-storage commands.
 	EventSePCRAlloc   = "sepcr_alloc"   // Free -> Exclusive; Value = post-extend value
@@ -42,6 +42,7 @@ const (
 	EventSePCRRelease = "sepcr_release" // Exclusive -> Quote
 	EventSePCRKill    = "sepcr_kill"    // kill marker extended, register freed
 	EventSePCRQuote   = "sepcr_quote"   // attestation generated; Value = composite
+	EventQuoteBatch   = "quote_batch"   // batch quote signed; Value = SHA1 of Merkle root, Handle = leaf count
 	EventSePCRFree    = "sepcr_free"    // Quote -> Free without attestation
 	EventSeal         = "seal"          // data sealed; Value = release value
 	EventUnseal       = "unseal"        // unseal succeeded

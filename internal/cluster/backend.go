@@ -74,6 +74,7 @@ type backend struct {
 	stolen    atomic.Uint64 // requests answered by this backend as a steal target
 	rejects   atomic.Uint64 // admission rejections this backend returned
 	transport atomic.Uint64 // transport errors talking to this backend
+	batched   atomic.Uint64 // answered run requests attested inside a batch quote
 }
 
 func newBackend(addr string, poolSize int, dialTimeout, reqTimeout time.Duration) *backend {

@@ -54,6 +54,7 @@ type BackendSnapshot struct {
 	Stolen      uint64            `json:"stolen"`
 	Rejects     uint64            `json:"rejects"`
 	Transport   uint64            `json:"transport_errors"`
+	Batched     uint64            `json:"batched,omitempty"`
 	Latency     palsvc.StageStats `json:"latency"`
 	Stats       *palsvc.Metrics   `json:"stats,omitempty"`
 }
@@ -107,6 +108,7 @@ func (r *Router) Snapshot() Snapshot {
 		bs.Stolen = b.stolen.Load()
 		bs.Rejects = b.rejects.Load()
 		bs.Transport = b.transport.Load()
+		bs.Batched = b.batched.Load()
 		snap.Backends = append(snap.Backends, bs)
 	}
 	snap.Cluster = r.ClusterStats()
@@ -183,6 +185,9 @@ func (r *Router) bindRegistry(reg *obs.Registry) {
 		reg.CounterFunc("cluster_backend_transport_errors_total",
 			"Transport failures (dial, timeout, torn connection) against this backend.",
 			func() float64 { return float64(b.transport.Load()) }, lbl)
+		reg.CounterFunc("cluster_backend_batched_total",
+			"Answered run requests this backend attested inside a batch quote.",
+			func() float64 { return float64(b.batched.Load()) }, lbl)
 		reg.GaugeFunc("cluster_backend_state",
 			"Backend state: 0 healthy, 1 saturated, 2 draining, 3 down.",
 			func() float64 { return float64(b.State()) }, lbl)
@@ -208,6 +213,10 @@ func (r *Router) bindRegistry(reg *obs.Registry) {
 		func(m *palsvc.Metrics) uint64 { return m.Submitted })
 	agg("cluster_jobs_completed_total", "Jobs completed across all backends (prober-sampled).",
 		func(m *palsvc.Metrics) uint64 { return m.Completed })
+	agg("cluster_quote_batches_total", "Batch quotes signed across all backends (prober-sampled).",
+		func(m *palsvc.Metrics) uint64 { return m.QuoteBatches })
+	agg("cluster_quote_signs_total", "AIK signatures spent in the quote stage across all backends (prober-sampled).",
+		func(m *palsvc.Metrics) uint64 { return m.QuoteSigns })
 	agg("cluster_jobs_failed_total", "Jobs failed across all backends (prober-sampled).",
 		func(m *palsvc.Metrics) uint64 { return m.Failed })
 	agg("cluster_jobs_retried_total", "Supervisor retries across all backends (prober-sampled).",

@@ -336,6 +336,9 @@ func (r *Router) route(req *palsvc.WireRequest) *palsvc.WireResponse {
 			b.stolen.Add(1)
 			r.metrics.incStolen()
 		}
+		if resp.BatchSize > 0 {
+			b.batched.Add(1)
+		}
 		d := time.Since(t0)
 		b.observe(d)
 		r.metrics.observe(d, resp.OK)
@@ -727,6 +730,12 @@ func (r *Router) ClusterStats() palsvc.Metrics {
 		out.CacheMisses += m.CacheMisses
 		out.VerifyMemoHits += m.VerifyMemoHits
 		out.VerifyMemoMisses += m.VerifyMemoMisses
+		out.QuoteBatches += m.QuoteBatches
+		out.BatchedJobs += m.BatchedJobs
+		out.QuoteSigns += m.QuoteSigns
+		if m.MaxBatchSize > out.MaxBatchSize {
+			out.MaxBatchSize = m.MaxBatchSize
+		}
 	}
 	out.QueueWait = mergeStage(snaps, func(m *palsvc.Metrics) palsvc.StageStats { return m.QueueWait })
 	out.ArbWait = mergeStage(snaps, func(m *palsvc.Metrics) palsvc.StageStats { return m.ArbWait })

@@ -97,6 +97,7 @@ func TestClusterFailoverSoak(t *testing.T) {
 			Retry:      palsvc.DefaultRetryPolicy(),
 			Supervisor: palsvc.SupervisorPolicy{QuarantineAfter: 4, QuarantineFor: 5 * time.Millisecond},
 			Audit:      openAudit(fmt.Sprintf("backend-%d", i)),
+			Batch:      palsvc.DefaultBatchPolicy(), // every backend runs the batched pipeline
 		})
 		services = append(services, s)
 		listeners = append(listeners, l)
@@ -227,6 +228,25 @@ func TestClusterFailoverSoak(t *testing.T) {
 		if err := s.LeakCheck(); err != nil {
 			t.Errorf("backend %d leaked after soak: %v", i, err)
 		}
+	}
+
+	// Batching was on for every backend: batches formed somewhere in the
+	// fleet, and the router observed batch-attested answers on the wire.
+	var fleetBatches, fleetJobs uint64
+	for _, s := range services {
+		m := s.Metrics()
+		fleetBatches += m.QuoteBatches
+		fleetJobs += m.BatchedJobs
+	}
+	if fleetBatches == 0 {
+		t.Error("no backend ever formed a batch quote during the cluster soak")
+	}
+	var wireBatched uint64
+	for _, b := range snap.Backends {
+		wireBatched += b.Batched
+	}
+	if fleetJobs > 0 && wireBatched == 0 {
+		t.Errorf("backends batched %d jobs but the router saw batch_size on none of its answers", fleetJobs)
 	}
 
 	t.Logf("cluster snapshot: routed=%d ok=%d stolen=%d shed=%d downed=%d drained=%d rejoined=%d",

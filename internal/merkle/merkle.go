@@ -1,0 +1,220 @@
+// Package merkle implements the RFC 6962 / RFC 9162 Merkle tree used by
+// both the attestation audit log (internal/audit) and batched sePCR quotes
+// (internal/tpm): leaf and interior hashing with domain-separating prefixes,
+// the Merkle tree head over an arbitrary (non-power-of-two) number of
+// leaves, and inclusion / consistency proof generation with their
+// standalone verification algorithms. The verifiers take nothing but
+// hashes, sizes and indices, so callers can replay proofs offline without
+// the tree (or the node that built it) present.
+//
+// The package sits below internal/tpm and internal/audit in the import
+// graph and must stay dependency-free so either side can use it.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Hash is a SHA-256 tree node.
+type Hash [32]byte
+
+// String renders the hash as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// MarshalJSON encodes the hash as a hex string.
+func (h Hash) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + h.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a hex string.
+func (h *Hash) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("merkle: hash must be a JSON string")
+	}
+	raw, err := hex.DecodeString(string(b[1 : len(b)-1]))
+	if err != nil || len(raw) != len(h) {
+		return fmt.Errorf("merkle: bad hash %q", b)
+	}
+	copy(h[:], raw)
+	return nil
+}
+
+// Domain-separation prefixes from RFC 6962 §2.1: a leaf hash can never
+// collide with an interior node hash.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// LeafHash hashes one canonical record into its tree leaf.
+func LeafHash(canonical []byte) Hash {
+	var buf [1]byte
+	buf[0] = leafPrefix
+	h := sha256.New()
+	h.Write(buf[:])
+	h.Write(canonical)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// NodeHash combines two child hashes into their parent. Exported so tests
+// (and documentation examples) can state expected tree shapes literally.
+func NodeHash(l, r Hash) Hash { return nodeHash(l, r) }
+
+// nodeHash combines two child hashes into their parent.
+func nodeHash(l, r Hash) Hash {
+	var buf [1 + 2*len(l)]byte
+	buf[0] = nodePrefix
+	copy(buf[1:], l[:])
+	copy(buf[1+len(l):], r[:])
+	return sha256.Sum256(buf[:])
+}
+
+// splitPoint returns the largest power of two strictly less than n (n ≥ 2):
+// the left-subtree width in RFC 6962's MTH recursion.
+func splitPoint(n int) int {
+	k := 1
+	for k<<1 < n {
+		k <<= 1
+	}
+	return k
+}
+
+// Root computes the RFC 6962 tree head over the given leaf hashes.
+// The empty tree hashes the empty string.
+func Root(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return sha256.Sum256(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(Root(leaves[:k]), Root(leaves[k:]))
+}
+
+// InclusionProof builds the audit path for leaf index i in a tree over
+// leaves (RFC 6962 §2.1.1). Nil for a single-leaf tree, where the leaf is
+// the root.
+func InclusionProof(leaves []Hash, i int) []Hash {
+	n := len(leaves)
+	if i < 0 || i >= n || n <= 1 {
+		return nil
+	}
+	k := splitPoint(n)
+	if i < k {
+		return append(InclusionProof(leaves[:k], i), Root(leaves[k:]))
+	}
+	return append(InclusionProof(leaves[k:], i-k), Root(leaves[:k]))
+}
+
+// VerifyInclusion checks an audit path against a tree head, per the
+// RFC 9162 §2.1.3.2 algorithm. It needs only the leaf hash, its index, the
+// tree size the head covers, the proof, and the head's root.
+func VerifyInclusion(leaf Hash, index, size int, proof []Hash, root Hash) bool {
+	if index < 0 || size <= 0 || index >= size {
+		return false
+	}
+	fn, sn := uint64(index), uint64(size-1)
+	r := leaf
+	for _, p := range proof {
+		if sn == 0 {
+			return false
+		}
+		if fn&1 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			if fn&1 == 0 {
+				for fn&1 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && r == root
+}
+
+// ConsistencyProof builds the proof that the tree over leaves[:m] is a
+// prefix of the tree over all of leaves (RFC 6962 §2.1.2). m must satisfy
+// 0 < m < len(leaves); other values return nil (m == n needs no proof).
+func ConsistencyProof(leaves []Hash, m int) []Hash {
+	n := len(leaves)
+	if m <= 0 || m >= n {
+		return nil
+	}
+	return subProof(leaves, m, true)
+}
+
+// subProof is RFC 6962's SUBPROOF: complete marks whether the m-leaf
+// subtree is the original old tree (whose root the verifier already holds).
+func subProof(d []Hash, m int, complete bool) []Hash {
+	n := len(d)
+	if m == n {
+		if complete {
+			return nil
+		}
+		return []Hash{Root(d)}
+	}
+	k := splitPoint(n)
+	if m <= k {
+		return append(subProof(d[:k], m, complete), Root(d[k:]))
+	}
+	return append(subProof(d[k:], m-k, false), Root(d[:k]))
+}
+
+// VerifyConsistency checks that the tree of size second with head
+// secondRoot is an append-only extension of the tree of size first with
+// head firstRoot, per the RFC 9162 §2.1.4.2 algorithm.
+func VerifyConsistency(first, second int, firstRoot, secondRoot Hash, proof []Hash) bool {
+	switch {
+	case first < 0 || second < first:
+		return false
+	case first == second:
+		return firstRoot == secondRoot && len(proof) == 0
+	case first == 0:
+		// The empty tree is a prefix of everything; nothing to prove.
+		return len(proof) == 0
+	}
+	// If first is an exact power of two, the old root itself is the first
+	// proof node.
+	path := proof
+	if first&(first-1) == 0 {
+		path = append([]Hash{firstRoot}, proof...)
+	}
+	if len(path) == 0 {
+		return false
+	}
+	fn, sn := uint64(first-1), uint64(second-1)
+	for fn&1 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	fr, sr := path[0], path[0]
+	for _, c := range path[1:] {
+		if sn == 0 {
+			return false
+		}
+		if fn&1 == 1 || fn == sn {
+			fr = nodeHash(c, fr)
+			sr = nodeHash(c, sr)
+			if fn&1 == 0 {
+				for fn&1 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			sr = nodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && fr == firstRoot && sr == secondRoot
+}

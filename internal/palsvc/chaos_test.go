@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"minimaltcb/internal/attest"
 	"minimaltcb/internal/audit"
 	"minimaltcb/internal/chaos"
 	"minimaltcb/internal/obs/prof"
@@ -339,6 +340,7 @@ func TestSoakZeroLossUnderChaos(t *testing.T) {
 		Supervisor: SupervisorPolicy{QuarantineAfter: 4, QuarantineFor: 5 * time.Millisecond},
 		Flight:     rec,
 		Audit:      alog,
+		Batch:      DefaultBatchPolicy(), // the soak runs the batched pipeline
 	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -373,6 +375,22 @@ func TestSoakZeroLossUnderChaos(t *testing.T) {
 	}
 	if err := s.LeakCheck(); err != nil {
 		t.Fatalf("resource leak after soak: %v", err)
+	}
+
+	// Batched-attestation hygiene: batching was on for the whole soak, so
+	// batches actually formed, the rotating replay window stayed bounded,
+	// and no challenge nonce was ever presented twice — chaos-driven
+	// retries must re-challenge, never replay.
+	if m.Completed > 0 && m.QuoteBatches == 0 {
+		t.Error("soak completed jobs but never formed a batch quote")
+	}
+	for i, mach := range s.machines {
+		if n := mach.sys.Verifier.NonceWindowSize(); n > attest.NonceWindowBound {
+			t.Errorf("machine %d: nonce window grew to %d, above bound %d", i, n, attest.NonceWindowBound)
+		}
+		if r := mach.sys.Verifier.NonceReplays(); r != 0 {
+			t.Errorf("machine %d: verifier rejected %d replayed nonces during the soak", i, r)
+		}
 	}
 
 	counts := inj.Counts()

@@ -56,6 +56,10 @@ type JobResult struct {
 	// failed terminally) first try; higher values mean the supervisor
 	// retried retryable failures (Config.Retry).
 	Attempts int
+	// BatchSize is the number of jobs the quote covering this one
+	// attested (Config.Batch); 0 when the job quoted one-shot or skipped
+	// attestation.
+	BatchSize int
 	// Trace is the trace the job's spans were recorded under — propagated
 	// from Job.Trace or freshly minted. Zero when tracing is off.
 	Trace obs.TraceID

@@ -65,6 +65,17 @@ type Metrics struct {
 	SePCROccupancy    int `json:"sepcr_occupancy"`
 	MaxSePCROccupancy int `json:"sepcr_occupancy_max"`
 
+	// Quote-batching effectiveness: QuoteBatches counts signed batch
+	// quotes, BatchedJobs the jobs those batches covered, MaxBatchSize
+	// the largest batch signed, and QuoteSigns the AIK signatures spent
+	// in the quote stage — one per one-shot quote, one per batch, so
+	// QuoteSigns << BatchedJobs is the amortization working. All zero
+	// (and absent from the wire) when batching is disabled.
+	QuoteBatches uint64 `json:"quote_batches,omitempty"`
+	BatchedJobs  uint64 `json:"batched_jobs,omitempty"`
+	MaxBatchSize int    `json:"max_batch_size,omitempty"`
+	QuoteSigns   uint64 `json:"quote_signs,omitempty"`
+
 	// Image-cache and verifier-memo effectiveness.
 	CacheHits        uint64 `json:"cache_hits"`
 	CacheMisses      uint64 `json:"cache_misses"`
@@ -89,6 +100,8 @@ type metrics struct {
 	rejQueueFull, rejBank, rejShed          uint64
 	completed, failed, deadlineEx           uint64
 	retried, quarantines                    uint64
+	batches, batchedJobs, quoteSigns        uint64
+	maxBatch                                int
 	occupancy, maxOccupancy                 int
 	queueWait, arbWait, exec, quote, verify sim.Sample
 
@@ -155,6 +168,34 @@ func (m *metrics) releaseOne() {
 	m.mu.Lock()
 	m.occupancy--
 	m.mu.Unlock()
+}
+
+// noteBatch records one batch flush of n jobs; ok reports whether the
+// TPM signed it (a failed batch never reached the signature, so it
+// spent no RSA and counts toward nothing).
+func (m *metrics) noteBatch(n int, ok bool) {
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	m.batches++
+	m.batchedJobs += uint64(n)
+	m.quoteSigns++
+	if n > m.maxBatch {
+		m.maxBatch = n
+	}
+	m.mu.Unlock()
+	m.hooks.batchesC.Inc()
+	m.hooks.batchJobsC.Add(float64(n))
+	m.hooks.signsC.Inc()
+}
+
+// noteSign records the one AIK signature a one-shot quote spends.
+func (m *metrics) noteSign() {
+	m.mu.Lock()
+	m.quoteSigns++
+	m.mu.Unlock()
+	m.hooks.signsC.Inc()
 }
 
 func (m *metrics) observeQueue(d time.Duration) {
@@ -229,6 +270,10 @@ func (s *Service) Metrics() Metrics {
 		DeadlineExceeded:  m.deadlineEx,
 		Retried:           m.retried,
 		Quarantines:       m.quarantines,
+		QuoteBatches:      m.batches,
+		BatchedJobs:       m.batchedJobs,
+		MaxBatchSize:      m.maxBatch,
+		QuoteSigns:        m.quoteSigns,
 		SePCRCapacity:     s.bank,
 		SePCROccupancy:    m.occupancy,
 		MaxSePCROccupancy: m.maxOccupancy,

@@ -23,6 +23,9 @@ type obsHooks struct {
 	deadline     *obs.Counter
 	retried      *obs.Counter
 	quarantines  *obs.Counter
+	batchesC     *obs.Counter
+	batchJobsC   *obs.Counter
+	signsC       *obs.Counter
 
 	queueH  *obs.Histogram
 	arbH    *obs.Histogram
@@ -63,6 +66,9 @@ func (s *Service) bindRegistry(r *obs.Registry) {
 		deadline:    r.Counter("palsvc_jobs_deadline_exceeded_total", "Jobs whose deadline expired at any pipeline stage."),
 		retried:     r.Counter("palsvc_jobs_retried_total", "Supervisor retries of retryable job failures."),
 		quarantines: r.Counter("palsvc_machine_quarantines_total", "Replica quarantine trips after repeated consecutive faults."),
+		batchesC:    r.Counter("palsvc_quote_batches_total", "Batch quotes signed (one AIK signature each)."),
+		batchJobsC:  r.Counter("palsvc_quote_batched_jobs_total", "Jobs attested inside batch quotes."),
+		signsC:      r.Counter("palsvc_quote_signs_total", "AIK signatures spent in the quote stage (one per one-shot quote, one per batch)."),
 
 		queueH:  stage("queue_wait", "wall"),
 		arbH:    stage("arb_wait", "wall"),

@@ -119,6 +119,12 @@ type Config struct {
 	// escape hatch palservd exposes as -block-compile=false. The zero
 	// value keeps the tier on (the CPU default).
 	DisableBlockCompile bool
+	// Batch, when MaxSize > 1, enables the per-machine pipelined quote
+	// batcher (batcher.go): completed jobs are attested in batches of up
+	// to MaxSize with one AIK signature over a Merkle root, verified over
+	// a per-machine quote session. The zero value keeps the one-shot
+	// quote path, byte-identical to the pre-batching pipeline.
+	Batch BatchPolicy
 	// Audit, when non-nil, records every trust-relevant lifecycle event —
 	// launch measurements, sePCR transitions, seal/unseal decisions, PAL
 	// faults and kills, admission rejections — into the tamper-evident
@@ -185,6 +191,15 @@ type machine struct {
 	// assembly — the level LeakCheck expects once all jobs drain.
 	basePages int
 
+	// Quote-batching state (nil/zero when Config.Batch is disabled).
+	// batchCh feeds the machine's batcher goroutine; session and sessID
+	// are the lazily-opened quote session, touched only by that goroutine
+	// (workers receive the session over the outcome channel, so the
+	// channel send orders every access).
+	batchCh chan *quoteItem
+	session *attest.Session
+	sessID  uint64
+
 	// Supervision state, guarded by supMu rather than mu so admission
 	// probes never contend with the simulator lock.
 	supMu            sync.Mutex
@@ -249,6 +264,9 @@ type Service struct {
 	closeMu sync.RWMutex
 	closed  bool
 	wg      sync.WaitGroup
+	// batchWg tracks the per-machine batcher goroutines; they outlive the
+	// workers (which block on batch outcomes) and drain after them.
+	batchWg sync.WaitGroup
 }
 
 // New assembles the platform replicas and starts the worker pool.
@@ -331,6 +349,16 @@ func New(cfg Config) (*Service, error) {
 		cfg.Audit.SetSigner(s.machines[0].sys.Machine.TPM())
 		s.auditRec = cfg.Audit.Recorder(nil, -1)
 	}
+	if cfg.Batch.enabled() {
+		if s.cfg.Batch.MaxWait <= 0 {
+			s.cfg.Batch.MaxWait = 200 * time.Microsecond
+		}
+		for _, m := range s.machines {
+			m.batchCh = make(chan *quoteItem, cfg.Batch.MaxSize)
+			s.batchWg.Add(1)
+			go s.batcher(m)
+		}
+	}
 	s.bindRegistry(cfg.Registry)
 	cfg.SLO.Bind(cfg.Registry, "palsvc")
 	for i := 0; i < cfg.Workers; i++ {
@@ -411,7 +439,16 @@ func (s *Service) Close() {
 	s.closed = true
 	close(s.queue)
 	s.closeMu.Unlock()
+	// Workers first: each blocks at most Batch.MaxWait on its final batch
+	// outcome, which the (still running) batchers deliver. Only then do
+	// the batch channels close — no worker can send on a closed channel.
 	s.wg.Wait()
+	for _, m := range s.machines {
+		if m.batchCh != nil {
+			close(m.batchCh)
+		}
+	}
+	s.batchWg.Wait()
 }
 
 func (s *Service) worker() {
@@ -767,6 +804,12 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) erro
 		return fmt.Errorf("%w: before quote", ErrDeadlineExceeded)
 	}
 
+	if m.batchCh != nil {
+		// Batched attestation: hand the parked register to the machine's
+		// batcher and verify the returned inclusion proof (batcher.go).
+		return s.quoteBatched(m, t, p, res, secb)
+	}
+
 	// QUOTE — back under the machine lock for the TPM command.
 	nonce := s.nextNonce()
 	m.mu.Lock()
@@ -803,6 +846,7 @@ func (s *Service) execute(m *machine, t *task, p *core.PAL, res *JobResult) erro
 		s.noteMachineFault(m)
 		return fmt.Errorf("palsvc: releasing SECB: %w", relErr)
 	}
+	s.metrics.noteSign()
 	s.noteMachineOK(m)
 
 	if !t.deadline.IsZero() && time.Now().After(t.deadline) {

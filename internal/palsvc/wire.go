@@ -192,6 +192,11 @@ type WireResponse struct {
 	// Attempts mirrors JobResult.Attempts: how many pipeline passes the
 	// supervisor spent on the job (1 = no retries).
 	Attempts int `json:"attempts,omitempty"`
+	// BatchSize mirrors JobResult.BatchSize: how many jobs shared the
+	// quote that attested this one. Absent (0) when the server quoted
+	// one-shot or predates batching — old clients ignore the field by the
+	// protocol's unknown-field contract.
+	BatchSize int `json:"batch_size,omitempty"`
 	// Backend is the backend address that served the request when it was
 	// routed through a cluster front-end (cmd/palrouter); empty when the
 	// answer came straight from a palservd.
@@ -300,6 +305,7 @@ func (s *Service) dispatch(req *WireRequest) *WireResponse {
 			ExitStatus:  res.ExitStatus,
 			VerifiedAs:  res.VerifiedAs,
 			Attempts:    res.Attempts,
+			BatchSize:   res.BatchSize,
 			QueueWaitNS: res.QueueWait.Nanoseconds(),
 			ArbWaitNS:   res.ArbWait.Nanoseconds(),
 			ExecuteNS:   res.Execute.Nanoseconds(),

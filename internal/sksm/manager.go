@@ -527,6 +527,42 @@ func (mg *Manager) QuoteAfterExit(s *SECB, nonce []byte) (*tpm.Quote, error) {
 	return q, err
 }
 
+// QuoteBatchAfterExit generates one batched attestation covering several
+// completed PALs: every SECB's sePCR becomes a Merkle leaf and the AIK
+// signs the root once (tpm.QuoteSePCRBatch). All SECBs are validated Done
+// before any register is consumed — a rejected or failed batch leaves
+// every register attestable on retry. nonces[i] is the per-job verifier
+// nonce for secbs[i]; sessionID, when non-zero, names an open quote
+// session to MAC the batch under.
+func (mg *Manager) QuoteBatchAfterExit(secbs []*SECB, nonces [][]byte, batchNonce []byte, sessionID uint64) (*tpm.BatchQuote, error) {
+	if len(secbs) != len(nonces) {
+		return nil, fmt.Errorf("sksm: %d SECBs but %d nonces", len(secbs), len(nonces))
+	}
+	reqs := make([]tpm.BatchRequest, len(secbs))
+	for i, s := range secbs {
+		if s.State != StateDone {
+			return nil, fmt.Errorf("%w: batch quote of %v SECB", ErrBadState, s.State)
+		}
+		reqs[i] = tpm.BatchRequest{Handle: s.SePCRHandle, Nonce: nonces[i]}
+	}
+	var q *tpm.BatchQuote
+	v0 := mg.Kernel.Machine.Clock.Now()
+	err := mg.traced("QuoteBatchAfterExit", func() error {
+		var err error
+		q, err = mg.Kernel.Machine.TPM().QuoteSePCRBatch(reqs, batchNonce, sessionID)
+		return err
+	}, obs.Int("batch", len(secbs)))
+	if mg.Prof != nil && err == nil {
+		// Attribute the amortized cost evenly: the profile sees what one
+		// job actually paid, which is the whole point of batching.
+		per := (mg.Kernel.Machine.Clock.Now() - v0) / time.Duration(len(secbs))
+		for _, s := range secbs {
+			mg.Prof.NoteQuote(s.Measurement, per)
+		}
+	}
+	return q, err
+}
+
 // Release returns a SECB's pages to the OS allocator. It accepts Done
 // SECBs (the normal post-quote path) and Start SECBs whose SLAUNCH never
 // succeeded: those pages were allocated by NewSECB but never protected, so

@@ -6,6 +6,7 @@ import (
 	"crypto/cipher"
 	"crypto/rsa"
 	"crypto/sha1"
+	"encoding/binary"
 	"io"
 	"sync"
 	"unsafe"
@@ -81,13 +82,28 @@ func MeasureMemoized(b []byte) (d Digest, hit bool) {
 // ---- Deterministic RSA memoization -----------------------------------
 
 // cryptoKey identifies one deterministic private/public-key operation: the
-// op code, the key (by pointer — keysForSeed shares one key object per
-// (seed, bits), so pointer identity is key identity), and a SHA-1 over the
+// op code, the key (by public-key fingerprint), and a SHA-1 over the
 // operation's inputs.
+//
+// The key field used to be uintptr(unsafe.Pointer(key)). That was unsound
+// once AIKs became re-mintable (PR9's per-epoch re-mint): after a key is
+// garbage-collected its address can be recycled for a *different* key, and
+// the stale cache entry would alias the new key's operations — a signature
+// minted under key A verifying "successfully" under unrelated key B. A
+// fingerprint of the public material can't be recycled.
 type cryptoKey struct {
 	op  byte
-	key uintptr
+	key Digest
 	sum Digest
+}
+
+// keyFingerprint condenses an RSA public key into a cache identity. Both
+// halves of a key pair share the fingerprint; the op code keeps private-
+// and public-key operations from colliding.
+func keyFingerprint(pub *rsa.PublicKey) Digest {
+	var ebuf [8]byte
+	binary.BigEndian.PutUint64(ebuf[:], uint64(pub.E))
+	return sumParts([]byte("RSAPUB"), pub.N.Bytes(), ebuf[:])
 }
 
 const (
@@ -132,7 +148,7 @@ func sumParts(parts ...[]byte) Digest {
 // memoDecryptOAEP is rsa.DecryptOAEP with result caching. OAEP decryption
 // is a pure function of (key, ciphertext, label).
 func memoDecryptOAEP(priv *rsa.PrivateKey, ciphertext, label []byte) ([]byte, error) {
-	k := cryptoKey{op: opOAEPDecrypt, key: uintptr(unsafe.Pointer(priv)), sum: sumParts(ciphertext, label)}
+	k := cryptoKey{op: opOAEPDecrypt, key: keyFingerprint(&priv.PublicKey), sum: sumParts(ciphertext, label)}
 	if v, ok := cryptoLookup(k); ok {
 		return v, nil
 	}
@@ -181,7 +197,7 @@ func memoEncryptOAEP(rng io.Reader, pub *rsa.PublicKey, plaintext, label []byte)
 	if _, err := io.ReadFull(rng, seed[:]); err != nil {
 		return nil, err
 	}
-	k := cryptoKey{op: opOAEPEncrypt, key: uintptr(unsafe.Pointer(pub)), sum: sumParts(seed[:], plaintext, label)}
+	k := cryptoKey{op: opOAEPEncrypt, key: keyFingerprint(pub), sum: sumParts(seed[:], plaintext, label)}
 	if v, ok := cryptoLookup(k); ok {
 		return v, nil
 	}
@@ -196,7 +212,7 @@ func memoEncryptOAEP(rng io.Reader, pub *rsa.PublicKey, plaintext, label []byte)
 // memoSignPKCS1v15 is rsa.SignPKCS1v15 with result caching; PKCS#1 v1.5
 // signatures are deterministic.
 func memoSignPKCS1v15(priv *rsa.PrivateKey, digest Digest) ([]byte, error) {
-	k := cryptoKey{op: opSign, key: uintptr(unsafe.Pointer(priv)), sum: digest}
+	k := cryptoKey{op: opSign, key: keyFingerprint(&priv.PublicKey), sum: digest}
 	if v, ok := cryptoLookup(k); ok {
 		return v, nil
 	}
@@ -211,7 +227,7 @@ func memoSignPKCS1v15(priv *rsa.PrivateKey, digest Digest) ([]byte, error) {
 // memoVerifyPKCS1v15 is rsa.VerifyPKCS1v15 with success caching (failures
 // are not cached; they carry the error detail and are off the hot path).
 func memoVerifyPKCS1v15(pub *rsa.PublicKey, digest Digest, sig []byte) error {
-	k := cryptoKey{op: opVerify, key: uintptr(unsafe.Pointer(pub)), sum: sumParts(digest[:], sig)}
+	k := cryptoKey{op: opVerify, key: keyFingerprint(pub), sum: sumParts(digest[:], sig)}
 	if _, ok := cryptoLookup(k); ok {
 		return nil
 	}

@@ -1,7 +1,10 @@
 package tpm
 
 import (
+	"crypto/rsa"
 	"testing"
+
+	"minimaltcb/internal/sim"
 )
 
 func TestMeasureMemoizedMatchesMeasure(t *testing.T) {
@@ -61,5 +64,59 @@ func TestMeasureMemoizedSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("memoized Measure allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCryptoMemoNoCrossKeyAliasing is the regression test for the
+// pointer-keyed cryptoKey bug: with per-epoch AIK re-minting, a freed key's
+// address could be recycled for a different key and alias its cached
+// signature/verify results. The cache must key on public material, so two
+// distinct AIKs can never share entries — even with the cache fully warm.
+func TestCryptoMemoNoCrossKeyAliasing(t *testing.T) {
+	mint := func(seed uint64) *rsa.PrivateKey {
+		k, err := rsa.GenerateKey(sim.NewRNG(seed), 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	k1, k2 := mint(0x10a1), mint(0x10a2)
+	if keyFingerprint(&k1.PublicKey) == keyFingerprint(&k2.PublicKey) {
+		t.Fatal("distinct keys produced the same fingerprint")
+	}
+
+	digest := Measure([]byte("cross-key aliasing probe"))
+	sig1, err := memoSignPKCS1v15(k1, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every cache entry the old pointer key could have aliased: k1's
+	// verify success and k2's own sign result over the same digest.
+	if err := memoVerifyPKCS1v15(&k1.PublicKey, digest, sig1); err != nil {
+		t.Fatalf("genuine verify failed: %v", err)
+	}
+	sig2, err := memoSignPKCS1v15(k2, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sig1) == string(sig2) {
+		t.Fatal("two keys signed the same digest identically")
+	}
+	// The poison case: k1's signature presented under k2's public key must
+	// fail even though a success for (digest, sig1) is cached — under the
+	// old scheme a recycled address made exactly this return nil.
+	if err := memoVerifyPKCS1v15(&k2.PublicKey, digest, sig1); err == nil {
+		t.Fatal("cross-key verification hit another key's cached success")
+	}
+
+	// And fingerprint identity is about public material, not object
+	// identity: a distinct copy of k1 must share its cache entries.
+	k1copy := *k1
+	sigCopy, err := memoSignPKCS1v15(&k1copy, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sigCopy) != string(sig1) {
+		t.Fatal("copied key produced a different signature")
 	}
 }

@@ -79,11 +79,17 @@ type TPM struct {
 	hashKnown    Digest
 	hashKnownLen int
 	hashKnownSet bool
-	booted   bool
-	extends  int // statistics: number of Extend operations served
-	unsealOK int // statistics: successful unseals
+	booted       bool
+	extends      int // statistics: number of Extend operations served
+	unsealOK     int // statistics: successful unseals
 
 	sePCRs []sePCR
+
+	// Quote sessions (batch.go): per-session HMAC keys bound to the AIK
+	// by a signed grant. Wiped on Boot, like authorization sessions in
+	// real TPMs.
+	sessions   map[uint64]Digest
+	sessionSeq uint64
 
 	// trace, when set, records a dual-timestamp span per TPM command and
 	// a life-cycle span per sePCR state (internal/obs). sepcrLife holds
@@ -222,10 +228,13 @@ func (t *TPM) Boot() {
 	for i := range t.sePCRs {
 		t.sePCRs[i] = sePCR{state: SePCRFree}
 	}
-	// Power-on abandons any open sePCR life-cycle spans unrecorded.
+	// Power-on abandons any open sePCR life-cycle spans unrecorded, and
+	// wipes quote sessions — a rebooted chip cannot MAC for keys minted
+	// before the reboot.
 	for i := range t.sepcrLife {
 		t.sepcrLife[i] = nil
 	}
+	t.sessions = nil
 }
 
 // Profile returns the timing profile.
